@@ -1,0 +1,95 @@
+// E8 (§6.2): reduce MDL — audit frequency, and on-line (disk) vs off-line
+// (tape) replicas.
+//
+// Part 1 sweeps the scrub frequency on the Cheetah example (MDL = half the
+// audit interval) and reports the MTTDL curve — the quantitative form of
+// "the way to reduce MDL is to audit more frequently".
+// Part 2 prices the §6.2 comparison: on-line replicas audit cheaply and
+// repair in minutes; off-line replicas pay retrieval/mount per audit, risk
+// handling faults, and repair over days.
+
+#include <cstdio>
+
+#include "src/drives/cost_model.h"
+#include "src/drives/drive_specs.h"
+#include "src/drives/offline_media.h"
+#include "src/model/paper_model.h"
+#include "src/model/replica_ctmc.h"
+#include "src/model/strategies.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace longstore;
+  std::printf("%s", Heading("E8 (§6.2)", "audit frequency and on-line vs off-line "
+                            "replicas")
+                        .c_str());
+
+  std::printf("Part 1: scrub-frequency sweep on the Cheetah mirror\n");
+  Table sweep({"audits / year", "MDL", "paper-eq MTTDL", "CTMC (physical)",
+               "P(loss in 50 y)"});
+  const FaultParams base = FaultParams::PaperCheetahExample();
+  for (double audits : {0.0, 0.25, 1.0, 3.0, 12.0, 52.0, 365.0}) {
+    const ScrubPolicy policy = audits > 0.0 ? ScrubPolicy::PeriodicPerYear(audits)
+                                            : ScrubPolicy::None();
+    const FaultParams p = ApplyScrubPolicy(base, policy);
+    const auto ctmc = MirroredMttdl(p, RateConvention::kPhysical);
+    const auto loss =
+        MirroredLossProbability(p, Duration::Years(50.0), RateConvention::kPhysical);
+    sweep.AddRow({Table::Fmt(audits, 3), p.mdl.ToString(),
+                  Table::FmtYears(MttdlPaperChoice(p).years(), 1),
+                  Table::FmtYears(ctmc->years(), 1), Table::FmtSci(*loss, 2)});
+  }
+  std::printf("%s", sweep.Render().c_str());
+  std::printf("\nMTTDL grows ~linearly in audit frequency once detection dominates "
+              "the latent window\n(eq 10: MTTDL = alpha*ML^2 / (MRL + MDL)); the "
+              "paper's 3x/year anchor sits on this curve.\n\n");
+
+  std::printf("Part 2: on-line disk mirror vs off-line tape mirror (1 TB archive, "
+              "mirrored)\n");
+  const OfflineHandlingModel handling = OfflineHandlingModel::Defaults();
+  const CostAssumptions costs = CostAssumptions::Defaults();
+  Table media({"configuration", "MRV", "MDL", "MTTDL (CTMC)", "P(loss 50 y)",
+               "annual cost"});
+  struct Row {
+    std::string name;
+    FaultParams params;
+    DriveSpec drive;
+    double audits;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"disk, scrubbed monthly",
+                  OnlineReplicaParams(SeagateBarracuda200Gb(),
+                                      ScrubPolicy::PeriodicPerYear(12.0), 5.0),
+                  SeagateBarracuda200Gb(), 12.0});
+  rows.push_back({"disk, scrubbed 3x/year",
+                  OnlineReplicaParams(SeagateBarracuda200Gb(),
+                                      ScrubPolicy::PeriodicPerYear(3.0), 5.0),
+                  SeagateBarracuda200Gb(), 3.0});
+  for (double audits : {12.0, 4.0, 1.0, 0.0}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "tape, audited %.0fx/year", audits);
+    rows.push_back({audits > 0.0 ? name : "tape, never audited",
+                    OfflineReplicaParams(Lto3TapeCartridge(), audits, handling, 5.0),
+                    Lto3TapeCartridge(), audits});
+  }
+  for (const Row& row : rows) {
+    const auto mttdl = MirroredMttdl(row.params, RateConvention::kPhysical);
+    const auto loss = MirroredLossProbability(row.params, Duration::Years(50.0),
+                                              RateConvention::kPhysical);
+    media.AddRow({row.name, row.params.mrv.ToString(), row.params.mdl.ToString(),
+                  Table::FmtYears(mttdl->years(), 1), Table::FmtSci(*loss, 2),
+                  "$" + Table::Fmt(AnnualSystemCost(row.drive, 1000.0, 2, row.audits,
+                                                    costs),
+                                   4)});
+  }
+  std::printf("%s", media.Render().c_str());
+  std::printf(
+      "\nShape check (§6.2's conclusion): the disk mirror audits for cents and\n"
+      "repairs in under an hour, so its window of vulnerability is tiny. The tape\n"
+      "mirror must buy each audit with an expensive, fault-injecting handling\n"
+      "round-trip: auditing more drives its own fault rate up (and its cost past\n"
+      "the disk mirror), auditing less leaves latent faults undetected. On-line\n"
+      "replicas win on both axes — \"disk\" is the paper's answer to §1's\n"
+      "tape-or-disk question.\n");
+  return 0;
+}

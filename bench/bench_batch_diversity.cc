@@ -1,0 +1,82 @@
+// E14 (§6.5 hardware diversity): same-batch fleets age together.
+//
+// "Disks in an array often come from a single manufacturing batch. They thus
+// have the same firmware, same hardware and are the same age, and so are at
+// the same point in the 'bathtub' lifetime failure curve." This bench gives
+// that sentence numbers: Weibull wear-out fleets whose members share an age
+// versus fleets refreshed by rolling procurement, measured by simulation.
+
+#include <cstdio>
+
+#include "src/mc/monte_carlo.h"
+#include "src/util/table.h"
+
+namespace longstore {
+namespace {
+
+StorageSimConfig Fleet(double shape, std::vector<double> ages) {
+  StorageSimConfig config;
+  config.replica_count = static_cast<int>(ages.size());
+  config.params.mv = Duration::Hours(30000.0);  // ~3.4-year mean drive life
+  config.params.ml = Duration::Hours(1e12);
+  config.params.mrv = Duration::Hours(100.0);
+  config.params.alpha = 1.0;
+  config.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+  config.weibull_shape = shape;
+  config.initial_age_hours = std::move(ages);
+  return config;
+}
+
+double LossIn(const StorageSimConfig& config, Duration mission) {
+  McConfig mc;
+  mc.trials = 6000;
+  mc.seed = 404;
+  return EstimateLossProbability(config, mission, mc).probability();
+}
+
+}  // namespace
+}  // namespace longstore
+
+int main() {
+  using namespace longstore;
+  std::printf("%s", Heading("E14 (§6.5)", "single-batch vs rolling-procurement "
+                            "fleets on the bathtub curve")
+                        .c_str());
+
+  const Duration mission = Duration::Years(2.0);
+  std::printf("Mirrored pairs, drive mean life 30000 h, 100 h repair; "
+              "P(loss in %.0f y) by simulation (6000 trials/cell):\n\n",
+              mission.years());
+
+  Table table({"fleet composition", "memoryless (shape 1)",
+               "mild wear-out (shape 2)", "strong wear-out (shape 4)"});
+  struct FleetCase {
+    const char* name;
+    std::vector<double> ages;
+  };
+  const FleetCase cases[] = {
+      {"all new (fresh batch)", {0.0, 0.0}},
+      {"all mid-life (one batch, 20000 h)", {20000.0, 20000.0}},
+      {"all near end-of-life (one batch, 28000 h)", {28000.0, 28000.0}},
+      {"rolling procurement (28000 / 0 h)", {28000.0, 0.0}},
+  };
+  for (const FleetCase& fleet : cases) {
+    std::vector<std::string> row = {fleet.name};
+    for (double shape : {1.0, 2.0, 4.0}) {
+      row.push_back(Table::FmtSci(LossIn(Fleet(shape, fleet.ages), mission), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf(
+      "\nReading down the shape-4 column: under strong wear-out, an end-of-life\n"
+      "batch is orders of magnitude likelier to lose data than a staggered fleet\n"
+      "with the *same* oldest member — simultaneous aging is a correlation channel\n"
+      "all by itself. The memoryless column is flat across rows (ages cannot\n"
+      "matter), which doubles as a correctness check on the age machinery. This\n"
+      "is §6.5's case for rolling procurements: \"differences in storage\n"
+      "technologies and vendors over time naturally provide hardware\n"
+      "heterogeneity.\"\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// E12: engine microbenchmarks (google-benchmark).
+//
+// Measures the substrate costs that determine how far the Monte Carlo
+// harness scales: event-queue throughput, end-to-end trial cost, CTMC solve
+// time (GTH elimination), and the matrix exponential used for mission-loss
+// probabilities.
+
+#include <benchmark/benchmark.h>
+
+#include "src/mc/monte_carlo.h"
+#include "src/model/paper_model.h"
+#include "src/model/replica_ctmc.h"
+#include "src/model/strategies.h"
+#include "src/sim/simulator.h"
+#include "src/util/random.h"
+
+namespace longstore {
+namespace {
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    Simulator sim;
+    int64_t fired = 0;
+    for (int i = 0; i < events; ++i) {
+      sim.ScheduleAt(rng.NextUniform(Duration::Zero(), Duration::Hours(1000.0)),
+                     [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_EventCancellation(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    Simulator sim;
+    std::vector<EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(sim.ScheduleAt(Duration::Hours(static_cast<double>(i + 1)), [] {}));
+    }
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      sim.Cancel(ids[i]);
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.processed_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventCancellation);
+
+void BM_MirroredTrialToLoss(benchmark::State& state) {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(2000.0);
+  config.params.ml = Duration::Hours(400.0);
+  config.params.mrv = Duration::Hours(2.0);
+  config.params.mrl = Duration::Hours(2.0);
+  config.scrub = ScrubPolicy::Exponential(Duration::Hours(40.0));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    const RunOutcome outcome =
+        RunToLossOrHorizon(config, seed++, Duration::Years(1e9));
+    benchmark::DoNotOptimize(outcome.loss_time);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MirroredTrialToLoss);
+
+void BM_McLossProbability1kTrials(benchmark::State& state) {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params = ApplyScrubPolicy(FaultParams::PaperCheetahExample(),
+                                   ScrubPolicy::PeriodicPerYear(3.0));
+  config.scrub = ScrubPolicy::PeriodicPerYear(3.0);
+  McConfig mc;
+  mc.trials = 1000;
+  mc.threads = 1;
+  for (auto _ : state) {
+    mc.seed++;
+    const LossProbabilityEstimate estimate =
+        EstimateLossProbability(config, Duration::Years(50.0), mc);
+    benchmark::DoNotOptimize(estimate.losses);
+  }
+  state.SetItemsProcessed(state.iterations() * mc.trials);
+}
+BENCHMARK(BM_McLossProbability1kTrials);
+
+void BM_ReplicatedCtmcSolve(benchmark::State& state) {
+  const int replicas = static_cast<int>(state.range(0));
+  const FaultParams p = ApplyScrubPolicy(FaultParams::PaperCheetahExample(),
+                                         ScrubPolicy::PeriodicPerYear(3.0));
+  for (auto _ : state) {
+    const ReplicatedChainBuilder chain(p, replicas, RateConvention::kPhysical);
+    benchmark::DoNotOptimize(chain.Mttdl());
+  }
+}
+BENCHMARK(BM_ReplicatedCtmcSolve)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_MissionLossMatrixExponential(benchmark::State& state) {
+  const FaultParams p = ApplyScrubPolicy(FaultParams::PaperCheetahExample(),
+                                         ScrubPolicy::PeriodicPerYear(3.0));
+  const ReplicatedChainBuilder chain(p, static_cast<int>(state.range(0)),
+                                     RateConvention::kPhysical);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.LossProbability(Duration::Years(50.0)));
+  }
+}
+BENCHMARK(BM_MissionLossMatrixExponential)->Arg(2)->Arg(5);
+
+void BM_RngExponentialDraws(benchmark::State& state) {
+  Rng rng(7);
+  const Duration mean = Duration::Hours(1000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextExponential(mean));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponentialDraws);
+
+}  // namespace
+}  // namespace longstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// E2 / Figure 2: combinations of double faults resulting in data loss.
+//
+// The paper's Figure 2 is the 2x2 matrix of (first fault type) x (second
+// fault type), with the window of vulnerability after a visible first fault
+// being the recovery period and the window after a latent first fault also
+// including detection time. This bench measures that matrix: it runs the
+// mirrored-pair simulator, counts second faults inside each window type, and
+// compares the measured conditional probabilities against equations 3-6 and
+// the exact CTMC loss-path split.
+
+#include <cstdio>
+
+#include "src/mc/monte_carlo.h"
+#include "src/model/paper_model.h"
+#include "src/model/replica_ctmc.h"
+#include "src/util/table.h"
+
+namespace longstore {
+namespace {
+
+// Scaled-down parameters (same structure as §5.4: latent 5x visible, audits
+// between repairs and fault interarrivals) so windows see enough traffic for
+// tight measurement.
+FaultParams BenchParams() {
+  FaultParams p;
+  p.mv = Duration::Hours(2000.0);
+  p.ml = Duration::Hours(400.0);
+  p.mrv = Duration::Hours(8.0);
+  p.mrl = Duration::Hours(8.0);
+  p.mdl = Duration::Hours(60.0);
+  return p;
+}
+
+}  // namespace
+}  // namespace longstore
+
+int main() {
+  using namespace longstore;
+  std::printf("%s", Heading("E2 (Figure 2)", "double-fault matrix: measured second-"
+                            "fault probabilities vs equations 3-6")
+                        .c_str());
+
+  const FaultParams p = BenchParams();
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params = p;
+  config.scrub = ScrubPolicy::Exponential(p.mdl);  // matches the model's MDL
+
+  McConfig mc;
+  mc.trials = 20000;
+  mc.seed = 22;
+  const MttdlEstimate estimate = EstimateMttdl(config, mc);
+  const SimMetrics& m = estimate.aggregate_metrics;
+
+  const SecondFaultProbabilities eqs = ComputeSecondFaultProbabilities(p);
+
+  auto measured = [&m](FaultKind first, FaultKind second) {
+    const int64_t opened = m.windows_opened[static_cast<int>(first)];
+    const int64_t count =
+        m.second_faults[static_cast<int>(first)][static_cast<int>(second)];
+    return opened > 0 ? static_cast<double>(count) / static_cast<double>(opened) : 0.0;
+  };
+
+  Table table({"window (1st fault)", "2nd fault", "eq", "model P", "measured P",
+               "windows observed"});
+  table.AddRow({"visible (WOV = MRV)", "visible", "eq 3", Table::FmtSci(eqs.v2_given_v1),
+                Table::FmtSci(measured(FaultKind::kVisible, FaultKind::kVisible)),
+                std::to_string(m.windows_opened[0])});
+  table.AddRow({"visible (WOV = MRV)", "latent", "eq 4", Table::FmtSci(eqs.l2_given_v1),
+                Table::FmtSci(measured(FaultKind::kVisible, FaultKind::kLatent)),
+                std::to_string(m.windows_opened[0])});
+  table.AddRow({"latent (WOV = MDL+MRL)", "visible", "eq 5",
+                Table::FmtSci(eqs.v2_given_l1),
+                Table::FmtSci(measured(FaultKind::kLatent, FaultKind::kVisible)),
+                std::to_string(m.windows_opened[1])});
+  table.AddRow({"latent (WOV = MDL+MRL)", "latent", "eq 6",
+                Table::FmtSci(eqs.l2_given_l1),
+                Table::FmtSci(measured(FaultKind::kLatent, FaultKind::kLatent)),
+                std::to_string(m.windows_opened[1])});
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("\nNote: eqs 3-6 are linearizations P = WOV x rate; the measured values"
+              "\ninclude saturation (1 - exp(-rate x WOV)), so they sit slightly below"
+              "\nthe model for the long latent windows — exactly the regime where the"
+              "\npaper switches to its saturated forms.\n\n");
+
+  // Which window type ultimately causes data loss (CTMC vs simulation).
+  const auto breakdown = MirroredLossPathBreakdown(p, RateConvention::kPhysical);
+  const int64_t loss_after_visible = m.second_faults[0][0] + m.second_faults[0][1];
+  const int64_t loss_after_latent = m.second_faults[1][0] + m.second_faults[1][1];
+  const double total =
+      static_cast<double>(loss_after_visible + loss_after_latent);
+  Table paths({"first fault opening the fatal window", "CTMC", "measured"});
+  paths.AddRow({"visible", Table::FmtPercent(breakdown->from_visible_window),
+                Table::FmtPercent(static_cast<double>(loss_after_visible) / total)});
+  paths.AddRow({"latent", Table::FmtPercent(breakdown->from_latent_window),
+                Table::FmtPercent(static_cast<double>(loss_after_latent) / total)});
+  std::printf("%s", paths.Render().c_str());
+  std::printf("\nLatent-opened windows dominate data loss (they are both more "
+              "frequent and far longer),\nwhich is the figure's point: the lower "
+              "row of the 2x2 matrix is where archives die.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E11: the validation triangle — paper closed forms vs exact CTMC vs Monte
+// Carlo simulation, across regimes.
+//
+// The paper's equations are linearized approximations of a stochastic
+// process; the CTMC solves that process exactly (for exponential detection),
+// and the discrete-event simulator samples it. This bench quantifies every
+// gap so EXPERIMENTS.md can state precisely where the published closed forms
+// hold and by what factor they drift.
+
+#include <cstdio>
+
+#include "src/mc/monte_carlo.h"
+#include "src/model/paper_model.h"
+#include "src/model/replica_ctmc.h"
+#include "src/util/table.h"
+
+namespace longstore {
+namespace {
+
+struct Scenario {
+  const char* name;
+  FaultParams params;
+};
+
+FaultParams Make(double mv, double ml, double mrv, double mdl, double alpha) {
+  FaultParams p;
+  p.mv = Duration::Hours(mv);
+  p.ml = Duration::Hours(ml);
+  p.mrv = Duration::Hours(mrv);
+  p.mrl = Duration::Hours(mrv);
+  p.mdl = Duration::Hours(mdl);
+  p.alpha = alpha;
+  return p;
+}
+
+}  // namespace
+}  // namespace longstore
+
+int main() {
+  using namespace longstore;
+  std::printf("%s", Heading("E11", "validation triangle: closed forms vs CTMC vs "
+                            "Monte Carlo (mirrored pair)")
+                        .c_str());
+
+  // Time-compressed scenarios covering each §5.4 regime (structure preserved,
+  // absolute scales shrunk so MC trials are cheap).
+  const Scenario scenarios[] = {
+      {"latent-dominated, scrubbed (eq 10 regime)",
+       Make(2000.0, 400.0, 2.0, 40.0, 1.0)},
+      {"latent-dominated, correlated", Make(2000.0, 400.0, 2.0, 40.0, 0.2)},
+      {"visible-dominated, negligible latent (eq 9)",
+       Make(500.0, 500000.0, 5.0, 10.0, 1.0)},
+      {"balanced rates (eq 8)", Make(1000.0, 1000.0, 2.0, 30.0, 1.0)},
+      {"saturated latent window (eq 7, P~1)", Make(2000.0, 400.0, 2.0, 2000.0, 1.0)},
+  };
+
+  Table table({"scenario", "paper-eq", "eq 8", "CTMC paper-conv", "CTMC physical",
+               "MC physical (+/- CI)", "eq8 / CTMCp"});
+  for (const Scenario& scenario : scenarios) {
+    const FaultParams& p = scenario.params;
+    const Duration choice = MttdlPaperChoice(p);
+    const Duration eq8 = MttdlClosedForm(p);
+    const auto ctmc_paper = MirroredMttdl(p, RateConvention::kPaper);
+    const auto ctmc_physical = MirroredMttdl(p, RateConvention::kPhysical);
+
+    StorageSimConfig config;
+    config.replica_count = 2;
+    config.params = p;
+    config.scrub = ScrubPolicy::Exponential(p.mdl);
+    McConfig mc;
+    mc.trials = 5000;
+    mc.seed = 1111;
+    const MttdlEstimate estimate = EstimateMttdl(config, mc);
+
+    char mc_cell[64];
+    std::snprintf(mc_cell, sizeof(mc_cell), "%.3g +/- %.2g h",
+                  estimate.mean_years() * kHoursPerYear,
+                  (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0 * kHoursPerYear);
+    table.AddRow({scenario.name, Table::Fmt(choice.hours(), 4) + " h",
+                  Table::Fmt(eq8.hours(), 4) + " h",
+                  Table::Fmt(ctmc_paper->hours(), 4) + " h",
+                  Table::Fmt(ctmc_physical->hours(), 4) + " h", mc_cell,
+                  Table::Fmt(eq8.hours() / ctmc_paper->hours(), 3)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf(
+      "\nExpected structure of the gaps:\n"
+      "  - eq 8 tracks the paper-convention CTMC to first order in the window/\n"
+      "    interarrival ratios (final column ~1 in the linear regimes, drifting\n"
+      "    where windows saturate);\n"
+      "  - the physical convention (both replicas' clocks ticking) sits at ~1/2 of\n"
+      "    the paper convention throughout — a constant-factor convention choice,\n"
+      "    not a modelling disagreement;\n"
+      "  - the Monte Carlo column brackets the physical CTMC within its CI, which\n"
+      "    validates the simulator against the exact solution of the same process.\n");
+  return 0;
+}

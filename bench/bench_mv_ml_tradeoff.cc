@@ -1,0 +1,79 @@
+// E9 (§5.4, implication 1): MTTDL varies quadratically with min(MV, ML) —
+// "we must be careful not to sacrifice one for the other".
+//
+// Part 1: scale MV and ML independently and show the quadratic response to
+// whichever is smaller. Part 2: an anti-correlated trade (hardware or
+// detection-strategy choices that buy visible reliability by paying latent
+// reliability, MV' = f*MV, ML' = ML/f) and the resulting optimum at the
+// balance point.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/model/paper_model.h"
+#include "src/model/replica_ctmc.h"
+#include "src/model/strategies.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace longstore;
+  std::printf("%s", Heading("E9 (§5.4)", "MTTDL is quadratic in min(MV, ML)").c_str());
+
+  // Balanced starting point (MV = ML) with fast detection, so either axis can
+  // become the bottleneck.
+  FaultParams base;
+  base.mv = Duration::Hours(1.0e6);
+  base.ml = Duration::Hours(1.0e6);
+  base.mrv = Duration::Minutes(20.0);
+  base.mrl = Duration::Minutes(20.0);
+  base.mdl = Duration::Hours(100.0);
+
+  std::printf("Part 1: scale one axis at a time (other fixed at 1e6 h)\n");
+  Table scale({"factor f", "MV = f*1e6 h: MTTDL", "growth", "ML = f*1e6 h: MTTDL",
+               "growth"});
+  double previous_mv = 0.0;
+  double previous_ml = 0.0;
+  for (double f : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const Duration mv_scaled = MttdlClosedForm(ScaleFaultTimes(base, f, 1.0));
+    const Duration ml_scaled = MttdlClosedForm(ScaleFaultTimes(base, 1.0, f));
+    scale.AddRow(
+        {Table::Fmt(f, 2), Table::FmtYears(mv_scaled.years(), 0),
+         previous_mv > 0.0 ? Table::Fmt(mv_scaled.years() / previous_mv, 3) + "x" : "",
+         Table::FmtYears(ml_scaled.years(), 0),
+         previous_ml > 0.0 ? Table::Fmt(ml_scaled.years() / previous_ml, 3) + "x" : ""});
+    previous_mv = mv_scaled.years();
+    previous_ml = ml_scaled.years();
+  }
+  std::printf("%s", scale.Render().c_str());
+  std::printf("\nDoubling the *scarce* axis roughly quadruples MTTDL below the "
+              "balance point and\napproaches 2x above it — the quadratic-in-the-"
+              "minimum behaviour of eqs 9/10.\n\n");
+
+  std::printf("Part 2: anti-correlated trade MV' = f*MV, ML' = ML/f (e.g. media or\n"
+              "controller choices that trade silent corruption for whole-drive "
+              "failures)\n");
+  Table trade({"f (visible bias)", "MV'", "ML'", "eq 8 MTTDL", "CTMC (physical)"});
+  double best_f = 0.0;
+  double best_mttdl = 0.0;
+  for (double f : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const FaultParams p = ScaleFaultTimes(base, f, 1.0 / f);
+    const Duration eq8 = MttdlClosedForm(p);
+    const auto ctmc = MirroredMttdl(p, RateConvention::kPhysical);
+    if (eq8.years() > best_mttdl) {
+      best_mttdl = eq8.years();
+      best_f = f;
+    }
+    trade.AddRow({Table::Fmt(f, 3), Table::FmtSci(p.mv.hours(), 1) + " h",
+                  Table::FmtSci(p.ml.hours(), 1) + " h",
+                  Table::FmtYears(eq8.years(), 0),
+                  Table::FmtYears(ctmc->years(), 0)});
+  }
+  std::printf("%s", trade.Render().c_str());
+  std::printf(
+      "\nThe optimum sits at f = %.3g: with fast detection the window sizes are\n"
+      "comparable, so neither axis should be sacrificed — the paper's first\n"
+      "implication. (With slow detection the optimum shifts toward protecting ML,\n"
+      "because latent windows are the longer ones.)\n",
+      best_f);
+  return 0;
+}

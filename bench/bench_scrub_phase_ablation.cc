@@ -1,0 +1,106 @@
+// E15 (ablation): design choices the closed forms cannot see.
+//
+// The analytic model reduces every audit policy to a single number (MDL).
+// The simulator distinguishes what that number hides:
+//   (a) periodic vs memoryless audits at the same mean detection latency —
+//       deterministic audits bound the worst case and trim the window tail;
+//   (b) staggered vs aligned scrub phases across replicas — aligned audits
+//       leave synchronized blind spots where simultaneous latent faults
+//       (e.g. a corruption worm) sit undetected on every replica at once.
+// Both are operator-controllable for free, which is why DESIGN.md calls them
+// out as ablation targets.
+
+#include <cstdio>
+
+#include "src/mc/monte_carlo.h"
+#include "src/util/table.h"
+
+namespace longstore {
+namespace {
+
+StorageSimConfig BaseConfig() {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(2000.0);
+  config.params.ml = Duration::Hours(400.0);
+  config.params.mrv = Duration::Hours(2.0);
+  config.params.mrl = Duration::Hours(2.0);
+  return config;
+}
+
+double MttdlHours(const StorageSimConfig& config, uint64_t seed) {
+  McConfig mc;
+  mc.trials = 8000;
+  mc.seed = seed;
+  return EstimateMttdl(config, mc).mean_years() * kHoursPerYear;
+}
+
+}  // namespace
+}  // namespace longstore
+
+int main() {
+  using namespace longstore;
+  std::printf("%s", Heading("E15 (ablation)", "audit-policy shape at fixed mean "
+                            "detection latency")
+                        .c_str());
+
+  std::printf("Part 1: periodic vs Poisson audits, both with MDL = 40 h "
+              "(time-compressed mirror)\n");
+  Table shape({"audit policy", "MTTDL (MC)", "vs Poisson"});
+  StorageSimConfig poisson = BaseConfig();
+  poisson.scrub = ScrubPolicy::Exponential(Duration::Hours(40.0));
+  StorageSimConfig periodic = BaseConfig();
+  periodic.scrub = ScrubPolicy::Periodic(Duration::Hours(80.0));  // same mean
+  const double poisson_mttdl = MttdlHours(poisson, 151);
+  const double periodic_mttdl = MttdlHours(periodic, 151);
+  shape.AddRow({"Poisson, mean spacing 40 h", Table::Fmt(poisson_mttdl, 4) + " h",
+                "1.00x"});
+  shape.AddRow({"periodic, every 80 h", Table::Fmt(periodic_mttdl, 4) + " h",
+                Table::Fmt(periodic_mttdl / poisson_mttdl, 3) + "x"});
+  std::printf("%s", shape.Render().c_str());
+  std::printf("\nDeterministic audits cap the detection wait at one period, so the "
+              "window-of-\nvulnerability tail (which drives double faults) is "
+              "shorter at equal mean MDL.\n\n");
+
+  std::printf("Part 2: staggered vs aligned scrub phases under a corruption worm\n");
+  // Three replicas, the worm silently corrupts replicas 0 and 1 together.
+  auto worm_config = [](bool staggered) {
+    StorageSimConfig config;
+    config.replica_count = 3;
+    config.params.mv = Duration::Hours(1e9);
+    config.params.ml = Duration::Hours(3000.0);
+    config.params.mrv = Duration::Hours(2.0);
+    config.params.mrl = Duration::Hours(2.0);
+    config.scrub = ScrubPolicy::Periodic(Duration::Hours(240.0));
+    config.scrub_staggered = staggered;
+    config.common_mode.push_back(CommonModeSource{
+        "corruption worm", Rate::PerHour(1.0 / 20000.0), {0, 1}, 1.0,
+        /*visible_fraction=*/0.0});
+    return config;
+  };
+  Table phases({"phase layout", "P(loss in 20 y)", "mean detection latency"});
+  for (bool staggered : {true, false}) {
+    McConfig mc;
+    mc.trials = 8000;
+    mc.seed = 173;
+    const LossProbabilityEstimate estimate =
+        EstimateLossProbability(worm_config(staggered), Duration::Years(20.0), mc);
+    phases.AddRow(
+        {staggered ? "staggered (audits spread across the period)"
+                   : "aligned (all replicas audited together)",
+         Table::Fmt(estimate.probability(), 3) + " [" +
+             Table::Fmt(estimate.wilson_ci.lo, 3) + ", " +
+             Table::Fmt(estimate.wilson_ci.hi, 3) + "]",
+         Duration::Hours(
+             estimate.aggregate_metrics.detection_latency_hours.mean())
+             .ToString()});
+  }
+  std::printf("%s", phases.Render().c_str());
+  std::printf(
+      "\nStaggering is free worst-case insurance: when a common-mode event corrupts\n"
+      "several replicas at once, staggered audits catch the first copy after at\n"
+      "most period/replicas instead of leaving all copies blind until the next\n"
+      "synchronized pass. The mean MDL is identical — only the simulator, not the\n"
+      "closed forms, can rank the two layouts.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E16: the §6 strategy list, ranked quantitatively.
+//
+// For each of the paper's worked configurations, prints the elasticity of
+// MTTDL with respect to every model parameter (computed on the exact CTMC):
+// the percentage reliability payoff of a 1% improvement in each §6 lever.
+// The ranking *changes across regimes* — which is the §6.6 point that the
+// strategies are not orthogonal and must be chosen per configuration.
+
+#include <cstdio>
+
+#include "src/model/sensitivity.h"
+#include "src/model/strategies.h"
+#include "src/util/table.h"
+
+namespace longstore {
+namespace {
+
+struct Scenario {
+  const char* name;
+  FaultParams params;
+};
+
+}  // namespace
+}  // namespace longstore
+
+int main() {
+  using namespace longstore;
+  std::printf("%s", Heading("E16", "elasticities of MTTDL: d log MTTDL / d log X on "
+                            "the exact mirrored CTMC (physical convention)")
+                        .c_str());
+
+  const FaultParams unscrubbed = FaultParams::PaperCheetahExample();
+  const FaultParams scrubbed =
+      ApplyScrubPolicy(unscrubbed, ScrubPolicy::PeriodicPerYear(3.0));
+  const Scenario scenarios[] = {
+      {"unscrubbed Cheetah mirror (saturated latent window)", unscrubbed},
+      {"scrubbed 3x/year (paper's recommended posture)", scrubbed},
+      {"scrubbed, correlated alpha = 0.1", WithCorrelation(scrubbed, 0.1)},
+      {"scrubbed every 2 h (MDL ~ MRL: detection no longer dominant)",
+       ApplyScrubPolicy(unscrubbed, ScrubPolicy::Periodic(Duration::Hours(2.0)))},
+  };
+
+  Table table({"configuration", "e(MV)", "e(ML)", "e(MRV)", "e(MRL)", "e(MDL)",
+               "e(alpha)", "top lever"});
+  for (const Scenario& scenario : scenarios) {
+    const auto elasticities =
+        MttdlElasticities(scenario.params, 2, RateConvention::kPhysical);
+    std::vector<std::string> row = {scenario.name};
+    for (const Elasticity& e : elasticities) {
+      row.push_back(Table::Fmt(e.value, 3));
+    }
+    const auto ranked =
+        RankedStrategyLevers(scenario.params, 2, RateConvention::kPhysical);
+    row.push_back(std::string(ModelParameterName(ranked[0].parameter)));
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf(
+      "\nHow to read this against §6:\n"
+      "  - unscrubbed: only ML matters (e ~ 1) — better media merely delays the\n"
+      "    inevitable; MDL shows 0 because there is no detection process to tune,\n"
+      "    and *introducing* one is the regime change the paper recommends;\n"
+      "  - scrubbed: e(ML) ~ 2 and e(MDL) ~ -1 — media quality pays quadratically\n"
+      "    and every halving of detection latency doubles MTTDL (\"reduce MDL\");\n"
+      "  - correlated: e(alpha) ~ 1 joins the top levers — \"increase the\n"
+      "    independence of the replicas\";\n"
+      "  - scrubbed every 2 h: with MDL down at the repair timescale, e(MDL)\n"
+      "    fades (and e(MRL) rises) — auditing has diminishing returns once\n"
+      "    MDL ~ MRL, which is §6.6's auditing trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Archive planner: the §4.3 budget question made executable.
+//
+// "Most of the information people would like to see live forever is not in
+// the hands of organizations with unlimited budgets." Given an archive size,
+// a mission length, and a reliability target, the planner enumerates drive
+// class x replication x audit frequency x deployment style, scores each with
+// the exact CTMC, prices it, and reports the cheapest qualifying design plus
+// the cost/reliability Pareto frontier.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/planner/planner.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace longstore;
+
+  PlannerConfig config;
+  config.archive_gb = argc > 1 ? std::atof(argv[1]) : 2000.0;
+  config.mission = Duration::Years(argc > 2 ? std::atof(argv[2]) : 50.0);
+  config.target_loss_probability = argc > 3 ? std::atof(argv[3]) : 0.01;
+
+  std::printf("Planning a %.0f GB archive for %.0f years, target P(loss) <= %s\n\n",
+              config.archive_gb, config.mission.years(),
+              Table::FmtPercent(config.target_loss_probability).c_str());
+
+  const auto options = EvaluateAllOptions(config);
+  std::printf("evaluated %zu strategy combinations\n\n", options.size());
+
+  const auto best = CheapestMeetingTarget(config);
+  if (best) {
+    std::printf("cheapest design meeting the target:\n  %s\n"
+                "  annual cost $%.0f, MTTDL %s, P(loss over mission) %s\n"
+                "  derived per-replica params: MV=%s ML=%s MRV=%s MDL=%s alpha=%.3g\n\n",
+                best->option.Describe().c_str(), best->annual_cost_usd,
+                best->mttdl.ToString().c_str(),
+                Table::FmtSci(best->loss_probability, 2).c_str(),
+                best->params.mv.ToString().c_str(), best->params.ml.ToString().c_str(),
+                best->params.mrv.ToString().c_str(), best->params.mdl.ToString().c_str(),
+                best->params.alpha);
+  } else {
+    std::printf("no design in the search space meets the target — relax the target\n"
+                "or extend the choice lists in PlannerConfig.\n\n");
+  }
+
+  std::printf("cost/reliability Pareto frontier:\n");
+  Table frontier({"annual cost", "P(loss over mission)", "MTTDL", "design"});
+  for (const EvaluatedOption& option : ParetoFrontier(options)) {
+    frontier.AddRow({"$" + Table::Fmt(option.annual_cost_usd, 4),
+                     Table::FmtSci(option.loss_probability, 2),
+                     option.mttdl.is_infinite() ? "inf"
+                                                : Table::FmtYears(option.mttdl.years(), 0),
+                     option.option.Describe()});
+  }
+  std::printf("%s", frontier.Render().c_str());
+
+  std::printf("\nReading the frontier: audits and independence dominate the early\n"
+              "wins (they are nearly free); replicas buy the later decades; the\n"
+              "enterprise drive rarely appears — §6.1's conclusion, discovered\n"
+              "here by exhaustive search rather than argument.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Tape vs disk: §1's question — "Would it be better to replicate an archive
+// on tape or on disk? (Disk, §6.2)" — answered end to end for a concrete
+// archive, including the costs.
+
+#include <cstdio>
+
+#include "src/drives/cost_model.h"
+#include "src/drives/drive_specs.h"
+#include "src/drives/offline_media.h"
+#include "src/model/replica_ctmc.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace longstore;
+
+  constexpr double kArchiveGb = 4000.0;
+  constexpr int kReplicas = 2;
+  const Duration mission = Duration::Years(50.0);
+  const CostAssumptions costs = CostAssumptions::Defaults();
+  const OfflineHandlingModel handling = OfflineHandlingModel::Defaults();
+
+  std::printf("A %.0f GB archive, mirrored (r = %d), %.0f-year mission\n\n", kArchiveGb,
+              kReplicas, mission.years());
+
+  struct Design {
+    std::string name;
+    DriveSpec medium;
+    double audits_per_year;
+    bool offline;
+  };
+  const Design designs[] = {
+      {"disk, scrubbed weekly", SeagateBarracuda200Gb(), 52.0, false},
+      {"disk, scrubbed monthly", SeagateBarracuda200Gb(), 12.0, false},
+      {"disk, never scrubbed", SeagateBarracuda200Gb(), 0.0, false},
+      {"tape, audited monthly", Lto3TapeCartridge(), 12.0, true},
+      {"tape, audited yearly", Lto3TapeCartridge(), 1.0, true},
+      {"tape, write-and-forget", Lto3TapeCartridge(), 0.0, true},
+  };
+
+  Table table({"design", "MTTDL", "P(loss over mission)", "annual cost",
+               "$ / TB-year"});
+  for (const Design& design : designs) {
+    FaultParams params;
+    if (design.offline) {
+      params = OfflineReplicaParams(design.medium, design.audits_per_year, handling,
+                                    /*latent_to_visible_ratio=*/5.0);
+    } else {
+      const ScrubPolicy policy =
+          design.audits_per_year > 0.0
+              ? ScrubPolicy::PeriodicPerYear(design.audits_per_year)
+              : ScrubPolicy::None();
+      params = OnlineReplicaParams(design.medium, policy, 5.0);
+    }
+    const auto mttdl = MirroredMttdl(params, RateConvention::kPhysical);
+    const auto loss = MirroredLossProbability(params, mission, RateConvention::kPhysical);
+    const double annual = AnnualSystemCost(design.medium, kArchiveGb, kReplicas,
+                                           design.audits_per_year, costs);
+    table.AddRow({design.name,
+                  mttdl->is_infinite() ? "inf" : Table::FmtYears(mttdl->years(), 0),
+                  Table::FmtSci(*loss, 2), "$" + Table::Fmt(annual, 4),
+                  "$" + Table::Fmt(annual / (kArchiveGb / 1000.0), 4)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf(
+      "\nWhy disk wins (§6.2):\n"
+      "  - auditing an on-line replica is a background read; auditing a vaulted\n"
+      "    tape is a retrieval + mount + read round-trip that costs real money and\n"
+      "    occasionally damages or loses the medium itself;\n"
+      "  - repair from an on-line peer takes minutes; repair from a vault takes\n"
+      "    more than a day, stretching every window of vulnerability;\n"
+      "  - so the tape mirror is caught between two failure modes: audit rarely\n"
+      "    and latent faults accumulate, audit often and handling faults plus\n"
+      "    audit fees dominate. The disk mirror has no such bind.\n");
+  return 0;
+}

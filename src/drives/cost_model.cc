@@ -1,0 +1,58 @@
+#include "src/drives/cost_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace longstore {
+
+int UnitsForArchive(const DriveSpec& drive, double archive_gb) {
+  if (!(drive.capacity_gb > 0.0)) {
+    throw std::invalid_argument("UnitsForArchive: drive capacity must be positive");
+  }
+  if (!(archive_gb > 0.0)) {
+    throw std::invalid_argument("UnitsForArchive: archive size must be positive");
+  }
+  return static_cast<int>(std::ceil(archive_gb / drive.capacity_gb));
+}
+
+ReplicaCostBreakdown AnnualReplicaCost(const DriveSpec& drive, double archive_gb,
+                                       double audits_per_year,
+                                       const CostAssumptions& assumptions) {
+  if (audits_per_year < 0.0) {
+    throw std::invalid_argument("AnnualReplicaCost: audits_per_year must be >= 0");
+  }
+  const int units = UnitsForArchive(drive, archive_gb);
+  const double unit_count = static_cast<double>(units);
+
+  ReplicaCostBreakdown cost;
+  cost.capex_per_year =
+      unit_count * drive.price_usd / assumptions.replacement_cycle.years();
+
+  if (drive.media == MediaClass::kTapeCartridge) {
+    cost.power_per_year = 0.0;
+    cost.admin_per_year = 0.0;
+    cost.space_per_year = unit_count * assumptions.offline_storage_usd_per_cartridge_year;
+    cost.audit_per_year =
+        unit_count * audits_per_year * assumptions.offline_audit_usd_per_cartridge;
+  } else {
+    cost.power_per_year = unit_count * assumptions.disk_power_watts *
+                          kHoursPerYear / 1000.0 * assumptions.electricity_usd_per_kwh;
+    cost.admin_per_year = unit_count * assumptions.admin_usd_per_drive_year;
+    cost.space_per_year = unit_count * assumptions.space_usd_per_drive_year;
+    cost.audit_per_year =
+        unit_count * audits_per_year * assumptions.online_audit_usd_per_drive;
+  }
+  return cost;
+}
+
+double AnnualSystemCost(const DriveSpec& drive, double archive_gb, int replicas,
+                        double audits_per_year, const CostAssumptions& assumptions) {
+  if (replicas < 1) {
+    throw std::invalid_argument("AnnualSystemCost: replicas must be >= 1");
+  }
+  return static_cast<double>(replicas) *
+         AnnualReplicaCost(drive, archive_gb, audits_per_year, assumptions)
+             .total_per_year();
+}
+
+}  // namespace longstore

@@ -1,0 +1,70 @@
+#include "src/model/fault_params.h"
+
+#include <cmath>
+
+namespace longstore {
+namespace {
+
+bool RelativeEqual(double a, double b, double rel_tol) {
+  if (a == b) {
+    return true;  // covers equal infinities and exact zeros
+  }
+  if (std::isinf(a) || std::isinf(b)) {
+    return false;
+  }
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace
+
+std::optional<std::string> FaultParams::Validate() const {
+  if (!(mv.hours() > 0.0)) {
+    return "MV (mean time to visible fault) must be positive";
+  }
+  if (!(ml.hours() > 0.0)) {
+    return "ML (mean time to latent fault) must be positive";
+  }
+  if (mrv.is_negative() || mrv.is_infinite()) {
+    return "MRV (mean visible repair time) must be finite and non-negative";
+  }
+  if (mrl.is_negative() || mrl.is_infinite()) {
+    return "MRL (mean latent repair time) must be finite and non-negative";
+  }
+  if (mdl.is_negative()) {
+    return "MDL (mean latent detection time) must be non-negative";
+  }
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    return "alpha (correlation factor) must lie in (0, 1]";
+  }
+  return std::nullopt;
+}
+
+double FaultParams::AlphaLowerBound() const {
+  if (mv.is_infinite()) {
+    return 0.0;
+  }
+  return 10.0 * mrv.hours() / mv.hours();
+}
+
+FaultParams FaultParams::PaperCheetahExample() {
+  FaultParams p;
+  p.mv = Duration::Hours(1.4e6);
+  p.ml = Duration::Hours(2.8e5);  // five times the visible fault rate
+  p.mrv = Duration::Minutes(20.0);
+  p.mrl = Duration::Minutes(20.0);
+  p.mdl = Duration::Infinite();  // no scrubbing until a policy is applied
+  p.alpha = 1.0;
+  return p;
+}
+
+bool ApproxEqual(const FaultParams& a, const FaultParams& b, double rel_tol) {
+  return RelativeEqual(a.mv.hours(), b.mv.hours(), rel_tol) &&
+         RelativeEqual(a.ml.hours(), b.ml.hours(), rel_tol) &&
+         RelativeEqual(a.mrv.hours(), b.mrv.hours(), rel_tol) &&
+         RelativeEqual(a.mrl.hours(), b.mrl.hours(), rel_tol) &&
+         RelativeEqual(a.mdl.hours(), b.mdl.hours(), rel_tol) &&
+         RelativeEqual(a.alpha, b.alpha, rel_tol);
+}
+
+}  // namespace longstore

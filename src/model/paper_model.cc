@@ -1,0 +1,202 @@
+#include "src/model/paper_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace longstore {
+namespace {
+
+// Regime-classification thresholds. The paper's linearizations require the
+// conditional second-fault probability after a latent fault to be small; we
+// call the window "saturated" once the unclamped probability
+// (MDL + MRL)·(1/MV + 1/ML)/α crosses kSaturationProbability (the paper
+// switches to the saturated forms for its unscrubbed and negligent examples,
+// where that probability is 1). A kDominanceRatio gap in fault rates counts
+// as "dominated".
+constexpr double kSaturationProbability = 0.5;
+constexpr double kDominanceRatio = 1.0;
+
+void CheckValid(const FaultParams& p) {
+  if (auto error = p.Validate()) {
+    throw std::invalid_argument("FaultParams: " + *error);
+  }
+}
+
+}  // namespace
+
+SecondFaultProbabilities ComputeSecondFaultProbabilities(const FaultParams& p) {
+  CheckValid(p);
+  SecondFaultProbabilities out;
+  const double pair_rate = 1.0 / p.mv.hours() + 1.0 / p.ml.hours();
+
+  // After a visible first fault the window is MRV (eq 3, 4).
+  const double after_visible = std::min(1.0, p.mrv.hours() * pair_rate / p.alpha);
+  // Split the (possibly clamped) joint probability in rate proportion, so the
+  // four entries always sum consistently with the clamped totals.
+  const double v_share = (1.0 / p.mv.hours()) / pair_rate;
+  out.v2_given_v1 = after_visible * v_share;
+  out.l2_given_v1 = after_visible * (1.0 - v_share);
+
+  // After a latent first fault the window is MDL + MRL (eq 5, 6); with no
+  // detection process the window is unbounded and the probability saturates
+  // at 1 (paper §5.3 note and the §5.4 unscrubbed example).
+  double after_latent = 1.0;
+  if (!p.LatentWov().is_infinite()) {
+    after_latent = std::min(1.0, p.LatentWov().hours() * pair_rate / p.alpha);
+  }
+  out.v2_given_l1 = after_latent * v_share;
+  out.l2_given_l1 = after_latent * (1.0 - v_share);
+  return out;
+}
+
+std::string_view ModelRegimeName(ModelRegime regime) {
+  switch (regime) {
+    case ModelRegime::kVisibleDominatedNegligibleLatent:
+      return "visible-dominated, negligible latent (eq 9)";
+    case ModelRegime::kLatentDominated:
+      return "latent-dominated (eq 10)";
+    case ModelRegime::kVisibleDominatedLongWov:
+      return "visible-dominated, long latent window (eq 11)";
+    case ModelRegime::kSaturatedWov:
+      return "saturated latent window (eq 7 with P≈1)";
+    case ModelRegime::kLinearSmallWindows:
+      return "linear small windows (eq 8)";
+  }
+  return "?";
+}
+
+Duration MttdlGeneral(const FaultParams& p) {
+  const SecondFaultProbabilities probs = ComputeSecondFaultProbabilities(p);
+  // Equation 7: 1/MTTDL = P(2nd | V1)/MV + P(2nd | L1)/ML.
+  const double rate = probs.AfterVisible() / p.mv.hours() +
+                      probs.AfterLatent() / p.ml.hours();
+  if (rate <= 0.0) {
+    return Duration::Infinite();
+  }
+  return Duration::Hours(1.0 / rate);
+}
+
+Duration MttdlClosedForm(const FaultParams& p) {
+  CheckValid(p);
+  if (p.mdl.is_infinite()) {
+    // Equation 8's numerator/denominator are both infinite; the limit is the
+    // saturated general form.
+    return MttdlGeneral(p);
+  }
+  const double mv = p.mv.hours();
+  const double ml = p.ml.hours();
+  const double numerator = p.alpha * ml * ml * mv * mv;
+  const double denominator =
+      (mv + ml) * (p.mrv.hours() * ml + p.LatentWov().hours() * mv);
+  if (denominator <= 0.0) {
+    return Duration::Infinite();
+  }
+  return Duration::Hours(numerator / denominator);
+}
+
+Duration MttdlVisibleDominant(const FaultParams& p) {
+  CheckValid(p);
+  if (p.mrv.is_zero()) {
+    return Duration::Infinite();
+  }
+  return Duration::Hours(p.alpha * p.mv.hours() * p.mv.hours() / p.mrv.hours());
+}
+
+Duration MttdlLatentDominant(const FaultParams& p) {
+  CheckValid(p);
+  const double wov = p.LatentWov().hours();
+  if (wov <= 0.0) {
+    return Duration::Infinite();
+  }
+  return Duration::Hours(p.alpha * p.ml.hours() * p.ml.hours() / wov);
+}
+
+Duration MttdlVisibleLongWov(const FaultParams& p) {
+  CheckValid(p);
+  const double mv = p.mv.hours();
+  const double denominator = p.mrv.hours() + mv * mv / p.ml.hours();
+  if (denominator <= 0.0) {
+    return Duration::Infinite();
+  }
+  return Duration::Hours(p.alpha * mv * mv / denominator);
+}
+
+ModelRegime ClassifyRegime(const FaultParams& p) {
+  CheckValid(p);
+  // Saturated: a second fault inside a latent window is (nearly) certain, so
+  // the linearizations of eqs 8 and 10 do not apply. The paper handles the
+  // two saturated sub-cases differently (§5.4): latent-dominated saturation
+  // uses eq 7 with P(V2 or L2 | L1) ≈ 1 (the unscrubbed 32.0-year example);
+  // visible-dominated saturation uses eq 11 (the negligent 159.8-year
+  // example). Note eq 11 as published keeps the 1/α factor on the saturated
+  // latent term — see MttdlVisibleLongWov.
+  const double pair_rate = 1.0 / p.mv.hours() + 1.0 / p.ml.hours();
+  const bool saturated =
+      p.LatentWov().is_infinite() ||
+      p.LatentWov().hours() * pair_rate / p.alpha >= kSaturationProbability;
+  const bool latent_dominated = p.ml.hours() <= kDominanceRatio * p.mv.hours();
+  if (saturated) {
+    return latent_dominated ? ModelRegime::kSaturatedWov
+                            : ModelRegime::kVisibleDominatedLongWov;
+  }
+  if (latent_dominated) {
+    return ModelRegime::kLatentDominated;
+  }
+  // Visible-dominated with small windows. When the latent contribution
+  // MV²/ML still registers against MRV, no single term dominates and the
+  // full closed form (eq 8) is the paper's own master equation; otherwise
+  // latent faults are negligible and eq 9 (the original RAID form) applies.
+  const double latent_term = p.mv.hours() * p.mv.hours() / p.ml.hours();
+  if (latent_term >= p.mrv.hours()) {
+    return ModelRegime::kLinearSmallWindows;
+  }
+  return ModelRegime::kVisibleDominatedNegligibleLatent;
+}
+
+Duration MttdlPaperChoice(const FaultParams& p) {
+  switch (ClassifyRegime(p)) {
+    case ModelRegime::kSaturatedWov:
+      return MttdlGeneral(p);
+    case ModelRegime::kLatentDominated:
+      return MttdlLatentDominant(p);
+    case ModelRegime::kVisibleDominatedLongWov:
+      return MttdlVisibleLongWov(p);
+    case ModelRegime::kVisibleDominatedNegligibleLatent:
+      return MttdlVisibleDominant(p);
+    case ModelRegime::kLinearSmallWindows:
+      return MttdlClosedForm(p);
+  }
+  return Duration::Infinite();
+}
+
+Duration MttdlReplicated(const FaultParams& p, int replicas) {
+  CheckValid(p);
+  if (replicas < 1) {
+    throw std::invalid_argument("MttdlReplicated: replicas must be >= 1");
+  }
+  if (replicas == 1) {
+    // A single copy is lost by its first fault of either kind.
+    const double rate = 1.0 / p.mv.hours() + 1.0 / p.ml.hours();
+    return Duration::Hours(1.0 / rate);
+  }
+  if (p.mrv.is_zero()) {
+    return Duration::Infinite();
+  }
+  // Equation 12: MV · (α·MV / MRV)^(r-1), computed in log space. Values past
+  // double range saturate to infinity explicitly (e.g. 50 replicas of
+  // reliable media: "longer than any double can count" is the right answer).
+  const double log_mttdl =
+      std::log(p.mv.hours()) +
+      (replicas - 1) * (std::log(p.alpha) + std::log(p.mv.hours()) - std::log(p.mrv.hours()));
+  if (log_mttdl > 700.0) {
+    return Duration::Infinite();
+  }
+  return Duration::Hours(std::exp(log_mttdl));
+}
+
+double LossProbability(Duration mttdl, Duration mission) {
+  return MissionLossProbability(mttdl, mission);
+}
+
+}  // namespace longstore

@@ -1,0 +1,305 @@
+#include "src/model/replica_ctmc.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace longstore {
+namespace {
+
+void CheckValid(const FaultParams& p) {
+  if (auto error = p.Validate()) {
+    throw std::invalid_argument("FaultParams: " + *error);
+  }
+}
+
+double RatePerHourOf(Duration mean) {
+  if (mean.is_infinite()) {
+    return 0.0;
+  }
+  return 1.0 / mean.hours();
+}
+
+// Shared mirrored-chain wiring. When `split_loss` is true the loss state is
+// split by first-fault type so absorption probabilities give the Figure 2
+// breakdown.
+struct MirroredWiring {
+  Ctmc chain;
+  int healthy;
+  int visible;
+  int latent_undetected;
+  int latent_detected;
+  int loss_visible;  // == loss_latent unless split
+  int loss_latent;
+};
+
+MirroredWiring WireMirrored(const FaultParams& p, RateConvention convention,
+                            bool split_loss) {
+  CheckValid(p);
+  MirroredWiring w{};
+  w.healthy = w.chain.AddState("AllHealthy");
+  w.visible = w.chain.AddState("OneVisiblyFailed");
+  w.latent_undetected = w.chain.AddState("OneLatentUndetected");
+  w.latent_detected = w.chain.AddState("OneLatentDetected");
+  w.loss_visible = w.chain.AddState(split_loss ? "DataLossAfterVisible" : "DataLoss",
+                                    /*absorbing=*/true);
+  w.loss_latent = split_loss
+                      ? w.chain.AddState("DataLossAfterLatent", /*absorbing=*/true)
+                      : w.loss_visible;
+
+  const double lv = RatePerHourOf(p.mv);
+  const double ll = RatePerHourOf(p.ml);
+  const int first_fault_multiplicity = convention == RateConvention::kPhysical ? 2 : 1;
+  // Rate at which the surviving replica fails while the other is faulty:
+  // both fault types contribute, accelerated by the correlation factor.
+  const double second_fault = (lv + ll) / p.alpha;
+
+  // First visible fault. With MRV = 0 repair is instantaneous from the intact
+  // peer, so the fault never opens a window.
+  if (lv > 0.0 && p.mrv.hours() > 0.0) {
+    w.chain.AddTransition(w.healthy, w.visible,
+                          Rate::PerHour(first_fault_multiplicity * lv));
+    w.chain.AddTransition(w.visible, w.healthy, Rate::InverseOf(p.mrv));
+    if (second_fault > 0.0) {
+      w.chain.AddTransition(w.visible, w.loss_visible, Rate::PerHour(second_fault));
+    }
+  }
+
+  // First latent fault. Routing depends on whether detection / repair are
+  // instantaneous: MDL = 0 skips the undetected state, MRL = 0 skips the
+  // detected-repair state.
+  if (ll > 0.0) {
+    const bool has_detection_delay = p.mdl.hours() > 0.0;  // includes infinite
+    const bool has_repair_delay = p.mrl.hours() > 0.0;
+    const Rate first(Rate::PerHour(first_fault_multiplicity * ll));
+    if (has_detection_delay) {
+      w.chain.AddTransition(w.healthy, w.latent_undetected, first);
+      if (second_fault > 0.0) {
+        w.chain.AddTransition(w.latent_undetected, w.loss_latent,
+                              Rate::PerHour(second_fault));
+      }
+      if (!p.mdl.is_infinite()) {
+        const Rate detect = Rate::InverseOf(p.mdl);
+        if (has_repair_delay) {
+          w.chain.AddTransition(w.latent_undetected, w.latent_detected, detect);
+        } else {
+          w.chain.AddTransition(w.latent_undetected, w.healthy, detect);
+        }
+      }
+    } else if (has_repair_delay) {
+      w.chain.AddTransition(w.healthy, w.latent_detected, first);
+    }
+    // else: latent faults detected and repaired instantly; harmless.
+
+    if (has_repair_delay &&
+        (has_detection_delay ? !p.mdl.is_infinite() : true)) {
+      w.chain.AddTransition(w.latent_detected, w.healthy, Rate::InverseOf(p.mrl));
+      if (second_fault > 0.0) {
+        w.chain.AddTransition(w.latent_detected, w.loss_latent,
+                              Rate::PerHour(second_fault));
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+MirroredChain BuildMirroredChain(const FaultParams& p, RateConvention convention) {
+  MirroredWiring w = WireMirrored(p, convention, /*split_loss=*/false);
+  MirroredChain out;
+  out.chain = std::move(w.chain);
+  out.all_healthy = w.healthy;
+  out.one_visible = w.visible;
+  out.one_latent_undetected = w.latent_undetected;
+  out.one_latent_detected = w.latent_detected;
+  out.data_loss = w.loss_visible;
+  return out;
+}
+
+std::optional<Duration> MirroredMttdl(const FaultParams& p, RateConvention convention) {
+  const MirroredChain mc = BuildMirroredChain(p, convention);
+  return mc.chain.ExpectedTimeToAbsorptionFrom(mc.all_healthy);
+}
+
+std::optional<double> MirroredLossProbability(const FaultParams& p, Duration mission,
+                                              RateConvention convention) {
+  const MirroredChain mc = BuildMirroredChain(p, convention);
+  return mc.chain.AbsorptionProbabilityBy(mc.all_healthy, mission);
+}
+
+std::optional<MirroredLossBreakdown> MirroredLossPathBreakdown(
+    const FaultParams& p, RateConvention convention) {
+  const MirroredWiring w = WireMirrored(p, convention, /*split_loss=*/true);
+  auto via_visible = w.chain.AbsorptionProbability(w.healthy, w.loss_visible);
+  auto via_latent = w.chain.AbsorptionProbability(w.healthy, w.loss_latent);
+  if (!via_visible || !via_latent) {
+    return std::nullopt;
+  }
+  return MirroredLossBreakdown{*via_visible, *via_latent};
+}
+
+ReplicatedChainBuilder::ReplicatedChainBuilder(const FaultParams& params, int replicas,
+                                               RateConvention convention,
+                                               int required_intact)
+    : params_(params),
+      replicas_(replicas),
+      convention_(convention),
+      required_intact_(required_intact) {
+  CheckValid(params_);
+  if (replicas_ < 1) {
+    throw std::invalid_argument("ReplicatedChainBuilder: replicas must be >= 1");
+  }
+  if (required_intact_ < 1 || required_intact_ > replicas_) {
+    throw std::invalid_argument(
+        "ReplicatedChainBuilder: required_intact must lie in [1, replicas]");
+  }
+  Build();
+}
+
+int ReplicatedChainBuilder::StateIndex(int nv, int nl, int nd) const {
+  const int stride = replicas_ + 1;
+  return index_[static_cast<size_t>((nv * stride + nl) * stride + nd)];
+}
+
+void ReplicatedChainBuilder::Build() {
+  const int r = replicas_;
+  const int stride = r + 1;
+  index_.assign(static_cast<size_t>(stride * stride * stride), -1);
+
+  loss_state_ = chain_.AddState("DataLoss", /*absorbing=*/true);
+
+  // Create all transient states (at least required_intact_ intact
+  // fragments, so reconstruction is always possible outside the loss state).
+  const int max_faulty = r - required_intact_;
+  for (int nv = 0; nv <= max_faulty; ++nv) {
+    for (int nl = 0; nl + nv <= max_faulty; ++nl) {
+      for (int nd = 0; nd + nl + nv <= max_faulty; ++nd) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "v%d l%d d%d", nv, nl, nd);
+        index_[static_cast<size_t>((nv * stride + nl) * stride + nd)] =
+            chain_.AddState(name);
+      }
+    }
+  }
+  start_state_ = StateIndex(0, 0, 0);
+
+  const double lv = RatePerHourOf(params_.mv);
+  const double ll = RatePerHourOf(params_.ml);
+  const bool physical = convention_ == RateConvention::kPhysical;
+  const bool instant_visible_repair = !(params_.mrv.hours() > 0.0);
+  const bool instant_detection = !(params_.mdl.hours() > 0.0);
+  const bool instant_latent_repair = !(params_.mrl.hours() > 0.0);
+  // Detection rate; zero when never (MDL = ∞) and unused when instant
+  // (MDL = 0, in which case no nl > 0 state is reachable).
+  const double detect = (params_.mdl.is_infinite() || instant_detection)
+                            ? 0.0
+                            : RatePerHourOf(params_.mdl);
+
+  for (int nv = 0; nv <= max_faulty; ++nv) {
+    for (int nl = 0; nl + nv <= max_faulty; ++nl) {
+      for (int nd = 0; nd + nl + nv <= max_faulty; ++nd) {
+        const int from = StateIndex(nv, nl, nd);
+        const int healthy = r - nv - nl - nd;
+        const int faulty = nv + nl + nd;
+        const double corr = faulty > 0 ? 1.0 / params_.alpha : 1.0;
+        const double fault_mult = physical ? static_cast<double>(healthy) : 1.0;
+        // One more fault below this margin leaves < required_intact_
+        // fragments: data loss.
+        const bool at_margin = healthy == required_intact_;
+
+        // Visible fault on a healthy replica.
+        if (lv > 0.0) {
+          const Rate rate = Rate::PerHour(fault_mult * lv * corr);
+          if (at_margin) {
+            chain_.AddTransition(from, loss_state_, rate);
+          } else if (!instant_visible_repair) {
+            chain_.AddTransition(from, StateIndex(nv + 1, nl, nd), rate);
+          }
+        }
+
+        // Latent fault on a healthy replica.
+        if (ll > 0.0) {
+          const Rate rate = Rate::PerHour(fault_mult * ll * corr);
+          if (at_margin) {
+            chain_.AddTransition(from, loss_state_, rate);
+          } else if (!instant_detection) {
+            chain_.AddTransition(from, StateIndex(nv, nl + 1, nd), rate);
+          } else if (!instant_latent_repair) {
+            chain_.AddTransition(from, StateIndex(nv, nl, nd + 1), rate);
+          }
+          // else: instantly detected and repaired; harmless.
+        }
+
+        // Detection of latent faults (per-replica scrub processes run in
+        // parallel under the physical convention).
+        if (nl > 0 && detect > 0.0) {
+          const double mult = physical ? static_cast<double>(nl) : 1.0;
+          const Rate rate = Rate::PerHour(mult * detect);
+          if (instant_latent_repair) {
+            chain_.AddTransition(from, StateIndex(nv, nl - 1, nd), rate);
+          } else {
+            chain_.AddTransition(from, StateIndex(nv, nl - 1, nd + 1), rate);
+          }
+        }
+
+        // Repairs (a healthy source exists in every transient state).
+        if (nv > 0 && !instant_visible_repair) {
+          const double mult = physical ? static_cast<double>(nv) : 1.0;
+          chain_.AddTransition(from, StateIndex(nv - 1, nl, nd),
+                               Rate::PerHour(mult / params_.mrv.hours()));
+        }
+        if (nd > 0 && !instant_latent_repair) {
+          const double mult = physical ? static_cast<double>(nd) : 1.0;
+          chain_.AddTransition(from, StateIndex(nv, nl, nd - 1),
+                               Rate::PerHour(mult / params_.mrl.hours()));
+        }
+      }
+    }
+  }
+}
+
+std::optional<Duration> ReplicatedChainBuilder::Mttdl() const {
+  return chain_.ExpectedTimeToAbsorptionFrom(start_state_);
+}
+
+Duration ErasureBirthDeathMttdl(const FaultParams& p, int fragments,
+                                int required_intact, RateConvention convention) {
+  CheckValid(p);
+  if (fragments < 1 || required_intact < 1 || required_intact > fragments) {
+    throw std::invalid_argument(
+        "ErasureBirthDeathMttdl: need 1 <= required_intact <= fragments");
+  }
+  const double lambda = RatePerHourOf(p.mv);
+  if (lambda <= 0.0) {
+    return Duration::Infinite();
+  }
+  const int absorbing_count = fragments - required_intact + 1;
+  const bool physical = convention == RateConvention::kPhysical;
+  const bool instant_repair = !(p.mrv.hours() > 0.0);
+  if (instant_repair && absorbing_count >= 2) {
+    return Duration::Infinite();  // failed fragments never accumulate
+  }
+  const double mu = instant_repair ? 0.0 : 1.0 / p.mrv.hours();
+
+  // u_k = expected time to advance from k to k+1 concurrent failures.
+  double mttdl_hours = 0.0;
+  double u_prev = 0.0;
+  for (int k = 0; k < absorbing_count; ++k) {
+    const double birth = (physical ? (fragments - k) * lambda : lambda) /
+                         (k > 0 ? p.alpha : 1.0);
+    const double death = k > 0 ? (physical ? k * mu : mu) : 0.0;
+    const double u_k = (1.0 + death * u_prev) / birth;
+    mttdl_hours += u_k;
+    if (!std::isfinite(mttdl_hours)) {
+      return Duration::Infinite();
+    }
+    u_prev = u_k;
+  }
+  return Duration::Hours(mttdl_hours);
+}
+
+std::optional<double> ReplicatedChainBuilder::LossProbability(Duration mission) const {
+  return chain_.AbsorptionProbabilityBy(start_state_, mission);
+}
+
+}  // namespace longstore

@@ -1,0 +1,121 @@
+// Builders that translate FaultParams into continuous-time Markov chains for
+// mirrored and r-way replicated data.
+//
+// These give the *exact* MTTDL / loss probability for the stochastic process
+// the paper's equations approximate, under two conventions:
+//
+//  kPaper    — fault clocks tick at the single-unit rates regardless of how
+//              many replicas are healthy, and repair is serial. This is the
+//              convention implicit in equations 7–12 ("the first fault occurs
+//              with rate 1/MV"), so the chain converges to the paper's closed
+//              forms in their validity regime.
+//  kPhysical — each healthy replica has its own fault clock (rate scales with
+//              the number of healthy replicas) and failed replicas repair in
+//              parallel. This is what a real mirrored system experiences and
+//              what the discrete-event simulator implements.
+//
+// EXPERIMENTS.md (E11) quantifies the gap between the two conventions.
+
+#ifndef LONGSTORE_SRC_MODEL_REPLICA_CTMC_H_
+#define LONGSTORE_SRC_MODEL_REPLICA_CTMC_H_
+
+#include <optional>
+
+#include "src/model/ctmc.h"
+#include "src/model/fault_params.h"
+
+namespace longstore {
+
+enum class RateConvention {
+  kPaper,
+  kPhysical,
+};
+
+// Chain states for a mirrored pair (r = 2):
+//   0  AllHealthy
+//   1  OneVisiblyFailed (under repair, window = MRV)
+//   2  OneLatentUndetected (window part 1 = MDL)
+//   3  OneLatentDetected (under repair, window part 2 = MRL)
+//   4  DataLoss (absorbing)
+// With MDL = ∞ (no detection) the 2 -> 3 transition is absent: a latent fault
+// can only end in data loss, matching the paper's unscrubbed example.
+struct MirroredChain {
+  Ctmc chain;
+  int all_healthy = 0;
+  int one_visible = 1;
+  int one_latent_undetected = 2;
+  int one_latent_detected = 3;
+  int data_loss = 4;
+};
+
+MirroredChain BuildMirroredChain(const FaultParams& p, RateConvention convention);
+
+// Exact MTTDL of the mirrored pair (expected time from AllHealthy to
+// DataLoss). nullopt only if parameters make loss unreachable.
+std::optional<Duration> MirroredMttdl(const FaultParams& p, RateConvention convention);
+
+// Exact mission loss probability for the mirrored pair.
+std::optional<double> MirroredLossProbability(const FaultParams& p, Duration mission,
+                                              RateConvention convention);
+
+// Probability that an eventual data loss was entered from the
+// one-visible-failed state vs. a latent state — the measurable counterpart of
+// Figure 2's double-fault matrix.
+struct MirroredLossBreakdown {
+  double from_visible_window = 0.0;  // first fault visible
+  double from_latent_window = 0.0;   // first fault latent (detected or not)
+};
+std::optional<MirroredLossBreakdown> MirroredLossPathBreakdown(const FaultParams& p,
+                                                               RateConvention convention);
+
+// r-way replication, generalized to (n, m) erasure coding. State =
+// (nv, nl, nd): fragments visibly failed, with undetected latent faults, and
+// with detected latent faults under repair. Data loss when fewer than
+// `required_intact` fragments remain (m = 1 is whole-data replication, the
+// paper's setting; m > 1 is OceanStore-style m-of-n sharing, §7). While any
+// fragment is faulty, fault rates on survivors are scaled by 1/α. Repair of
+// a fragment needs m intact peers, which every transient state guarantees.
+class ReplicatedChainBuilder {
+ public:
+  ReplicatedChainBuilder(const FaultParams& params, int replicas,
+                         RateConvention convention, int required_intact = 1);
+
+  // Exact MTTDL from the all-healthy state.
+  std::optional<Duration> Mttdl() const;
+
+  // Exact P(data loss by `mission`) from the all-healthy state.
+  std::optional<double> LossProbability(Duration mission) const;
+
+  int state_count() const { return chain_.state_count(); }
+
+ private:
+  void Build();
+  int StateIndex(int nv, int nl, int nd) const;
+
+  FaultParams params_;
+  int replicas_;
+  RateConvention convention_;
+  int required_intact_;
+  Ctmc chain_;
+  int start_state_ = -1;
+  int loss_state_ = -1;
+  std::vector<int> index_;  // dense (nv, nl, nd) -> state id map
+};
+
+// Exact birth-death MTTDL for an (n, m) erasure-coded system under visible
+// faults only: the closed-form analogue of equation 12 for m-of-n. Loss
+// requires K = n - m + 1 concurrent failures; with birth rates b_k
+// (k -> k+1 failures) and repair rates d_k, the expected passage times obey
+// the subtraction-free recursion
+//   u_0 = 1/b_0,   u_k = (1 + d_k · u_{k-1}) / b_k,   MTTDL = Σ u_k,
+// which is exact for the visible-only chain (it IS a birth-death chain) and
+// reduces to equation 12 when repairs are fast (d_k >> b_k). Under
+// kPhysical, b_k = (n-k)·λ/α (α only once faulty) and d_k = k·μ; under
+// kPaper, b_0 = λ, b_k = λ/α, d_k = μ (serial repair). Instant repair
+// (MRV = 0) yields an infinite MTTDL whenever any redundancy exists.
+Duration ErasureBirthDeathMttdl(const FaultParams& p, int fragments,
+                                int required_intact, RateConvention convention);
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_MODEL_REPLICA_CTMC_H_

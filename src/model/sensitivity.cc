@@ -1,0 +1,126 @@
+#include "src/model/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace longstore {
+namespace {
+
+Duration* FieldOf(FaultParams& p, ModelParameter parameter) {
+  switch (parameter) {
+    case ModelParameter::kMv:
+      return &p.mv;
+    case ModelParameter::kMl:
+      return &p.ml;
+    case ModelParameter::kMrv:
+      return &p.mrv;
+    case ModelParameter::kMrl:
+      return &p.mrl;
+    case ModelParameter::kMdl:
+      return &p.mdl;
+    case ModelParameter::kAlpha:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+double MttdlHoursFor(const FaultParams& p, int replicas, RateConvention convention) {
+  const ReplicatedChainBuilder chain(p, replicas, convention);
+  const auto mttdl = chain.Mttdl();
+  if (!mttdl || mttdl->is_infinite()) {
+    throw std::domain_error(
+        "MttdlElasticities: MTTDL is infinite or undefined at this point");
+  }
+  return mttdl->hours();
+}
+
+}  // namespace
+
+std::string_view ModelParameterName(ModelParameter parameter) {
+  switch (parameter) {
+    case ModelParameter::kMv:
+      return "MV";
+    case ModelParameter::kMl:
+      return "ML";
+    case ModelParameter::kMrv:
+      return "MRV";
+    case ModelParameter::kMrl:
+      return "MRL";
+    case ModelParameter::kMdl:
+      return "MDL";
+    case ModelParameter::kAlpha:
+      return "alpha";
+  }
+  return "?";
+}
+
+std::vector<Elasticity> MttdlElasticities(const FaultParams& params, int replicas,
+                                          RateConvention convention, double rel_step) {
+  if (!(rel_step > 0.0) || rel_step >= 0.5) {
+    throw std::invalid_argument("MttdlElasticities: rel_step must lie in (0, 0.5)");
+  }
+  const double up = 1.0 + rel_step;
+  const double down = 1.0 / up;
+
+  std::vector<Elasticity> out;
+  for (ModelParameter parameter :
+       {ModelParameter::kMv, ModelParameter::kMl, ModelParameter::kMrv,
+        ModelParameter::kMrl, ModelParameter::kMdl, ModelParameter::kAlpha}) {
+    Elasticity e;
+    e.parameter = parameter;
+
+    if (parameter == ModelParameter::kAlpha) {
+      // α lives in (0, 1]; at the ceiling use a one-sided downward step.
+      FaultParams hi = params;
+      FaultParams lo = params;
+      double log_span;
+      if (params.alpha * up <= 1.0) {
+        hi.alpha = params.alpha * up;
+        lo.alpha = params.alpha * down;
+        log_span = 2.0 * std::log(up);
+      } else {
+        hi.alpha = params.alpha;
+        lo.alpha = params.alpha * down;
+        log_span = std::log(up);
+      }
+      e.value = (std::log(MttdlHoursFor(hi, replicas, convention)) -
+                 std::log(MttdlHoursFor(lo, replicas, convention))) /
+                log_span;
+      out.push_back(e);
+      continue;
+    }
+
+    FaultParams hi = params;
+    FaultParams lo = params;
+    Duration* hi_field = FieldOf(hi, parameter);
+    Duration* lo_field = FieldOf(lo, parameter);
+    // Structurally absent knobs: a zero repair/detection time cannot be
+    // reduced further, an infinite MDL has no detection process to tune.
+    if (hi_field->is_infinite() || hi_field->is_zero()) {
+      e.value = 0.0;
+      out.push_back(e);
+      continue;
+    }
+    *hi_field = *hi_field * up;
+    *lo_field = *lo_field * down;
+    e.value = (std::log(MttdlHoursFor(hi, replicas, convention)) -
+               std::log(MttdlHoursFor(lo, replicas, convention))) /
+              (2.0 * std::log(up));
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Elasticity> RankedStrategyLevers(const FaultParams& params, int replicas,
+                                             RateConvention convention) {
+  std::vector<Elasticity> elasticities =
+      MttdlElasticities(params, replicas, convention);
+  std::sort(elasticities.begin(), elasticities.end(),
+            [](const Elasticity& a, const Elasticity& b) {
+              return std::fabs(a.value) > std::fabs(b.value);
+            });
+  return elasticities;
+}
+
+}  // namespace longstore

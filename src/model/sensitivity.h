@@ -1,0 +1,56 @@
+// Sensitivity analysis: which §6 strategy buys the most reliability *here*?
+//
+// The paper's strategy list (increase MV/ML, reduce MDL/MRL/MRV, raise α)
+// begs a quantitative ranking for a given configuration. Elasticities answer
+// it: e_X = ∂ log MTTDL / ∂ log X is the percentage MTTDL response to a 1%
+// improvement in X, computed on the exact CTMC so every regime (including
+// saturated windows where closed-form exponents break) is handled. In the
+// paper's own regimes the elasticities recover the closed-form exponents:
+// eq 10 gives e_ML = 2, e_MDL ≈ −1, e_α = 1, e_MV ≈ 0.
+
+#ifndef LONGSTORE_SRC_MODEL_SENSITIVITY_H_
+#define LONGSTORE_SRC_MODEL_SENSITIVITY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/model/fault_params.h"
+#include "src/model/replica_ctmc.h"
+
+namespace longstore {
+
+enum class ModelParameter {
+  kMv,
+  kMl,
+  kMrv,
+  kMrl,
+  kMdl,
+  kAlpha,
+};
+
+std::string_view ModelParameterName(ModelParameter parameter);
+
+struct Elasticity {
+  ModelParameter parameter = ModelParameter::kMv;
+  // d log MTTDL / d log X. Positive for MV/ML/α (bigger is better), negative
+  // for MRV/MRL/MDL (smaller is better). Zero when the parameter is
+  // structurally absent (e.g. MDL = ∞: no detection process to speed up —
+  // introducing one is a regime change, not a perturbation).
+  double value = 0.0;
+};
+
+// Central log-space finite differences (step `rel_step` in log-space) on the
+// exact r-way CTMC. α is perturbed one-sidedly downward when at its ceiling
+// of 1. Parameters at 0 or ∞ report elasticity 0 (see above).
+std::vector<Elasticity> MttdlElasticities(const FaultParams& params, int replicas,
+                                          RateConvention convention,
+                                          double rel_step = 0.01);
+
+// The §6 ranking: elasticities sorted by |value| descending — the first entry
+// is the strategy lever with the greatest local payoff.
+std::vector<Elasticity> RankedStrategyLevers(const FaultParams& params, int replicas,
+                                             RateConvention convention);
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_MODEL_SENSITIVITY_H_

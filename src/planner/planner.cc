@@ -1,0 +1,143 @@
+#include "src/planner/planner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/model/paper_model.h"
+#include "src/model/replica_ctmc.h"
+#include "src/model/strategies.h"
+
+namespace longstore {
+
+std::string_view DeploymentStyleName(DeploymentStyle style) {
+  switch (style) {
+    case DeploymentStyle::kSingleSite:
+      return "single site";
+    case DeploymentStyle::kGeoReplicatedSameAdmin:
+      return "geo-replicated, central ops";
+    case DeploymentStyle::kFullyDiverse:
+      return "fully diverse";
+  }
+  return "?";
+}
+
+std::string StrategyOption::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s x%d, %.3g audits/y, %s", drive.model.c_str(),
+                replicas, audits_per_year,
+                std::string(DeploymentStyleName(deployment)).c_str());
+  return buf;
+}
+
+namespace {
+
+std::vector<ReplicaProfile> ProfilesFor(DeploymentStyle style, int replicas) {
+  switch (style) {
+    case DeploymentStyle::kSingleSite:
+      return SingleSiteProfiles(replicas);
+    case DeploymentStyle::kGeoReplicatedSameAdmin:
+      return GeoReplicatedSameAdminProfiles(replicas);
+    case DeploymentStyle::kFullyDiverse:
+      return FullyDiverseProfiles(replicas);
+  }
+  throw std::invalid_argument("ProfilesFor: unknown deployment style");
+}
+
+}  // namespace
+
+FaultParams DeriveParams(const StrategyOption& option, const PlannerConfig& config) {
+  FaultParams params;
+  if (option.drive.media == MediaClass::kTapeCartridge) {
+    params = OfflineReplicaParams(option.drive, option.audits_per_year,
+                                  OfflineHandlingModel::Defaults(),
+                                  config.latent_to_visible_ratio);
+  } else {
+    const ScrubPolicy scrub = option.audits_per_year > 0.0
+                                  ? ScrubPolicy::PeriodicPerYear(option.audits_per_year)
+                                  : ScrubPolicy::None();
+    params = OnlineReplicaParams(option.drive, scrub, config.latent_to_visible_ratio);
+  }
+  const auto profiles = ProfilesFor(option.deployment, option.replicas);
+  params.alpha = MinPairwiseAlpha(profiles, config.correlation);
+  // α must stay in (0, 1]; fully shared deployments can multiply below the
+  // paper's plausibility floor — clamp there.
+  params.alpha = std::max(params.alpha, 1e-9);
+  return params;
+}
+
+EvaluatedOption EvaluateOption(const StrategyOption& option, const PlannerConfig& config) {
+  if (option.replicas < 1) {
+    throw std::invalid_argument("EvaluateOption: replicas must be >= 1");
+  }
+  EvaluatedOption evaluated;
+  evaluated.option = option;
+  evaluated.params = DeriveParams(option, config);
+
+  const ReplicatedChainBuilder chain(evaluated.params, option.replicas,
+                                     RateConvention::kPhysical);
+  const auto mttdl = chain.Mttdl();
+  evaluated.mttdl = mttdl.value_or(Duration::Infinite());
+  // The exponential approximation on the exact MTTDL is accurate in the
+  // rare-loss regime every sane configuration lives in, and avoids a matrix
+  // exponential per option during large sweeps.
+  evaluated.loss_probability = LossProbability(evaluated.mttdl, config.mission);
+
+  evaluated.annual_cost_usd =
+      AnnualSystemCost(option.drive, config.archive_gb, option.replicas,
+                       option.audits_per_year, config.costs);
+  return evaluated;
+}
+
+std::vector<EvaluatedOption> EvaluateAllOptions(const PlannerConfig& config) {
+  std::vector<EvaluatedOption> results;
+  for (const DriveSpec& drive : config.drive_choices) {
+    for (int replicas : config.replica_choices) {
+      for (double audits : config.audit_choices) {
+        for (DeploymentStyle deployment : config.deployment_choices) {
+          StrategyOption option;
+          option.drive = drive;
+          option.replicas = replicas;
+          option.audits_per_year = audits;
+          option.deployment = deployment;
+          results.push_back(EvaluateOption(option, config));
+        }
+      }
+    }
+  }
+  return results;
+}
+
+std::optional<EvaluatedOption> CheapestMeetingTarget(const PlannerConfig& config) {
+  std::optional<EvaluatedOption> best;
+  for (EvaluatedOption& option : EvaluateAllOptions(config)) {
+    if (option.loss_probability > config.target_loss_probability) {
+      continue;
+    }
+    if (!best || option.annual_cost_usd < best->annual_cost_usd) {
+      best = std::move(option);
+    }
+  }
+  return best;
+}
+
+std::vector<EvaluatedOption> ParetoFrontier(std::vector<EvaluatedOption> options) {
+  std::sort(options.begin(), options.end(),
+            [](const EvaluatedOption& a, const EvaluatedOption& b) {
+              if (a.annual_cost_usd != b.annual_cost_usd) {
+                return a.annual_cost_usd < b.annual_cost_usd;
+              }
+              return a.loss_probability < b.loss_probability;
+            });
+  std::vector<EvaluatedOption> frontier;
+  double best_loss = 2.0;
+  for (EvaluatedOption& option : options) {
+    if (option.loss_probability < best_loss) {
+      best_loss = option.loss_probability;
+      frontier.push_back(std::move(option));
+    }
+  }
+  return frontier;
+}
+
+}  // namespace longstore

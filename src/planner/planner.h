@@ -1,0 +1,87 @@
+// Budget-constrained strategy search (§4.3 + §6).
+//
+// The paper's strategies — better media, more replicas, more frequent audits,
+// more independence — each cost money, and "the biggest threats to digital
+// preservation are economic faults". The planner enumerates strategy
+// combinations, scores each with the exact CTMC model, prices it with the
+// cost model, and reports the cheapest configuration meeting a mission
+// reliability target plus the cost/reliability Pareto frontier.
+
+#ifndef LONGSTORE_SRC_PLANNER_PLANNER_H_
+#define LONGSTORE_SRC_PLANNER_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/drives/cost_model.h"
+#include "src/drives/drive_specs.h"
+#include "src/drives/offline_media.h"
+#include "src/model/fault_params.h"
+#include "src/threats/independence.h"
+
+namespace longstore {
+
+enum class DeploymentStyle {
+  kSingleSite,          // one machine room, one admin, one batch
+  kGeoReplicatedSameAdmin,  // distinct sites, central operations
+  kFullyDiverse,        // distinct sites, admins, batches, software, orgs
+};
+
+std::string_view DeploymentStyleName(DeploymentStyle style);
+
+struct StrategyOption {
+  DriveSpec drive;
+  int replicas = 2;
+  double audits_per_year = 0.0;
+  DeploymentStyle deployment = DeploymentStyle::kSingleSite;
+
+  std::string Describe() const;
+};
+
+struct EvaluatedOption {
+  StrategyOption option;
+  FaultParams params;       // derived per-replica fault parameters (with α)
+  Duration mttdl;           // exact CTMC MTTDL (physical convention)
+  double loss_probability;  // over the planner's mission
+  double annual_cost_usd;
+};
+
+struct PlannerConfig {
+  double archive_gb = 1000.0;
+  Duration mission = Duration::Years(50.0);
+  double target_loss_probability = 0.01;
+  double latent_to_visible_ratio = 5.0;  // Schwarz et al.'s factor
+  CostAssumptions costs = CostAssumptions::Defaults();
+  CorrelationFactors correlation = CorrelationFactors::Defaults();
+
+  std::vector<DriveSpec> drive_choices = DriveCatalog();
+  std::vector<int> replica_choices = {2, 3, 4};
+  std::vector<double> audit_choices = {0.0, 1.0, 3.0, 12.0, 52.0};
+  std::vector<DeploymentStyle> deployment_choices = {
+      DeploymentStyle::kSingleSite, DeploymentStyle::kGeoReplicatedSameAdmin,
+      DeploymentStyle::kFullyDiverse};
+};
+
+// Derives per-replica fault parameters for an option: media-specific
+// intrinsic rates, audit-driven MDL (off-line media pay handling-induced
+// faults), and deployment-driven α.
+FaultParams DeriveParams(const StrategyOption& option, const PlannerConfig& config);
+
+// Scores one option (exact CTMC reliability + annual cost).
+EvaluatedOption EvaluateOption(const StrategyOption& option, const PlannerConfig& config);
+
+// Scores the full cross product of the config's choice lists.
+std::vector<EvaluatedOption> EvaluateAllOptions(const PlannerConfig& config);
+
+// Cheapest option whose mission loss probability meets the target; nullopt if
+// none qualifies.
+std::optional<EvaluatedOption> CheapestMeetingTarget(const PlannerConfig& config);
+
+// Cost/reliability Pareto frontier (ascending cost, strictly improving
+// reliability).
+std::vector<EvaluatedOption> ParetoFrontier(std::vector<EvaluatedOption> options);
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_PLANNER_PLANNER_H_

@@ -1,0 +1,85 @@
+#include "src/sim/simulator.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace longstore {
+
+EventId Simulator::ScheduleAt(Duration t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("ScheduleAt: cannot schedule in the past");
+  }
+  if (t.is_infinite() || std::isnan(t.hours())) {
+    throw std::invalid_argument("ScheduleAt: time must be finite");
+  }
+  const uint64_t seq = next_seq_++;
+  heap_.push(HeapEntry{t.hours(), seq});
+  callbacks_.emplace(seq, std::move(fn));
+  return EventId(seq);
+}
+
+EventId Simulator::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (!id.is_valid()) {
+    return false;
+  }
+  return callbacks_.erase(id.value()) > 0;
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    const HeapEntry entry = heap_.top();
+    auto it = callbacks_.find(entry.seq);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // cancelled; discard the stale heap entry
+      continue;
+    }
+    heap_.pop();
+    now_ = Duration::Hours(entry.time_hours);
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(Duration horizon) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek at the next live event; drain stale (cancelled) entries as we go.
+    bool fired = false;
+    while (!heap_.empty()) {
+      const HeapEntry entry = heap_.top();
+      if (callbacks_.find(entry.seq) == callbacks_.end()) {
+        heap_.pop();
+        continue;
+      }
+      if (entry.time_hours > horizon.hours()) {
+        break;
+      }
+      Step();
+      fired = true;
+      break;
+    }
+    if (!fired) {
+      break;
+    }
+  }
+  if (!stopped_ && now_ < horizon) {
+    now_ = horizon;
+  }
+}
+
+}  // namespace longstore

@@ -1,0 +1,101 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over simulated time. Parallelism in the Monte
+// Carlo harness comes from running many independent Simulator instances, one
+// per trial, never from sharing one engine across threads.
+
+#ifndef LONGSTORE_SRC_SIM_SIMULATOR_H_
+#define LONGSTORE_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace longstore {
+
+// Opaque handle for a scheduled event; valid until the event fires or is
+// cancelled.
+class EventId {
+ public:
+  constexpr EventId() : value_(0) {}
+  explicit constexpr EventId(uint64_t value) : value_(value) {}
+
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool is_valid() const { return value_ != 0; }
+  constexpr bool operator==(const EventId&) const = default;
+
+ private:
+  uint64_t value_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Not copyable or movable: scheduled callbacks capture `this`.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Duration now() const { return now_; }
+
+  // Schedules `fn` to run at absolute simulated time `t` (>= now, and finite;
+  // scheduling "never" is expressed by simply not scheduling). Events at equal
+  // times fire in scheduling order (stable FIFO tie-break), which keeps fault
+  // histories reproducible.
+  EventId ScheduleAt(Duration t, std::function<void()> fn);
+  EventId ScheduleAfter(Duration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if it already fired, was already
+  // cancelled, or the handle is invalid.
+  bool Cancel(EventId id);
+
+  // Runs the next pending event. Returns false when no events remain.
+  bool Step();
+
+  // Runs until the queue is empty or Stop() is called.
+  void Run();
+
+  // Processes all events with time <= horizon, then advances the clock to
+  // exactly `horizon` (unless stopped earlier).
+  void RunUntil(Duration horizon);
+
+  // Requests the current Run()/RunUntil() to return after the in-flight
+  // callback completes. Typically called from inside a callback (e.g. on data
+  // loss).
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  size_t pending_count() const { return callbacks_.size(); }
+  uint64_t processed_count() const { return processed_; }
+
+ private:
+  struct HeapEntry {
+    double time_hours;
+    uint64_t seq;
+  };
+  struct HeapEntryLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time_hours != b.time_hours) {
+        return a.time_hours > b.time_hours;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  Duration now_ = Duration::Zero();
+  uint64_t next_seq_ = 1;
+  uint64_t processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapEntryLater> heap_;
+  // Cancellation = erasure from this map; stale heap entries are skipped on
+  // pop. Lazy deletion keeps Cancel() O(1).
+  std::unordered_map<uint64_t, std::function<void()>> callbacks_;
+};
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,73 @@
+// Event trace recording and ASCII timeline rendering.
+//
+// The recorder captures the fault/detect/repair history of a simulation run;
+// the renderer draws it as a per-replica timeline, the executable analogue of
+// the paper's Figure 1 (visible vs latent fault lifecycles).
+
+#ifndef LONGSTORE_SRC_SIM_TRACE_H_
+#define LONGSTORE_SRC_SIM_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace longstore {
+
+enum class TraceEventKind {
+  kVisibleFault,    // fault occurs and is detected immediately
+  kLatentFault,     // fault occurs silently
+  kLatentDetected,  // audit/scrub/access discovers a latent fault
+  kRepairStarted,
+  kRepairCompleted,
+  kScrubPass,        // an audit pass over a replica (found nothing)
+  kCommonModeEvent,  // shared-risk-group event (power, admin, disaster, ...)
+  kDataLoss,         // no intact replica remains
+};
+
+// Single-character glyph used in timeline rendering.
+char TraceEventGlyph(TraceEventKind kind);
+std::string_view TraceEventName(TraceEventKind kind);
+
+struct TraceEvent {
+  Duration time;
+  TraceEventKind kind = TraceEventKind::kVisibleFault;
+  // Replica index, or -1 for system-wide events (common-mode, data loss).
+  int replica = -1;
+  std::string detail;
+};
+
+class TraceRecorder {
+ public:
+  // A disabled recorder drops events; Monte Carlo trials run disabled, the
+  // Figure 1/2 benches and examples run enabled.
+  explicit TraceRecorder(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  void Record(Duration time, TraceEventKind kind, int replica, std::string detail = {});
+  void Clear() { events_.clear(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // Counts events of one kind.
+  size_t CountKind(TraceEventKind kind) const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceEvent> events_;
+};
+
+// Renders a per-replica ASCII timeline over [0, horizon], `width` columns.
+// Each replica gets one lane; faulty intervals are drawn with '~' (latent,
+// undetected) or '=' (detected/under repair), healthy time with '-'.
+// Point events appear as glyphs (see TraceEventGlyph). A legend and an event
+// log in time order follow the lanes.
+std::string RenderTimeline(const std::vector<TraceEvent>& events, int replica_count,
+                           Duration horizon, int width);
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_SIM_TRACE_H_

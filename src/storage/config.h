@@ -1,0 +1,96 @@
+// Configuration for the replicated-storage discrete-event simulation.
+
+#ifndef LONGSTORE_SRC_STORAGE_CONFIG_H_
+#define LONGSTORE_SRC_STORAGE_CONFIG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/fault_params.h"
+#include "src/model/replica_ctmc.h"
+#include "src/model/strategies.h"
+
+namespace longstore {
+
+// A shared component whose failure strikes several replicas at once: a power
+// circuit, a cooling loop, a SCSI controller, an administrative domain, a
+// geographic site (§4.2, §6.5; Talagala's disk-farm observations). Events
+// arrive as a Poisson process; each event independently hits each member.
+struct CommonModeSource {
+  std::string name;
+  Rate event_rate;
+  std::vector<int> members;      // replica indices
+  double hit_probability = 1.0;  // chance each member is affected per event
+  double visible_fraction = 1.0; // affected member suffers visible (else latent) fault
+};
+
+struct StorageSimConfig {
+  int replica_count = 2;
+
+  // Minimum number of intact replicas/fragments required to reconstruct the
+  // data. 1 models whole-data replication (the paper's setting); m > 1
+  // models an (n, m) erasure code — n fragments of which any m suffice
+  // (OceanStore-style cryptographic sharing, §7). Data loss occurs the
+  // moment fewer than `required_intact` fragments remain intact.
+  int required_intact = 1;
+
+  // Fault and repair means. `params.mdl` is ignored by the simulator — the
+  // detection process is the scrub policy below, which *induces* a detection
+  // latency (measured and reported so it can be compared with the analytic
+  // MDL). `params.alpha` drives the hazard-multiplier correlation.
+  FaultParams params;
+
+  ScrubPolicy scrub = ScrubPolicy::None();
+
+  enum class RepairDistribution {
+    kExponential,   // matches the CTMC solvers exactly
+    kDeterministic, // fixed rebuild time (physical drive re-copy)
+  };
+  RepairDistribution repair_distribution = RepairDistribution::kExponential;
+
+  enum class FaultDistribution {
+    kExponential,
+    kWeibull,  // age-based; models the bathtub curve (§6.5 hardware aging).
+  };
+  FaultDistribution fault_distribution = FaultDistribution::kExponential;
+  // Weibull shape for both fault types; < 1 infant mortality, > 1 wear-out.
+  // Scales are chosen so the mean matches MV / ML.
+  double weibull_shape = 1.0;
+
+  // kPhysical: each healthy replica runs its own fault clock and repairs
+  // proceed in parallel. kPaper: system-level fault clocks at the single-unit
+  // rates and serial repair, the convention of equations 7-12.
+  RateConvention convention = RateConvention::kPhysical;
+
+  // Periodic scrub phases: staggered spreads replica audit times evenly
+  // across the period (what operators do); aligned audits all replicas at
+  // once (worst case for detection of simultaneous latent faults).
+  bool scrub_staggered = true;
+
+  // Record kScrubPass trace events (timeline rendering only; expensive for
+  // long runs).
+  bool record_scrub_passes = false;
+
+  // Optional per-replica initial hardware ages (hours), used by the Weibull
+  // fault distribution to model same-batch vs rolling-procurement fleets
+  // (§6.5: drives from one batch sit at the same point of the bathtub
+  // curve). Empty = all replicas start new. Must have replica_count entries
+  // when non-empty.
+  std::vector<double> initial_age_hours;
+
+  // A visible fault striking a replica that already carries an undetected
+  // latent fault surfaces it (the whole replica is rebuilt). Off by default
+  // to match the paper's model, which considers at most one outstanding fault
+  // per replica.
+  bool visible_fault_surfaces_latent = false;
+
+  std::vector<CommonModeSource> common_mode;
+
+  // Returns an error message if the configuration is inconsistent.
+  std::optional<std::string> Validate() const;
+};
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_STORAGE_CONFIG_H_

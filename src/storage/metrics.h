@@ -1,0 +1,60 @@
+// Per-run metrics collected by the storage simulator.
+
+#ifndef LONGSTORE_SRC_STORAGE_METRICS_H_
+#define LONGSTORE_SRC_STORAGE_METRICS_H_
+
+#include <cstdint>
+
+#include "src/util/stats.h"
+
+namespace longstore {
+
+// Fault kinds used in window bookkeeping (Figure 2's axes).
+enum class FaultKind { kVisible = 0, kLatent = 1 };
+
+struct SimMetrics {
+  int64_t visible_faults = 0;
+  int64_t latent_faults = 0;
+  int64_t latent_detections = 0;
+  int64_t repairs_completed = 0;
+  int64_t common_mode_events = 0;
+  // Faults inflicted through a shared-risk-group event (subset of
+  // visible_faults + latent_faults); the Talagala-style benches use this to
+  // attribute fault fractions to shared components.
+  int64_t common_mode_faults = 0;
+
+  // Window-of-vulnerability bookkeeping: a window opens when the system goes
+  // from all-healthy to one-faulty; it either closes (all-healthy again) or a
+  // second fault arrives first. The 2x2 matrix is the measured counterpart of
+  // the paper's Figure 2 / equations 3-6.
+  int64_t windows_opened[2] = {0, 0};               // by first-fault kind
+  int64_t windows_survived[2] = {0, 0};             // closed without 2nd fault
+  int64_t second_faults[2][2] = {{0, 0}, {0, 0}};   // [first kind][second kind]
+
+  // Latency from latent-fault occurrence to detection (the measured MDL) and
+  // realized repair durations.
+  RunningStats detection_latency_hours;
+  RunningStats repair_duration_hours;
+
+  void Merge(const SimMetrics& other) {
+    visible_faults += other.visible_faults;
+    latent_faults += other.latent_faults;
+    latent_detections += other.latent_detections;
+    repairs_completed += other.repairs_completed;
+    common_mode_events += other.common_mode_events;
+    common_mode_faults += other.common_mode_faults;
+    for (int i = 0; i < 2; ++i) {
+      windows_opened[i] += other.windows_opened[i];
+      windows_survived[i] += other.windows_survived[i];
+      for (int j = 0; j < 2; ++j) {
+        second_faults[i][j] += other.second_faults[i][j];
+      }
+    }
+    detection_latency_hours.Merge(other.detection_latency_hours);
+    repair_duration_hours.Merge(other.repair_duration_hours);
+  }
+};
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_STORAGE_METRICS_H_

@@ -1,0 +1,561 @@
+#include "src/storage/replicated_system.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace longstore {
+
+std::optional<std::string> StorageSimConfig::Validate() const {
+  if (replica_count < 1) {
+    return "replica_count must be >= 1";
+  }
+  if (required_intact < 1 || required_intact > replica_count) {
+    return "required_intact must lie in [1, replica_count]";
+  }
+  if (!initial_age_hours.empty()) {
+    if (static_cast<int>(initial_age_hours.size()) != replica_count) {
+      return "initial_age_hours must have replica_count entries (or be empty)";
+    }
+    for (double age : initial_age_hours) {
+      if (!(age >= 0.0) || !std::isfinite(age)) {
+        return "initial ages must be finite and non-negative";
+      }
+    }
+  }
+  if (auto error = params.Validate()) {
+    return error;
+  }
+  if (fault_distribution == FaultDistribution::kWeibull) {
+    if (!(weibull_shape > 0.0)) {
+      return "weibull_shape must be positive";
+    }
+    if (params.alpha < 1.0) {
+      return "hazard-multiplier correlation (alpha < 1) requires exponential faults; "
+             "Weibull fault clocks are age-based and cannot be rescaled memorylessly";
+    }
+    if (convention == RateConvention::kPaper) {
+      return "Weibull faults are only supported under the physical convention";
+    }
+  }
+  if (convention == RateConvention::kPaper) {
+    if (scrub.kind == ScrubPolicy::Kind::kPeriodic) {
+      return "the paper rate convention pairs with memoryless detection; use an "
+             "exponential or on-access scrub policy (or the physical convention)";
+    }
+    if (!common_mode.empty()) {
+      return "common-mode sources are only supported under the physical convention";
+    }
+  }
+  if (scrub.kind != ScrubPolicy::Kind::kNone && !(scrub.interval.hours() > 0.0)) {
+    return "scrub interval must be positive";
+  }
+  if (record_scrub_passes && scrub.kind != ScrubPolicy::Kind::kPeriodic) {
+    return "record_scrub_passes requires a periodic scrub policy";
+  }
+  for (const CommonModeSource& source : common_mode) {
+    if (!(source.event_rate.per_hour() > 0.0)) {
+      return "common-mode source '" + source.name + "' needs a positive event rate";
+    }
+    if (source.hit_probability < 0.0 || source.hit_probability > 1.0 ||
+        source.visible_fraction < 0.0 || source.visible_fraction > 1.0) {
+      return "common-mode source '" + source.name + "' probabilities must lie in [0, 1]";
+    }
+    for (int member : source.members) {
+      if (member < 0 || member >= replica_count) {
+        return "common-mode source '" + source.name + "' has an out-of-range member";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+ReplicatedStorageSystem::ReplicatedStorageSystem(Simulator* sim, Rng* rng,
+                                                 StorageSimConfig config,
+                                                 TraceRecorder* trace)
+    : sim_(sim), rng_(rng), config_(std::move(config)), trace_(trace) {
+  if (auto error = config_.Validate()) {
+    throw std::invalid_argument("StorageSimConfig: " + *error);
+  }
+  replicas_.resize(static_cast<size_t>(config_.replica_count));
+  for (int i = 0; i < config_.replica_count; ++i) {
+    auto& replica = replicas_[static_cast<size_t>(i)];
+    // A pre-aged replica has a birth time in the (virtual) past.
+    replica.birth_time =
+        config_.initial_age_hours.empty()
+            ? Duration::Zero()
+            : Duration::Zero() - Duration::Hours(config_.initial_age_hours[i]);
+    if (config_.scrub.kind == ScrubPolicy::Kind::kPeriodic) {
+      replica.scrub_phase =
+          config_.scrub_staggered
+              ? config_.scrub.interval * (static_cast<double>(i) / config_.replica_count)
+              : Duration::Zero();
+    }
+  }
+}
+
+void ReplicatedStorageSystem::Start() {
+  if (started_) {
+    throw std::logic_error("ReplicatedStorageSystem::Start called twice");
+  }
+  started_ = true;
+  if (config_.convention == RateConvention::kPaper) {
+    ScheduleSystemFaultClocks();
+  } else {
+    for (int i = 0; i < config_.replica_count; ++i) {
+      ScheduleReplicaFaults(i);
+      if (config_.record_scrub_passes) {
+        ScheduleScrubTick(i);
+      }
+    }
+  }
+  for (size_t s = 0; s < config_.common_mode.size(); ++s) {
+    ScheduleCommonModeSource(s);
+  }
+}
+
+double ReplicatedStorageSystem::CorrelationMultiplier() const {
+  return faulty_count_ > 0 ? 1.0 / config_.params.alpha : 1.0;
+}
+
+Duration ReplicatedStorageSystem::DrawFaultDelay(const Replica& replica,
+                                                 FaultKind kind) const {
+  const Duration mean =
+      kind == FaultKind::kVisible ? config_.params.mv : config_.params.ml;
+  if (config_.fault_distribution == StorageSimConfig::FaultDistribution::kWeibull) {
+    // Age-based draw from the replica's birth; returns the residual delay.
+    const double shape = config_.weibull_shape;
+    const Duration scale = mean / std::tgamma(1.0 + 1.0 / shape);
+    const Duration age = sim_->now() - replica.birth_time;
+    // Rejection on the age: draw total lifetimes until one exceeds the
+    // current age. Weibull hazards make short re-draws rare in practice.
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+      const Duration life = rng_->NextWeibull(shape, scale);
+      if (life > age) {
+        return life - age;
+      }
+    }
+    // Degenerate parameters (age beyond any plausible lifetime): fail soon.
+    return Duration::Hours(1e-9);
+  }
+  return rng_->NextExponential(mean / CorrelationMultiplier());
+}
+
+Duration ReplicatedStorageSystem::DrawRepairDuration(FaultKind kind) const {
+  const Duration mean =
+      kind == FaultKind::kVisible ? config_.params.mrv : config_.params.mrl;
+  if (config_.repair_distribution == StorageSimConfig::RepairDistribution::kDeterministic) {
+    return mean;
+  }
+  return rng_->NextExponential(mean);
+}
+
+Duration ReplicatedStorageSystem::NextScrubTick(const Replica& replica) const {
+  const Duration period = config_.scrub.interval;
+  const Duration now = sim_->now();
+  const double periods_elapsed =
+      std::floor((now - replica.scrub_phase).hours() / period.hours()) + 1.0;
+  Duration tick = replica.scrub_phase + period * periods_elapsed;
+  if (tick <= now) {
+    tick += period;  // floating-point boundary guard
+  }
+  return tick;
+}
+
+void ReplicatedStorageSystem::ScheduleReplicaFaults(int i) {
+  auto& replica = replicas_[static_cast<size_t>(i)];
+  sim_->Cancel(replica.visible_event);
+  sim_->Cancel(replica.latent_event);
+  replica.visible_event = EventId();
+  replica.latent_event = EventId();
+  if (replica.state == ReplicaState::kHealthy) {
+    if (!config_.params.mv.is_infinite()) {
+      const Duration delay = DrawFaultDelay(replica, FaultKind::kVisible);
+      replica.visible_event =
+          sim_->ScheduleAfter(delay, [this, i] { OnVisibleFault(i); });
+    }
+    if (!config_.params.ml.is_infinite()) {
+      const Duration delay = DrawFaultDelay(replica, FaultKind::kLatent);
+      replica.latent_event =
+          sim_->ScheduleAfter(delay, [this, i] { OnLatentFault(i); });
+    }
+  } else if (replica.state == ReplicaState::kLatentFaulty &&
+             config_.visible_fault_surfaces_latent && !config_.params.mv.is_infinite()) {
+    const Duration delay = DrawFaultDelay(replica, FaultKind::kVisible);
+    replica.visible_event =
+        sim_->ScheduleAfter(delay, [this, i] { OnVisibleFault(i); });
+  }
+}
+
+void ReplicatedStorageSystem::RescheduleFaultsForCorrelationChange() {
+  if (config_.params.alpha >= 1.0) {
+    return;  // no hazard change; exponential clocks stay valid (memoryless)
+  }
+  if (config_.convention == RateConvention::kPaper) {
+    ScheduleSystemFaultClocks();
+    return;
+  }
+  for (int i = 0; i < config_.replica_count; ++i) {
+    ScheduleReplicaFaults(i);
+  }
+}
+
+void ReplicatedStorageSystem::ScheduleSystemFaultClocks() {
+  sim_->Cancel(system_visible_event_);
+  sim_->Cancel(system_latent_event_);
+  system_visible_event_ = EventId();
+  system_latent_event_ = EventId();
+  if (lost_ || intact_count() == 0) {
+    return;
+  }
+  const double mult = CorrelationMultiplier();
+  if (!config_.params.mv.is_infinite()) {
+    const Duration delay = rng_->NextExponential(config_.params.mv / mult);
+    system_visible_event_ =
+        sim_->ScheduleAfter(delay, [this] { OnSystemFault(FaultKind::kVisible); });
+  }
+  if (!config_.params.ml.is_infinite()) {
+    const Duration delay = rng_->NextExponential(config_.params.ml / mult);
+    system_latent_event_ =
+        sim_->ScheduleAfter(delay, [this] { OnSystemFault(FaultKind::kLatent); });
+  }
+}
+
+void ReplicatedStorageSystem::ScheduleDetection(int i) {
+  auto& replica = replicas_[static_cast<size_t>(i)];
+  sim_->Cancel(replica.detect_event);
+  replica.detect_event = EventId();
+  switch (config_.scrub.kind) {
+    case ScrubPolicy::Kind::kNone:
+      return;
+    case ScrubPolicy::Kind::kPeriodic: {
+      if (config_.record_scrub_passes) {
+        return;  // the scrub-tick loop performs detection
+      }
+      const Duration tick = NextScrubTick(replica);
+      replica.detect_event = sim_->ScheduleAt(tick, [this, i] { OnDetect(i); });
+      return;
+    }
+    case ScrubPolicy::Kind::kExponential:
+    case ScrubPolicy::Kind::kOnAccess: {
+      const Duration delay = rng_->NextExponential(config_.scrub.interval);
+      replica.detect_event = sim_->ScheduleAfter(delay, [this, i] { OnDetect(i); });
+      return;
+    }
+  }
+}
+
+void ReplicatedStorageSystem::ScheduleScrubTick(int i) {
+  auto& replica = replicas_[static_cast<size_t>(i)];
+  const Duration tick = NextScrubTick(replica);
+  sim_->ScheduleAt(tick, [this, i] { OnScrubTick(i); });
+}
+
+void ReplicatedStorageSystem::ScheduleCommonModeSource(size_t source_index) {
+  const CommonModeSource& source = config_.common_mode[source_index];
+  const Duration delay = rng_->NextExponential(source.event_rate);
+  sim_->ScheduleAfter(delay, [this, source_index] { OnCommonModeEvent(source_index); });
+}
+
+void ReplicatedStorageSystem::OnVisibleFault(int i) {
+  auto& replica = replicas_[static_cast<size_t>(i)];
+  replica.visible_event = EventId();
+  if (replica.state == ReplicaState::kFaultyDetected) {
+    return;  // already being rebuilt; nothing new to learn
+  }
+  if (replica.state == ReplicaState::kLatentFaulty) {
+    if (!config_.visible_fault_surfaces_latent) {
+      return;
+    }
+    // The whole-replica failure surfaces the latent fault: detection via
+    // rebuild rather than audit.
+    metrics_.latent_detections++;
+    metrics_.detection_latency_hours.Add((sim_->now() - replica.fault_time).hours());
+    sim_->Cancel(replica.detect_event);
+    replica.detect_event = EventId();
+    RecordTrace(TraceEventKind::kLatentDetected, i, "surfaced by visible fault");
+    replica.state = ReplicaState::kFaultyDetected;
+    StartRepair(i);
+    return;
+  }
+  metrics_.visible_faults++;
+  RecordTrace(TraceEventKind::kVisibleFault, i);
+  InflictFault(i, FaultKind::kVisible, /*detected=*/true);
+}
+
+void ReplicatedStorageSystem::OnLatentFault(int i) {
+  auto& replica = replicas_[static_cast<size_t>(i)];
+  replica.latent_event = EventId();
+  if (replica.state != ReplicaState::kHealthy) {
+    return;
+  }
+  metrics_.latent_faults++;
+  RecordTrace(TraceEventKind::kLatentFault, i);
+  InflictFault(i, FaultKind::kLatent, /*detected=*/false);
+}
+
+void ReplicatedStorageSystem::OnDetect(int i) {
+  auto& replica = replicas_[static_cast<size_t>(i)];
+  replica.detect_event = EventId();
+  if (replica.state != ReplicaState::kLatentFaulty) {
+    return;
+  }
+  metrics_.latent_detections++;
+  metrics_.detection_latency_hours.Add((sim_->now() - replica.fault_time).hours());
+  RecordTrace(TraceEventKind::kLatentDetected, i);
+  replica.state = ReplicaState::kFaultyDetected;
+  StartRepair(i);
+}
+
+void ReplicatedStorageSystem::OnScrubTick(int i) {
+  if (lost_) {
+    return;
+  }
+  RecordTrace(TraceEventKind::kScrubPass, i);
+  if (replicas_[static_cast<size_t>(i)].state == ReplicaState::kLatentFaulty) {
+    OnDetect(i);
+  }
+  ScheduleScrubTick(i);
+}
+
+void ReplicatedStorageSystem::InflictFault(int i, FaultKind kind, bool detected) {
+  auto& replica = replicas_[static_cast<size_t>(i)];
+  sim_->Cancel(replica.visible_event);
+  sim_->Cancel(replica.latent_event);
+  replica.visible_event = EventId();
+  replica.latent_event = EventId();
+
+  const int previously_faulty = faulty_count_;
+  if (window_open_ && previously_faulty >= 1) {
+    // Second fault inside an open window: Figure 2 bookkeeping. Only the
+    // second fault is classified; the window then closes for counting.
+    metrics_.second_faults[static_cast<int>(window_first_fault_)]
+                          [static_cast<int>(kind)]++;
+    window_open_ = false;
+  } else if (previously_faulty == 0) {
+    window_open_ = true;
+    window_first_fault_ = kind;
+    metrics_.windows_opened[static_cast<int>(kind)]++;
+  }
+
+  ++faulty_count_;
+  replica.state = detected ? ReplicaState::kFaultyDetected : ReplicaState::kLatentFaulty;
+  replica.current_fault = kind;
+  replica.fault_time = sim_->now();
+
+  if (config_.replica_count - faulty_count_ < config_.required_intact) {
+    lost_ = true;
+    loss_time_ = sim_->now();
+    RecordTrace(TraceEventKind::kDataLoss, -1);
+    sim_->Stop();
+    return;
+  }
+
+  if (detected) {
+    StartRepair(i);
+  } else {
+    if (config_.convention == RateConvention::kPaper) {
+      if (!system_detect_event_.is_valid() &&
+          config_.scrub.kind != ScrubPolicy::Kind::kNone) {
+        const Duration delay = rng_->NextExponential(config_.scrub.interval);
+        system_detect_event_ = sim_->ScheduleAfter(delay, [this] { OnSystemDetect(); });
+      }
+    } else {
+      ScheduleDetection(i);
+      if (config_.visible_fault_surfaces_latent) {
+        ScheduleReplicaFaults(i);  // keep a visible-fault clock running
+      }
+    }
+  }
+
+  if (previously_faulty == 0) {
+    RescheduleFaultsForCorrelationChange();
+  }
+}
+
+void ReplicatedStorageSystem::StartRepair(int i) {
+  if (config_.convention == RateConvention::kPaper) {
+    repair_queue_.push_back(i);
+    if (!repair_active_) {
+      BeginNextSerialRepair();
+    }
+    return;
+  }
+  auto& replica = replicas_[static_cast<size_t>(i)];
+  const Duration duration = DrawRepairDuration(replica.current_fault);
+  RecordTrace(TraceEventKind::kRepairStarted, i);
+  replica.repair_event =
+      sim_->ScheduleAfter(duration, [this, i] { OnRepairComplete(i); });
+}
+
+void ReplicatedStorageSystem::BeginNextSerialRepair() {
+  if (repair_queue_.empty()) {
+    repair_active_ = false;
+    return;
+  }
+  repair_active_ = true;
+  const int i = repair_queue_.front();
+  repair_queue_.erase(repair_queue_.begin());
+  auto& replica = replicas_[static_cast<size_t>(i)];
+  const Duration duration = DrawRepairDuration(replica.current_fault);
+  RecordTrace(TraceEventKind::kRepairStarted, i);
+  replica.repair_event =
+      sim_->ScheduleAfter(duration, [this, i] { OnRepairComplete(i); });
+}
+
+void ReplicatedStorageSystem::OnRepairComplete(int i) {
+  auto& replica = replicas_[static_cast<size_t>(i)];
+  replica.repair_event = EventId();
+  metrics_.repairs_completed++;
+  metrics_.repair_duration_hours.Add((sim_->now() - replica.fault_time).hours());
+  RecordTrace(TraceEventKind::kRepairCompleted, i);
+
+  replica.state = ReplicaState::kHealthy;
+  replica.birth_time = sim_->now();
+  --faulty_count_;
+
+  if (faulty_count_ == 0 && window_open_) {
+    metrics_.windows_survived[static_cast<int>(window_first_fault_)]++;
+    window_open_ = false;
+  }
+
+  if (config_.convention == RateConvention::kPaper) {
+    BeginNextSerialRepair();
+    if (faulty_count_ == 0) {
+      RescheduleFaultsForCorrelationChange();
+    }
+    return;
+  }
+
+  if (faulty_count_ == 0 && config_.params.alpha < 1.0) {
+    // Correlation relaxes: redraw every healthy replica, including this one.
+    RescheduleFaultsForCorrelationChange();
+  } else {
+    ScheduleReplicaFaults(i);
+  }
+}
+
+void ReplicatedStorageSystem::OnSystemFault(FaultKind kind) {
+  if (kind == FaultKind::kVisible) {
+    system_visible_event_ = EventId();
+  } else {
+    system_latent_event_ = EventId();
+  }
+  if (lost_ || intact_count() == 0) {
+    return;
+  }
+  const int target = PickRandomHealthyReplica();
+  if (kind == FaultKind::kVisible) {
+    metrics_.visible_faults++;
+    RecordTrace(TraceEventKind::kVisibleFault, target);
+    InflictFault(target, kind, /*detected=*/true);
+  } else {
+    metrics_.latent_faults++;
+    RecordTrace(TraceEventKind::kLatentFault, target);
+    InflictFault(target, kind, /*detected=*/false);
+  }
+  if (!lost_) {
+    ScheduleSystemFaultClocks();
+  }
+}
+
+void ReplicatedStorageSystem::OnSystemDetect() {
+  system_detect_event_ = EventId();
+  if (lost_) {
+    return;
+  }
+  const std::optional<int> target = OldestUndetectedLatent();
+  if (!target) {
+    return;
+  }
+  OnDetect(*target);
+  // Another undetected latent fault keeps the serial audit busy.
+  if (OldestUndetectedLatent().has_value()) {
+    const Duration delay = rng_->NextExponential(config_.scrub.interval);
+    system_detect_event_ = sim_->ScheduleAfter(delay, [this] { OnSystemDetect(); });
+  }
+}
+
+void ReplicatedStorageSystem::OnCommonModeEvent(size_t source_index) {
+  if (lost_) {
+    return;
+  }
+  const CommonModeSource& source = config_.common_mode[source_index];
+  metrics_.common_mode_events++;
+  RecordTrace(TraceEventKind::kCommonModeEvent, -1, source.name);
+  for (int member : source.members) {
+    if (lost_) {
+      break;  // a hit mid-event may already have destroyed the last replica
+    }
+    const auto& replica = replicas_[static_cast<size_t>(member)];
+    if (replica.state != ReplicaState::kHealthy) {
+      continue;
+    }
+    if (!rng_->NextBernoulli(source.hit_probability)) {
+      continue;
+    }
+    const bool visible = rng_->NextBernoulli(source.visible_fraction);
+    metrics_.common_mode_faults++;
+    if (visible) {
+      metrics_.visible_faults++;
+      RecordTrace(TraceEventKind::kVisibleFault, member, source.name);
+      InflictFault(member, FaultKind::kVisible, /*detected=*/true);
+    } else {
+      metrics_.latent_faults++;
+      RecordTrace(TraceEventKind::kLatentFault, member, source.name);
+      InflictFault(member, FaultKind::kLatent, /*detected=*/false);
+    }
+  }
+  if (!lost_) {
+    ScheduleCommonModeSource(source_index);
+  }
+}
+
+int ReplicatedStorageSystem::PickRandomHealthyReplica() {
+  std::vector<int> healthy;
+  healthy.reserve(replicas_.size());
+  for (int i = 0; i < config_.replica_count; ++i) {
+    if (replicas_[static_cast<size_t>(i)].state == ReplicaState::kHealthy) {
+      healthy.push_back(i);
+    }
+  }
+  return healthy[static_cast<size_t>(rng_->NextBounded(healthy.size()))];
+}
+
+std::optional<int> ReplicatedStorageSystem::OldestUndetectedLatent() const {
+  std::optional<int> best;
+  for (int i = 0; i < config_.replica_count; ++i) {
+    const auto& replica = replicas_[static_cast<size_t>(i)];
+    if (replica.state != ReplicaState::kLatentFaulty) {
+      continue;
+    }
+    if (!best ||
+        replica.fault_time < replicas_[static_cast<size_t>(*best)].fault_time) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void ReplicatedStorageSystem::RecordTrace(TraceEventKind kind, int replica,
+                                          std::string detail) {
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->now(), kind, replica, std::move(detail));
+  }
+}
+
+RunOutcome RunToLossOrHorizon(const StorageSimConfig& config, uint64_t seed,
+                              Duration horizon) {
+  Simulator sim;
+  Rng rng(seed);
+  ReplicatedStorageSystem system(&sim, &rng, config);
+  system.Start();
+  sim.RunUntil(horizon);
+  RunOutcome outcome;
+  outcome.metrics = system.metrics();
+  if (system.lost()) {
+    outcome.loss_time = system.loss_time();
+  }
+  return outcome;
+}
+
+}  // namespace longstore

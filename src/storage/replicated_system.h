@@ -1,0 +1,135 @@
+// Discrete-event model of an r-way replicated archive subject to visible and
+// latent faults, audited by a scrub policy, repaired from intact peers, with
+// correlated faults via the paper's hazard multiplier and/or shared-risk
+// common-mode events.
+//
+// Data loss (the paper's "double-fault" generalized to r replicas) occurs the
+// moment no intact replica remains — whether or not the outstanding faults
+// were detected, matching the paper's data-centric reliability perspective
+// (§5.3: "our reliability analysis is from the perspective of the data").
+
+#ifndef LONGSTORE_SRC_STORAGE_REPLICATED_SYSTEM_H_
+#define LONGSTORE_SRC_STORAGE_REPLICATED_SYSTEM_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/storage/config.h"
+#include "src/storage/metrics.h"
+#include "src/util/random.h"
+
+namespace longstore {
+
+enum class ReplicaState {
+  kHealthy,
+  kLatentFaulty,     // fault present, undetected
+  kFaultyDetected,   // visible fault, or detected latent fault; under repair
+};
+
+class ReplicatedStorageSystem {
+ public:
+  // `sim`, `rng` and `trace` must outlive the system. `trace` may be null.
+  ReplicatedStorageSystem(Simulator* sim, Rng* rng, StorageSimConfig config,
+                          TraceRecorder* trace = nullptr);
+
+  // Schedules the initial fault/scrub/common-mode events. Call once, before
+  // running the simulator.
+  void Start();
+
+  bool lost() const { return lost_; }
+  // Valid only when lost().
+  Duration loss_time() const { return loss_time_; }
+
+  const SimMetrics& metrics() const { return metrics_; }
+  const StorageSimConfig& config() const { return config_; }
+
+  ReplicaState replica_state(int i) const {
+    return replicas_[static_cast<size_t>(i)].state;
+  }
+  int faulty_count() const { return faulty_count_; }
+  int intact_count() const { return config_.replica_count - faulty_count_; }
+
+ private:
+  struct Replica {
+    ReplicaState state = ReplicaState::kHealthy;
+    FaultKind current_fault = FaultKind::kVisible;
+    Duration fault_time;
+    Duration birth_time;   // last replacement; Weibull age reference
+    Duration scrub_phase;  // periodic-scrub phase offset
+    EventId visible_event;
+    EventId latent_event;
+    EventId detect_event;
+    EventId repair_event;
+  };
+
+  // --- scheduling helpers ---
+  double CorrelationMultiplier() const;
+  Duration DrawFaultDelay(const Replica& replica, FaultKind kind) const;
+  Duration DrawRepairDuration(FaultKind kind) const;
+  Duration NextScrubTick(const Replica& replica) const;
+  void ScheduleReplicaFaults(int i);
+  void RescheduleFaultsForCorrelationChange();
+  void ScheduleSystemFaultClocks();  // kPaper convention
+  void ScheduleDetection(int i);
+  void ScheduleScrubTick(int i);
+  void ScheduleCommonModeSource(size_t source_index);
+
+  // --- event handlers ---
+  void OnVisibleFault(int i);
+  void OnLatentFault(int i);
+  void OnDetect(int i);
+  void OnScrubTick(int i);
+  void OnRepairComplete(int i);
+  void OnSystemFault(FaultKind kind);  // kPaper convention
+  void OnSystemDetect();               // kPaper convention
+  void OnCommonModeEvent(size_t source_index);
+
+  // --- state transitions ---
+  void InflictFault(int i, FaultKind kind, bool detected);
+  void StartRepair(int i);
+  void BeginNextSerialRepair();
+  int PickRandomHealthyReplica();
+  std::optional<int> OldestUndetectedLatent() const;
+  void RecordTrace(TraceEventKind kind, int replica, std::string detail = {});
+
+  Simulator* sim_;
+  Rng* rng_;
+  StorageSimConfig config_;
+  TraceRecorder* trace_;
+
+  std::vector<Replica> replicas_;
+  int faulty_count_ = 0;
+  bool lost_ = false;
+  Duration loss_time_;
+  SimMetrics metrics_;
+
+  // Window-of-vulnerability bookkeeping (Figure 2 measurements).
+  bool window_open_ = false;
+  FaultKind window_first_fault_ = FaultKind::kVisible;
+
+  // kPaper-convention machinery: system-level clocks and serial repair.
+  EventId system_visible_event_;
+  EventId system_latent_event_;
+  EventId system_detect_event_;
+  std::vector<int> repair_queue_;
+  bool repair_active_ = false;
+
+  bool started_ = false;
+};
+
+// Convenience one-shot runs used by the Monte Carlo harness and examples.
+struct RunOutcome {
+  // Time of data loss; nullopt if the system survived the horizon (censored).
+  std::optional<Duration> loss_time;
+  SimMetrics metrics;
+};
+
+// Runs a fresh system until data loss or `horizon`, whichever comes first.
+RunOutcome RunToLossOrHorizon(const StorageSimConfig& config, uint64_t seed,
+                              Duration horizon);
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_STORAGE_REPLICATED_SYSTEM_H_

@@ -1,0 +1,81 @@
+#include "src/threats/threat_catalog.h"
+
+#include <stdexcept>
+
+namespace longstore {
+
+const std::vector<ThreatInfo>& ThreatCatalog() {
+  static const std::vector<ThreatInfo> catalog = {
+      {ThreatClass::kLargeScaleDisaster, "large-scale disaster",
+       "floods, fires, earthquakes, acts of war; manifests through media, hardware "
+       "and organizational faults at once",
+       "9/11 destroyed a data center; the cross-river failover site proved "
+       "insufficiently independent",
+       /*typically_latent=*/false, /*typically_correlated=*/true},
+      {ThreatClass::kHumanError, "human error",
+       "operators accidentally delete or overwrite content, mishandle media, or break "
+       "the infrastructure the archive depends on",
+       "tapes lost in transit; accidental deletion discovered only when the material "
+       "is needed",
+       /*typically_latent=*/true, /*typically_correlated=*/true},
+      {ThreatClass::kComponentFault, "component fault",
+       "hardware, software, firmware, network and third-party services all fail; "
+       "transfers may deliver corrupted content",
+       "external license servers or URL resolvers vanish decades before the data "
+       "they gate",
+       /*typically_latent=*/true, /*typically_correlated=*/true},
+      {ThreatClass::kMediaFault, "media fault",
+       "bit rot, unreadable sectors, misplaced sector writes; sudden bulk loss from "
+       "crashes",
+       "CD-ROMs sold as good for 75-100 years often unreadable after 2-5",
+       /*typically_latent=*/true, /*typically_correlated=*/false},
+      {ThreatClass::kMediaHardwareObsolescence, "media/hardware obsolescence",
+       "media remain theoretically readable but no suitable reader can be found or "
+       "replaced after a fault",
+       "9-track tape, 12-inch laser discs, the disappearing floppy drive",
+       /*typically_latent=*/true, /*typically_correlated=*/true},
+      {ThreatClass::kSoftwareFormatObsolescence, "software/format obsolescence",
+       "bits stay accessible but can no longer be interpreted; proprietary formats "
+       "die with their vendors",
+       "undocumented camera RAW formats orphaned when support ends",
+       /*typically_latent=*/true, /*typically_correlated=*/true},
+      {ThreatClass::kLossOfContext, "loss of context",
+       "metadata, provenance, inter-object relationships or decryption keys are lost, "
+       "leaving intact bits unintelligible",
+       "encrypted archives whose keys leak, break, or disappear over decades",
+       /*typically_latent=*/true, /*typically_correlated=*/true},
+      {ThreatClass::kAttack, "attack",
+       "destruction, censorship, modification, theft and service disruption; slow "
+       "subversion rather than short intense incidents; insiders included",
+       "\"sanitization\" of government websites; flash worms hitting every replica "
+       "sharing a vulnerability",
+       /*typically_latent=*/true, /*typically_correlated=*/true},
+      {ThreatClass::kOrganizationalFault, "organizational fault",
+       "the hosting organization dies, changes mission, or simply errs; assets need "
+       "an exit strategy to a successor",
+       "a research lab's undocumented tape archive became unreadable in practice; "
+       "Ofoto deleted a customer's photos for a lapsed purchase",
+       /*typically_latent=*/true, /*typically_correlated=*/true},
+      {ThreatClass::kEconomicFault, "economic fault",
+       "budgets for power, cooling, bandwidth, administration and renewal vary, "
+       "possibly to zero; digital assets are far more interruption-sensitive than "
+       "paper",
+       "libraries subscribing to fewer serials; collections put online once and "
+       "never maintained",
+       /*typically_latent=*/true, /*typically_correlated=*/true},
+  };
+  return catalog;
+}
+
+const ThreatInfo& LookupThreat(ThreatClass threat) {
+  for (const ThreatInfo& info : ThreatCatalog()) {
+    if (info.threat == threat) {
+      return info;
+    }
+  }
+  throw std::invalid_argument("LookupThreat: unknown threat class");
+}
+
+std::string_view ThreatClassName(ThreatClass threat) { return LookupThreat(threat).name; }
+
+}  // namespace longstore

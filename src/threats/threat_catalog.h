@@ -1,0 +1,48 @@
+// The paper's §3 threat taxonomy as a queryable catalog.
+//
+// Each threat is classified along the two axes the model cares about
+// (§4.1/§4.2): does it typically manifest as a *latent* fault, and does it
+// typically strike *correlated* across replicas? The catalog drives the
+// example applications and documents how non-media threats map onto the
+// model's MV/ML/α knobs.
+
+#ifndef LONGSTORE_SRC_THREATS_THREAT_CATALOG_H_
+#define LONGSTORE_SRC_THREATS_THREAT_CATALOG_H_
+
+#include <string_view>
+#include <vector>
+
+namespace longstore {
+
+enum class ThreatClass {
+  kLargeScaleDisaster,
+  kHumanError,
+  kComponentFault,
+  kMediaFault,
+  kMediaHardwareObsolescence,
+  kSoftwareFormatObsolescence,
+  kLossOfContext,
+  kAttack,
+  kOrganizationalFault,
+  kEconomicFault,
+};
+
+struct ThreatInfo {
+  ThreatClass threat;
+  std::string_view name;
+  std::string_view description;      // condensed from §3
+  std::string_view example;          // the paper's real-world example
+  bool typically_latent;             // §4.1 list
+  bool typically_correlated;         // §4.2 list
+};
+
+// All ten §3 threat classes, in the paper's order.
+const std::vector<ThreatInfo>& ThreatCatalog();
+
+const ThreatInfo& LookupThreat(ThreatClass threat);
+
+std::string_view ThreatClassName(ThreatClass threat);
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_THREATS_THREAT_CATALOG_H_

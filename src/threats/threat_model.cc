@@ -1,0 +1,143 @@
+#include "src/threats/threat_model.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace longstore {
+namespace {
+
+double RateOf(Duration interval) {
+  return interval.is_infinite() ? 0.0 : 1.0 / interval.hours();
+}
+
+}  // namespace
+
+std::string ThreatContribution::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s: visible %s, latent %s, detect %s, repair %s",
+                std::string(ThreatClassName(threat)).c_str(),
+                visible_interval.ToString().c_str(),
+                latent_interval.ToString().c_str(),
+                detection_interval.ToString().c_str(), repair_time.ToString().c_str());
+  return buf;
+}
+
+std::optional<std::string> ThreatProfile::Validate() const {
+  for (const ThreatContribution& c : contributions) {
+    const std::string threat_name(ThreatClassName(c.threat));
+    if (!(c.visible_interval.hours() > 0.0) || !(c.latent_interval.hours() > 0.0)) {
+      return threat_name + ": fault intervals must be positive";
+    }
+    if (!(c.detection_interval.hours() > 0.0)) {
+      return threat_name + ": detection interval must be positive";
+    }
+    if (c.repair_time.is_negative() || c.repair_time.is_infinite()) {
+      return threat_name + ": repair time must be finite and non-negative";
+    }
+  }
+  return std::nullopt;
+}
+
+FaultParams CombineThreats(const ThreatProfile& profile, double alpha) {
+  if (auto error = profile.Validate()) {
+    throw std::invalid_argument("ThreatProfile: " + *error);
+  }
+  double visible_rate = 0.0;
+  double latent_rate = 0.0;
+  double visible_repair_weighted = 0.0;
+  double latent_repair_weighted = 0.0;
+  double detection_weighted = 0.0;
+  bool undetectable_latent = false;
+
+  for (const ThreatContribution& c : profile.contributions) {
+    const double v = RateOf(c.visible_interval);
+    const double l = RateOf(c.latent_interval);
+    visible_rate += v;
+    latent_rate += l;
+    visible_repair_weighted += v * c.repair_time.hours();
+    latent_repair_weighted += l * c.repair_time.hours();
+    if (l > 0.0) {
+      if (c.detection_interval.is_infinite()) {
+        // An undetectable latent threat dominates MDL entirely (§5.2: such
+        // faults "will remain the main vulnerability for the stored data").
+        undetectable_latent = true;
+      } else {
+        detection_weighted += l * c.detection_interval.hours();
+      }
+    }
+  }
+
+  FaultParams p;
+  p.mv = visible_rate > 0.0 ? Duration::Hours(1.0 / visible_rate) : Duration::Infinite();
+  p.ml = latent_rate > 0.0 ? Duration::Hours(1.0 / latent_rate) : Duration::Infinite();
+  p.mrv = visible_rate > 0.0 ? Duration::Hours(visible_repair_weighted / visible_rate)
+                             : Duration::Zero();
+  p.mrl = latent_rate > 0.0 ? Duration::Hours(latent_repair_weighted / latent_rate)
+                            : Duration::Zero();
+  p.mdl = (undetectable_latent || latent_rate == 0.0)
+              ? Duration::Infinite()
+              : Duration::Hours(detection_weighted / latent_rate);
+  p.alpha = alpha;
+  return p;
+}
+
+ThreatProfile MediaOnlyProfile(Duration audit_interval) {
+  ThreatProfile profile;
+  profile.name = "media faults only (Cheetah rates)";
+  ThreatContribution media;
+  media.threat = ThreatClass::kMediaFault;
+  media.visible_interval = Duration::Hours(1.4e6);   // whole-drive faults
+  media.latent_interval = Duration::Hours(2.8e5);    // bit rot, 5x (Schwarz)
+  media.detection_interval = audit_interval / 2.0;   // periodic scrub
+  media.repair_time = Duration::Minutes(20.0);
+  profile.contributions.push_back(media);
+  return profile;
+}
+
+ThreatProfile EndToEndArchiveProfile(Duration audit_interval,
+                                     Duration format_sweep_interval) {
+  ThreatProfile profile = MediaOnlyProfile(audit_interval);
+  profile.name = "end-to-end archive";
+
+  // Human error (§3): an operator deletes or overwrites content roughly once
+  // a decade per replica; the mistake is silent until audited, and restoring
+  // from a peer takes a working day.
+  ThreatContribution human;
+  human.threat = ThreatClass::kHumanError;
+  human.latent_interval = Duration::Years(10.0);
+  human.detection_interval = audit_interval / 2.0;
+  human.repair_time = Duration::Hours(8.0);
+  profile.contributions.push_back(human);
+
+  // Component faults (§3): controller/firmware/dependency failures surface
+  // immediately but take a day to diagnose and replace.
+  ThreatContribution component;
+  component.threat = ThreatClass::kComponentFault;
+  component.visible_interval = Duration::Years(3.0);
+  component.repair_time = Duration::Hours(24.0);
+  profile.contributions.push_back(component);
+
+  // Format obsolescence (§3): a replica's content drifts into an endangered
+  // format on generational timescales; only a dedicated format sweep detects
+  // it, and migration is a week of work.
+  ThreatContribution format;
+  format.threat = ThreatClass::kSoftwareFormatObsolescence;
+  format.latent_interval = Duration::Years(30.0);
+  format.detection_interval = format_sweep_interval / 2.0;
+  format.repair_time = Duration::Days(7.0);
+  profile.contributions.push_back(format);
+
+  // Slow attack (§3): censorship or corruption that checksum audits can
+  // catch, expected once a century per replica.
+  ThreatContribution attack;
+  attack.threat = ThreatClass::kAttack;
+  attack.latent_interval = Duration::Years(100.0);
+  attack.detection_interval = audit_interval / 2.0;
+  attack.repair_time = Duration::Hours(8.0);
+  profile.contributions.push_back(attack);
+
+  return profile;
+}
+
+}  // namespace longstore

@@ -1,0 +1,80 @@
+// Mapping the §3 threat taxonomy onto the §5 model's parameters.
+//
+// The paper stresses that MV/ML/MDL are not merely media properties: "beyond
+// media faults, there are many types of latent faults caused by threats in
+// §3" (§4.1), and the §6 strategies "are also applicable to other kinds of
+// faults". This module makes that composition executable: each threat class
+// contributes a visible and/or latent fault process; independent memoryless
+// processes combine by adding rates; the slowest applicable detection process
+// bounds MDL. The result is an end-to-end FaultParams an archivist can feed
+// into the same closed forms, CTMC and simulator as plain media faults.
+
+#ifndef LONGSTORE_SRC_THREATS_THREAT_MODEL_H_
+#define LONGSTORE_SRC_THREATS_THREAT_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/fault_params.h"
+#include "src/threats/threat_catalog.h"
+#include "src/util/units.h"
+
+namespace longstore {
+
+// One threat's contribution to a replica's fault processes.
+struct ThreatContribution {
+  ThreatClass threat = ThreatClass::kMediaFault;
+  // Mean time between events of this threat striking one replica; infinite
+  // rates are allowed (threat not applicable).
+  Duration visible_interval = Duration::Infinite();
+  Duration latent_interval = Duration::Infinite();
+  // Mean time for this threat's latent damage to be *detectable* by the
+  // archive's audit process (e.g. checksum scrubbing detects bit rot within
+  // the audit interval, but detecting format obsolescence requires a format
+  // sweep, and a censorship attack may only surface on scholarly access).
+  Duration detection_interval = Duration::Infinite();
+  // Mean time to repair damage from this threat once detected.
+  Duration repair_time = Duration::Zero();
+
+  std::string ToString() const;
+};
+
+// A named bundle of contributions (an archive's threat profile).
+struct ThreatProfile {
+  std::string name;
+  std::vector<ThreatContribution> contributions;
+
+  // Returns an error if any contribution is malformed (negative times,
+  // zero intervals).
+  std::optional<std::string> Validate() const;
+};
+
+// Combines independent memoryless processes:
+//  - visible rate  = Σ 1/visible_interval_i
+//  - latent rate   = Σ 1/latent_interval_i
+//  - MDL           = latent-rate-weighted mean of the detection intervals
+//    (each latent fault carries its own threat's detection latency; the
+//    expectation over fault causes is the rate-weighted mean)
+//  - MRV / MRL     = rate-weighted means of the repair times
+//  - α             = `alpha` (supplied by the deployment's independence
+//    profile; see src/threats/independence.h)
+FaultParams CombineThreats(const ThreatProfile& profile, double alpha);
+
+// Reference profiles used by examples and tests.
+//
+// Media faults only, at the paper's Cheetah rates with a given audit
+// interval: reproduces FaultParams::PaperCheetahExample + scrubbing.
+ThreatProfile MediaOnlyProfile(Duration audit_interval);
+
+// A realistic end-to-end archive profile: media faults + human error +
+// component faults + slow threats (format obsolescence, attack,
+// organizational drift), each with §4.1-appropriate visibility and detection
+// latencies. Rates are order-of-magnitude estimates documented inline; the
+// point is composition, not calibration.
+ThreatProfile EndToEndArchiveProfile(Duration audit_interval,
+                                     Duration format_sweep_interval);
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_THREATS_THREAT_MODEL_H_

@@ -1,0 +1,119 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace longstore {
+namespace {
+
+std::string RenderBuckets(int width, int count, int64_t total,
+                          const std::vector<int64_t>& buckets,
+                          double (*lo_fn)(const void*, int), double (*hi_fn)(const void*, int),
+                          const void* self) {
+  int64_t max_count = 1;
+  for (int64_t c : buckets) {
+    max_count = std::max(max_count, c);
+  }
+  std::string out;
+  char line[160];
+  for (int i = 0; i < count; ++i) {
+    const int64_t c = buckets[static_cast<size_t>(i)];
+    const int bar = static_cast<int>((c * width) / max_count);
+    const double pct = total > 0 ? 100.0 * static_cast<double>(c) / static_cast<double>(total)
+                                 : 0.0;
+    std::snprintf(line, sizeof(line), "[%10.4g, %10.4g) %8lld %5.1f%% |",
+                  lo_fn(self, i), hi_fn(self, i), static_cast<long long>(c), pct);
+    out += line;
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearHistogram::LinearHistogram(double lo, double hi, int bucket_count)
+    : lo_(lo), hi_(hi), buckets_(static_cast<size_t>(bucket_count), 0) {
+  if (bucket_count <= 0 || !(hi > lo)) {
+    throw std::invalid_argument("LinearHistogram requires hi > lo and bucket_count > 0");
+  }
+  bucket_width_ = (hi - lo) / bucket_count;
+}
+
+void LinearHistogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<size_t>((x - lo_) / bucket_width_);
+  idx = std::min(idx, buckets_.size() - 1);  // guard boundary rounding
+  ++buckets_[idx];
+}
+
+double LinearHistogram::bucket_lo(int i) const { return lo_ + bucket_width_ * i; }
+double LinearHistogram::bucket_hi(int i) const { return lo_ + bucket_width_ * (i + 1); }
+
+std::string LinearHistogram::Render(int width) const {
+  return RenderBuckets(
+      width, bucket_count(), total_, buckets_,
+      [](const void* self, int i) {
+        return static_cast<const LinearHistogram*>(self)->bucket_lo(i);
+      },
+      [](const void* self, int i) {
+        return static_cast<const LinearHistogram*>(self)->bucket_hi(i);
+      },
+      this);
+}
+
+LogHistogram::LogHistogram(double lo, double hi, int buckets_per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || buckets_per_decade <= 0) {
+    throw std::invalid_argument("LogHistogram requires 0 < lo < hi, buckets_per_decade > 0");
+  }
+  log_lo_ = std::log10(lo);
+  log_hi_ = std::log10(hi);
+  log_step_ = 1.0 / buckets_per_decade;
+  const int n = static_cast<int>(std::ceil((log_hi_ - log_lo_) / log_step_));
+  buckets_.assign(static_cast<size_t>(std::max(n, 1)), 0);
+}
+
+void LogHistogram::Add(double x) {
+  ++total_;
+  if (!(x > 0.0) || std::log10(x) < log_lo_) {
+    ++underflow_;
+    return;
+  }
+  const double lx = std::log10(x);
+  if (lx >= log_hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<size_t>((lx - log_lo_) / log_step_);
+  idx = std::min(idx, buckets_.size() - 1);
+  ++buckets_[idx];
+}
+
+double LogHistogram::bucket_lo(int i) const { return std::pow(10.0, log_lo_ + log_step_ * i); }
+double LogHistogram::bucket_hi(int i) const {
+  return std::pow(10.0, log_lo_ + log_step_ * (i + 1));
+}
+
+std::string LogHistogram::Render(int width) const {
+  return RenderBuckets(
+      width, bucket_count(), total_, buckets_,
+      [](const void* self, int i) {
+        return static_cast<const LogHistogram*>(self)->bucket_lo(i);
+      },
+      [](const void* self, int i) {
+        return static_cast<const LogHistogram*>(self)->bucket_hi(i);
+      },
+      this);
+}
+
+}  // namespace longstore

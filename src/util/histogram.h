@@ -1,0 +1,73 @@
+// Histograms for simulation output (fault-interval, detection-latency and
+// time-to-loss distributions).
+
+#ifndef LONGSTORE_SRC_UTIL_HISTOGRAM_H_
+#define LONGSTORE_SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace longstore {
+
+// Fixed-width linear histogram over [lo, hi); out-of-range samples are
+// counted in underflow/overflow buckets so totals always reconcile.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, int bucket_count);
+
+  void Add(double x);
+
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+  int64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int64_t total() const { return total_; }
+
+  // ASCII bar rendering, `width` characters for the largest bucket.
+  std::string Render(int width) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<int64_t> buckets_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+// Logarithmic histogram: geometric buckets covering [lo, hi). Suited to
+// quantities spanning orders of magnitude (MTTDL varies from years to
+// millennia across the paper's parameter space).
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, int buckets_per_decade);
+
+  void Add(double x);
+
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+  int64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int64_t total() const { return total_; }
+
+  std::string Render(int width) const;
+
+ private:
+  double log_lo_;
+  double log_hi_;
+  double log_step_;
+  std::vector<int64_t> buckets_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_UTIL_HISTOGRAM_H_

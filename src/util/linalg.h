@@ -1,0 +1,71 @@
+// Small dense linear algebra, sized for CTMC absorption solves.
+//
+// The replication chains in src/model produce systems with at most a few
+// hundred states (state count grows cubically in replica count r, and r <= 10
+// in every experiment), so a dense LU with partial pivoting is both simpler
+// and faster than any sparse machinery here.
+
+#ifndef LONGSTORE_SRC_UTIL_LINALG_H_
+#define LONGSTORE_SRC_UTIL_LINALG_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace longstore {
+
+// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  Matrix Transposed() const;
+  Matrix operator*(const Matrix& other) const;
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  // Maximum absolute row sum (infinity norm).
+  double InfNorm() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+// Solves A x = b by LU decomposition with partial pivoting.
+// Returns std::nullopt if A is (numerically) singular.
+std::optional<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b);
+
+// Solves the absorbing-Markov system (D - R) x = b, where R holds the
+// nonnegative transition rates among the n transient states (diagonal
+// ignored), `absorption[i]` >= 0 is state i's total rate into absorbing
+// states, and D is the diagonal of total outflows (row sum of R plus
+// absorption). Uses GTH-style (Grassmann-Taksar-Heyman) elimination: every
+// operation is an add/multiply/divide of nonnegative quantities, so the
+// result keeps full relative accuracy even when expected absorption times
+// exceed the repair timescale by 25+ orders of magnitude — exactly the
+// regime of highly-replicated storage (eq 12 with large r).
+// Requirements: b >= 0 elementwise; every state must have positive total
+// outflow and a path to absorption (no traps). Returns nullopt if a zero
+// pivot (trap) is encountered.
+std::optional<std::vector<double>> SolveMarkovAbsorbing(Matrix rates,
+                                                        std::vector<double> absorption,
+                                                        std::vector<double> b);
+
+// Solves x A = b (row vector form), i.e. A^T x = b. Convenience for CTMC
+// stationary/absorption-probability equations which are naturally row-form.
+std::optional<std::vector<double>> SolveLinearSystemTransposed(const Matrix& a,
+                                                               std::vector<double> b);
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_UTIL_LINALG_H_

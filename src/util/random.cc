@@ -1,0 +1,102 @@
+#include "src/util/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace longstore {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64Next(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t index) {
+  // Two SplitMix64 passes over a mixed (seed, index) pair. The golden-ratio
+  // increment decorrelates consecutive indices.
+  uint64_t state = seed ^ (index * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL);
+  (void)SplitMix64Next(state);
+  return SplitMix64Next(state);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = SplitMix64Next(sm);
+  }
+  // xoshiro must not be seeded with all-zero state; SplitMix64 cannot produce
+  // four zero outputs in a row, but guard anyway for safety.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) {
+    s_[0] = 0x1ULL;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+double Rng::NextDoubleOpen() {
+  // (value + 1) / 2^53 lies in (0, 1]; log() of the result is always finite.
+  return (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's multiply-shift rejection method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < ClampProbability(p); }
+
+Duration Rng::NextExponential(Duration mean) {
+  if (mean.is_infinite()) {
+    return Duration::Infinite();
+  }
+  return Duration::Hours(-std::log(NextDoubleOpen()) * mean.hours());
+}
+
+Duration Rng::NextExponential(Rate rate) { return NextExponential(rate.MeanInterval()); }
+
+Duration Rng::NextUniform(Duration lo, Duration hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+Duration Rng::NextWeibull(double shape, Duration scale) {
+  const double u = NextDoubleOpen();
+  return Duration::Hours(scale.hours() * std::pow(-std::log(u), 1.0 / shape));
+}
+
+double Rng::NextGaussian() {
+  const double u1 = NextDoubleOpen();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace longstore

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We implement our own generator (xoshiro256**) and samplers rather than using
+// <random>'s distributions because the standard leaves distribution algorithms
+// implementation-defined: identical seeds would give different fault histories
+// on different standard libraries, breaking reproducibility of EXPERIMENTS.md.
+// SplitMix64 is used to expand user seeds and to derive independent per-trial
+// streams, which makes Monte Carlo results independent of thread scheduling.
+
+#ifndef LONGSTORE_SRC_UTIL_RANDOM_H_
+#define LONGSTORE_SRC_UTIL_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/units.h"
+
+namespace longstore {
+
+// SplitMix64 step: advances `state` and returns the next 64-bit output.
+// Used for seed expansion and derivation, not as the main generator.
+uint64_t SplitMix64Next(uint64_t& state);
+
+// Derives a well-mixed 64-bit seed for substream `index` of a root `seed`.
+// Distinct (seed, index) pairs yield (statistically) independent streams.
+uint64_t DeriveSeed(uint64_t seed, uint64_t index);
+
+// xoshiro256** 1.0 (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  // Uniform double in (0, 1]: never returns 0, so it is safe to take its log.
+  double NextDoubleOpen();
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses rejection sampling
+  // (Lemire) so results are exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  // True with probability p (p clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Exponentially distributed duration with the given mean. A zero rate /
+  // infinite mean yields Duration::Infinite() ("the event never happens").
+  Duration NextExponential(Duration mean);
+  Duration NextExponential(Rate rate);
+
+  // Uniform duration in [lo, hi).
+  Duration NextUniform(Duration lo, Duration hi);
+
+  // Weibull-distributed duration with the given shape k and scale lambda.
+  // k < 1 models infant mortality, k > 1 wear-out: together the "bathtub"
+  // lifetime curve the paper cites for same-batch hardware (§6.5).
+  Duration NextWeibull(double shape, Duration scale);
+
+  // Standard normal via Box-Muller (no cached second value: keeps the
+  // generator's state trajectory independent of call history).
+  double NextGaussian();
+
+ private:
+  std::array<uint64_t, 4> s_;
+};
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_UTIL_RANDOM_H_

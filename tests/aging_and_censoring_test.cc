@@ -1,0 +1,147 @@
+// Tests for batch-aging (bathtub-curve fleets, §6.5) and the censored MTTDL
+// estimator used in rare-event regimes.
+
+#include <gtest/gtest.h>
+
+#include "src/mc/monte_carlo.h"
+#include "src/model/replica_ctmc.h"
+
+namespace longstore {
+namespace {
+
+StorageSimConfig WeibullFleet(double shape) {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(20000.0);
+  config.params.ml = Duration::Hours(1e12);
+  config.params.mrv = Duration::Hours(100.0);
+  config.params.alpha = 1.0;
+  config.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+  config.weibull_shape = shape;
+  return config;
+}
+
+TEST(AgingTest, InitialAgesValidated) {
+  StorageSimConfig config = WeibullFleet(3.0);
+  config.initial_age_hours = {0.0};  // wrong size
+  EXPECT_TRUE(config.Validate().has_value());
+  config.initial_age_hours = {0.0, -5.0};
+  EXPECT_TRUE(config.Validate().has_value());
+  config.initial_age_hours = {0.0, 10000.0};
+  EXPECT_FALSE(config.Validate().has_value());
+}
+
+TEST(AgingTest, SameAgedBatchFailsSoonerThanStaggeredFleet) {
+  // Wear-out (shape 3): a mirror whose drives are both near end-of-life sees
+  // correlated wear-out mortality; a staggered fleet (rolling procurement)
+  // rarely has both drives old at once. Compare loss counts over one year.
+  const Duration mission = Duration::Years(1.0);
+  McConfig mc;
+  mc.trials = 4000;
+  mc.seed = 5150;
+
+  StorageSimConfig aged = WeibullFleet(3.0);
+  aged.initial_age_hours = {19000.0, 19000.0};  // both near the mean life
+  const LossProbabilityEstimate batch = EstimateLossProbability(aged, mission, mc);
+
+  StorageSimConfig staggered = WeibullFleet(3.0);
+  staggered.initial_age_hours = {19000.0, 2000.0};  // rolling procurement
+  const LossProbabilityEstimate rolling =
+      EstimateLossProbability(staggered, mission, mc);
+
+  EXPECT_GT(batch.probability(), rolling.probability() * 3.0)
+      << "batch=" << batch.probability() << " rolling=" << rolling.probability();
+}
+
+TEST(AgingTest, NewFleetsIgnoreAgeVectorWhenExponential) {
+  // Exponential faults are memoryless: initial age must not matter.
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(5000.0);
+  config.params.ml = Duration::Hours(1e12);
+  config.params.mrv = Duration::Hours(100.0);
+  McConfig mc;
+  mc.trials = 2000;
+  mc.seed = 31;
+  const LossProbabilityEstimate fresh =
+      EstimateLossProbability(config, Duration::Years(2.0), mc);
+  config.initial_age_hours = {4000.0, 4000.0};
+  const LossProbabilityEstimate aged =
+      EstimateLossProbability(config, Duration::Years(2.0), mc);
+  EXPECT_EQ(fresh.losses, aged.losses);  // identical seeds, identical draws
+}
+
+TEST(CensoredEstimatorTest, AgreesWithDirectEstimateAndCtmc) {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(2000.0);
+  config.params.ml = Duration::Hours(400.0);
+  config.params.mrv = Duration::Hours(2.0);
+  config.params.mrl = Duration::Hours(2.0);
+  config.params.mdl = Duration::Hours(40.0);
+  config.scrub = ScrubPolicy::Exponential(Duration::Hours(40.0));
+
+  const auto exact = MirroredMttdl(config.params, RateConvention::kPhysical);
+  McConfig mc;
+  mc.trials = 4000;
+  mc.seed = 606;
+  // Window ~ a tenth of the MTTDL: most trials censor, losses still number
+  // in the hundreds.
+  const Duration window = Duration::Hours(exact->hours() / 10.0);
+  const CensoredMttdlEstimate estimate = EstimateMttdlCensored(config, window, mc);
+  ASSERT_GT(estimate.losses, 100);
+  // The censored MLE carries a small positive bias here: trials start from
+  // the all-healthy state, so the early window under-produces losses
+  // relative to a stationary exponential. ~380 losses give ~5% noise on top.
+  EXPECT_NEAR(estimate.mttdl.hours() / exact->hours(), 1.0, 0.2);
+  EXPECT_TRUE(estimate.ci_years.Contains(estimate.mttdl.years()));
+}
+
+TEST(CensoredEstimatorTest, ZeroLossesGiveRuleOfThreeBound) {
+  StorageSimConfig config;
+  config.replica_count = 3;
+  config.params.mv = Duration::Hours(1e9);
+  config.params.ml = Duration::Hours(1e9);
+  config.params.mrv = Duration::Hours(1.0);
+  config.params.mrl = Duration::Hours(1.0);
+  config.scrub = ScrubPolicy::Exponential(Duration::Hours(100.0));
+  McConfig mc;
+  mc.trials = 50;
+  const Duration window = Duration::Years(10.0);
+  const CensoredMttdlEstimate estimate = EstimateMttdlCensored(config, window, mc);
+  EXPECT_EQ(estimate.losses, 0);
+  EXPECT_TRUE(estimate.mttdl.is_infinite());
+  EXPECT_NEAR(estimate.observed_years, 500.0, 1e-6);
+  EXPECT_NEAR(estimate.ci_years.lo, 500.0 / 3.0, 1e-6);
+}
+
+TEST(CensoredEstimatorTest, ObservedTimeAccountsForEarlyLosses) {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(100.0);
+  config.params.ml = Duration::Hours(1e12);
+  config.params.mrv = Duration::Hours(50.0);
+  McConfig mc;
+  mc.trials = 200;
+  mc.seed = 77;
+  const Duration window = Duration::Years(50.0);
+  const CensoredMttdlEstimate estimate = EstimateMttdlCensored(config, window, mc);
+  EXPECT_GT(estimate.losses, 150);  // nearly every trial loses quickly
+  EXPECT_LT(estimate.observed_years, 50.0 * 200.0);
+}
+
+TEST(CensoredEstimatorTest, RejectsBadWindow) {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(100.0);
+  config.params.ml = Duration::Hours(100.0);
+  McConfig mc;
+  mc.trials = 10;
+  EXPECT_THROW(EstimateMttdlCensored(config, Duration::Zero(), mc),
+               std::invalid_argument);
+  EXPECT_THROW(EstimateMttdlCensored(config, Duration::Infinite(), mc),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace longstore

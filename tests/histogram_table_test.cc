@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "src/util/histogram.h"
+#include "src/util/table.h"
+
+namespace longstore {
+namespace {
+
+TEST(LinearHistogramTest, BucketPlacement) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.Add(0.0);   // bucket 0
+  h.Add(1.9);   // bucket 0
+  h.Add(2.0);   // bucket 1
+  h.Add(9.99);  // bucket 4
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(4), 1);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(LinearHistogramTest, UnderAndOverflow) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.Add(-1.0);
+  h.Add(10.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(LinearHistogramTest, InvalidArgsThrow) {
+  EXPECT_THROW(LinearHistogram(0.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LinearHistogramTest, RenderShowsBars) {
+  LinearHistogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 8; ++i) {
+    h.Add(0.5);
+  }
+  h.Add(1.5);
+  const std::string render = h.Render(40);
+  EXPECT_NE(render.find("########"), std::string::npos);
+  EXPECT_NE(render.find("%"), std::string::npos);
+}
+
+TEST(LogHistogramTest, GeometricBuckets) {
+  LogHistogram h(1.0, 1000.0, 1);  // one bucket per decade: [1,10), [10,100), ...
+  h.Add(5.0);
+  h.Add(50.0);
+  h.Add(500.0);
+  h.Add(0.5);     // underflow
+  h.Add(5000.0);  // overflow
+  EXPECT_EQ(h.bucket_count(), 3);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 1);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_NEAR(h.bucket_lo(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bucket_hi(1), 100.0, 1e-9);
+}
+
+TEST(LogHistogramTest, NonPositiveSamplesUnderflow) {
+  LogHistogram h(1.0, 100.0, 2);
+  h.Add(0.0);
+  h.Add(-5.0);
+  EXPECT_EQ(h.underflow(), 2);
+}
+
+TEST(LogHistogramTest, InvalidArgsThrow) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 1), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(TableTest, RenderAlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"a-much-longer-name", "22222"});
+  const std::string render = t.Render();
+  EXPECT_NE(render.find("| name"), std::string::npos);
+  EXPECT_NE(render.find("a-much-longer-name"), std::string::npos);
+  // Every line has the same width.
+  size_t line_len = std::string::npos;
+  size_t start = 0;
+  while (start < render.size()) {
+    const size_t end = render.find('\n', start);
+    const size_t len = end - start;
+    if (line_len == std::string::npos) {
+      line_len = len;
+    }
+    EXPECT_EQ(len, line_len);
+    start = end + 1;
+  }
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.Render().find("only-one"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"x", "y"});
+  t.AddRow({"has,comma", "has\"quote"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::FmtPercent(0.790, 1), "79.0%");
+  EXPECT_EQ(Table::FmtYears(32.04, 1), "32.0 y");
+  EXPECT_EQ(Table::Fmt(6128.66, 5), "6128.7");
+  EXPECT_EQ(Table::FmtSci(2.38e-6, 2), "2.38e-06");
+}
+
+TEST(HeadingTest, ContainsIdAndTitle) {
+  const std::string h = Heading("E3", "Scrubbing effect");
+  EXPECT_NE(h.find("E3"), std::string::npos);
+  EXPECT_NE(h.find("Scrubbing effect"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace longstore

@@ -1,0 +1,220 @@
+#include "src/util/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace longstore {
+namespace {
+
+TEST(MatrixTest, IdentityAndAccess) {
+  Matrix m = Matrix::Identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m.At(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a(2, 3);
+  // a = [1 2 3; 4 5 6]
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(0, 2) = 3;
+  a.At(1, 0) = 4;
+  a.At(1, 1) = 5;
+  a.At(1, 2) = 6;
+  Matrix b(3, 2);
+  // b = [7 8; 9 10; 11 12]
+  b.At(0, 0) = 7;
+  b.At(0, 1) = 8;
+  b.At(1, 0) = 9;
+  b.At(1, 1) = 10;
+  b.At(2, 0) = 11;
+  b.At(2, 1) = 12;
+  const Matrix p = a * b;
+  EXPECT_DOUBLE_EQ(p.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(p.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(p.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(p.At(1, 1), 154.0);
+}
+
+TEST(MatrixTest, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a = Matrix::Identity(2);
+  a.At(0, 1) = 1.0;
+  const std::vector<double> v = {3.0, 4.0};
+  const std::vector<double> out = a * v;
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+}
+
+TEST(MatrixTest, TransposeAndInfNorm) {
+  Matrix a(2, 3);
+  a.At(0, 2) = -5.0;
+  a.At(1, 0) = 2.0;
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), -5.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a.InfNorm(), 5.0);
+}
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  // 2x + y = 5; x - y = 1  => x = 2, y = 1.
+  Matrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = -1;
+  const auto x = SolveLinearSystem(a, {5.0, 1.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a.At(0, 0) = 0;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 0;
+  const auto x = SolveLinearSystem(a, {3.0, 4.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ((*x)[0], 4.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 3.0);
+}
+
+TEST(SolveLinearSystemTest, DetectsSingular) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 4;
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).has_value());
+}
+
+TEST(SolveLinearSystemTest, WideDynamicRange) {
+  // Rates spanning ~7 orders of magnitude, the CTMC regime.
+  Matrix a(2, 2);
+  a.At(0, 0) = -1e-6;
+  a.At(0, 1) = 1e-6;
+  a.At(1, 0) = 3.0;
+  a.At(1, 1) = -3.0000001;
+  const auto x = SolveLinearSystem(a, {-1.0, -1.0});
+  ASSERT_TRUE(x.has_value());
+  // Residual check: A x = b.
+  const double r0 = -1e-6 * (*x)[0] + 1e-6 * (*x)[1] + 1.0;
+  const double r1 = 3.0 * (*x)[0] - 3.0000001 * (*x)[1] + 1.0;
+  EXPECT_NEAR(r0, 0.0, 1e-9);
+  EXPECT_NEAR(r1, 0.0, 1e-6);
+}
+
+TEST(SolveLinearSystemTest, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(SolveLinearSystem(a, {1.0, 2.0}), std::invalid_argument);
+  Matrix b(2, 2);
+  EXPECT_THROW(SolveLinearSystem(b, {1.0}), std::invalid_argument);
+}
+
+TEST(SolveMarkovAbsorbingTest, SingleStateMeanTime) {
+  // One transient state, absorption rate 0.01/h, rhs 1: x = 100 h.
+  Matrix rates(1, 1, 0.0);
+  const auto x = SolveMarkovAbsorbing(rates, {0.01}, {1.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 100.0, 1e-12);
+}
+
+TEST(SolveMarkovAbsorbingTest, MatchesLuSolveOnWellConditionedChain) {
+  // healthy <-> degraded, degraded -> lost; compare against the plain LU
+  // solve of (D - R) x = 1.
+  Matrix rates(2, 2, 0.0);
+  rates.At(0, 1) = 2e-4;  // healthy -> degraded
+  rates.At(1, 0) = 0.1;   // degraded -> healthy
+  const std::vector<double> absorption = {0.0, 1e-4};
+  const auto gth = SolveMarkovAbsorbing(rates, absorption, {1.0, 1.0});
+  ASSERT_TRUE(gth.has_value());
+
+  Matrix a(2, 2, 0.0);
+  a.At(0, 0) = 2e-4;
+  a.At(0, 1) = -2e-4;
+  a.At(1, 0) = -0.1;
+  a.At(1, 1) = 0.1 + 1e-4;
+  const auto lu = SolveLinearSystem(a, {1.0, 1.0});
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR((*gth)[0] / (*lu)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*gth)[1] / (*lu)[1], 1.0, 1e-12);
+}
+
+TEST(SolveMarkovAbsorbingTest, SurvivesExtremeStiffness) {
+  // Serial-repair birth-death chain with fault rate 7e-7/h, repair 3/h and
+  // four states: expected absorption time ~1e26 hours. LU loses all digits
+  // here; GTH keeps full relative accuracy. Closed form for the dominant
+  // path: T ≈ MV · (MV/MRV)^3.
+  constexpr double kLambda = 1.0 / 1.4e6;
+  constexpr double kMu = 3.0;
+  const size_t n = 4;  // states: k failed, k = 0..3; absorbed at k = 4
+  Matrix rates(n, n, 0.0);
+  std::vector<double> absorption(n, 0.0);
+  for (size_t k = 0; k < n; ++k) {
+    if (k + 1 < n) {
+      rates.At(k, k + 1) = kLambda;
+    } else {
+      absorption[k] = kLambda;
+    }
+    if (k > 0) {
+      rates.At(k, k - 1) = kMu;
+    }
+  }
+  const auto x = SolveMarkovAbsorbing(rates, absorption, std::vector<double>(n, 1.0));
+  ASSERT_TRUE(x.has_value());
+  const double expected = 1.4e6 * std::pow(1.4e6 * kMu, 3.0);
+  EXPECT_NEAR((*x)[0] / expected, 1.0, 1e-3);
+  // Monotone: deeper degradation is never farther from loss. (Adjacent
+  // states differ by ~1/λ ≈ 1e6 h, below double resolution at 1e26, so only
+  // the weak ordering is observable.)
+  EXPECT_GE((*x)[0], (*x)[1]);
+  EXPECT_GE((*x)[1], (*x)[2]);
+  EXPECT_GE((*x)[2], (*x)[3]);
+  EXPECT_GT((*x)[0], 0.0);
+}
+
+TEST(SolveMarkovAbsorbingTest, TrapStateReturnsNullopt) {
+  Matrix rates(2, 2, 0.0);
+  rates.At(0, 1) = 1.0;  // state 1 has no outflow at all
+  EXPECT_FALSE(SolveMarkovAbsorbing(rates, {0.0, 0.0}, {1.0, 1.0}).has_value());
+}
+
+TEST(SolveMarkovAbsorbingTest, DimensionMismatchThrows) {
+  Matrix rates(2, 2, 0.0);
+  EXPECT_THROW(SolveMarkovAbsorbing(rates, {1.0}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(SolveMarkovAbsorbing(rates, {1.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(SolveLinearSystemTransposedTest, SolvesRowForm) {
+  // x A = b with A = [[1, 2], [0, 1]]: solves A^T x = b.
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 0;
+  a.At(1, 1) = 1;
+  const auto x = SolveLinearSystemTransposed(a, {1.0, 4.0});
+  ASSERT_TRUE(x.has_value());
+  // A^T x = b: [1 0; 2 1] x = (1, 4) => x = (1, 2).
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace longstore

@@ -1,0 +1,197 @@
+// Parameterized property sweeps over the model's parameter space: every §6
+// strategy lever must move MTTDL in the direction the paper claims, in every
+// regime, for both the closed forms and the exact CTMC.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/model/paper_model.h"
+#include "src/model/replica_ctmc.h"
+
+namespace longstore {
+namespace {
+
+// Axes: MV hours, ML/MV ratio, MDL hours, alpha. MRV/MRL fixed at 2 h.
+using SweepParam = std::tuple<double, double, double, double>;
+
+class ModelSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  FaultParams Params() const {
+    const auto& [mv, ml_ratio, mdl, alpha] = GetParam();
+    FaultParams p;
+    p.mv = Duration::Hours(mv);
+    p.ml = Duration::Hours(mv * ml_ratio);
+    p.mrv = Duration::Hours(2.0);
+    p.mrl = Duration::Hours(2.0);
+    p.mdl = Duration::Hours(mdl);
+    p.alpha = alpha;
+    return p;
+  }
+};
+
+TEST_P(ModelSweepTest, GeneralMttdlIsPositiveAndFinite) {
+  const Duration mttdl = MttdlGeneral(Params());
+  EXPECT_GT(mttdl.hours(), 0.0);
+  EXPECT_TRUE(std::isfinite(mttdl.hours()));
+}
+
+TEST_P(ModelSweepTest, FasterDetectionNeverHurts) {
+  const FaultParams base = Params();
+  FaultParams faster = base;
+  faster.mdl = base.mdl / 2.0;
+  EXPECT_GE(MttdlGeneral(faster).hours(), MttdlGeneral(base).hours() * (1.0 - 1e-12));
+}
+
+TEST_P(ModelSweepTest, BetterMediaNeverHurts) {
+  const FaultParams base = Params();
+  FaultParams better_visible = base;
+  better_visible.mv = base.mv * 2.0;
+  EXPECT_GE(MttdlGeneral(better_visible).hours(), MttdlGeneral(base).hours());
+  FaultParams better_latent = base;
+  better_latent.ml = base.ml * 2.0;
+  EXPECT_GE(MttdlGeneral(better_latent).hours(), MttdlGeneral(base).hours());
+}
+
+TEST_P(ModelSweepTest, FasterRepairNeverHurts) {
+  const FaultParams base = Params();
+  FaultParams faster = base;
+  faster.mrv = base.mrv / 4.0;
+  faster.mrl = base.mrl / 4.0;
+  EXPECT_GE(MttdlGeneral(faster).hours(), MttdlGeneral(base).hours() * (1.0 - 1e-12));
+}
+
+TEST_P(ModelSweepTest, IndependenceNeverHurts) {
+  const FaultParams base = Params();
+  if (base.alpha > 0.5) {
+    GTEST_SKIP() << "alpha already near 1";
+  }
+  FaultParams more_independent = base;
+  more_independent.alpha = std::min(1.0, base.alpha * 2.0);
+  EXPECT_GE(MttdlGeneral(more_independent).hours(), MttdlGeneral(base).hours());
+}
+
+TEST_P(ModelSweepTest, ClosedFormScalesLinearlyInAlpha) {
+  const FaultParams base = Params();
+  FaultParams half = base;
+  half.alpha = base.alpha / 2.0;
+  const double ratio = MttdlClosedForm(half).hours() / MttdlClosedForm(base).hours();
+  EXPECT_NEAR(ratio, 0.5, 1e-9);
+}
+
+TEST_P(ModelSweepTest, PaperChoiceWithinGeneralByBoundedFactor) {
+  // The regime-specific approximation may drop sub-dominant terms but must
+  // stay within an order of magnitude of the full eq 7 evaluation (the
+  // published eq 11 keeps 1/α on a saturated term, hence the α-wide band).
+  const FaultParams p = Params();
+  const double choice = MttdlPaperChoice(p).hours();
+  const double general = MttdlGeneral(p).hours();
+  EXPECT_GT(choice / general, 0.4 * p.alpha);
+  EXPECT_LT(choice / general, 2.5);
+}
+
+TEST_P(ModelSweepTest, CtmcConventionOrdering) {
+  // Doubling the first-fault clock (physical convention) cannot lengthen
+  // time to data loss.
+  const FaultParams p = Params();
+  const auto paper = MirroredMttdl(p, RateConvention::kPaper);
+  const auto physical = MirroredMttdl(p, RateConvention::kPhysical);
+  ASSERT_TRUE(paper.has_value() && physical.has_value());
+  EXPECT_LE(physical->hours(), paper->hours() * (1.0 + 1e-9));
+  // And the gap is at most the full factor of two.
+  EXPECT_GE(physical->hours(), paper->hours() / 2.0 * (1.0 - 1e-9));
+}
+
+TEST_P(ModelSweepTest, CtmcTracksClosedFormInLinearRegime) {
+  const FaultParams p = Params();
+  // Only claim agreement where the linearization is valid: eq 8's error is
+  // of the order of the per-window second-fault probabilities.
+  const SecondFaultProbabilities probs = ComputeSecondFaultProbabilities(p);
+  if (probs.AfterLatent() > 0.02 || probs.AfterVisible() > 0.02) {
+    GTEST_SKIP() << "outside the closed form's validity regime";
+  }
+  const auto ctmc = MirroredMttdl(p, RateConvention::kPaper);
+  ASSERT_TRUE(ctmc.has_value());
+  EXPECT_NEAR(ctmc->hours() / MttdlClosedForm(p).hours(), 1.0, 0.05);
+}
+
+TEST_P(ModelSweepTest, ReplicationMonotoneOutsideCascadeRegime) {
+  // Extra replicas help — EXCEPT in the cascade regime (strong correlation
+  // plus a saturated detection window), where a first fault triggers
+  // accelerated faults on every survivor long before any audit fires; there,
+  // more replicas only means an earlier first fault. See the
+  // CascadeRegimeInvertsReplication test and EXPERIMENTS.md E6.
+  const FaultParams p = Params();
+  const double pair_rate = 1.0 / p.mv.hours() + 1.0 / p.ml.hours();
+  const bool cascade =
+      p.alpha < 1.0 && p.LatentWov().hours() * pair_rate / p.alpha >= 0.5;
+  if (cascade) {
+    GTEST_SKIP() << "cascade regime: replication is not monotone here";
+  }
+  double previous = 0.0;
+  for (int r = 1; r <= 4; ++r) {
+    const ReplicatedChainBuilder chain(p, r, RateConvention::kPhysical);
+    const auto mttdl = chain.Mttdl();
+    ASSERT_TRUE(mttdl.has_value());
+    EXPECT_GE(mttdl->hours(), previous * (1.0 - 1e-9)) << "r=" << r;
+    previous = mttdl->hours();
+  }
+}
+
+TEST(CascadeRegimeTest, StrongCorrelationMakesReplicationBackfire) {
+  // With α = 0.01 and a ~6-year detection latency, the §5.5 warning becomes
+  // an inversion: every added replica lowers MTTDL, because loss is driven by
+  // the (earlier) first fault followed by a near-certain cascade.
+  FaultParams p;
+  p.mv = Duration::Hours(1.4e6);
+  p.ml = Duration::Hours(2.8e5);
+  p.mrv = Duration::Hours(2.0);
+  p.mrl = Duration::Hours(2.0);
+  p.mdl = Duration::Hours(50000.0);
+  p.alpha = 0.01;
+  double previous = std::numeric_limits<double>::infinity();
+  for (int r = 2; r <= 5; ++r) {
+    const ReplicatedChainBuilder chain(p, r, RateConvention::kPhysical);
+    const double mttdl = chain.Mttdl()->hours();
+    EXPECT_LT(mttdl, previous) << "r=" << r;
+    previous = mttdl;
+  }
+  // Restoring independence restores geometric gains (the per-window
+  // second-fault probability is ~0.2 at these detection latencies, so two
+  // extra replicas buy roughly (1/0.2)² ≈ 25x).
+  p.alpha = 1.0;
+  const ReplicatedChainBuilder two(p, 2, RateConvention::kPhysical);
+  const ReplicatedChainBuilder four(p, 4, RateConvention::kPhysical);
+  EXPECT_GT(four.Mttdl()->hours(), two.Mttdl()->hours() * 10.0);
+}
+
+TEST_P(ModelSweepTest, LossProbabilityMonotoneInMission) {
+  const Duration mttdl = MttdlGeneral(Params());
+  double previous = 0.0;
+  for (double years : {1.0, 5.0, 25.0, 125.0}) {
+    const double p = LossProbability(mttdl, Duration::Years(years));
+    EXPECT_GE(p, previous);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, ModelSweepTest,
+    ::testing::Combine(
+        /*mv=*/::testing::Values(2e4, 1.4e6),
+        /*ml_ratio=*/::testing::Values(0.2, 1.0, 10.0),
+        /*mdl=*/::testing::Values(20.0, 1460.0, 5e4),
+        /*alpha=*/::testing::Values(1.0, 0.1, 0.01)),
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      char name[96];
+      std::snprintf(name, sizeof(name), "mv%.0f_mlr%03.0f_mdl%.0f_a%03.0f",
+                    std::get<0>(param_info.param), std::get<1>(param_info.param) * 10.0,
+                    std::get<2>(param_info.param), std::get<3>(param_info.param) * 100.0);
+      return std::string(name);
+    });
+
+}  // namespace
+}  // namespace longstore

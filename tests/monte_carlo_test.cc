@@ -1,0 +1,134 @@
+#include "src/mc/monte_carlo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace longstore {
+namespace {
+
+// Parameters chosen so trials finish in microseconds but all machinery runs.
+StorageSimConfig FastConfig() {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(1000.0);
+  config.params.ml = Duration::Hours(500.0);
+  config.params.mrv = Duration::Hours(50.0);
+  config.params.mrl = Duration::Hours(50.0);
+  config.params.mdl = Duration::Hours(100.0);
+  config.scrub = ScrubPolicy::Exponential(Duration::Hours(100.0));
+  return config;
+}
+
+TEST(MonteCarloTest, MttdlEstimateHasReasonableShape) {
+  McConfig mc;
+  mc.trials = 2000;
+  mc.seed = 1;
+  const MttdlEstimate estimate = EstimateMttdl(FastConfig(), mc);
+  EXPECT_EQ(estimate.loss_time_years.count() + estimate.censored_trials, 2000);
+  EXPECT_EQ(estimate.censored_trials, 0);
+  EXPECT_GT(estimate.mean_years(), 0.0);
+  EXPECT_TRUE(estimate.ci_years.Contains(estimate.mean_years()));
+  EXPECT_GT(estimate.aggregate_metrics.visible_faults, 0);
+  EXPECT_GT(estimate.aggregate_metrics.latent_faults, 0);
+}
+
+TEST(MonteCarloTest, ResultsIndependentOfThreadCount) {
+  McConfig one_thread;
+  one_thread.trials = 500;
+  one_thread.seed = 77;
+  one_thread.threads = 1;
+  McConfig four_threads = one_thread;
+  four_threads.threads = 4;
+  const MttdlEstimate a = EstimateMttdl(FastConfig(), one_thread);
+  const MttdlEstimate b = EstimateMttdl(FastConfig(), four_threads);
+  EXPECT_DOUBLE_EQ(a.mean_years(), b.mean_years());
+  EXPECT_EQ(a.aggregate_metrics.visible_faults, b.aggregate_metrics.visible_faults);
+  EXPECT_EQ(a.aggregate_metrics.latent_faults, b.aggregate_metrics.latent_faults);
+}
+
+TEST(MonteCarloTest, SeedChangesEstimate) {
+  McConfig mc;
+  mc.trials = 300;
+  mc.seed = 1;
+  const double a = EstimateMttdl(FastConfig(), mc).mean_years();
+  mc.seed = 2;
+  const double b = EstimateMttdl(FastConfig(), mc).mean_years();
+  EXPECT_NE(a, b);
+}
+
+TEST(MonteCarloTest, CensoringCapsTrialTime) {
+  StorageSimConfig config = FastConfig();
+  config.params.mv = Duration::Hours(1e12);
+  config.params.ml = Duration::Hours(1e12);
+  McConfig mc;
+  mc.trials = 50;
+  mc.max_trial_time = Duration::Years(10.0);
+  const MttdlEstimate estimate = EstimateMttdl(config, mc);
+  EXPECT_EQ(estimate.censored_trials, 50);
+  EXPECT_EQ(estimate.loss_time_years.count(), 0);
+}
+
+TEST(MonteCarloTest, LossProbabilityMatchesMttdlExponential) {
+  // With exponential-ish loss times, P(loss by T) ~ 1 - exp(-T / MTTDL).
+  const StorageSimConfig config = FastConfig();
+  McConfig mc;
+  mc.trials = 4000;
+  mc.seed = 5;
+  const MttdlEstimate mttdl = EstimateMttdl(config, mc);
+  const Duration mission = Duration::Years(mttdl.mean_years() / 2.0);
+  const LossProbabilityEstimate loss = EstimateLossProbability(config, mission, mc);
+  const double expected = 1.0 - std::exp(-(mission.years() / mttdl.mean_years()));
+  EXPECT_NEAR(loss.probability(), expected, 0.04);
+  EXPECT_TRUE(loss.wilson_ci.Contains(loss.probability()));
+  EXPECT_EQ(loss.trials, 4000);
+}
+
+TEST(MonteCarloTest, LossProbabilityRejectsBadMission) {
+  McConfig mc;
+  mc.trials = 10;
+  EXPECT_THROW(EstimateLossProbability(FastConfig(), Duration::Zero(), mc),
+               std::invalid_argument);
+  EXPECT_THROW(EstimateLossProbability(FastConfig(), Duration::Infinite(), mc),
+               std::invalid_argument);
+}
+
+TEST(MonteCarloTest, RejectsNonPositiveTrials) {
+  McConfig mc;
+  mc.trials = 0;
+  EXPECT_THROW(EstimateMttdl(FastConfig(), mc), std::invalid_argument);
+}
+
+TEST(MonteCarloTest, RejectsInvalidConfig) {
+  StorageSimConfig config = FastConfig();
+  config.replica_count = 0;
+  McConfig mc;
+  mc.trials = 10;
+  EXPECT_THROW(EstimateMttdl(config, mc), std::invalid_argument);
+}
+
+TEST(MonteCarloTest, PrecisionDrivenEstimateTightensCi) {
+  McConfig mc;
+  mc.trials = 100;
+  mc.seed = 9;
+  const MttdlEstimate estimate =
+      EstimateMttdlToPrecision(FastConfig(), mc, /*relative_precision=*/0.05,
+                               /*max_trials=*/20000);
+  const double half_width = (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0;
+  EXPECT_LE(half_width / estimate.mean_years(), 0.05);
+}
+
+TEST(MonteCarloTest, PrecisionRunRespectsMaxTrials) {
+  McConfig mc;
+  mc.trials = 50;
+  mc.seed = 10;
+  const MttdlEstimate estimate =
+      EstimateMttdlToPrecision(FastConfig(), mc, /*relative_precision=*/1e-6,
+                               /*max_trials=*/200);
+  EXPECT_LE(estimate.loss_time_years.count(), 200);
+  EXPECT_THROW(EstimateMttdlToPrecision(FastConfig(), mc, 0.0, 100),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace longstore

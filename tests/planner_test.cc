@@ -1,0 +1,142 @@
+#include "src/planner/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace longstore {
+namespace {
+
+PlannerConfig SmallConfig() {
+  PlannerConfig config;
+  config.archive_gb = 1000.0;
+  config.mission = Duration::Years(50.0);
+  config.target_loss_probability = 0.01;
+  // Keep the search space small for unit-test speed.
+  config.replica_choices = {2, 3};
+  config.audit_choices = {0.0, 12.0};
+  return config;
+}
+
+StrategyOption BaseOption() {
+  StrategyOption option;
+  option.drive = SeagateBarracuda200Gb();
+  option.replicas = 2;
+  option.audits_per_year = 12.0;
+  option.deployment = DeploymentStyle::kFullyDiverse;
+  return option;
+}
+
+TEST(PlannerTest, DeriveParamsUsesDeploymentAlpha) {
+  const PlannerConfig config = SmallConfig();
+  StrategyOption option = BaseOption();
+  const FaultParams diverse = DeriveParams(option, config);
+  EXPECT_DOUBLE_EQ(diverse.alpha, 1.0);
+  option.deployment = DeploymentStyle::kSingleSite;
+  const FaultParams single = DeriveParams(option, config);
+  EXPECT_LT(single.alpha, 0.05);
+  option.deployment = DeploymentStyle::kGeoReplicatedSameAdmin;
+  const FaultParams geo = DeriveParams(option, config);
+  EXPECT_GT(geo.alpha, single.alpha);
+  EXPECT_LT(geo.alpha, 1.0);
+}
+
+TEST(PlannerTest, DeriveParamsForTapeUsesOfflineModel) {
+  const PlannerConfig config = SmallConfig();
+  StrategyOption option = BaseOption();
+  option.drive = Lto3TapeCartridge();
+  option.audits_per_year = 4.0;
+  const FaultParams p = DeriveParams(option, config);
+  // Off-line repair pays retrieval: MRV far above any disk rebuild.
+  EXPECT_GT(p.mrv.hours(), 24.0);
+  EXPECT_FALSE(p.Validate().has_value());
+}
+
+TEST(PlannerTest, MoreIndependenceNeverHurts) {
+  const PlannerConfig config = SmallConfig();
+  StrategyOption single = BaseOption();
+  single.deployment = DeploymentStyle::kSingleSite;
+  StrategyOption diverse = BaseOption();
+  diverse.deployment = DeploymentStyle::kFullyDiverse;
+  const EvaluatedOption a = EvaluateOption(single, config);
+  const EvaluatedOption b = EvaluateOption(diverse, config);
+  EXPECT_LE(b.loss_probability, a.loss_probability);
+  // §5.5's headline: the same hardware, differently deployed, is orders of
+  // magnitude more reliable.
+  EXPECT_LT(b.loss_probability, a.loss_probability / 10.0);
+}
+
+TEST(PlannerTest, AuditingImprovesReliability) {
+  const PlannerConfig config = SmallConfig();
+  StrategyOption no_audit = BaseOption();
+  no_audit.audits_per_year = 0.0;
+  StrategyOption monthly = BaseOption();
+  monthly.audits_per_year = 12.0;
+  const EvaluatedOption a = EvaluateOption(no_audit, config);
+  const EvaluatedOption b = EvaluateOption(monthly, config);
+  EXPECT_LT(b.loss_probability, a.loss_probability / 10.0);
+  EXPECT_GT(b.annual_cost_usd, a.annual_cost_usd);  // audits are not free
+}
+
+TEST(PlannerTest, MoreReplicasImproveReliabilityAndCost) {
+  const PlannerConfig config = SmallConfig();
+  StrategyOption two = BaseOption();
+  StrategyOption three = BaseOption();
+  three.replicas = 3;
+  const EvaluatedOption a = EvaluateOption(two, config);
+  const EvaluatedOption b = EvaluateOption(three, config);
+  EXPECT_LT(b.loss_probability, a.loss_probability);
+  EXPECT_NEAR(b.annual_cost_usd / a.annual_cost_usd, 1.5, 1e-9);
+}
+
+TEST(PlannerTest, EvaluateAllCoversCrossProduct) {
+  PlannerConfig config = SmallConfig();
+  const auto options = EvaluateAllOptions(config);
+  EXPECT_EQ(options.size(), config.drive_choices.size() *
+                                config.replica_choices.size() *
+                                config.audit_choices.size() *
+                                config.deployment_choices.size());
+}
+
+TEST(PlannerTest, CheapestMeetingTargetSatisfiesTarget) {
+  const PlannerConfig config = SmallConfig();
+  const auto best = CheapestMeetingTarget(config);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_LE(best->loss_probability, config.target_loss_probability);
+  // Nothing cheaper also qualifies.
+  for (const EvaluatedOption& option : EvaluateAllOptions(config)) {
+    if (option.loss_probability <= config.target_loss_probability) {
+      EXPECT_GE(option.annual_cost_usd, best->annual_cost_usd - 1e-9);
+    }
+  }
+}
+
+TEST(PlannerTest, ImpossibleTargetYieldsNullopt) {
+  PlannerConfig config = SmallConfig();
+  config.target_loss_probability = 0.0;
+  EXPECT_FALSE(CheapestMeetingTarget(config).has_value());
+}
+
+TEST(PlannerTest, ParetoFrontierIsMonotone) {
+  const PlannerConfig config = SmallConfig();
+  const auto frontier = ParetoFrontier(EvaluateAllOptions(config));
+  ASSERT_GE(frontier.size(), 2u);
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].annual_cost_usd, frontier[i - 1].annual_cost_usd);
+    EXPECT_LT(frontier[i].loss_probability, frontier[i - 1].loss_probability);
+  }
+}
+
+TEST(PlannerTest, DescribeMentionsDriveAndDeployment) {
+  const std::string description = BaseOption().Describe();
+  EXPECT_NE(description.find("Barracuda"), std::string::npos);
+  EXPECT_NE(description.find("fully diverse"), std::string::npos);
+  EXPECT_EQ(DeploymentStyleName(DeploymentStyle::kSingleSite), "single site");
+}
+
+TEST(PlannerTest, InvalidOptionThrows) {
+  StrategyOption option = BaseOption();
+  option.replicas = 0;
+  EXPECT_THROW(EvaluateOption(option, SmallConfig()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace longstore

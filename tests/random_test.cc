@@ -1,0 +1,190 @@
+#include "src/util/random.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/stats.h"
+
+namespace longstore {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(SplitMix64Next(s1), SplitMix64Next(s2));
+  }
+}
+
+TEST(DeriveSeedTest, DistinctIndicesGiveDistinctSeeds) {
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    seeds.insert(DeriveSeed(7, i));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(DeriveSeedTest, DistinctRootsGiveDistinctStreams) {
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
+  EXPECT_NE(DeriveSeed(1, 1), DeriveSeed(2, 1));
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    differing += a.Next() != b.Next() ? 1 : 0;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenNeverZero) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDoubleOpen();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng rng(31337);
+  constexpr uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.NextBounded(kBound)]++;
+  }
+  for (uint64_t v = 0; v < kBound; ++v) {
+    // Expected 10000 per bucket; 5-sigma band ~ +/- 475.
+    EXPECT_NEAR(counts[v], kSamples / static_cast<int>(kBound), 600);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMeanAndMemorylessTail) {
+  Rng rng(11);
+  const Duration mean = Duration::Hours(250.0);
+  RunningStats stats;
+  int beyond_mean = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Duration d = rng.NextExponential(mean);
+    stats.Add(d.hours());
+    beyond_mean += d.hours() > 250.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(stats.mean(), 250.0, 2.5);
+  // P(X > mean) = 1/e.
+  EXPECT_NEAR(static_cast<double>(beyond_mean) / kSamples, std::exp(-1.0), 0.005);
+}
+
+TEST(RngTest, ExponentialInfiniteMeanNeverFires) {
+  Rng rng(12);
+  EXPECT_TRUE(rng.NextExponential(Duration::Infinite()).is_infinite());
+  EXPECT_TRUE(rng.NextExponential(Rate::Zero()).is_infinite());
+}
+
+TEST(RngTest, ExponentialFromRateMatchesFromMean) {
+  Rng a(13);
+  Rng b(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextExponential(Rate::PerHour(0.01)).hours(),
+                     b.NextExponential(Duration::Hours(100.0)).hours());
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(21);
+  const Duration lo = Duration::Hours(10.0);
+  const Duration hi = Duration::Hours(20.0);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    const Duration d = rng.NextUniform(lo, hi);
+    EXPECT_GE(d.hours(), 10.0);
+    EXPECT_LT(d.hours(), 20.0);
+    stats.Add(d.hours());
+  }
+  EXPECT_NEAR(stats.mean(), 15.0, 0.05);
+}
+
+TEST(RngTest, WeibullShapeOneIsExponential) {
+  Rng rng(33);
+  const Duration scale = Duration::Hours(100.0);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.NextWeibull(1.0, scale).hours());
+  }
+  EXPECT_NEAR(stats.mean(), 100.0, 1.5);
+}
+
+TEST(RngTest, WeibullMeanMatchesGammaFormula) {
+  Rng rng(34);
+  const double shape = 2.0;
+  const Duration scale = Duration::Hours(100.0);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.NextWeibull(shape, scale).hours());
+  }
+  const double expected = 100.0 * std::tgamma(1.0 + 1.0 / shape);
+  EXPECT_NEAR(stats.mean(), expected, expected * 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(55);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace longstore

@@ -1,0 +1,129 @@
+#include "src/model/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/model/strategies.h"
+
+namespace longstore {
+namespace {
+
+double Find(const std::vector<Elasticity>& elasticities, ModelParameter parameter) {
+  for (const Elasticity& e : elasticities) {
+    if (e.parameter == parameter) {
+      return e.value;
+    }
+  }
+  ADD_FAILURE() << "parameter missing";
+  return 0.0;
+}
+
+TEST(SensitivityTest, LatentDominatedRegimeRecoversEq8Exponents) {
+  // At ML = MV/5 the exact eq 8 exponents are e_ML = 2 - ML/(MV+ML) = 11/6
+  // and e_MV = 2 - MV/(MV+ML) - 1 = 1/6 (the pure eq 10 values 2 and 0 are
+  // the ML << MV limits); e_MDL ≈ -1 (MRL << MDL), e_alpha = 1.
+  const FaultParams p = ApplyScrubPolicy(FaultParams::PaperCheetahExample(),
+                                         ScrubPolicy::PeriodicPerYear(3.0));
+  const auto e = MttdlElasticities(WithCorrelation(p, 0.5), 2,
+                                   RateConvention::kPaper);
+  EXPECT_NEAR(Find(e, ModelParameter::kMl), 11.0 / 6.0, 0.05);
+  EXPECT_NEAR(Find(e, ModelParameter::kMdl), -1.0, 0.05);
+  EXPECT_NEAR(Find(e, ModelParameter::kAlpha), 1.0, 0.05);
+  EXPECT_NEAR(Find(e, ModelParameter::kMv), 1.0 / 6.0, 0.05);
+  EXPECT_NEAR(Find(e, ModelParameter::kMrl), 0.0, 0.01);  // MRL << MDL
+}
+
+TEST(SensitivityTest, VisibleDominatedRegimeRecoversEq9Exponents) {
+  // eq 9: MTTDL ≈ α·MV²/MRV: e_MV = 2, e_MRV = -1.
+  FaultParams p;
+  p.mv = Duration::Hours(1.0e5);
+  p.ml = Duration::Hours(1.0e12);
+  p.mrv = Duration::Hours(10.0);
+  p.mrl = Duration::Hours(10.0);
+  p.mdl = Duration::Hours(100.0);
+  p.alpha = 0.5;
+  const auto e = MttdlElasticities(p, 2, RateConvention::kPaper);
+  EXPECT_NEAR(Find(e, ModelParameter::kMv), 2.0, 0.05);
+  EXPECT_NEAR(Find(e, ModelParameter::kMrv), -1.0, 0.05);
+  EXPECT_NEAR(Find(e, ModelParameter::kMl), 0.0, 0.05);
+}
+
+TEST(SensitivityTest, StructurallyAbsentKnobsReportZero) {
+  // No detection process (MDL = inf) and instant latent repair: neither knob
+  // is perturbable.
+  FaultParams p = FaultParams::PaperCheetahExample();
+  p.mrl = Duration::Zero();
+  const auto e = MttdlElasticities(p, 2, RateConvention::kPhysical);
+  EXPECT_DOUBLE_EQ(Find(e, ModelParameter::kMdl), 0.0);
+  EXPECT_DOUBLE_EQ(Find(e, ModelParameter::kMrl), 0.0);
+}
+
+TEST(SensitivityTest, AlphaCeilingUsesOneSidedStep) {
+  const FaultParams p = ApplyScrubPolicy(FaultParams::PaperCheetahExample(),
+                                         ScrubPolicy::PeriodicPerYear(3.0));
+  // alpha = 1: still well-defined, ~1 in the latent-dominated regime.
+  const auto e = MttdlElasticities(p, 2, RateConvention::kPaper);
+  EXPECT_NEAR(Find(e, ModelParameter::kAlpha), 1.0, 0.1);
+}
+
+TEST(SensitivityTest, RankingPutsLatentLeversFirstForScrubbedMirror) {
+  // In the paper's scrubbed configuration the top lever is ML, with MDL and
+  // alpha next (|e| ~ 1 each) — the §6 conclusion that auditing and
+  // independence rival media quality while MV/MRV barely matter.
+  const FaultParams p = ApplyScrubPolicy(FaultParams::PaperCheetahExample(),
+                                         ScrubPolicy::PeriodicPerYear(3.0));
+  const auto ranked = RankedStrategyLevers(p, 2, RateConvention::kPhysical);
+  ASSERT_GE(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].parameter, ModelParameter::kMl);
+  const auto next_two = {ranked[1].parameter, ranked[2].parameter};
+  EXPECT_TRUE(std::count(next_two.begin(), next_two.end(), ModelParameter::kMdl) == 1);
+  EXPECT_TRUE(std::count(next_two.begin(), next_two.end(), ModelParameter::kAlpha) ==
+              1);
+  // Monotone by |value|.
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(std::fabs(ranked[i - 1].value), std::fabs(ranked[i].value));
+  }
+}
+
+TEST(SensitivityTest, ReplicationDeepensAlphaExposure) {
+  // Each additional window multiplies by α (eq 12): with r replicas the
+  // α-elasticity approaches r - 1.
+  FaultParams p;
+  p.mv = Duration::Hours(1.4e6);
+  p.ml = Duration::Hours(1e12);
+  p.mrv = Duration::Minutes(20.0);
+  p.mrl = Duration::Zero();
+  p.mdl = Duration::Zero();
+  p.alpha = 0.5;
+  for (int r : {2, 3, 4}) {
+    const auto e = MttdlElasticities(p, r, RateConvention::kPaper);
+    EXPECT_NEAR(Find(e, ModelParameter::kAlpha), static_cast<double>(r - 1), 0.05)
+        << "r=" << r;
+  }
+}
+
+TEST(SensitivityTest, InvalidStepThrows) {
+  const FaultParams p = FaultParams::PaperCheetahExample();
+  EXPECT_THROW(MttdlElasticities(p, 2, RateConvention::kPaper, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(MttdlElasticities(p, 2, RateConvention::kPaper, 0.7),
+               std::invalid_argument);
+}
+
+TEST(SensitivityTest, InfiniteMttdlThrowsDomainError) {
+  FaultParams p = FaultParams::PaperCheetahExample();
+  p.mrv = Duration::Zero();
+  p.mrl = Duration::Zero();
+  p.mdl = Duration::Zero();  // loss unreachable
+  EXPECT_THROW(MttdlElasticities(p, 2, RateConvention::kPhysical), std::domain_error);
+}
+
+TEST(SensitivityTest, ParameterNamesAreStable) {
+  EXPECT_EQ(ModelParameterName(ModelParameter::kMdl), "MDL");
+  EXPECT_EQ(ModelParameterName(ModelParameter::kAlpha), "alpha");
+}
+
+}  // namespace
+}  // namespace longstore

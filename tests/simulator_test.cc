@@ -1,0 +1,170 @@
+#include "src/sim/simulator.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace longstore {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Duration::Hours(3.0), [&] { order.push_back(3); });
+  sim.ScheduleAt(Duration::Hours(1.0), [&] { order.push_back(1); });
+  sim.ScheduleAt(Duration::Hours(2.0), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().hours(), 3.0);
+  EXPECT_EQ(sim.processed_count(), 3u);
+}
+
+TEST(SimulatorTest, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Duration::Hours(5.0), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  Duration second_fire;
+  sim.ScheduleAt(Duration::Hours(2.0), [&] {
+    sim.ScheduleAfter(Duration::Hours(3.0), [&] { second_fire = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(second_fire.hours(), 5.0);
+}
+
+TEST(SimulatorTest, CancelPreventsDelivery) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(Duration::Hours(1.0), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.processed_count(), 0u);
+}
+
+TEST(SimulatorTest, CancelFromInsideCallback) {
+  Simulator sim;
+  bool fired = false;
+  const EventId victim = sim.ScheduleAt(Duration::Hours(2.0), [&] { fired = true; });
+  sim.ScheduleAt(Duration::Hours(1.0), [&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelInvalidIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(EventId()));
+  EXPECT_FALSE(sim.Cancel(EventId(424242)));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(Duration::Hours(1.0), [&] { ++fired; });
+  sim.ScheduleAt(Duration::Hours(10.0), [&] { ++fired; });
+  sim.RunUntil(Duration::Hours(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().hours(), 5.0);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.RunUntil(Duration::Hours(20.0));
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now().hours(), 20.0);
+}
+
+TEST(SimulatorTest, RunUntilBoundaryInclusive) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(Duration::Hours(5.0), [&] { fired = true; });
+  sim.RunUntil(Duration::Hours(5.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(Duration::Hours(1.0), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.ScheduleAt(Duration::Hours(2.0), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+TEST(SimulatorTest, StopHaltsRunUntilWithoutAdvancingClock) {
+  Simulator sim;
+  sim.ScheduleAt(Duration::Hours(1.0), [&] { sim.Stop(); });
+  sim.RunUntil(Duration::Hours(100.0));
+  EXPECT_DOUBLE_EQ(sim.now().hours(), 1.0);
+}
+
+TEST(SimulatorTest, PastSchedulingThrows) {
+  Simulator sim;
+  sim.ScheduleAt(Duration::Hours(2.0), [] {});
+  sim.Run();
+  EXPECT_THROW(sim.ScheduleAt(Duration::Hours(1.0), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.ScheduleAfter(Duration::Hours(-1.0), [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, InfiniteTimeThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.ScheduleAt(Duration::Infinite(), [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, CascadedSchedulingFromCallbacks) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      sim.ScheduleAfter(Duration::Hours(1.0), recurse);
+    }
+  };
+  sim.ScheduleAfter(Duration::Hours(1.0), recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now().hours(), 100.0);
+}
+
+// Local hash stepper so this test does not depend on src/util/random.h.
+uint64_t SplitMix64NextForTest(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  uint64_t state = 987;
+  Duration last = Duration::Zero();
+  bool monotone = true;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = static_cast<double>(SplitMix64NextForTest(state) % 1000000) / 100.0;
+    sim.ScheduleAt(Duration::Hours(t), [&] {
+      if (sim.now() < last) {
+        monotone = false;
+      }
+      last = sim.now();
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.processed_count(), 20000u);
+}
+
+}  // namespace
+}  // namespace longstore

@@ -1,0 +1,115 @@
+#include "src/storage/config.h"
+
+#include <gtest/gtest.h>
+
+#include "src/storage/replicated_system.h"
+
+namespace longstore {
+namespace {
+
+StorageSimConfig BaseConfig() {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params = FaultParams::PaperCheetahExample();
+  return config;
+}
+
+TEST(StorageSimConfigTest, DefaultIsValid) {
+  EXPECT_FALSE(BaseConfig().Validate().has_value());
+}
+
+TEST(StorageSimConfigTest, RejectsZeroReplicas) {
+  StorageSimConfig config = BaseConfig();
+  config.replica_count = 0;
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(StorageSimConfigTest, RejectsInvalidFaultParams) {
+  StorageSimConfig config = BaseConfig();
+  config.params.alpha = 2.0;
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(StorageSimConfigTest, RejectsWeibullWithHazardCorrelation) {
+  StorageSimConfig config = BaseConfig();
+  config.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+  config.weibull_shape = 2.0;
+  config.params.alpha = 0.5;
+  const auto error = config.Validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("Weibull"), std::string::npos);
+}
+
+TEST(StorageSimConfigTest, RejectsWeibullUnderPaperConvention) {
+  StorageSimConfig config = BaseConfig();
+  config.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+  config.weibull_shape = 2.0;
+  config.convention = RateConvention::kPaper;
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(StorageSimConfigTest, RejectsNonPositiveWeibullShape) {
+  StorageSimConfig config = BaseConfig();
+  config.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+  config.weibull_shape = 0.0;
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(StorageSimConfigTest, RejectsPeriodicScrubUnderPaperConvention) {
+  StorageSimConfig config = BaseConfig();
+  config.convention = RateConvention::kPaper;
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(100.0));
+  EXPECT_TRUE(config.Validate().has_value());
+  config.scrub = ScrubPolicy::Exponential(Duration::Hours(100.0));
+  EXPECT_FALSE(config.Validate().has_value());
+}
+
+TEST(StorageSimConfigTest, RejectsCommonModeUnderPaperConvention) {
+  StorageSimConfig config = BaseConfig();
+  config.convention = RateConvention::kPaper;
+  config.common_mode.push_back(
+      CommonModeSource{"power", Rate::PerYear(1.0), {0, 1}, 1.0, 1.0});
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(StorageSimConfigTest, RejectsBadScrubInterval) {
+  StorageSimConfig config = BaseConfig();
+  config.scrub = ScrubPolicy::Periodic(Duration::Zero());
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(StorageSimConfigTest, RecordScrubPassesNeedsPeriodicPolicy) {
+  StorageSimConfig config = BaseConfig();
+  config.record_scrub_passes = true;
+  EXPECT_TRUE(config.Validate().has_value());
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(100.0));
+  EXPECT_FALSE(config.Validate().has_value());
+}
+
+TEST(StorageSimConfigTest, ValidatesCommonModeSources) {
+  StorageSimConfig config = BaseConfig();
+  config.common_mode.push_back(
+      CommonModeSource{"dead", Rate::Zero(), {0, 1}, 1.0, 1.0});
+  EXPECT_TRUE(config.Validate().has_value());
+
+  config = BaseConfig();
+  config.common_mode.push_back(
+      CommonModeSource{"badprob", Rate::PerYear(1.0), {0, 1}, 1.5, 1.0});
+  EXPECT_TRUE(config.Validate().has_value());
+
+  config = BaseConfig();
+  config.common_mode.push_back(
+      CommonModeSource{"badmember", Rate::PerYear(1.0), {0, 7}, 1.0, 1.0});
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(StorageSimConfigTest, SystemConstructorThrowsOnInvalidConfig) {
+  StorageSimConfig config = BaseConfig();
+  config.replica_count = -3;
+  Simulator sim;
+  Rng rng(1);
+  EXPECT_THROW(ReplicatedStorageSystem(&sim, &rng, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace longstore

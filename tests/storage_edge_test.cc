@@ -1,0 +1,181 @@
+// Edge-path tests for the storage simulator: scrub-tick recording, phase
+// alignment, the surfaces-latent interplay with audits, paper-convention
+// detection queueing, and horizon semantics.
+
+#include <gtest/gtest.h>
+
+#include "src/mc/monte_carlo.h"
+#include "src/storage/replicated_system.h"
+
+namespace longstore {
+namespace {
+
+FaultParams LatentHeavy() {
+  FaultParams p;
+  p.mv = Duration::Hours(1e12);
+  p.ml = Duration::Hours(400.0);
+  p.mrv = Duration::Hours(1.0);
+  p.mrl = Duration::Hours(1.0);
+  return p;
+}
+
+TEST(ScrubTickTest, RecordedPassesAppearInTrace) {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params = LatentHeavy();
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(100.0));
+  config.record_scrub_passes = true;
+
+  Simulator sim;
+  Rng rng(3);
+  TraceRecorder trace(true);
+  ReplicatedStorageSystem system(&sim, &rng, config, &trace);
+  system.Start();
+  sim.RunUntil(Duration::Hours(1000.0));
+  // ~10 periods x 2 replicas, minus any lost to an early data loss.
+  EXPECT_GE(trace.CountKind(TraceEventKind::kScrubPass), 10u);
+}
+
+TEST(ScrubTickTest, TickDrivenDetectionStillWorks) {
+  StorageSimConfig config;
+  config.replica_count = 4;
+  config.params = LatentHeavy();
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(80.0));
+  config.record_scrub_passes = true;
+  const RunOutcome outcome = RunToLossOrHorizon(config, 5, Duration::Years(20.0));
+  ASSERT_GT(outcome.metrics.latent_detections, 100);
+  // Detection latency still averages half the period.
+  EXPECT_NEAR(outcome.metrics.detection_latency_hours.mean(), 40.0, 6.0);
+}
+
+TEST(ScrubPhaseTest, StaggeredAndAlignedBothDetectWithinOnePeriod) {
+  for (bool staggered : {true, false}) {
+    StorageSimConfig config;
+    config.replica_count = 4;
+    config.params = LatentHeavy();
+    config.scrub = ScrubPolicy::Periodic(Duration::Hours(120.0));
+    config.scrub_staggered = staggered;
+    const RunOutcome outcome = RunToLossOrHorizon(config, 11, Duration::Years(20.0));
+    ASSERT_GT(outcome.metrics.latent_detections, 100) << "staggered=" << staggered;
+    EXPECT_LE(outcome.metrics.detection_latency_hours.max(), 120.0 * (1 + 1e-9));
+    EXPECT_NEAR(outcome.metrics.detection_latency_hours.mean(), 60.0, 8.0);
+  }
+}
+
+TEST(ScrubPhaseTest, StaggeredPhasesDifferAcrossReplicas) {
+  // With staggered phases, replicas are audited at different instants; the
+  // deterministic detection times of simultaneous faults must differ.
+  // Three replicas so a simultaneous double-latent hit on {0, 1} degrades
+  // but does not destroy the archive.
+  StorageSimConfig config;
+  config.replica_count = 3;
+  config.params = LatentHeavy();
+  config.params.ml = Duration::Hours(1e12);  // inject manually via common mode
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(100.0));
+  config.scrub_staggered = true;
+  config.common_mode.push_back(
+      CommonModeSource{"simultaneous latent", Rate::PerHour(1.0 / 300.0), {0, 1},
+                       1.0, /*visible_fraction=*/0.0});
+
+  Simulator sim;
+  Rng rng(17);
+  TraceRecorder trace(true);
+  ReplicatedStorageSystem system(&sim, &rng, config, &trace);
+  system.Start();
+  sim.RunUntil(Duration::Hours(320.0));
+
+  std::vector<Duration> detections;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind == TraceEventKind::kLatentDetected) {
+      detections.push_back(event.time);
+    }
+  }
+  ASSERT_GE(detections.size(), 2u);
+  EXPECT_NE(detections[0].hours(), detections[1].hours());
+}
+
+TEST(SurfacesLatentTest, AuditAndSurfacingCoexist) {
+  StorageSimConfig config;
+  config.replica_count = 3;
+  config.params = LatentHeavy();
+  config.params.mv = Duration::Hours(800.0);
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(200.0));
+  config.visible_fault_surfaces_latent = true;
+  const RunOutcome outcome = RunToLossOrHorizon(config, 23, Duration::Years(30.0));
+  // Every latent fault is eventually detected through one channel or the
+  // other; none linger past a period plus a repair.
+  EXPECT_GT(outcome.metrics.latent_detections, 0);
+  EXPECT_LE(outcome.metrics.detection_latency_hours.max(), 200.0 + 1e-6);
+}
+
+TEST(PaperConventionTest, SerialDetectionDrainsBacklog) {
+  StorageSimConfig config;
+  config.replica_count = 4;
+  config.convention = RateConvention::kPaper;
+  config.params = LatentHeavy();
+  config.params.ml = Duration::Hours(150.0);  // build a backlog quickly
+  config.scrub = ScrubPolicy::Exponential(Duration::Hours(30.0));
+  // A run ends at data loss; with a serial audit draining a four-deep
+  // backlog, dozens of detections still complete before the fatal pile-up.
+  const RunOutcome outcome = RunToLossOrHorizon(config, 29, Duration::Years(30.0));
+  EXPECT_GT(outcome.metrics.latent_detections, 20);
+  // Queueing can only lengthen the realized latency beyond the audit mean
+  // (modulo loss-censoring of the longest waits).
+  EXPECT_GE(outcome.metrics.detection_latency_hours.mean(), 30.0 * 0.8);
+}
+
+TEST(HorizonTest, OutcomeCensoredExactlyAtHorizon) {
+  StorageSimConfig config;
+  config.replica_count = 8;  // effectively lossless
+  config.params = LatentHeavy();
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(50.0));
+  Simulator sim;
+  Rng rng(31);
+  ReplicatedStorageSystem system(&sim, &rng, config);
+  system.Start();
+  sim.RunUntil(Duration::Years(3.0));
+  EXPECT_FALSE(system.lost());
+  EXPECT_DOUBLE_EQ(sim.now().years(), 3.0);
+}
+
+TEST(MetricsMergeTest, AggregationIsAssociative) {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params = LatentHeavy();
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(100.0));
+  SimMetrics ab;
+  SimMetrics ba;
+  const RunOutcome a = RunToLossOrHorizon(config, 1, Duration::Years(50.0));
+  const RunOutcome b = RunToLossOrHorizon(config, 2, Duration::Years(50.0));
+  ab.Merge(a.metrics);
+  ab.Merge(b.metrics);
+  ba.Merge(b.metrics);
+  ba.Merge(a.metrics);
+  EXPECT_EQ(ab.latent_faults, ba.latent_faults);
+  EXPECT_EQ(ab.latent_detections, ba.latent_detections);
+  EXPECT_EQ(ab.detection_latency_hours.count(), ba.detection_latency_hours.count());
+  EXPECT_NEAR(ab.detection_latency_hours.mean(), ba.detection_latency_hours.mean(),
+              1e-9);
+}
+
+TEST(CommonModeLatentTest, LatentHitsAwaitScrubDetection) {
+  // Four replicas, the worm reaches only three: the archive degrades but
+  // survives, so detection (not loss) handles every hit.
+  StorageSimConfig config;
+  config.replica_count = 4;
+  config.params.mv = Duration::Hours(1e12);
+  config.params.ml = Duration::Hours(1e12);
+  config.params.mrl = Duration::Hours(1.0);
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(100.0));
+  config.common_mode.push_back(CommonModeSource{
+      "silent corruption worm", Rate::PerHour(1.0 / 500.0), {0, 1, 2}, 0.8,
+      /*visible_fraction=*/0.0});
+  const RunOutcome outcome = RunToLossOrHorizon(config, 37, Duration::Years(10.0));
+  EXPECT_GT(outcome.metrics.latent_faults, 50);
+  EXPECT_GT(outcome.metrics.latent_detections, 50);
+  EXPECT_EQ(outcome.metrics.visible_faults, 0);
+  EXPECT_EQ(outcome.metrics.common_mode_faults, outcome.metrics.latent_faults);
+}
+
+}  // namespace
+}  // namespace longstore

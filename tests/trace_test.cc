@@ -1,0 +1,86 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace longstore {
+namespace {
+
+TEST(TraceEventTest, GlyphsAreDistinctForFaultLifecycle) {
+  EXPECT_EQ(TraceEventGlyph(TraceEventKind::kVisibleFault), 'V');
+  EXPECT_EQ(TraceEventGlyph(TraceEventKind::kLatentFault), 'L');
+  EXPECT_EQ(TraceEventGlyph(TraceEventKind::kLatentDetected), 'D');
+  EXPECT_EQ(TraceEventGlyph(TraceEventKind::kDataLoss), 'X');
+  EXPECT_EQ(TraceEventGlyph(TraceEventKind::kCommonModeEvent), '!');
+}
+
+TEST(TraceEventTest, NamesAreHumanReadable) {
+  EXPECT_EQ(TraceEventName(TraceEventKind::kLatentFault), "latent fault");
+  EXPECT_EQ(TraceEventName(TraceEventKind::kDataLoss), "DATA LOSS");
+}
+
+TEST(TraceRecorderTest, RecordsWhenEnabled) {
+  TraceRecorder recorder(true);
+  recorder.Record(Duration::Hours(1.0), TraceEventKind::kVisibleFault, 0);
+  recorder.Record(Duration::Hours(2.0), TraceEventKind::kLatentFault, 1, "bit rot");
+  ASSERT_EQ(recorder.events().size(), 2u);
+  EXPECT_EQ(recorder.events()[1].detail, "bit rot");
+  EXPECT_EQ(recorder.CountKind(TraceEventKind::kLatentFault), 1u);
+  EXPECT_EQ(recorder.CountKind(TraceEventKind::kDataLoss), 0u);
+}
+
+TEST(TraceRecorderTest, DropsWhenDisabled) {
+  TraceRecorder recorder(false);
+  recorder.Record(Duration::Hours(1.0), TraceEventKind::kVisibleFault, 0);
+  EXPECT_TRUE(recorder.events().empty());
+  recorder.set_enabled(true);
+  recorder.Record(Duration::Hours(2.0), TraceEventKind::kVisibleFault, 0);
+  EXPECT_EQ(recorder.events().size(), 1u);
+}
+
+TEST(TraceRecorderTest, ClearEmpties) {
+  TraceRecorder recorder(true);
+  recorder.Record(Duration::Hours(1.0), TraceEventKind::kScrubPass, 0);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+TEST(RenderTimelineTest, ShowsLanesGlyphsAndLegend) {
+  std::vector<TraceEvent> events;
+  events.push_back({Duration::Years(1.0), TraceEventKind::kLatentFault, 0, ""});
+  events.push_back({Duration::Years(2.0), TraceEventKind::kLatentDetected, 0, ""});
+  events.push_back({Duration::Years(2.5), TraceEventKind::kRepairCompleted, 0, ""});
+  events.push_back({Duration::Years(3.0), TraceEventKind::kVisibleFault, 1, ""});
+  const std::string timeline =
+      RenderTimeline(events, 2, Duration::Years(4.0), 60);
+  EXPECT_NE(timeline.find("replica 0"), std::string::npos);
+  EXPECT_NE(timeline.find("replica 1"), std::string::npos);
+  EXPECT_NE(timeline.find('L'), std::string::npos);
+  EXPECT_NE(timeline.find('V'), std::string::npos);
+  EXPECT_NE(timeline.find('~'), std::string::npos);  // latent-undetected interval
+  EXPECT_NE(timeline.find("legend"), std::string::npos);
+  EXPECT_NE(timeline.find("event log"), std::string::npos);
+}
+
+TEST(RenderTimelineTest, SystemWideEventsMarkAllLanes) {
+  std::vector<TraceEvent> events;
+  events.push_back({Duration::Years(1.0), TraceEventKind::kDataLoss, -1, ""});
+  const std::string timeline =
+      RenderTimeline(events, 3, Duration::Years(2.0), 40);
+  // The X glyph appears in each of the three lanes.
+  size_t count = 0;
+  for (char c : timeline) {
+    count += c == 'X' ? 1 : 0;
+  }
+  EXPECT_GE(count, 3u);
+}
+
+TEST(RenderTimelineTest, ScrubPassesOmittedFromLog) {
+  std::vector<TraceEvent> events;
+  events.push_back({Duration::Hours(1.0), TraceEventKind::kScrubPass, 0, ""});
+  const std::string timeline =
+      RenderTimeline(events, 1, Duration::Hours(2.0), 40);
+  EXPECT_EQ(timeline.find("scrub pass"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace longstore
