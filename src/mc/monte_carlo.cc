@@ -21,19 +21,24 @@ int ResolveThreadCount(const McConfig& mc) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-// Runs `body(trial_index)` for every trial, split across worker threads with
-// a shared atomic counter (dynamic load balancing: trials have very uneven
-// event counts). Each worker owns an accumulator merged at the end.
+// Runs `body(runner, trial_index, acc)` for every trial, split across worker
+// threads with a shared atomic counter (dynamic load balancing: trials have
+// very uneven event counts). Each worker owns an accumulator merged at the
+// end, plus one TrialRunner (simulator + system + rng) reused across all of
+// its trials — the per-trial cost is a Reset(), not a reconstruction, and the
+// config (validated once by the caller) is never re-validated.
 template <typename Accumulator, typename Body>
-Accumulator RunTrials(int64_t trials, int threads, Body&& body) {
+Accumulator RunTrials(const StorageSimConfig& config, int64_t trials, int threads,
+                      Body&& body) {
   if (trials <= 0) {
     throw std::invalid_argument("Monte Carlo: trials must be positive");
   }
   threads = static_cast<int>(std::max<int64_t>(1, std::min<int64_t>(threads, trials)));
   if (threads == 1) {
+    TrialRunner runner(config, ConfigValidation::kPreValidated);
     Accumulator acc;
     for (int64_t t = 0; t < trials; ++t) {
-      body(t, acc);
+      body(runner, t, acc);
     }
     return acc;
   }
@@ -43,13 +48,14 @@ Accumulator RunTrials(int64_t trials, int threads, Body&& body) {
   workers.reserve(static_cast<size_t>(threads));
   for (int w = 0; w < threads; ++w) {
     workers.emplace_back([&, w] {
+      TrialRunner runner(config, ConfigValidation::kPreValidated);
       Accumulator& acc = partials[static_cast<size_t>(w)];
       while (true) {
         const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
         if (t >= trials) {
           break;
         }
-        body(t, acc);
+        body(runner, t, acc);
       }
     });
   }
@@ -93,9 +99,10 @@ MttdlEstimate EstimateMttdl(const StorageSimConfig& config, const McConfig& mc) 
   }
   const int threads = ResolveThreadCount(mc);
   auto acc = RunTrials<MttdlAccumulator>(
-      mc.trials, threads, [&](int64_t trial, MttdlAccumulator& a) {
+      config, mc.trials, threads,
+      [&](TrialRunner& runner, int64_t trial, MttdlAccumulator& a) {
         const uint64_t seed = DeriveSeed(mc.seed, static_cast<uint64_t>(trial));
-        const RunOutcome outcome = RunToLossOrHorizon(config, seed, mc.max_trial_time);
+        const RunOutcome outcome = runner.Run(seed, mc.max_trial_time);
         if (outcome.loss_time) {
           a.loss_years.Add(outcome.loss_time->years());
         } else {
@@ -122,9 +129,10 @@ LossProbabilityEstimate EstimateLossProbability(const StorageSimConfig& config,
   }
   const int threads = ResolveThreadCount(mc);
   auto acc = RunTrials<LossAccumulator>(
-      mc.trials, threads, [&](int64_t trial, LossAccumulator& a) {
+      config, mc.trials, threads,
+      [&](TrialRunner& runner, int64_t trial, LossAccumulator& a) {
         const uint64_t seed = DeriveSeed(mc.seed, static_cast<uint64_t>(trial));
-        const RunOutcome outcome = RunToLossOrHorizon(config, seed, mission);
+        const RunOutcome outcome = runner.Run(seed, mission);
         if (outcome.loss_time) {
           a.losses++;
         }
@@ -165,9 +173,10 @@ CensoredMttdlEstimate EstimateMttdlCensored(const StorageSimConfig& config,
   }
   const int threads = ResolveThreadCount(mc);
   auto acc = RunTrials<CensoredAccumulator>(
-      mc.trials, threads, [&](int64_t trial, CensoredAccumulator& a) {
+      config, mc.trials, threads,
+      [&](TrialRunner& runner, int64_t trial, CensoredAccumulator& a) {
         const uint64_t seed = DeriveSeed(mc.seed, static_cast<uint64_t>(trial));
-        const RunOutcome outcome = RunToLossOrHorizon(config, seed, window);
+        const RunOutcome outcome = runner.Run(seed, window);
         if (outcome.loss_time) {
           a.losses++;
           a.observed_years += outcome.loss_time->years();

@@ -2,23 +2,28 @@
 //
 // A single-threaded event loop over simulated time. Parallelism in the Monte
 // Carlo harness comes from running many independent Simulator instances, one
-// per trial, never from sharing one engine across threads.
+// per worker thread, never from sharing one engine across threads.
+//
+// The engine is allocation-free in steady state: events are plain records
+// stored inline in the queue's own vectors (no std::function, no per-event
+// node), organized as a two-tier ladder queue — a sorted current-window run,
+// a small 4-ary side heap, and equal-width future buckets. Cancellation is
+// lazy via generation-stamped slot handles. See src/sim/README.md for the
+// design and the Reset()/handle-invalidation contract.
 
 #ifndef LONGSTORE_SRC_SIM_SIMULATOR_H_
 #define LONGSTORE_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <limits>
 #include <vector>
 
 #include "src/util/units.h"
 
 namespace longstore {
 
-// Opaque handle for a scheduled event; valid until the event fires or is
-// cancelled.
+// Opaque handle for a scheduled event; valid until the event fires, is
+// cancelled, or the simulator is Reset() (which invalidates all handles).
 class EventId {
  public:
   constexpr EventId() : value_(0) {}
@@ -32,29 +37,50 @@ class EventId {
   uint64_t value_;
 };
 
+// Receiver of fired events. The simulator stores no callbacks: every event
+// carries a client-defined tag plus two integer payload words, and firing
+// dispatches them here. Implementations switch on the tag (the storage layer's
+// dispatch lives in ReplicatedStorageSystem::OnSimEvent).
+class SimClient {
+ public:
+  virtual void OnSimEvent(uint16_t tag, int32_t a, int32_t b) = 0;
+
+ protected:
+  ~SimClient() = default;  // not deleted through this interface
+};
+
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(SimClient* client = nullptr) : client_(client) {}
 
-  // Not copyable or movable: scheduled callbacks capture `this`.
+  // Not copyable or movable: clients capture `this`.
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  // The client receives every fired event. Must be set before the first
+  // Schedule call; a ReplicatedStorageSystem attaches itself on construction.
+  void set_client(SimClient* client) { client_ = client; }
+  SimClient* client() const { return client_; }
+
   Duration now() const { return now_; }
 
-  // Schedules `fn` to run at absolute simulated time `t` (>= now, and finite;
+  // Schedules an event at absolute simulated time `t` (>= now, and finite;
   // scheduling "never" is expressed by simply not scheduling). Events at equal
   // times fire in scheduling order (stable FIFO tie-break), which keeps fault
-  // histories reproducible.
-  EventId ScheduleAt(Duration t, std::function<void()> fn);
-  EventId ScheduleAfter(Duration delay, std::function<void()> fn);
+  // histories reproducible. `tag`, `a`, `b` are delivered verbatim to the
+  // client's OnSimEvent.
+  EventId ScheduleAt(Duration t, uint16_t tag, int32_t a = 0, int32_t b = 0);
+  EventId ScheduleAfter(Duration delay, uint16_t tag, int32_t a = 0,
+                        int32_t b = 0);
 
   // Cancels a pending event. Returns false if it already fired, was already
-  // cancelled, or the handle is invalid.
+  // cancelled, or the handle is invalid. O(1): the heap entry goes stale and
+  // is discarded when it reaches the top.
   bool Cancel(EventId id);
 
-  // Runs the next pending event. Returns false when no events remain.
-  bool Step();
+  // Fires the next pending event whose time is <= `horizon`. Returns false
+  // when no such event remains (the clock is left untouched in that case).
+  bool Step(Duration horizon = Duration::Infinite());
 
   // Runs until the queue is empty or Stop() is called.
   void Run();
@@ -64,36 +90,110 @@ class Simulator {
   void RunUntil(Duration horizon);
 
   // Requests the current Run()/RunUntil() to return after the in-flight
-  // callback completes. Typically called from inside a callback (e.g. on data
-  // loss).
+  // event completes. Typically called from inside a client handler (e.g. on
+  // data loss).
   void Stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
 
-  size_t pending_count() const { return callbacks_.size(); }
+  // Returns the engine to its just-constructed state (time zero, empty queue)
+  // while keeping every internal buffer's capacity, so a reused simulator
+  // schedules and fires events without touching the heap allocator. All
+  // outstanding EventIds are invalidated; callers must drop cached handles.
+  // The attached client is kept.
+  void Reset();
+
+  size_t pending_count() const { return live_count_; }
   uint64_t processed_count() const { return processed_; }
 
  private:
-  struct HeapEntry {
+  // One scheduled event, stored inline in the heap: 24 bytes, so a sift
+  // touches few cache lines. The tag/payload live in the slot table; the
+  // `slot`/`generation` pair ties the record to its handle, and a record
+  // whose generation no longer matches its slot has been cancelled (or
+  // already fired) and is skipped on pop.
+  struct EventRecord {
     double time_hours;
-    uint64_t seq;
-  };
-  struct HeapEntryLater {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.time_hours != b.time_hours) {
-        return a.time_hours > b.time_hours;
+    uint64_t seq;  // FIFO tie-break for equal times
+    uint32_t slot;
+    uint32_t generation;
+
+    bool FiresBefore(const EventRecord& other) const {
+      if (time_hours != other.time_hours) {
+        return time_hours < other.time_hours;
       }
-      return a.seq > b.seq;
+      return seq < other.seq;
     }
   };
+  static constexpr uint32_t kFreeListEnd = ~uint32_t{0};
+
+  struct Slot {
+    uint32_t generation = 0;
+    bool live = false;
+    uint16_t tag = 0;
+    int32_t a = 0;
+    int32_t b = 0;
+    // Intrusive free list: index of the next free slot (kFreeListEnd
+    // terminates). Valid only while the slot is not live.
+    uint32_t next_free = kFreeListEnd;
+  };
+
+  // Two-tier queue (a one-rung ladder queue). Pending events live in one of
+  // four places:
+  //   - current_run_: a sorted vector consumed front-to-back by run_pos_ —
+  //     the drained current time window. Pops are cursor advances, not sifts.
+  //   - side_: a small 4-ary min-heap for events scheduled *into* the
+  //     current window (time < near_end_) after it was sorted. Usually tiny:
+  //     most rescheduling lands in a future window.
+  //   - buckets_: kNumBuckets equal-width time windows covering the bucketed
+  //     range; scheduling there is an O(1) append. Each bucket is sorted
+  //     into current_run_ when the clock reaches it.
+  //   - overflow_: events beyond the bucketed range, re-partitioned when the
+  //     buckets are exhausted.
+  // Until the side heap first outgrows kSpillThreshold the engine runs as a
+  // plain heap (no bucket range, near_end_ = +inf); small simulations never
+  // pay for the tiers. The next fired event is always min(run front, side
+  // top) under (time, seq) order, which preserves exact FIFO tie-breaks.
+  static constexpr size_t kSpillThreshold = 2048;
+  static constexpr size_t kNumBuckets = 1024;
+  // near_end_ sentinel while no bucket range is active.
+  static constexpr double kNoBuckets = std::numeric_limits<double>::infinity();
+
+  void ReleaseSlot(uint32_t slot);
+  // Releases the slot of every still-live record in `records` (so stale
+  // handles cannot alias later occupants) and clears the vector.
+  void ReleaseAllIn(std::vector<EventRecord>& records);
+  void SidePush(const EventRecord& record);
+  void SidePopTop();
+  bool run_exhausted() const { return run_pos_ >= current_run_.size(); }
+  // Moves `src`'s records into current_run_ / buckets / overflow and clears
+  // it. Establishes a fresh bucket range spanning src's times. Requires the
+  // previous run to be exhausted.
+  void SpillFrom(std::vector<EventRecord>& src);
+  // Advances to the next non-empty bucket (re-partitioning overflow when the
+  // buckets run out) and sorts it into current_run_. Returns false when no
+  // pending record remains outside side_.
+  bool RefillRun();
 
   Duration now_ = Duration::Zero();
   uint64_t next_seq_ = 1;
   uint64_t processed_ = 0;
+  size_t live_count_ = 0;
   bool stopped_ = false;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapEntryLater> heap_;
-  // Cancellation = erasure from this map; stale heap entries are skipped on
-  // pop. Lazy deletion keeps Cancel() O(1).
-  std::unordered_map<uint64_t, std::function<void()>> callbacks_;
+  SimClient* client_;
+
+  std::vector<EventRecord> current_run_;  // sorted ascending (time, seq)
+  size_t run_pos_ = 0;
+  std::vector<EventRecord> side_;  // 4-ary min-heap on (time, seq)
+  double near_end_ = kNoBuckets;   // in-window events (t < near_end_) go to side_
+  bool buckets_active_ = false;
+  double bucket_base_ = 0.0;   // start of bucket 0's window
+  double bucket_width_ = 0.0;  // each bucket covers [base + i*w, base + (i+1)*w)
+  size_t next_bucket_ = 0;     // buckets below this index are already drained
+  std::vector<std::vector<EventRecord>> buckets_;
+  std::vector<EventRecord> overflow_;  // time >= end of bucketed range
+
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kFreeListEnd;
 };
 
 }  // namespace longstore

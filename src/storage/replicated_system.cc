@@ -1,6 +1,7 @@
 #include "src/storage/replicated_system.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace longstore {
@@ -71,27 +72,69 @@ std::optional<std::string> StorageSimConfig::Validate() const {
 
 ReplicatedStorageSystem::ReplicatedStorageSystem(Simulator* sim, Rng* rng,
                                                  StorageSimConfig config,
-                                                 TraceRecorder* trace)
+                                                 TraceRecorder* trace,
+                                                 ConfigValidation validation)
     : sim_(sim), rng_(rng), config_(std::move(config)), trace_(trace) {
-  if (auto error = config_.Validate()) {
-    throw std::invalid_argument("StorageSimConfig: " + *error);
+  if (validation == ConfigValidation::kValidate) {
+    if (auto error = config_.Validate()) {
+      throw std::invalid_argument("StorageSimConfig: " + *error);
+    }
+  } else {
+#ifndef NDEBUG
+    // The caller promised it validated already; cross-check in debug builds.
+    if (auto error = config_.Validate()) {
+      throw std::logic_error("StorageSimConfig passed as pre-validated but invalid: " +
+                             *error);
+    }
+#endif
   }
+  sim_->set_client(this);
   replicas_.resize(static_cast<size_t>(config_.replica_count));
+  repair_ring_.resize(static_cast<size_t>(config_.replica_count), 0);
+  if (config_.fault_distribution == StorageSimConfig::FaultDistribution::kWeibull) {
+    const double gamma = std::tgamma(1.0 + 1.0 / config_.weibull_shape);
+    weibull_scale_mv_ = config_.params.mv / gamma;
+    weibull_scale_ml_ = config_.params.ml / gamma;
+  }
+  InitializeState();
+}
+
+void ReplicatedStorageSystem::InitializeState() {
   for (int i = 0; i < config_.replica_count; ++i) {
     auto& replica = replicas_[static_cast<size_t>(i)];
+    replica.state = ReplicaState::kHealthy;
+    replica.current_fault = FaultKind::kVisible;
+    replica.fault_time = Duration::Zero();
     // A pre-aged replica has a birth time in the (virtual) past.
     replica.birth_time =
         config_.initial_age_hours.empty()
             ? Duration::Zero()
             : Duration::Zero() - Duration::Hours(config_.initial_age_hours[i]);
-    if (config_.scrub.kind == ScrubPolicy::Kind::kPeriodic) {
-      replica.scrub_phase =
-          config_.scrub_staggered
-              ? config_.scrub.interval * (static_cast<double>(i) / config_.replica_count)
-              : Duration::Zero();
-    }
+    replica.scrub_phase =
+        (config_.scrub.kind == ScrubPolicy::Kind::kPeriodic && config_.scrub_staggered)
+            ? config_.scrub.interval * (static_cast<double>(i) / config_.replica_count)
+            : Duration::Zero();
+    replica.visible_event = EventId();
+    replica.latent_event = EventId();
+    replica.detect_event = EventId();
+    replica.repair_event = EventId();
   }
+  faulty_count_ = 0;
+  lost_ = false;
+  loss_time_ = Duration::Zero();
+  metrics_ = SimMetrics{};
+  window_open_ = false;
+  window_first_fault_ = FaultKind::kVisible;
+  system_visible_event_ = EventId();
+  system_latent_event_ = EventId();
+  system_detect_event_ = EventId();
+  repair_head_ = 0;
+  repair_queued_ = 0;
+  repair_active_ = false;
+  started_ = false;
 }
+
+void ReplicatedStorageSystem::Reset() { InitializeState(); }
 
 void ReplicatedStorageSystem::Start() {
   if (started_) {
@@ -113,30 +156,69 @@ void ReplicatedStorageSystem::Start() {
   }
 }
 
+void ReplicatedStorageSystem::OnSimEvent(uint16_t tag, int32_t a, int32_t /*b*/) {
+  switch (static_cast<EventTag>(tag)) {
+    case kEvVisibleFault:
+      OnVisibleFault(a);
+      return;
+    case kEvLatentFault:
+      OnLatentFault(a);
+      return;
+    case kEvDetect:
+      OnDetect(a);
+      return;
+    case kEvScrubTick:
+      OnScrubTick(a);
+      return;
+    case kEvRepairComplete:
+      OnRepairComplete(a);
+      return;
+    case kEvSystemVisibleFault:
+      OnSystemFault(FaultKind::kVisible);
+      return;
+    case kEvSystemLatentFault:
+      OnSystemFault(FaultKind::kLatent);
+      return;
+    case kEvSystemDetect:
+      OnSystemDetect();
+      return;
+    case kEvCommonMode:
+      OnCommonModeEvent(static_cast<size_t>(a));
+      return;
+  }
+  throw std::logic_error("ReplicatedStorageSystem: unknown event tag");
+}
+
 double ReplicatedStorageSystem::CorrelationMultiplier() const {
   return faulty_count_ > 0 ? 1.0 / config_.params.alpha : 1.0;
 }
 
 Duration ReplicatedStorageSystem::DrawFaultDelay(const Replica& replica,
                                                  FaultKind kind) const {
+  if (config_.fault_distribution == StorageSimConfig::FaultDistribution::kWeibull) {
+    // Exact residual-lifetime draw, conditioned on survival to the replica's
+    // current age: with S(x) = exp(-(x/scale)^k), inverting
+    // u = S(x)/S(age) gives x = scale * ((age/scale)^k - ln u)^(1/k).
+    // One uniform, O(1), no rejection loop.
+    const double shape = config_.weibull_shape;
+    const Duration scale =
+        kind == FaultKind::kVisible ? weibull_scale_mv_ : weibull_scale_ml_;
+    const double age = (sim_->now() - replica.birth_time).hours() / scale.hours();
+    const double u = rng_->NextDoubleOpen();
+    const double life = std::pow(std::pow(age, shape) - std::log(u), 1.0 / shape);
+    const double residual_hours = (life - age) * scale.hours();
+    // Guard both floating-point boundaries: life == age can round the
+    // residual to zero, and (age/scale)^shape can overflow to infinity for
+    // extreme age/shape combinations. Either way the hazard is astronomical
+    // at this age — fail soon, matching the old rejection loop's fallback.
+    if (!(residual_hours > 0.0) ||
+        residual_hours == std::numeric_limits<double>::infinity()) {
+      return Duration::Hours(1e-9);
+    }
+    return Duration::Hours(residual_hours);
+  }
   const Duration mean =
       kind == FaultKind::kVisible ? config_.params.mv : config_.params.ml;
-  if (config_.fault_distribution == StorageSimConfig::FaultDistribution::kWeibull) {
-    // Age-based draw from the replica's birth; returns the residual delay.
-    const double shape = config_.weibull_shape;
-    const Duration scale = mean / std::tgamma(1.0 + 1.0 / shape);
-    const Duration age = sim_->now() - replica.birth_time;
-    // Rejection on the age: draw total lifetimes until one exceeds the
-    // current age. Weibull hazards make short re-draws rare in practice.
-    for (int attempt = 0; attempt < 10000; ++attempt) {
-      const Duration life = rng_->NextWeibull(shape, scale);
-      if (life > age) {
-        return life - age;
-      }
-    }
-    // Degenerate parameters (age beyond any plausible lifetime): fail soon.
-    return Duration::Hours(1e-9);
-  }
   return rng_->NextExponential(mean / CorrelationMultiplier());
 }
 
@@ -168,21 +250,26 @@ void ReplicatedStorageSystem::ScheduleReplicaFaults(int i) {
   replica.visible_event = EventId();
   replica.latent_event = EventId();
   if (replica.state == ReplicaState::kHealthy) {
-    if (!config_.params.mv.is_infinite()) {
-      const Duration delay = DrawFaultDelay(replica, FaultKind::kVisible);
-      replica.visible_event =
-          sim_->ScheduleAfter(delay, [this, i] { OnVisibleFault(i); });
-    }
-    if (!config_.params.ml.is_infinite()) {
-      const Duration delay = DrawFaultDelay(replica, FaultKind::kLatent);
-      replica.latent_event =
-          sim_->ScheduleAfter(delay, [this, i] { OnLatentFault(i); });
+    // Both fault clocks are always cancelled and redrawn together (on a
+    // fault, a repair, or a correlation change), so only the earlier of the
+    // two can ever fire: draw both delays (keeping the random stream
+    // unchanged) but enqueue just the winner. Visible wins ties, matching
+    // the old visible-first scheduling order.
+    const bool has_visible = !config_.params.mv.is_infinite();
+    const bool has_latent = !config_.params.ml.is_infinite();
+    const Duration visible_delay =
+        has_visible ? DrawFaultDelay(replica, FaultKind::kVisible) : Duration::Zero();
+    const Duration latent_delay =
+        has_latent ? DrawFaultDelay(replica, FaultKind::kLatent) : Duration::Zero();
+    if (has_visible && (!has_latent || visible_delay <= latent_delay)) {
+      replica.visible_event = sim_->ScheduleAfter(visible_delay, kEvVisibleFault, i);
+    } else if (has_latent) {
+      replica.latent_event = sim_->ScheduleAfter(latent_delay, kEvLatentFault, i);
     }
   } else if (replica.state == ReplicaState::kLatentFaulty &&
              config_.visible_fault_surfaces_latent && !config_.params.mv.is_infinite()) {
     const Duration delay = DrawFaultDelay(replica, FaultKind::kVisible);
-    replica.visible_event =
-        sim_->ScheduleAfter(delay, [this, i] { OnVisibleFault(i); });
+    replica.visible_event = sim_->ScheduleAfter(delay, kEvVisibleFault, i);
   }
 }
 
@@ -207,16 +294,19 @@ void ReplicatedStorageSystem::ScheduleSystemFaultClocks() {
   if (lost_ || intact_count() == 0) {
     return;
   }
+  // As with the per-replica clocks, the pair is always redrawn together
+  // after either fires, so only the earlier one is enqueued.
   const double mult = CorrelationMultiplier();
-  if (!config_.params.mv.is_infinite()) {
-    const Duration delay = rng_->NextExponential(config_.params.mv / mult);
-    system_visible_event_ =
-        sim_->ScheduleAfter(delay, [this] { OnSystemFault(FaultKind::kVisible); });
-  }
-  if (!config_.params.ml.is_infinite()) {
-    const Duration delay = rng_->NextExponential(config_.params.ml / mult);
-    system_latent_event_ =
-        sim_->ScheduleAfter(delay, [this] { OnSystemFault(FaultKind::kLatent); });
+  const bool has_visible = !config_.params.mv.is_infinite();
+  const bool has_latent = !config_.params.ml.is_infinite();
+  const Duration visible_delay =
+      has_visible ? rng_->NextExponential(config_.params.mv / mult) : Duration::Zero();
+  const Duration latent_delay =
+      has_latent ? rng_->NextExponential(config_.params.ml / mult) : Duration::Zero();
+  if (has_visible && (!has_latent || visible_delay <= latent_delay)) {
+    system_visible_event_ = sim_->ScheduleAfter(visible_delay, kEvSystemVisibleFault);
+  } else if (has_latent) {
+    system_latent_event_ = sim_->ScheduleAfter(latent_delay, kEvSystemLatentFault);
   }
 }
 
@@ -232,13 +322,13 @@ void ReplicatedStorageSystem::ScheduleDetection(int i) {
         return;  // the scrub-tick loop performs detection
       }
       const Duration tick = NextScrubTick(replica);
-      replica.detect_event = sim_->ScheduleAt(tick, [this, i] { OnDetect(i); });
+      replica.detect_event = sim_->ScheduleAt(tick, kEvDetect, i);
       return;
     }
     case ScrubPolicy::Kind::kExponential:
     case ScrubPolicy::Kind::kOnAccess: {
       const Duration delay = rng_->NextExponential(config_.scrub.interval);
-      replica.detect_event = sim_->ScheduleAfter(delay, [this, i] { OnDetect(i); });
+      replica.detect_event = sim_->ScheduleAfter(delay, kEvDetect, i);
       return;
     }
   }
@@ -247,13 +337,13 @@ void ReplicatedStorageSystem::ScheduleDetection(int i) {
 void ReplicatedStorageSystem::ScheduleScrubTick(int i) {
   auto& replica = replicas_[static_cast<size_t>(i)];
   const Duration tick = NextScrubTick(replica);
-  sim_->ScheduleAt(tick, [this, i] { OnScrubTick(i); });
+  sim_->ScheduleAt(tick, kEvScrubTick, i);
 }
 
 void ReplicatedStorageSystem::ScheduleCommonModeSource(size_t source_index) {
   const CommonModeSource& source = config_.common_mode[source_index];
   const Duration delay = rng_->NextExponential(source.event_rate);
-  sim_->ScheduleAfter(delay, [this, source_index] { OnCommonModeEvent(source_index); });
+  sim_->ScheduleAfter(delay, kEvCommonMode, static_cast<int32_t>(source_index));
 }
 
 void ReplicatedStorageSystem::OnVisibleFault(int i) {
@@ -357,7 +447,7 @@ void ReplicatedStorageSystem::InflictFault(int i, FaultKind kind, bool detected)
       if (!system_detect_event_.is_valid() &&
           config_.scrub.kind != ScrubPolicy::Kind::kNone) {
         const Duration delay = rng_->NextExponential(config_.scrub.interval);
-        system_detect_event_ = sim_->ScheduleAfter(delay, [this] { OnSystemDetect(); });
+        system_detect_event_ = sim_->ScheduleAfter(delay, kEvSystemDetect);
       }
     } else {
       ScheduleDetection(i);
@@ -374,7 +464,8 @@ void ReplicatedStorageSystem::InflictFault(int i, FaultKind kind, bool detected)
 
 void ReplicatedStorageSystem::StartRepair(int i) {
   if (config_.convention == RateConvention::kPaper) {
-    repair_queue_.push_back(i);
+    repair_ring_[(repair_head_ + repair_queued_) % repair_ring_.size()] = i;
+    ++repair_queued_;
     if (!repair_active_) {
       BeginNextSerialRepair();
     }
@@ -383,23 +474,22 @@ void ReplicatedStorageSystem::StartRepair(int i) {
   auto& replica = replicas_[static_cast<size_t>(i)];
   const Duration duration = DrawRepairDuration(replica.current_fault);
   RecordTrace(TraceEventKind::kRepairStarted, i);
-  replica.repair_event =
-      sim_->ScheduleAfter(duration, [this, i] { OnRepairComplete(i); });
+  replica.repair_event = sim_->ScheduleAfter(duration, kEvRepairComplete, i);
 }
 
 void ReplicatedStorageSystem::BeginNextSerialRepair() {
-  if (repair_queue_.empty()) {
+  if (repair_queued_ == 0) {
     repair_active_ = false;
     return;
   }
   repair_active_ = true;
-  const int i = repair_queue_.front();
-  repair_queue_.erase(repair_queue_.begin());
+  const int i = repair_ring_[repair_head_];
+  repair_head_ = (repair_head_ + 1) % repair_ring_.size();
+  --repair_queued_;
   auto& replica = replicas_[static_cast<size_t>(i)];
   const Duration duration = DrawRepairDuration(replica.current_fault);
   RecordTrace(TraceEventKind::kRepairStarted, i);
-  replica.repair_event =
-      sim_->ScheduleAfter(duration, [this, i] { OnRepairComplete(i); });
+  replica.repair_event = sim_->ScheduleAfter(duration, kEvRepairComplete, i);
 }
 
 void ReplicatedStorageSystem::OnRepairComplete(int i) {
@@ -471,7 +561,7 @@ void ReplicatedStorageSystem::OnSystemDetect() {
   // Another undetected latent fault keeps the serial audit busy.
   if (OldestUndetectedLatent().has_value()) {
     const Duration delay = rng_->NextExponential(config_.scrub.interval);
-    system_detect_event_ = sim_->ScheduleAfter(delay, [this] { OnSystemDetect(); });
+    system_detect_event_ = sim_->ScheduleAfter(delay, kEvSystemDetect);
   }
 }
 
@@ -511,14 +601,19 @@ void ReplicatedStorageSystem::OnCommonModeEvent(size_t source_index) {
 }
 
 int ReplicatedStorageSystem::PickRandomHealthyReplica() {
-  std::vector<int> healthy;
-  healthy.reserve(replicas_.size());
+  // Single bounded draw, then a scan for the k-th healthy replica: same
+  // distribution (and same rng consumption) as materializing the healthy
+  // list, without the per-call vector.
+  uint64_t k = rng_->NextBounded(static_cast<uint64_t>(intact_count()));
   for (int i = 0; i < config_.replica_count; ++i) {
     if (replicas_[static_cast<size_t>(i)].state == ReplicaState::kHealthy) {
-      healthy.push_back(i);
+      if (k == 0) {
+        return i;
+      }
+      --k;
     }
   }
-  return healthy[static_cast<size_t>(rng_->NextBounded(healthy.size()))];
+  throw std::logic_error("PickRandomHealthyReplica: no healthy replica");
 }
 
 std::optional<int> ReplicatedStorageSystem::OldestUndetectedLatent() const {
@@ -536,26 +631,32 @@ std::optional<int> ReplicatedStorageSystem::OldestUndetectedLatent() const {
   return best;
 }
 
-void ReplicatedStorageSystem::RecordTrace(TraceEventKind kind, int replica,
-                                          std::string detail) {
-  if (trace_ != nullptr) {
-    trace_->Record(sim_->now(), kind, replica, std::move(detail));
+void ReplicatedStorageSystem::RecordTraceImpl(TraceEventKind kind, int replica,
+                                              std::string detail) {
+  trace_->Record(sim_->now(), kind, replica, std::move(detail));
+}
+
+TrialRunner::TrialRunner(const StorageSimConfig& config, ConfigValidation validation)
+    : rng_(0), system_(&sim_, &rng_, config, /*trace=*/nullptr, validation) {}
+
+RunOutcome TrialRunner::Run(uint64_t seed, Duration horizon) {
+  sim_.Reset();
+  rng_.Reseed(seed);
+  system_.Reset();
+  system_.Start();
+  sim_.RunUntil(horizon);
+  RunOutcome outcome;
+  outcome.metrics = system_.metrics();
+  if (system_.lost()) {
+    outcome.loss_time = system_.loss_time();
   }
+  return outcome;
 }
 
 RunOutcome RunToLossOrHorizon(const StorageSimConfig& config, uint64_t seed,
                               Duration horizon) {
-  Simulator sim;
-  Rng rng(seed);
-  ReplicatedStorageSystem system(&sim, &rng, config);
-  system.Start();
-  sim.RunUntil(horizon);
-  RunOutcome outcome;
-  outcome.metrics = system.metrics();
-  if (system.lost()) {
-    outcome.loss_time = system.loss_time();
-  }
-  return outcome;
+  TrialRunner runner(config);
+  return runner.Run(seed, horizon);
 }
 
 }  // namespace longstore

@@ -28,15 +28,32 @@ enum class ReplicaState {
   kFaultyDetected,   // visible fault, or detected latent fault; under repair
 };
 
-class ReplicatedStorageSystem {
+// Whether the constructor re-validates the config. Callers that already ran
+// StorageSimConfig::Validate() (the Monte Carlo drivers validate once per
+// estimate) pass kPreValidated to skip the per-construction throw path; a
+// debug build still cross-checks.
+enum class ConfigValidation { kValidate, kPreValidated };
+
+class ReplicatedStorageSystem : public SimClient {
  public:
   // `sim`, `rng` and `trace` must outlive the system. `trace` may be null.
+  // Attaches itself as `sim`'s client: one system per simulator.
   ReplicatedStorageSystem(Simulator* sim, Rng* rng, StorageSimConfig config,
-                          TraceRecorder* trace = nullptr);
+                          TraceRecorder* trace = nullptr,
+                          ConfigValidation validation = ConfigValidation::kValidate);
 
-  // Schedules the initial fault/scrub/common-mode events. Call once, before
-  // running the simulator.
+  // Schedules the initial fault/scrub/common-mode events. Call once per run,
+  // before running the simulator.
   void Start();
+
+  // Returns the system to its initial (all-healthy, time-zero) state so the
+  // same instance can run another trial. The caller must Reset() the
+  // simulator and reseed the Rng first; see src/sim/README.md for the reuse
+  // contract. No buffer is reallocated.
+  void Reset();
+
+  // Event dispatch from the simulator; not for direct use.
+  void OnSimEvent(uint16_t tag, int32_t a, int32_t b) override;
 
   bool lost() const { return lost_; }
   // Valid only when lost().
@@ -63,6 +80,22 @@ class ReplicatedStorageSystem {
     EventId detect_event;
     EventId repair_event;
   };
+
+  // Simulator event tags (payload `a` = replica or common-mode source index).
+  enum EventTag : uint16_t {
+    kEvVisibleFault,
+    kEvLatentFault,
+    kEvDetect,
+    kEvScrubTick,
+    kEvRepairComplete,
+    kEvSystemVisibleFault,  // kPaper convention
+    kEvSystemLatentFault,   // kPaper convention
+    kEvSystemDetect,        // kPaper convention
+    kEvCommonMode,
+  };
+
+  // --- initialization ---
+  void InitializeState();
 
   // --- scheduling helpers ---
   double CorrelationMultiplier() const;
@@ -92,7 +125,19 @@ class ReplicatedStorageSystem {
   void BeginNextSerialRepair();
   int PickRandomHealthyReplica();
   std::optional<int> OldestUndetectedLatent() const;
-  void RecordTrace(TraceEventKind kind, int replica, std::string detail = {});
+  // Inline null check: Monte Carlo trials run without a recorder, and the
+  // hot path must not pay for a std::string argument per event.
+  void RecordTrace(TraceEventKind kind, int replica) {
+    if (trace_ != nullptr) {
+      RecordTraceImpl(kind, replica, {});
+    }
+  }
+  void RecordTrace(TraceEventKind kind, int replica, std::string detail) {
+    if (trace_ != nullptr) {
+      RecordTraceImpl(kind, replica, std::move(detail));
+    }
+  }
+  void RecordTraceImpl(TraceEventKind kind, int replica, std::string detail);
 
   Simulator* sim_;
   Rng* rng_;
@@ -105,15 +150,24 @@ class ReplicatedStorageSystem {
   Duration loss_time_;
   SimMetrics metrics_;
 
+  // Weibull scales matching the configured means, precomputed once (the
+  // draw path runs on every fault reschedule).
+  Duration weibull_scale_mv_ = Duration::Infinite();
+  Duration weibull_scale_ml_ = Duration::Infinite();
+
   // Window-of-vulnerability bookkeeping (Figure 2 measurements).
   bool window_open_ = false;
   FaultKind window_first_fault_ = FaultKind::kVisible;
 
-  // kPaper-convention machinery: system-level clocks and serial repair.
+  // kPaper-convention machinery: system-level clocks and serial repair. The
+  // repair queue is a fixed-capacity ring over replica indices (each replica
+  // is queued at most once), so enqueue/dequeue never allocate or shift.
   EventId system_visible_event_;
   EventId system_latent_event_;
   EventId system_detect_event_;
-  std::vector<int> repair_queue_;
+  std::vector<int> repair_ring_;
+  size_t repair_head_ = 0;
+  size_t repair_queued_ = 0;
   bool repair_active_ = false;
 
   bool started_ = false;
@@ -124,6 +178,31 @@ struct RunOutcome {
   // Time of data loss; nullopt if the system survived the horizon (censored).
   std::optional<Duration> loss_time;
   SimMetrics metrics;
+};
+
+// Owns one Simulator + Rng + ReplicatedStorageSystem and reuses them across
+// trials: Run() resets all three, reseeds, and runs to loss or `horizon`.
+// Construction validates the config once (unless told it is pre-validated);
+// the per-trial path performs no validation and no steady-state allocation.
+// A trial's outcome is bit-identical to a freshly constructed run with the
+// same seed.
+class TrialRunner {
+ public:
+  explicit TrialRunner(const StorageSimConfig& config,
+                       ConfigValidation validation = ConfigValidation::kValidate);
+
+  // Self-referential (the system holds pointers to the simulator and rng).
+  TrialRunner(const TrialRunner&) = delete;
+  TrialRunner& operator=(const TrialRunner&) = delete;
+
+  RunOutcome Run(uint64_t seed, Duration horizon);
+
+  const ReplicatedStorageSystem& system() const { return system_; }
+
+ private:
+  Simulator sim_;
+  Rng rng_;
+  ReplicatedStorageSystem system_;
 };
 
 // Runs a fresh system until data loss or `horizon`, whichever comes first.

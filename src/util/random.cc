@@ -26,7 +26,9 @@ uint64_t DeriveSeed(uint64_t seed, uint64_t index) {
   return SplitMix64Next(state);
 }
 
-Rng::Rng(uint64_t seed) {
+Rng::Rng(uint64_t seed) { Reseed(seed); }
+
+void Rng::Reseed(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : s_) {
     word = SplitMix64Next(sm);

@@ -33,6 +33,11 @@ class Rng {
 
   explicit Rng(uint64_t seed);
 
+  // Re-initializes the generator exactly as construction from `seed` would:
+  // a reseeded Rng produces the same stream as a fresh one. Lets the Monte
+  // Carlo harness reuse one generator across trials.
+  void Reseed(uint64_t seed);
+
   static constexpr uint64_t min() { return 0; }
   static constexpr uint64_t max() { return ~uint64_t{0}; }
 

@@ -5,15 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/sim_test_client.h"
+
 namespace longstore {
 namespace {
 
 TEST(SimulatorTest, EventsFireInTimeOrder) {
-  Simulator sim;
+  CallbackClient client;
+  Simulator sim(&client);
   std::vector<int> order;
-  sim.ScheduleAt(Duration::Hours(3.0), [&] { order.push_back(3); });
-  sim.ScheduleAt(Duration::Hours(1.0), [&] { order.push_back(1); });
-  sim.ScheduleAt(Duration::Hours(2.0), [&] { order.push_back(2); });
+  const uint16_t record = client.Add([&](int32_t a, int32_t) { order.push_back(a); });
+  sim.ScheduleAt(Duration::Hours(3.0), record, 3);
+  sim.ScheduleAt(Duration::Hours(1.0), record, 1);
+  sim.ScheduleAt(Duration::Hours(2.0), record, 2);
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_DOUBLE_EQ(sim.now().hours(), 3.0);
@@ -21,10 +25,12 @@ TEST(SimulatorTest, EventsFireInTimeOrder) {
 }
 
 TEST(SimulatorTest, EqualTimesFireInScheduleOrder) {
-  Simulator sim;
+  CallbackClient client;
+  Simulator sim(&client);
   std::vector<int> order;
+  const uint16_t record = client.Add([&](int32_t a, int32_t) { order.push_back(a); });
   for (int i = 0; i < 10; ++i) {
-    sim.ScheduleAt(Duration::Hours(5.0), [&order, i] { order.push_back(i); });
+    sim.ScheduleAt(Duration::Hours(5.0), record, i);
   }
   sim.Run();
   for (int i = 0; i < 10; ++i) {
@@ -33,19 +39,38 @@ TEST(SimulatorTest, EqualTimesFireInScheduleOrder) {
 }
 
 TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
-  Simulator sim;
+  CallbackClient client;
+  Simulator sim(&client);
   Duration second_fire;
-  sim.ScheduleAt(Duration::Hours(2.0), [&] {
-    sim.ScheduleAfter(Duration::Hours(3.0), [&] { second_fire = sim.now(); });
-  });
+  const uint16_t inner = client.Add([&] { second_fire = sim.now(); });
+  const uint16_t outer =
+      client.Add([&] { sim.ScheduleAfter(Duration::Hours(3.0), inner); });
+  sim.ScheduleAt(Duration::Hours(2.0), outer);
   sim.Run();
   EXPECT_DOUBLE_EQ(second_fire.hours(), 5.0);
 }
 
+TEST(SimulatorTest, PayloadWordsAreDeliveredVerbatim) {
+  CallbackClient client;
+  Simulator sim(&client);
+  int32_t got_a = 0;
+  int32_t got_b = 0;
+  const uint16_t record = client.Add([&](int32_t a, int32_t b) {
+    got_a = a;
+    got_b = b;
+  });
+  sim.ScheduleAt(Duration::Hours(1.0), record, -7, 42);
+  sim.Run();
+  EXPECT_EQ(got_a, -7);
+  EXPECT_EQ(got_b, 42);
+}
+
 TEST(SimulatorTest, CancelPreventsDelivery) {
-  Simulator sim;
+  CallbackClient client;
+  Simulator sim(&client);
   bool fired = false;
-  const EventId id = sim.ScheduleAt(Duration::Hours(1.0), [&] { fired = true; });
+  const uint16_t mark = client.Add([&] { fired = true; });
+  const EventId id = sim.ScheduleAt(Duration::Hours(1.0), mark);
   EXPECT_TRUE(sim.Cancel(id));
   EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
   sim.Run();
@@ -54,25 +79,40 @@ TEST(SimulatorTest, CancelPreventsDelivery) {
 }
 
 TEST(SimulatorTest, CancelFromInsideCallback) {
-  Simulator sim;
+  CallbackClient client;
+  Simulator sim(&client);
   bool fired = false;
-  const EventId victim = sim.ScheduleAt(Duration::Hours(2.0), [&] { fired = true; });
-  sim.ScheduleAt(Duration::Hours(1.0), [&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  const uint16_t mark = client.Add([&] { fired = true; });
+  const EventId victim = sim.ScheduleAt(Duration::Hours(2.0), mark);
+  const uint16_t canceller = client.Add([&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  sim.ScheduleAt(Duration::Hours(1.0), canceller);
   sim.Run();
   EXPECT_FALSE(fired);
 }
 
 TEST(SimulatorTest, CancelInvalidIdReturnsFalse) {
-  Simulator sim;
+  CallbackClient client;
+  Simulator sim(&client);
   EXPECT_FALSE(sim.Cancel(EventId()));
   EXPECT_FALSE(sim.Cancel(EventId(424242)));
 }
 
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  CallbackClient client;
+  Simulator sim(&client);
+  const uint16_t noop = client.Add([] {});
+  const EventId id = sim.ScheduleAt(Duration::Hours(1.0), noop);
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
 TEST(SimulatorTest, RunUntilAdvancesClockToHorizon) {
-  Simulator sim;
+  CallbackClient client;
+  Simulator sim(&client);
   int fired = 0;
-  sim.ScheduleAt(Duration::Hours(1.0), [&] { ++fired; });
-  sim.ScheduleAt(Duration::Hours(10.0), [&] { ++fired; });
+  const uint16_t count = client.Add([&] { ++fired; });
+  sim.ScheduleAt(Duration::Hours(1.0), count);
+  sim.ScheduleAt(Duration::Hours(10.0), count);
   sim.RunUntil(Duration::Hours(5.0));
   EXPECT_EQ(fired, 1);
   EXPECT_DOUBLE_EQ(sim.now().hours(), 5.0);
@@ -83,21 +123,41 @@ TEST(SimulatorTest, RunUntilAdvancesClockToHorizon) {
 }
 
 TEST(SimulatorTest, RunUntilBoundaryInclusive) {
-  Simulator sim;
+  CallbackClient client;
+  Simulator sim(&client);
   bool fired = false;
-  sim.ScheduleAt(Duration::Hours(5.0), [&] { fired = true; });
+  const uint16_t mark = client.Add([&] { fired = true; });
+  sim.ScheduleAt(Duration::Hours(5.0), mark);
   sim.RunUntil(Duration::Hours(5.0));
   EXPECT_TRUE(fired);
 }
 
-TEST(SimulatorTest, StopHaltsRun) {
-  Simulator sim;
+TEST(SimulatorTest, StepHonorsHorizon) {
+  CallbackClient client;
+  Simulator sim(&client);
   int fired = 0;
-  sim.ScheduleAt(Duration::Hours(1.0), [&] {
+  const uint16_t count = client.Add([&] { ++fired; });
+  sim.ScheduleAt(Duration::Hours(1.0), count);
+  sim.ScheduleAt(Duration::Hours(10.0), count);
+  EXPECT_TRUE(sim.Step(Duration::Hours(5.0)));
+  EXPECT_FALSE(sim.Step(Duration::Hours(5.0)));  // next event lies beyond
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().hours(), 1.0);  // Step never advances past events
+  EXPECT_TRUE(sim.Step());  // unbounded: fires the remaining event
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  CallbackClient client;
+  Simulator sim(&client);
+  int fired = 0;
+  const uint16_t stopper = client.Add([&] {
     ++fired;
     sim.Stop();
   });
-  sim.ScheduleAt(Duration::Hours(2.0), [&] { ++fired; });
+  const uint16_t count = client.Add([&] { ++fired; });
+  sim.ScheduleAt(Duration::Hours(1.0), stopper);
+  sim.ScheduleAt(Duration::Hours(2.0), count);
   sim.Run();
   EXPECT_EQ(fired, 1);
   EXPECT_TRUE(sim.stopped());
@@ -105,33 +165,46 @@ TEST(SimulatorTest, StopHaltsRun) {
 }
 
 TEST(SimulatorTest, StopHaltsRunUntilWithoutAdvancingClock) {
-  Simulator sim;
-  sim.ScheduleAt(Duration::Hours(1.0), [&] { sim.Stop(); });
+  CallbackClient client;
+  Simulator sim(&client);
+  const uint16_t stopper = client.Add([&] { sim.Stop(); });
+  sim.ScheduleAt(Duration::Hours(1.0), stopper);
   sim.RunUntil(Duration::Hours(100.0));
   EXPECT_DOUBLE_EQ(sim.now().hours(), 1.0);
 }
 
 TEST(SimulatorTest, PastSchedulingThrows) {
-  Simulator sim;
-  sim.ScheduleAt(Duration::Hours(2.0), [] {});
+  CallbackClient client;
+  Simulator sim(&client);
+  const uint16_t noop = client.Add([] {});
+  sim.ScheduleAt(Duration::Hours(2.0), noop);
   sim.Run();
-  EXPECT_THROW(sim.ScheduleAt(Duration::Hours(1.0), [] {}), std::invalid_argument);
-  EXPECT_THROW(sim.ScheduleAfter(Duration::Hours(-1.0), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.ScheduleAt(Duration::Hours(1.0), noop), std::invalid_argument);
+  EXPECT_THROW(sim.ScheduleAfter(Duration::Hours(-1.0), noop), std::invalid_argument);
 }
 
 TEST(SimulatorTest, InfiniteTimeThrows) {
+  CallbackClient client;
+  Simulator sim(&client);
+  const uint16_t noop = client.Add([] {});
+  EXPECT_THROW(sim.ScheduleAt(Duration::Infinite(), noop), std::invalid_argument);
+}
+
+TEST(SimulatorTest, SchedulingWithoutClientThrows) {
   Simulator sim;
-  EXPECT_THROW(sim.ScheduleAt(Duration::Infinite(), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.ScheduleAt(Duration::Hours(1.0), 0), std::logic_error);
 }
 
 TEST(SimulatorTest, CascadedSchedulingFromCallbacks) {
-  Simulator sim;
+  CallbackClient client;
+  Simulator sim(&client);
   int depth = 0;
-  std::function<void()> recurse = [&] {
+  uint16_t recurse = 0;
+  recurse = client.Add([&] {
     if (++depth < 100) {
       sim.ScheduleAfter(Duration::Hours(1.0), recurse);
     }
-  };
+  });
   sim.ScheduleAfter(Duration::Hours(1.0), recurse);
   sim.Run();
   EXPECT_EQ(depth, 100);
@@ -148,18 +221,20 @@ uint64_t SplitMix64NextForTest(uint64_t& state) {
 }
 
 TEST(SimulatorTest, ManyEventsStressOrdering) {
-  Simulator sim;
+  CallbackClient client;
+  Simulator sim(&client);
   uint64_t state = 987;
   Duration last = Duration::Zero();
   bool monotone = true;
+  const uint16_t check = client.Add([&] {
+    if (sim.now() < last) {
+      monotone = false;
+    }
+    last = sim.now();
+  });
   for (int i = 0; i < 20000; ++i) {
     const double t = static_cast<double>(SplitMix64NextForTest(state) % 1000000) / 100.0;
-    sim.ScheduleAt(Duration::Hours(t), [&] {
-      if (sim.now() < last) {
-        monotone = false;
-      }
-      last = sim.now();
-    });
+    sim.ScheduleAt(Duration::Hours(t), check);
   }
   sim.Run();
   EXPECT_TRUE(monotone);
