@@ -9,42 +9,62 @@
 // with every other experiment.
 
 #include <cstdio>
+#include <vector>
 
 #include "src/model/paper_model.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 namespace longstore {
 namespace {
 
+// The (n, m) geometries are not a Cartesian product, so the sweep uses an
+// explicit cell list; each cell's exact-CTMC solve runs on the shared
+// worker pool.
 void PrintComparison(const char* title, const FaultParams& p) {
   std::printf("--- %s ---\n", title);
-  struct Config {
+  struct Scheme {
     const char* name;
     int n;
     int m;
   };
-  const Config configs[] = {
+  const Scheme schemes[] = {
       {"2x replication", 2, 1},    {"3x replication", 3, 1},
       {"4x replication", 4, 1},    {"(4,2) erasure", 4, 2},
       {"(6,3) erasure", 6, 3},     {"(8,4) erasure", 8, 4},
       {"(8,2) erasure", 8, 2},     {"(12,3) erasure", 12, 3},
   };
+  SweepSpec spec;
+  for (const Scheme& scheme : schemes) {
+    StorageSimConfig config;
+    config.replica_count = scheme.n;
+    config.required_intact = scheme.m;
+    config.params = p;
+    spec.AddCell(scheme.name, config);
+  }
+  const std::vector<std::vector<std::string>> rows =
+      SweepRunner().Map(spec, [](const SweepSpec::Cell& cell) {
+        const int n = cell.config.replica_count;
+        const int m = cell.config.required_intact;
+        const ReplicatedChainBuilder chain(cell.config.params, n,
+                                           RateConvention::kPhysical, m);
+        const auto mttdl = chain.Mttdl();
+        const double loss = LossProbability(*mttdl, Duration::Years(50.0));
+        char overhead[16];
+        std::snprintf(overhead, sizeof(overhead), "%.1fx",
+                      static_cast<double>(n) / m);
+        return std::vector<std::string>{
+            cell.label, overhead, std::to_string(n - m) + " faults",
+            mttdl->is_infinite() ? "inf" : Table::FmtYears(mttdl->years(), 0),
+            Table::FmtSci(loss, 2)};
+      });
+
   Table table({"scheme", "overhead", "tolerates", "MTTDL (CTMC)",
                "P(loss in 50 y)"});
-  for (const Config& config : configs) {
-    const ReplicatedChainBuilder chain(p, config.n, RateConvention::kPhysical,
-                                       config.m);
-    const auto mttdl = chain.Mttdl();
-    const double loss = LossProbability(*mttdl, Duration::Years(50.0));
-    char overhead[16];
-    std::snprintf(overhead, sizeof(overhead), "%.1fx",
-                  static_cast<double>(config.n) / config.m);
-    table.AddRow({config.name, overhead,
-                  std::to_string(config.n - config.m) + " faults",
-                  mttdl->is_infinite() ? "inf" : Table::FmtYears(mttdl->years(), 0),
-                  Table::FmtSci(loss, 2)});
+  for (const std::vector<std::string>& row : rows) {
+    table.AddRow(row);
   }
   std::printf("%s\n", table.Render().c_str());
 }

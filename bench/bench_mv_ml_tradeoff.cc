@@ -9,10 +9,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "src/model/paper_model.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 int main() {
@@ -29,20 +31,45 @@ int main() {
   base.mdl = Duration::Hours(100.0);
 
   std::printf("Part 1: scale one axis at a time (other fixed at 1e6 h)\n");
+  // One factor axis; each cell evaluates both single-axis scalings on the
+  // shared worker pool (the growth ratios need the previous row, so they are
+  // derived sequentially from the mapped values afterwards).
+  StorageSimConfig base_config;
+  base_config.replica_count = 2;
+  base_config.params = base;
+  // The cell config carries the MV scaling; the Map callback derives the ML
+  // variant from the same factor.
+  SweepSpec scale_spec(base_config);
+  scale_spec.AddAxis("factor f");
+  for (double f : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    scale_spec.AddPoint(Table::Fmt(f, 2), f, [&base, f](StorageSimConfig& config) {
+      config.params = ScaleFaultTimes(base, f, 1.0);
+    });
+  }
+  struct ScaledPair {
+    std::string label;
+    double mv_years = 0.0;
+    double ml_years = 0.0;
+  };
+  const std::vector<ScaledPair> scaled =
+      SweepRunner().Map(scale_spec, [&base](const SweepSpec::Cell& cell) {
+        const double f = cell.value("factor f");
+        return ScaledPair{cell.label, MttdlClosedForm(cell.config.params).years(),
+                          MttdlClosedForm(ScaleFaultTimes(base, 1.0, f)).years()};
+      });
+
   Table scale({"factor f", "MV = f*1e6 h: MTTDL", "growth", "ML = f*1e6 h: MTTDL",
                "growth"});
   double previous_mv = 0.0;
   double previous_ml = 0.0;
-  for (double f : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    const Duration mv_scaled = MttdlClosedForm(ScaleFaultTimes(base, f, 1.0));
-    const Duration ml_scaled = MttdlClosedForm(ScaleFaultTimes(base, 1.0, f));
+  for (const ScaledPair& pair : scaled) {
     scale.AddRow(
-        {Table::Fmt(f, 2), Table::FmtYears(mv_scaled.years(), 0),
-         previous_mv > 0.0 ? Table::Fmt(mv_scaled.years() / previous_mv, 3) + "x" : "",
-         Table::FmtYears(ml_scaled.years(), 0),
-         previous_ml > 0.0 ? Table::Fmt(ml_scaled.years() / previous_ml, 3) + "x" : ""});
-    previous_mv = mv_scaled.years();
-    previous_ml = ml_scaled.years();
+        {pair.label, Table::FmtYears(pair.mv_years, 0),
+         previous_mv > 0.0 ? Table::Fmt(pair.mv_years / previous_mv, 3) + "x" : "",
+         Table::FmtYears(pair.ml_years, 0),
+         previous_ml > 0.0 ? Table::Fmt(pair.ml_years / previous_ml, 3) + "x" : ""});
+    previous_mv = pair.mv_years;
+    previous_ml = pair.ml_years;
   }
   std::printf("%s", scale.Render().c_str());
   std::printf("\nDoubling the *scarce* axis roughly quadruples MTTDL below the "
@@ -52,21 +79,40 @@ int main() {
   std::printf("Part 2: anti-correlated trade MV' = f*MV, ML' = ML/f (e.g. media or\n"
               "controller choices that trade silent corruption for whole-drive "
               "failures)\n");
+  SweepSpec trade_spec(base_config);
+  trade_spec.AddAxis("f (visible bias)");
+  for (double f : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    trade_spec.AddPoint(Table::Fmt(f, 3), f, [&base, f](StorageSimConfig& config) {
+      config.params = ScaleFaultTimes(base, f, 1.0 / f);
+    });
+  }
+  struct TradeRow {
+    double f = 0.0;
+    double eq8_years = 0.0;
+    std::vector<std::string> cells;
+  };
+  const std::vector<TradeRow> trade_rows =
+      SweepRunner().Map(trade_spec, [](const SweepSpec::Cell& cell) {
+        const FaultParams& p = cell.config.params;
+        const Duration eq8 = MttdlClosedForm(p);
+        const auto ctmc = MirroredMttdl(p, RateConvention::kPhysical);
+        return TradeRow{cell.value("f (visible bias)"),
+                        eq8.years(),
+                        {cell.label, Table::FmtSci(p.mv.hours(), 1) + " h",
+                         Table::FmtSci(p.ml.hours(), 1) + " h",
+                         Table::FmtYears(eq8.years(), 0),
+                         Table::FmtYears(ctmc->years(), 0)}};
+      });
+
   Table trade({"f (visible bias)", "MV'", "ML'", "eq 8 MTTDL", "CTMC (physical)"});
   double best_f = 0.0;
   double best_mttdl = 0.0;
-  for (double f : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    const FaultParams p = ScaleFaultTimes(base, f, 1.0 / f);
-    const Duration eq8 = MttdlClosedForm(p);
-    const auto ctmc = MirroredMttdl(p, RateConvention::kPhysical);
-    if (eq8.years() > best_mttdl) {
-      best_mttdl = eq8.years();
-      best_f = f;
+  for (const TradeRow& row : trade_rows) {
+    if (row.eq8_years > best_mttdl) {
+      best_mttdl = row.eq8_years;
+      best_f = row.f;
     }
-    trade.AddRow({Table::Fmt(f, 3), Table::FmtSci(p.mv.hours(), 1) + " h",
-                  Table::FmtSci(p.ml.hours(), 1) + " h",
-                  Table::FmtYears(eq8.years(), 0),
-                  Table::FmtYears(ctmc->years(), 0)});
+    trade.AddRow(row.cells);
   }
   std::printf("%s", trade.Render().c_str());
   std::printf(

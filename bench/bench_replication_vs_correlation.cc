@@ -9,37 +9,71 @@
 // convention) exposing the cascade regime where replication *backfires*.
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "src/model/paper_model.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 namespace longstore {
 namespace {
 
+constexpr double kAlphas[] = {1.0, 0.1, 0.01, 0.001};
+
+// The replicas x alpha grid as a two-axis sweep; each cell's exact-CTMC
+// solve runs concurrently on the shared worker pool (24 GTH eliminations
+// per grid, one per cell).
 void PrintGrid(const char* title, const FaultParams& base,
                RateConvention convention, bool show_eq12) {
   std::printf("--- %s ---\n", title);
+  StorageSimConfig base_config;
+  base_config.params = base;
+  base_config.convention = convention;
+  SweepSpec spec(base_config);
+  spec.AddAxis("replicas");
+  for (int r = 1; r <= 6; ++r) {
+    spec.AddPoint(std::to_string(r), static_cast<double>(r),
+                  [r](StorageSimConfig& config) { config.replica_count = r; });
+  }
+  spec.AddAxis("alpha");
+  for (double alpha : kAlphas) {
+    spec.AddPoint("alpha=" + Table::Fmt(alpha, 3), alpha,
+                  [alpha](StorageSimConfig& config) {
+                    config.params = WithCorrelation(config.params, alpha);
+                  });
+  }
+
+  const std::vector<std::string> grid_cells =
+      SweepRunner().Map(spec, [&](const SweepSpec::Cell& cell) -> std::string {
+        const FaultParams& p = cell.config.params;
+        const int r = cell.config.replica_count;
+        const ReplicatedChainBuilder chain(p, r, convention);
+        const auto mttdl = chain.Mttdl();
+        auto fmt_years = [](const Duration& d) -> std::string {
+          if (d.is_infinite()) {
+            return "inf";
+          }
+          return d.years() < 1e5 ? Table::FmtYears(d.years(), 1)
+                                 : Table::FmtSci(d.years(), 2) + " y";
+        };
+        std::string text = fmt_years(*mttdl);
+        if (show_eq12 && r >= 2) {
+          text += " (eq12 " + fmt_years(MttdlReplicated(p, r)) + ")";
+        }
+        return text;
+      });
+
+  // Cells are row-major (replicas outer, alpha inner): row r starts at
+  // index r * |alphas|.
+  constexpr size_t kAlphaCount = std::size(kAlphas);
   Table table({"replicas", "alpha=1", "alpha=0.1", "alpha=0.01", "alpha=0.001"});
   for (int r = 1; r <= 6; ++r) {
     std::vector<std::string> row = {std::to_string(r)};
-    for (double alpha : {1.0, 0.1, 0.01, 0.001}) {
-      const FaultParams p = WithCorrelation(base, alpha);
-      const ReplicatedChainBuilder chain(p, r, convention);
-      const auto mttdl = chain.Mttdl();
-      auto fmt_years = [](const Duration& d) -> std::string {
-        if (d.is_infinite()) {
-          return "inf";
-        }
-        return d.years() < 1e5 ? Table::FmtYears(d.years(), 1)
-                               : Table::FmtSci(d.years(), 2) + " y";
-      };
-      std::string cell = fmt_years(*mttdl);
-      if (show_eq12 && r >= 2) {
-        cell += " (eq12 " + fmt_years(MttdlReplicated(p, r)) + ")";
-      }
-      row.push_back(std::move(cell));
+    for (size_t a = 0; a < kAlphaCount; ++a) {
+      row.push_back(grid_cells[static_cast<size_t>(r - 1) * kAlphaCount + a]);
     }
     table.AddRow(std::move(row));
   }

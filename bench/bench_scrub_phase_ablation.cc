@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "src/mc/monte_carlo.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 namespace longstore {
@@ -28,13 +28,6 @@ StorageSimConfig BaseConfig() {
   return config;
 }
 
-double MttdlHours(const StorageSimConfig& config, uint64_t seed) {
-  McConfig mc;
-  mc.trials = 8000;
-  mc.seed = seed;
-  return EstimateMttdl(config, mc).mean_years() * kHoursPerYear;
-}
-
 }  // namespace
 }  // namespace longstore
 
@@ -46,13 +39,29 @@ int main() {
 
   std::printf("Part 1: periodic vs Poisson audits, both with MDL = 40 h "
               "(time-compressed mirror)\n");
+  // Both audit shapes run as one sweep (kSharedRoot: seed 151 names the same
+  // trial streams for each policy, the pre-sweep convention).
+  SweepSpec shape_spec(BaseConfig());
+  shape_spec.AddAxis("audit policy")
+      .AddPoint("poisson", 0.0,
+                [](StorageSimConfig& config) {
+                  config.scrub = ScrubPolicy::Exponential(Duration::Hours(40.0));
+                })
+      .AddPoint("periodic", 1.0, [](StorageSimConfig& config) {
+        config.scrub = ScrubPolicy::Periodic(Duration::Hours(80.0));  // same mean
+      });
+  SweepOptions shape_options;
+  shape_options.estimand = SweepOptions::Estimand::kMttdl;
+  shape_options.mc.trials = 8000;
+  shape_options.mc.seed = 151;
+  shape_options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  const SweepResult shape_sweep = SweepRunner().Run(shape_spec, shape_options);
+  const double poisson_mttdl =
+      shape_sweep.ByLabel("poisson").mttdl->mean_years() * kHoursPerYear;
+  const double periodic_mttdl =
+      shape_sweep.ByLabel("periodic").mttdl->mean_years() * kHoursPerYear;
+
   Table shape({"audit policy", "MTTDL (MC)", "vs Poisson"});
-  StorageSimConfig poisson = BaseConfig();
-  poisson.scrub = ScrubPolicy::Exponential(Duration::Hours(40.0));
-  StorageSimConfig periodic = BaseConfig();
-  periodic.scrub = ScrubPolicy::Periodic(Duration::Hours(80.0));  // same mean
-  const double poisson_mttdl = MttdlHours(poisson, 151);
-  const double periodic_mttdl = MttdlHours(periodic, 151);
   shape.AddRow({"Poisson, mean spacing 40 h", Table::Fmt(poisson_mttdl, 4) + " h",
                 "1.00x"});
   shape.AddRow({"periodic, every 80 h", Table::Fmt(periodic_mttdl, 4) + " h",
@@ -78,13 +87,21 @@ int main() {
         /*visible_fraction=*/0.0});
     return config;
   };
+  SweepSpec worm_spec;
+  worm_spec.AddCell("staggered", worm_config(true));
+  worm_spec.AddCell("aligned", worm_config(false));
+  SweepOptions worm_options;
+  worm_options.estimand = SweepOptions::Estimand::kLossProbability;
+  worm_options.mission = Duration::Years(20.0);
+  worm_options.mc.trials = 8000;
+  worm_options.mc.seed = 173;
+  worm_options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  const SweepResult worm_sweep = SweepRunner().Run(worm_spec, worm_options);
+
   Table phases({"phase layout", "P(loss in 20 y)", "mean detection latency"});
   for (bool staggered : {true, false}) {
-    McConfig mc;
-    mc.trials = 8000;
-    mc.seed = 173;
-    const LossProbabilityEstimate estimate =
-        EstimateLossProbability(worm_config(staggered), Duration::Years(20.0), mc);
+    const LossProbabilityEstimate& estimate =
+        *worm_sweep.ByLabel(staggered ? "staggered" : "aligned").loss;
     phases.AddRow(
         {staggered ? "staggered (audits spread across the period)"
                    : "aligned (all replicas audited together)",

@@ -9,9 +9,9 @@
 
 #include <cstdio>
 
-#include "src/mc/monte_carlo.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
+#include "src/sweep/sweep.h"
 #include "src/threats/independence.h"
 #include "src/threats/threat_catalog.h"
 #include "src/util/table.h"
@@ -19,18 +19,15 @@
 namespace longstore {
 namespace {
 
-double SimulatedLoss(const std::vector<ReplicaProfile>& profiles,
-                     const FaultParams& hardware) {
+StorageSimConfig CommonModeConfig(const std::vector<ReplicaProfile>& profiles,
+                                  const FaultParams& hardware) {
   StorageSimConfig config;
   config.replica_count = static_cast<int>(profiles.size());
   config.params = hardware;
   config.params.alpha = 1.0;  // correlation comes from common-mode events here
   config.scrub = ScrubPolicy::PeriodicPerYear(12.0);
   config.common_mode = BuildCommonModeSources(profiles, SharedRiskRates::Defaults());
-  McConfig mc;
-  mc.trials = 2000;
-  mc.seed = 99;
-  return EstimateLossProbability(config, Duration::Years(50.0), mc).probability();
+  return config;
 }
 
 }  // namespace
@@ -52,24 +49,47 @@ int main() {
       IndependenceDimension::kHardwareBatch,  IndependenceDimension::kOrganization,
   };
 
+  // Build every deployment step's configuration first, then run all the
+  // common-mode simulations as one sweep on the shared worker pool
+  // (kSharedRoot: seed 99 names the same trial streams in every cell, the
+  // pre-sweep one-call-per-step convention).
   std::vector<ReplicaProfile> profiles = SingleSiteProfiles(3);
-  Table table({"deployment step", "alpha", "MTTDL (alpha model)",
-               "P(loss 50 y, common-mode sim)"});
-  auto add_row = [&](const std::string& name) {
+  struct Step {
+    std::string name;
+    double alpha;
+  };
+  std::vector<Step> steps;
+  SweepSpec spec;
+  auto add_step = [&](const std::string& name) {
     const double alpha = std::max(MinPairwiseAlpha(profiles, factors), 1e-9);
-    const FaultParams p = WithCorrelation(hardware, alpha);
-    const ReplicatedChainBuilder chain(p, 3, RateConvention::kPhysical);
-    table.AddRow({name, Table::Fmt(alpha, 3),
-                  Table::FmtYears(chain.Mttdl()->years(), 0),
-                  Table::Fmt(SimulatedLoss(profiles, hardware), 4)});
+    steps.push_back(Step{name, alpha});
+    spec.AddCell(name, CommonModeConfig(profiles, hardware));
   };
 
-  add_row("everything shared (one room, one admin, one batch)");
+  add_step("everything shared (one room, one admin, one batch)");
   for (IndependenceDimension dimension : release_order) {
     for (size_t i = 0; i < profiles.size(); ++i) {
       profiles[i].Set(dimension, "independent-" + std::to_string(i));
     }
-    add_row(std::string("+ separate ") + std::string(IndependenceDimensionName(dimension)));
+    add_step(std::string("+ separate ") + std::string(IndependenceDimensionName(dimension)));
+  }
+
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kLossProbability;
+  options.mission = Duration::Years(50.0);
+  options.mc.trials = 2000;
+  options.mc.seed = 99;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  const SweepResult sweep = SweepRunner().Run(spec, options);
+
+  Table table({"deployment step", "alpha", "MTTDL (alpha model)",
+               "P(loss 50 y, common-mode sim)"});
+  for (const Step& step : steps) {
+    const FaultParams p = WithCorrelation(hardware, step.alpha);
+    const ReplicatedChainBuilder chain(p, 3, RateConvention::kPhysical);
+    table.AddRow({step.name, Table::Fmt(step.alpha, 3),
+                  Table::FmtYears(chain.Mttdl()->years(), 0),
+                  Table::Fmt(sweep.ByLabel(step.name).loss->probability(), 4)});
   }
   std::printf("%s", table.Render().c_str());
 

@@ -10,7 +10,7 @@
 
 #include "src/drives/drive_specs.h"
 #include "src/drives/offline_media.h"
-#include "src/mc/monte_carlo.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 int main() {
@@ -36,18 +36,30 @@ int main() {
       {"periodic scrub weekly", ScrubPolicy::PeriodicPerYear(52.0)},
   };
 
+  // One sweep runs all six detection strategies' trials together on the
+  // shared worker pool (kSharedRoot: seed 7 names the same trial streams in
+  // every cell, matching the original one-call-per-strategy output).
+  SweepSpec spec;
+  spec.AddAxis("strategy");
+  for (const Strategy& strategy : strategies) {
+    spec.AddPoint(strategy.name, 0.0, [&drive, &strategy](StorageSimConfig& config) {
+      config.replica_count = 3;
+      config.params = OnlineReplicaParams(drive, strategy.policy, 5.0);
+      config.scrub = strategy.policy;
+    });
+  }
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kLossProbability;
+  options.mission = Duration::Years(50.0);
+  options.mc.trials = 2000;
+  options.mc.seed = 7;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  const SweepResult sweep = SweepRunner().Run(spec, options);
+
   Table table({"strategy", "policy MDL", "measured MDL", "latent found",
                "P(survive 50 y)"});
   for (const Strategy& strategy : strategies) {
-    StorageSimConfig config;
-    config.replica_count = 3;
-    config.params = OnlineReplicaParams(drive, strategy.policy, 5.0);
-    config.scrub = strategy.policy;
-    McConfig mc;
-    mc.trials = 2000;
-    mc.seed = 7;
-    const LossProbabilityEstimate estimate =
-        EstimateLossProbability(config, Duration::Years(50.0), mc);
+    const LossProbabilityEstimate& estimate = *sweep.ByLabel(strategy.name).loss;
     const RunningStats& latency =
         estimate.aggregate_metrics.detection_latency_hours;
     table.AddRow(

@@ -1,215 +1,51 @@
+// Thin wrappers over the sweep engine: every estimator is a one-cell sweep
+// executed on the shared WorkerPool (src/sweep/), with the root seed used
+// directly so trial k draws from the stream DeriveSeed(seed, k) — exactly
+// the contract the header documents. The per-call thread spawn/join that
+// used to live here is gone; parallelism, deterministic block aggregation,
+// and adaptive stopping are all the sweep engine's.
+
 #include "src/mc/monte_carlo.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <atomic>
 #include <stdexcept>
-#include <thread>
-#include <vector>
 
-#include "src/util/random.h"
+#include "src/sweep/sweep.h"
 
 namespace longstore {
 namespace {
 
-int ResolveThreadCount(const McConfig& mc) {
-  if (mc.threads > 0) {
-    return mc.threads;
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+SweepOptions BaseOptions(const McConfig& mc) {
+  SweepOptions options;
+  options.mc = mc;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  return options;
 }
-
-// Runs `body(runner, trial_index, acc)` for every trial, split across worker
-// threads with a shared atomic counter (dynamic load balancing: trials have
-// very uneven event counts). Each worker owns an accumulator merged at the
-// end, plus one TrialRunner (simulator + system + rng) reused across all of
-// its trials — the per-trial cost is a Reset(), not a reconstruction, and the
-// config (validated once by the caller) is never re-validated.
-template <typename Accumulator, typename Body>
-Accumulator RunTrials(const StorageSimConfig& config, int64_t trials, int threads,
-                      Body&& body) {
-  if (trials <= 0) {
-    throw std::invalid_argument("Monte Carlo: trials must be positive");
-  }
-  threads = static_cast<int>(std::max<int64_t>(1, std::min<int64_t>(threads, trials)));
-  if (threads == 1) {
-    TrialRunner runner(config, ConfigValidation::kPreValidated);
-    Accumulator acc;
-    for (int64_t t = 0; t < trials; ++t) {
-      body(runner, t, acc);
-    }
-    return acc;
-  }
-  std::vector<Accumulator> partials(static_cast<size_t>(threads));
-  std::atomic<int64_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(threads));
-  for (int w = 0; w < threads; ++w) {
-    workers.emplace_back([&, w] {
-      TrialRunner runner(config, ConfigValidation::kPreValidated);
-      Accumulator& acc = partials[static_cast<size_t>(w)];
-      while (true) {
-        const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
-        if (t >= trials) {
-          break;
-        }
-        body(runner, t, acc);
-      }
-    });
-  }
-  for (auto& worker : workers) {
-    worker.join();
-  }
-  Accumulator total;
-  for (auto& partial : partials) {
-    total.MergeFrom(partial);
-  }
-  return total;
-}
-
-struct MttdlAccumulator {
-  RunningStats loss_years;
-  int64_t censored = 0;
-  SimMetrics metrics;
-
-  void MergeFrom(const MttdlAccumulator& other) {
-    loss_years.Merge(other.loss_years);
-    censored += other.censored;
-    metrics.Merge(other.metrics);
-  }
-};
-
-struct LossAccumulator {
-  int64_t losses = 0;
-  SimMetrics metrics;
-
-  void MergeFrom(const LossAccumulator& other) {
-    losses += other.losses;
-    metrics.Merge(other.metrics);
-  }
-};
 
 }  // namespace
 
 MttdlEstimate EstimateMttdl(const StorageSimConfig& config, const McConfig& mc) {
-  if (auto error = config.Validate()) {
-    throw std::invalid_argument("StorageSimConfig: " + *error);
-  }
-  const int threads = ResolveThreadCount(mc);
-  auto acc = RunTrials<MttdlAccumulator>(
-      config, mc.trials, threads,
-      [&](TrialRunner& runner, int64_t trial, MttdlAccumulator& a) {
-        const uint64_t seed = DeriveSeed(mc.seed, static_cast<uint64_t>(trial));
-        const RunOutcome outcome = runner.Run(seed, mc.max_trial_time);
-        if (outcome.loss_time) {
-          a.loss_years.Add(outcome.loss_time->years());
-        } else {
-          a.censored++;
-        }
-        a.metrics.Merge(outcome.metrics);
-      });
-
-  MttdlEstimate estimate;
-  estimate.loss_time_years = acc.loss_years;
-  estimate.censored_trials = acc.censored;
-  estimate.ci_years = MeanConfidenceInterval(acc.loss_years, mc.confidence);
-  estimate.aggregate_metrics = acc.metrics;
-  return estimate;
+  SweepOptions options = BaseOptions(mc);
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  return *result.cells.front().mttdl;
 }
 
 LossProbabilityEstimate EstimateLossProbability(const StorageSimConfig& config,
                                                 Duration mission, const McConfig& mc) {
-  if (auto error = config.Validate()) {
-    throw std::invalid_argument("StorageSimConfig: " + *error);
-  }
-  if (!(mission.hours() > 0.0) || mission.is_infinite()) {
-    throw std::invalid_argument("EstimateLossProbability: mission must be positive finite");
-  }
-  const int threads = ResolveThreadCount(mc);
-  auto acc = RunTrials<LossAccumulator>(
-      config, mc.trials, threads,
-      [&](TrialRunner& runner, int64_t trial, LossAccumulator& a) {
-        const uint64_t seed = DeriveSeed(mc.seed, static_cast<uint64_t>(trial));
-        const RunOutcome outcome = runner.Run(seed, mission);
-        if (outcome.loss_time) {
-          a.losses++;
-        }
-        a.metrics.Merge(outcome.metrics);
-      });
-
-  LossProbabilityEstimate estimate;
-  estimate.trials = mc.trials;
-  estimate.losses = acc.losses;
-  estimate.wilson_ci = WilsonInterval(acc.losses, mc.trials, mc.confidence);
-  estimate.aggregate_metrics = acc.metrics;
-  return estimate;
+  SweepOptions options = BaseOptions(mc);
+  options.estimand = SweepOptions::Estimand::kLossProbability;
+  options.mission = mission;
+  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  return *result.cells.front().loss;
 }
-
-namespace {
-
-struct CensoredAccumulator {
-  int64_t losses = 0;
-  double observed_years = 0.0;
-  SimMetrics metrics;
-
-  void MergeFrom(const CensoredAccumulator& other) {
-    losses += other.losses;
-    observed_years += other.observed_years;
-    metrics.Merge(other.metrics);
-  }
-};
-
-}  // namespace
 
 CensoredMttdlEstimate EstimateMttdlCensored(const StorageSimConfig& config,
                                             Duration window, const McConfig& mc) {
-  if (auto error = config.Validate()) {
-    throw std::invalid_argument("StorageSimConfig: " + *error);
-  }
-  if (!(window.hours() > 0.0) || window.is_infinite()) {
-    throw std::invalid_argument("EstimateMttdlCensored: window must be positive finite");
-  }
-  const int threads = ResolveThreadCount(mc);
-  auto acc = RunTrials<CensoredAccumulator>(
-      config, mc.trials, threads,
-      [&](TrialRunner& runner, int64_t trial, CensoredAccumulator& a) {
-        const uint64_t seed = DeriveSeed(mc.seed, static_cast<uint64_t>(trial));
-        const RunOutcome outcome = runner.Run(seed, window);
-        if (outcome.loss_time) {
-          a.losses++;
-          a.observed_years += outcome.loss_time->years();
-        } else {
-          a.observed_years += window.years();
-        }
-        a.metrics.Merge(outcome.metrics);
-      });
-
-  CensoredMttdlEstimate estimate;
-  estimate.trials = mc.trials;
-  estimate.losses = acc.losses;
-  estimate.observed_years = acc.observed_years;
-  estimate.aggregate_metrics = acc.metrics;
-  if (acc.losses > 0) {
-    estimate.mttdl = Duration::Years(acc.observed_years / static_cast<double>(acc.losses));
-    // Normal approximation to the Poisson count d: MTTDL in T/(d +/- z*sqrt(d)).
-    const double z = NormalQuantileTwoSided(mc.confidence);
-    const double d = static_cast<double>(acc.losses);
-    const double hi_count = d + z * std::sqrt(d);
-    const double lo_count = d - z * std::sqrt(d);
-    estimate.ci_years.lo = acc.observed_years / hi_count;
-    estimate.ci_years.hi = lo_count > 0.0
-                               ? acc.observed_years / lo_count
-                               : std::numeric_limits<double>::infinity();
-  } else {
-    estimate.mttdl = Duration::Infinite();
-    // Rule of three: zero losses over T observed years puts MTTDL above T/3
-    // at 95% confidence (P(0 losses) = exp(-T/MTTDL) = 0.05).
-    estimate.ci_years.lo = acc.observed_years / 3.0;
-    estimate.ci_years.hi = std::numeric_limits<double>::infinity();
-  }
-  return estimate;
+  SweepOptions options = BaseOptions(mc);
+  options.estimand = SweepOptions::Estimand::kCensoredMttdl;
+  options.window = window;
+  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  return *result.cells.front().censored;
 }
 
 MttdlEstimate EstimateMttdlToPrecision(const StorageSimConfig& config, McConfig mc,
@@ -217,28 +53,13 @@ MttdlEstimate EstimateMttdlToPrecision(const StorageSimConfig& config, McConfig 
   if (!(relative_precision > 0.0)) {
     throw std::invalid_argument("relative_precision must be positive");
   }
-  MttdlEstimate estimate;
-  int64_t trials = std::min<int64_t>(mc.trials, max_trials);
-  uint64_t round = 0;
-  while (true) {
-    McConfig round_config = mc;
-    round_config.trials = trials;
-    // A fresh derived seed per round keeps rounds independent; the final
-    // round's estimate is the one returned.
-    round_config.seed = DeriveSeed(mc.seed, 0xfeedface + round);
-    estimate = EstimateMttdl(config, round_config);
-    const double mean = estimate.mean_years();
-    const double half_width = (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0;
-    if (mean > 0.0 && half_width / mean <= relative_precision) {
-      break;
-    }
-    if (trials >= max_trials) {
-      break;
-    }
-    trials = std::min<int64_t>(max_trials, trials * 4);
-    ++round;
-  }
-  return estimate;
+  SweepOptions options = BaseOptions(mc);
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  options.adaptive = true;
+  options.relative_precision = relative_precision;
+  options.max_trials = max_trials;  // validated (positive) by SweepRunner::Run
+  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  return *result.cells.front().mttdl;
 }
 
 }  // namespace longstore

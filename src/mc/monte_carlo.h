@@ -1,8 +1,13 @@
 // Monte Carlo estimation of MTTDL and mission-loss probability by repeated
 // simulation of the replicated-storage system.
 //
-// Determinism: trial k always uses the stream DeriveSeed(seed, k), so results
-// are bit-identical regardless of thread count or scheduling.
+// Every estimator here is a thin wrapper over the sweep engine
+// (src/sweep/): trials run as fixed-size blocks on the process-wide
+// WorkerPool instead of per-call spawned threads, and block accumulators are
+// folded in trial order. Determinism: trial k always uses the stream
+// DeriveSeed(seed, k) and the fold structure depends only on the trial
+// count, so estimates are bit-identical regardless of thread count and
+// scheduling — including the aggregate mean/CI, not just per-trial outcomes.
 
 #ifndef LONGSTORE_SRC_MC_MONTE_CARLO_H_
 #define LONGSTORE_SRC_MC_MONTE_CARLO_H_
@@ -20,7 +25,8 @@ namespace longstore {
 struct McConfig {
   int64_t trials = 10000;
   uint64_t seed = 0x10ca1c0ffee;
-  // 0 = use hardware concurrency.
+  // Caps the worker-pool lanes used for this estimate; 0 = all pool workers
+  // (hardware concurrency). Never changes results, only wall clock.
   int threads = 0;
   // Safety cap per MTTDL trial; trials that survive this long are censored
   // (counted, and a lower-bound estimate is reported).
@@ -58,9 +64,12 @@ MttdlEstimate EstimateMttdl(const StorageSimConfig& config, const McConfig& mc);
 LossProbabilityEstimate EstimateLossProbability(const StorageSimConfig& config,
                                                 Duration mission, const McConfig& mc);
 
-// Runs EstimateMttdl with geometrically growing trial counts until the CI
-// half-width falls below `relative_precision` of the mean (or `max_trials` is
-// reached). Returns the final estimate.
+// Runs trials in geometrically growing rounds (mc.trials, then x4 per
+// round) until the CI half-width falls below `relative_precision` of the
+// mean or `max_trials` is reached, and returns the final estimate. Rounds
+// accumulate: trials from earlier rounds are kept (the trial-index stream
+// simply extends), so reaching precision p costs exactly the trials the
+// final estimate is built from — not a fresh restart per round.
 MttdlEstimate EstimateMttdlToPrecision(const StorageSimConfig& config, McConfig mc,
                                        double relative_precision, int64_t max_trials);
 

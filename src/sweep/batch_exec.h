@@ -1,0 +1,103 @@
+// Deterministic block-structured trial execution on a WorkerPool.
+//
+// Trials are partitioned into fixed-size blocks aligned to the absolute
+// trial index (block b covers trials [b*256, (b+1)*256)), each block is one
+// work unit, and each block owns its own accumulator. The caller folds block
+// accumulators together *in block order* after execution. Because the block
+// partition and the fold order depend only on the trial range — never on the
+// thread count, the lane schedule, or which worker ran which block — the
+// aggregate is bit-identical for any parallelism, which is the determinism
+// contract SweepRunner and the Monte Carlo estimators advertise.
+//
+// Each lane lazily constructs one TrialRunner per job (simulator + system +
+// rng, reused across all of that job's blocks the lane executes), preserving
+// the reuse economics of the allocation-free engine: per-trial cost is a
+// Reset, not a reconstruction.
+
+#ifndef LONGSTORE_SRC_SWEEP_BATCH_EXEC_H_
+#define LONGSTORE_SRC_SWEEP_BATCH_EXEC_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/storage/replicated_system.h"
+#include "src/sweep/worker_pool.h"
+
+namespace longstore {
+
+// Fixed block size: 256 trials amortize the scheduling atomics while keeping
+// enough blocks for load balancing on bench-sized trial counts. Changing
+// this value changes the (deterministic) fold structure and therefore the
+// last-ulp aggregate values; treat it as part of the determinism contract.
+inline constexpr int64_t kTrialBlockSize = 256;
+
+// One contiguous trial range executed for one job. `blocks` is sized and
+// filled by RunTrialBlocks; entries are in ascending trial order and must be
+// folded in that order by the caller.
+template <typename Accumulator>
+struct TrialBatchJob {
+  const StorageSimConfig* config = nullptr;  // pre-validated by the caller
+  int64_t begin_trial = 0;                   // inclusive, absolute index
+  int64_t end_trial = 0;                     // exclusive
+  std::vector<Accumulator> blocks;
+};
+
+// Runs body(runner, job_index, trial_index, block_accumulator) for every
+// trial of every job, split into index-aligned blocks executed on `pool`
+// with at most `lanes` concurrent lanes. Blocks of different jobs are
+// interleaved in one work list with no barrier between jobs, so a slow job
+// cannot strand workers that finished a fast one.
+template <typename Accumulator, typename Body>
+void RunTrialBlocks(WorkerPool& pool, int lanes,
+                    std::vector<TrialBatchJob<Accumulator>>& jobs, const Body& body) {
+  struct Unit {
+    size_t job;
+    int64_t begin;
+    int64_t end;
+    size_t slot;
+  };
+  std::vector<Unit> units;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    TrialBatchJob<Accumulator>& job = jobs[j];
+    job.blocks.clear();
+    int64_t begin = job.begin_trial;
+    while (begin < job.end_trial) {
+      const int64_t aligned_end = (begin / kTrialBlockSize + 1) * kTrialBlockSize;
+      const int64_t end = std::min(job.end_trial, aligned_end);
+      units.push_back(Unit{j, begin, end, job.blocks.size()});
+      job.blocks.emplace_back();
+      begin = end;
+    }
+  }
+  if (units.empty()) {
+    return;
+  }
+  lanes = std::max(1, std::min<int>(lanes, static_cast<int>(units.size())));
+  std::atomic<size_t> next{0};
+  pool.RunLanes(lanes, [&](int) {
+    std::vector<std::unique_ptr<TrialRunner>> runners(jobs.size());
+    while (true) {
+      const size_t u = next.fetch_add(1, std::memory_order_relaxed);
+      if (u >= units.size()) {
+        break;
+      }
+      const Unit& unit = units[u];
+      TrialBatchJob<Accumulator>& job = jobs[unit.job];
+      std::unique_ptr<TrialRunner>& runner = runners[unit.job];
+      if (!runner) {
+        runner = std::make_unique<TrialRunner>(*job.config, ConfigValidation::kPreValidated);
+      }
+      Accumulator& acc = job.blocks[unit.slot];
+      for (int64_t t = unit.begin; t < unit.end; ++t) {
+        body(*runner, unit.job, t, acc);
+      }
+    }
+  });
+}
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_SWEEP_BATCH_EXEC_H_

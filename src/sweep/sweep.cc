@@ -1,0 +1,563 @@
+#include "src/sweep/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/sweep/batch_exec.h"
+#include "src/util/random.h"
+#include "src/util/stats.h"
+
+namespace longstore {
+namespace {
+
+// Stable 64-bit FNV-1a over the cell label: the cell's seed identity in
+// kPerCellDerived mode. Tied to the label (not the cell's position) so that
+// shuffling the order cells are added to a spec cannot change any estimate.
+uint64_t HashLabel(const std::string& label) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// One accumulator type serves all three estimands (only the active one's
+// fields are touched); keeping a single type lets every sweep share the
+// block executor.
+struct TrialAccumulator {
+  // kMttdl
+  RunningStats loss_years;
+  int64_t censored = 0;
+  // kLossProbability
+  int64_t losses = 0;
+  // kCensoredMttdl
+  double observed_years = 0.0;
+
+  SimMetrics metrics;
+
+  void MergeFrom(const TrialAccumulator& other) {
+    loss_years.Merge(other.loss_years);
+    censored += other.censored;
+    losses += other.losses;
+    observed_years += other.observed_years;
+    metrics.Merge(other.metrics);
+  }
+};
+
+struct CellState {
+  SweepSpec::Cell cell;
+  uint64_t seed = 0;
+  TrialAccumulator acc;  // fold of all completed blocks, in trial order
+  int64_t trials_done = 0;
+  int64_t target = 0;
+  bool converged = false;
+  int rounds = 0;
+  std::vector<double> half_widths;
+};
+
+MttdlEstimate FinalizeMttdl(const TrialAccumulator& acc, double confidence) {
+  MttdlEstimate estimate;
+  estimate.loss_time_years = acc.loss_years;
+  estimate.censored_trials = acc.censored;
+  estimate.ci_years = MeanConfidenceInterval(acc.loss_years, confidence);
+  estimate.aggregate_metrics = acc.metrics;
+  return estimate;
+}
+
+LossProbabilityEstimate FinalizeLoss(const TrialAccumulator& acc, int64_t trials,
+                                     double confidence) {
+  LossProbabilityEstimate estimate;
+  estimate.trials = trials;
+  estimate.losses = acc.losses;
+  estimate.wilson_ci = WilsonInterval(acc.losses, trials, confidence);
+  estimate.aggregate_metrics = acc.metrics;
+  return estimate;
+}
+
+CensoredMttdlEstimate FinalizeCensored(const TrialAccumulator& acc, int64_t trials,
+                                       double confidence) {
+  CensoredMttdlEstimate estimate;
+  estimate.trials = trials;
+  estimate.losses = acc.losses;
+  estimate.observed_years = acc.observed_years;
+  estimate.aggregate_metrics = acc.metrics;
+  if (acc.losses > 0) {
+    estimate.mttdl =
+        Duration::Years(acc.observed_years / static_cast<double>(acc.losses));
+    // Normal approximation to the Poisson count d: MTTDL in T/(d +/- z*sqrt(d)).
+    const double z = NormalQuantileTwoSided(confidence);
+    const double d = static_cast<double>(acc.losses);
+    const double hi_count = d + z * std::sqrt(d);
+    const double lo_count = d - z * std::sqrt(d);
+    estimate.ci_years.lo = acc.observed_years / hi_count;
+    estimate.ci_years.hi = lo_count > 0.0
+                               ? acc.observed_years / lo_count
+                               : std::numeric_limits<double>::infinity();
+  } else {
+    estimate.mttdl = Duration::Infinite();
+    // Rule of three: zero losses over T observed years puts MTTDL above T/3
+    // at 95% confidence (P(0 losses) = exp(-T/MTTDL) = 0.05).
+    estimate.ci_years.lo = acc.observed_years / 3.0;
+    estimate.ci_years.hi = std::numeric_limits<double>::infinity();
+  }
+  return estimate;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (std::isinf(v)) {
+    return v > 0 ? "\"inf\"" : "\"-inf\"";
+  }
+  if (std::isnan(v)) {
+    return "\"nan\"";
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+// --- SweepSpec -------------------------------------------------------------
+
+SweepSpec& SweepSpec::AddAxis(std::string name) {
+  if (!explicit_cells_.empty()) {
+    throw std::invalid_argument("SweepSpec: cannot mix axes and explicit cells");
+  }
+  axes_.push_back(Axis{std::move(name), {}});
+  return *this;
+}
+
+SweepSpec& SweepSpec::AddPoint(std::string label, double value, ConfigMutation apply) {
+  if (axes_.empty()) {
+    throw std::invalid_argument("SweepSpec: AddPoint before any AddAxis");
+  }
+  if (!apply) {
+    throw std::invalid_argument("SweepSpec: AddPoint requires a mutation");
+  }
+  axes_.back().points.push_back(Point{std::move(label), value, std::move(apply)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::AddCell(std::string label, StorageSimConfig config) {
+  if (!axes_.empty()) {
+    throw std::invalid_argument("SweepSpec: cannot mix axes and explicit cells");
+  }
+  explicit_cells_.push_back(ExplicitCell{std::move(label), std::move(config)});
+  return *this;
+}
+
+double SweepSpec::Cell::value(const std::string& axis) const {
+  for (const SweepCoordinate& coordinate : coordinates) {
+    if (coordinate.axis == axis) {
+      return coordinate.value;
+    }
+  }
+  throw std::out_of_range("SweepSpec::Cell: no axis named '" + axis + "'");
+}
+
+size_t SweepSpec::CellCount() const {
+  if (!explicit_cells_.empty()) {
+    return explicit_cells_.size();
+  }
+  size_t count = 1;
+  for (const Axis& axis : axes_) {
+    count *= axis.points.size();
+  }
+  return count;
+}
+
+std::vector<std::string> SweepSpec::AxisNames() const {
+  std::vector<std::string> names;
+  names.reserve(axes_.size());
+  for (const Axis& axis : axes_) {
+    names.push_back(axis.name);
+  }
+  return names;
+}
+
+std::vector<SweepSpec::Cell> SweepSpec::BuildCells() const {
+  std::vector<Cell> cells;
+  if (!explicit_cells_.empty()) {
+    cells.reserve(explicit_cells_.size());
+    for (const ExplicitCell& explicit_cell : explicit_cells_) {
+      Cell cell;
+      cell.index = cells.size();
+      cell.label = explicit_cell.label;
+      cell.config = explicit_cell.config;
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  }
+  for (const Axis& axis : axes_) {
+    if (axis.points.empty()) {
+      throw std::invalid_argument("SweepSpec: axis '" + axis.name + "' has no points");
+    }
+  }
+  // Row-major Cartesian product: the last axis varies fastest.
+  const size_t total = CellCount();
+  cells.reserve(total);
+  std::vector<size_t> indices(axes_.size(), 0);
+  for (size_t n = 0; n < total; ++n) {
+    Cell cell;
+    cell.index = n;
+    cell.config = base_;
+    for (size_t a = 0; a < axes_.size(); ++a) {
+      const Point& point = axes_[a].points[indices[a]];
+      point.apply(cell.config);
+      cell.coordinates.push_back(SweepCoordinate{axes_[a].name, point.label, point.value});
+      if (!cell.label.empty()) {
+        cell.label += ", ";
+      }
+      cell.label += point.label;
+    }
+    cells.push_back(std::move(cell));
+    for (size_t a = axes_.size(); a-- > 0;) {
+      if (++indices[a] < axes_[a].points.size()) {
+        break;
+      }
+      indices[a] = 0;
+    }
+  }
+  return cells;
+}
+
+// --- SweepRunner -----------------------------------------------------------
+
+SweepRunner::SweepRunner(WorkerPool* pool)
+    : pool_(pool != nullptr ? pool : &WorkerPool::Shared()) {}
+
+SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options) const {
+  using Estimand = SweepOptions::Estimand;
+  const McConfig& mc = options.mc;
+  if (mc.trials <= 0) {
+    throw std::invalid_argument("Monte Carlo: trials must be positive");
+  }
+  if (options.estimand == Estimand::kLossProbability &&
+      (!(options.mission.hours() > 0.0) || options.mission.is_infinite())) {
+    throw std::invalid_argument(
+        "EstimateLossProbability: mission must be positive finite");
+  }
+  if (options.estimand == Estimand::kCensoredMttdl &&
+      (!(options.window.hours() > 0.0) || options.window.is_infinite())) {
+    throw std::invalid_argument("EstimateMttdlCensored: window must be positive finite");
+  }
+  if (options.adaptive) {
+    if (options.estimand != Estimand::kMttdl) {
+      throw std::invalid_argument("SweepRunner: adaptive stopping requires kMttdl");
+    }
+    if (!(options.relative_precision > 0.0)) {
+      throw std::invalid_argument("relative_precision must be positive");
+    }
+    if (options.max_trials <= 0) {
+      throw std::invalid_argument("SweepRunner: max_trials must be positive");
+    }
+  }
+
+  std::vector<SweepSpec::Cell> cells = spec.BuildCells();
+  if (cells.empty()) {
+    throw std::invalid_argument("SweepRunner: the sweep has no cells");
+  }
+  for (const SweepSpec::Cell& cell : cells) {
+    if (auto error = cell.config.Validate()) {
+      // The one-cell estimator wrappers produce an unlabelled cell; keep
+      // their message identical to a direct config validation failure.
+      throw std::invalid_argument(
+          "StorageSimConfig: " + *error +
+          (cell.label.empty() ? "" : " (cell '" + cell.label + "')"));
+    }
+  }
+
+  const int64_t cap = options.adaptive ? options.max_trials
+                                       : std::numeric_limits<int64_t>::max();
+  std::vector<CellState> states(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    CellState& state = states[i];
+    state.cell = std::move(cells[i]);
+    state.seed = options.seed_mode == SweepOptions::SeedMode::kSharedRoot
+                     ? mc.seed
+                     : DeriveSeed(mc.seed, HashLabel(state.cell.label));
+    state.target = std::min<int64_t>(mc.trials, cap);
+  }
+
+  const int lanes = mc.threads > 0 ? mc.threads : pool_->size();
+  const Estimand estimand = options.estimand;
+  const Duration horizon = estimand == Estimand::kMttdl
+                               ? mc.max_trial_time
+                               : (estimand == Estimand::kLossProbability
+                                      ? options.mission
+                                      : options.window);
+
+  while (true) {
+    // Gather this round's work: every unconverged cell's next trial range.
+    std::vector<TrialBatchJob<TrialAccumulator>> jobs;
+    std::vector<size_t> job_cells;
+    for (size_t i = 0; i < states.size(); ++i) {
+      CellState& state = states[i];
+      if (state.converged || state.trials_done >= state.target) {
+        continue;
+      }
+      TrialBatchJob<TrialAccumulator> job;
+      job.config = &state.cell.config;
+      job.begin_trial = state.trials_done;
+      job.end_trial = state.target;
+      jobs.push_back(std::move(job));
+      job_cells.push_back(i);
+    }
+    if (jobs.empty()) {
+      break;
+    }
+
+    RunTrialBlocks(*pool_, lanes, jobs,
+                   [&](TrialRunner& runner, size_t job, int64_t trial,
+                       TrialAccumulator& acc) {
+                     const CellState& state = states[job_cells[job]];
+                     const uint64_t seed =
+                         DeriveSeed(state.seed, static_cast<uint64_t>(trial));
+                     const RunOutcome outcome = runner.Run(seed, horizon);
+                     switch (estimand) {
+                       case Estimand::kMttdl:
+                         if (outcome.loss_time) {
+                           acc.loss_years.Add(outcome.loss_time->years());
+                         } else {
+                           acc.censored++;
+                         }
+                         break;
+                       case Estimand::kLossProbability:
+                         if (outcome.loss_time) {
+                           acc.losses++;
+                         }
+                         break;
+                       case Estimand::kCensoredMttdl:
+                         if (outcome.loss_time) {
+                           acc.losses++;
+                           acc.observed_years += outcome.loss_time->years();
+                         } else {
+                           acc.observed_years += horizon.years();
+                         }
+                         break;
+                     }
+                     acc.metrics.Merge(outcome.metrics);
+                   });
+
+    // Fold the round's blocks in trial order and decide each cell's fate.
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      CellState& state = states[job_cells[j]];
+      for (const TrialAccumulator& block : jobs[j].blocks) {
+        state.acc.MergeFrom(block);
+      }
+      state.trials_done = state.target;
+      state.rounds++;
+      if (!options.adaptive) {
+        state.converged = true;
+        continue;
+      }
+      const MttdlEstimate estimate = FinalizeMttdl(state.acc, mc.confidence);
+      const double mean = estimate.mean_years();
+      const double half_width = (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0;
+      state.half_widths.push_back(half_width);
+      if ((mean > 0.0 && half_width / mean <= options.relative_precision) ||
+          state.trials_done >= options.max_trials) {
+        state.converged = true;
+      } else {
+        state.target = std::min(options.max_trials, state.trials_done * 4);
+      }
+    }
+  }
+
+  SweepResult result;
+  result.axis_names = spec.AxisNames();
+  result.estimand = estimand;
+  result.cells.reserve(states.size());
+  for (CellState& state : states) {
+    SweepCellResult cell;
+    cell.index = state.cell.index;
+    cell.label = state.cell.label;
+    cell.coordinates = std::move(state.cell.coordinates);
+    cell.trials = state.trials_done;
+    cell.rounds = state.rounds;
+    cell.half_width_history = std::move(state.half_widths);
+    switch (estimand) {
+      case Estimand::kMttdl:
+        cell.mttdl = FinalizeMttdl(state.acc, mc.confidence);
+        break;
+      case Estimand::kLossProbability:
+        cell.loss = FinalizeLoss(state.acc, state.trials_done, mc.confidence);
+        break;
+      case Estimand::kCensoredMttdl:
+        cell.censored = FinalizeCensored(state.acc, state.trials_done, mc.confidence);
+        break;
+    }
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+// --- SweepResult -----------------------------------------------------------
+
+const SweepCellResult& SweepResult::ByLabel(const std::string& label) const {
+  for (const SweepCellResult& cell : cells) {
+    if (cell.label == label) {
+      return cell;
+    }
+  }
+  throw std::out_of_range("SweepResult: no cell labelled '" + label + "'");
+}
+
+Table SweepResult::ToTable() const {
+  using Estimand = SweepOptions::Estimand;
+  std::vector<std::string> headers =
+      axis_names.empty() ? std::vector<std::string>{"cell"} : axis_names;
+  switch (estimand) {
+    case Estimand::kMttdl:
+      headers.insert(headers.end(), {"MTTDL (y)", "CI half-width (y)", "censored",
+                                     "trials"});
+      break;
+    case Estimand::kLossProbability:
+      headers.insert(headers.end(), {"P(loss)", "CI lo", "CI hi", "trials"});
+      break;
+    case Estimand::kCensoredMttdl:
+      headers.insert(headers.end(),
+                     {"MTTDL (y)", "CI lo (y)", "CI hi (y)", "losses", "trials"});
+      break;
+  }
+  Table table(std::move(headers));
+  for (const SweepCellResult& cell : cells) {
+    std::vector<std::string> row;
+    if (axis_names.empty()) {
+      row.push_back(cell.label);
+    } else {
+      for (const SweepCoordinate& coordinate : cell.coordinates) {
+        row.push_back(coordinate.label);
+      }
+    }
+    switch (estimand) {
+      case Estimand::kMttdl: {
+        const MttdlEstimate& e = *cell.mttdl;
+        row.push_back(Table::FmtYears(e.mean_years()));
+        row.push_back(Table::Fmt((e.ci_years.hi - e.ci_years.lo) / 2.0, 2));
+        row.push_back(std::to_string(e.censored_trials));
+        break;
+      }
+      case Estimand::kLossProbability: {
+        const LossProbabilityEstimate& e = *cell.loss;
+        row.push_back(Table::Fmt(e.probability(), 4));
+        row.push_back(Table::Fmt(e.wilson_ci.lo, 4));
+        row.push_back(Table::Fmt(e.wilson_ci.hi, 4));
+        break;
+      }
+      case Estimand::kCensoredMttdl: {
+        const CensoredMttdlEstimate& e = *cell.censored;
+        row.push_back(e.mttdl.is_infinite() ? "inf" : Table::FmtYears(e.mttdl.years()));
+        row.push_back(Table::Fmt(e.ci_years.lo, 1));
+        row.push_back(std::isinf(e.ci_years.hi) ? "inf" : Table::Fmt(e.ci_years.hi, 1));
+        row.push_back(std::to_string(e.losses));
+        break;
+      }
+    }
+    row.push_back(std::to_string(cell.trials));
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::string SweepResult::ToCsv() const { return ToTable().ToCsv(); }
+
+std::string SweepResult::ToJson() const {
+  using Estimand = SweepOptions::Estimand;
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const SweepCellResult& cell = cells[i];
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"label\":\"" << JsonEscape(cell.label) << "\",\"coordinates\":{";
+    for (size_t c = 0; c < cell.coordinates.size(); ++c) {
+      if (c > 0) {
+        os << ",";
+      }
+      os << "\"" << JsonEscape(cell.coordinates[c].axis)
+         << "\":" << JsonNumber(cell.coordinates[c].value);
+    }
+    os << "},\"trials\":" << cell.trials << ",\"rounds\":" << cell.rounds;
+    switch (estimand) {
+      case Estimand::kMttdl: {
+        const MttdlEstimate& e = *cell.mttdl;
+        os << ",\"estimand\":\"mttdl\",\"mean_years\":" << JsonNumber(e.mean_years())
+           << ",\"ci_lo\":" << JsonNumber(e.ci_years.lo)
+           << ",\"ci_hi\":" << JsonNumber(e.ci_years.hi)
+           << ",\"censored\":" << e.censored_trials;
+        break;
+      }
+      case Estimand::kLossProbability: {
+        const LossProbabilityEstimate& e = *cell.loss;
+        os << ",\"estimand\":\"loss_probability\",\"probability\":"
+           << JsonNumber(e.probability()) << ",\"ci_lo\":" << JsonNumber(e.wilson_ci.lo)
+           << ",\"ci_hi\":" << JsonNumber(e.wilson_ci.hi) << ",\"losses\":" << e.losses;
+        break;
+      }
+      case Estimand::kCensoredMttdl: {
+        const CensoredMttdlEstimate& e = *cell.censored;
+        os << ",\"estimand\":\"censored_mttdl\",\"mttdl_years\":"
+           << JsonNumber(e.mttdl.years()) << ",\"ci_lo\":" << JsonNumber(e.ci_years.lo)
+           << ",\"ci_hi\":" << JsonNumber(e.ci_years.hi) << ",\"losses\":" << e.losses
+           << ",\"observed_years\":" << JsonNumber(e.observed_years);
+        break;
+      }
+    }
+    if (!cell.half_width_history.empty()) {
+      os << ",\"half_width_history\":[";
+      for (size_t h = 0; h < cell.half_width_history.size(); ++h) {
+        if (h > 0) {
+          os << ",";
+        }
+        os << JsonNumber(cell.half_width_history[h]);
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace longstore

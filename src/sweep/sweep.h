@@ -1,0 +1,228 @@
+// Batch sweep engine: declarative grids of StorageSimConfig variants
+// executed as one batch of trial blocks on a shared worker pool.
+//
+// Every figure in the source paper is a *sweep* — scrub frequency vs MTTDL,
+// correlation factor vs loss probability, replication level vs MTTDL — and
+// before this subsystem each bench hand-rolled its own loop of EstimateMttdl
+// calls, each spawning and joining threads. A SweepSpec describes the grid
+// (a base config plus axes of labelled mutations, or an explicit cell list);
+// SweepRunner executes every cell's trials as interleaved work units on one
+// persistent WorkerPool and returns a structured SweepResult with table /
+// CSV / JSON emitters.
+//
+// Determinism contract (see src/sweep/README.md):
+//   * trial t of a cell uses the stream DeriveSeed(cell_seed, t);
+//   * cell_seed is DeriveSeed(spec_seed, hash(cell label)) in the default
+//     kPerCellDerived mode — a function of the cell's identity, not of its
+//     position — or spec_seed itself in kSharedRoot mode (every cell sees
+//     the same trial streams, the convention of the pre-sweep benches);
+//   * aggregation is block-structured (src/sweep/batch_exec.h) and folded in
+//     trial order.
+// Together these make every estimate bit-identical regardless of thread
+// count, lane scheduling, and the order cells were added to the spec.
+
+#ifndef LONGSTORE_SRC_SWEEP_SWEEP_H_
+#define LONGSTORE_SRC_SWEEP_SWEEP_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/mc/monte_carlo.h"
+#include "src/storage/config.h"
+#include "src/sweep/worker_pool.h"
+#include "src/util/table.h"
+
+namespace longstore {
+
+// The position of a cell along one axis: the axis name, the point's display
+// label, and a numeric value for plotting/JSON (0 when not meaningful).
+struct SweepCoordinate {
+  std::string axis;
+  std::string label;
+  double value = 0.0;
+};
+
+// A grid of StorageSimConfig variants. Either add axes (the cells are the
+// Cartesian product of all axis points, applied to the base config in axis
+// order) or add explicit cells; mixing the two is an error. A spec with no
+// axes and no explicit cells has exactly one cell: the base config.
+class SweepSpec {
+ public:
+  using ConfigMutation = std::function<void(StorageSimConfig&)>;
+
+  explicit SweepSpec(StorageSimConfig base = {}) : base_(std::move(base)) {}
+
+  // Starts a new axis; subsequent AddPoint calls attach to it.
+  SweepSpec& AddAxis(std::string name);
+
+  // Adds a point to the most recently added axis. `apply` mutates the
+  // config; `value` is the point's numeric coordinate (used by emitters and
+  // Cell::value()).
+  SweepSpec& AddPoint(std::string label, double value, ConfigMutation apply);
+
+  // Adds a fully-formed cell (for grids that are not a Cartesian product,
+  // e.g. a hand-picked list of erasure-code geometries). Cell labels double
+  // as seed-derivation identity: distinct labels get independent trial
+  // streams, duplicated labels share one.
+  SweepSpec& AddCell(std::string label, StorageSimConfig config);
+
+  struct Cell {
+    size_t index = 0;
+    std::string label;
+    std::vector<SweepCoordinate> coordinates;
+    StorageSimConfig config;
+
+    // The numeric coordinate along `axis`; throws std::out_of_range if the
+    // cell has no such axis.
+    double value(const std::string& axis) const;
+  };
+
+  // Materializes the grid. Throws std::invalid_argument for an axis with no
+  // points or a spec mixing axes and explicit cells.
+  std::vector<Cell> BuildCells() const;
+
+  std::vector<std::string> AxisNames() const;
+  const StorageSimConfig& base() const { return base_; }
+  size_t CellCount() const;
+
+ private:
+  struct Point {
+    std::string label;
+    double value;
+    ConfigMutation apply;
+  };
+  struct Axis {
+    std::string name;
+    std::vector<Point> points;
+  };
+  struct ExplicitCell {
+    std::string label;
+    StorageSimConfig config;
+  };
+
+  StorageSimConfig base_;
+  std::vector<Axis> axes_;
+  std::vector<ExplicitCell> explicit_cells_;
+};
+
+struct SweepOptions {
+  enum class Estimand {
+    kMttdl,            // simulate each trial to data loss (or the safety cap)
+    kLossProbability,  // simulate over `mission`, count losses
+    kCensoredMttdl,    // type-I censored MLE over `window` (rare-loss regime)
+  };
+  enum class SeedMode {
+    kPerCellDerived,  // cell_seed = DeriveSeed(mc.seed, hash(cell label))
+    kSharedRoot,      // cell_seed = mc.seed (all cells share trial streams)
+  };
+
+  Estimand estimand = Estimand::kMttdl;
+  Duration mission = Duration::Years(50.0);  // kLossProbability horizon
+  Duration window = Duration::Years(100.0);  // kCensoredMttdl trial window
+
+  // trials / seed / threads / max_trial_time / confidence. `threads` caps
+  // the lanes used on the pool (0 = all pool workers); it never changes the
+  // results, only the wall clock.
+  McConfig mc;
+  SeedMode seed_mode = SeedMode::kPerCellDerived;
+
+  // Adaptive per-cell stopping (kMttdl only): run mc.trials, then grow each
+  // unconverged cell's trial count geometrically (x4, accumulating — earlier
+  // trials are never discarded) until the CI half-width falls below
+  // relative_precision * mean or the cell reaches max_trials. Converged
+  // cells drop out of later rounds; stragglers keep the pool to themselves.
+  bool adaptive = false;
+  double relative_precision = 0.05;
+  int64_t max_trials = 1000000;
+};
+
+struct SweepCellResult {
+  size_t index = 0;
+  std::string label;
+  std::vector<SweepCoordinate> coordinates;
+
+  // Exactly one of these is populated, matching SweepOptions::estimand.
+  std::optional<MttdlEstimate> mttdl;
+  std::optional<LossProbabilityEstimate> loss;
+  std::optional<CensoredMttdlEstimate> censored;
+
+  int64_t trials = 0;  // total trials executed for this cell
+  int rounds = 0;      // 1 unless adaptive
+  // Adaptive runs: the CI half-width (years) measured after each round.
+  std::vector<double> half_width_history;
+};
+
+class SweepResult {
+ public:
+  std::vector<std::string> axis_names;
+  SweepOptions::Estimand estimand = SweepOptions::Estimand::kMttdl;
+  std::vector<SweepCellResult> cells;
+
+  // First cell with the given label; throws std::out_of_range if absent.
+  const SweepCellResult& ByLabel(const std::string& label) const;
+
+  // One row per cell: coordinate columns, then the estimate columns for the
+  // sweep's estimand.
+  Table ToTable() const;
+  std::string ToCsv() const;
+  // A JSON array of cell objects (coordinates, estimate, CI, trials,
+  // half-width history) for plotting pipelines.
+  std::string ToJson() const;
+};
+
+class SweepRunner {
+ public:
+  // `pool` must outlive the runner; nullptr means WorkerPool::Shared().
+  explicit SweepRunner(WorkerPool* pool = nullptr);
+
+  // Executes the grid's trials on the pool. Validates every cell config and
+  // the options up front (std::invalid_argument), so no trial runs against a
+  // half-checked spec.
+  SweepResult Run(const SweepSpec& spec, const SweepOptions& options) const;
+
+  // Evaluates fn(cell) for every cell concurrently on the pool; the result
+  // vector is in cell order. For analytic per-cell work (CTMC solves, closed
+  // forms) that benefits from the pool but needs no trials. The result type
+  // must be default-constructible; fn must be safe to call concurrently.
+  template <typename Fn>
+  auto Map(const SweepSpec& spec, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, const SweepSpec::Cell&>> {
+    using Result = std::invoke_result_t<Fn&, const SweepSpec::Cell&>;
+    static_assert(!std::is_same_v<Result, bool>,
+                  "Map cannot return bool: concurrent lanes would race on "
+                  "std::vector<bool>'s packed bits; return int or a struct");
+    const std::vector<SweepSpec::Cell> cells = spec.BuildCells();
+    std::vector<Result> results(cells.size());
+    if (cells.empty()) {
+      return results;
+    }
+    std::atomic<size_t> next{0};
+    const int lanes = std::min(pool_->size(), static_cast<int>(cells.size()));
+    pool_->RunLanes(lanes, [&](int) {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= cells.size()) {
+          break;
+        }
+        results[i] = fn(cells[i]);
+      }
+    });
+    return results;
+  }
+
+  WorkerPool& pool() const { return *pool_; }
+
+ private:
+  WorkerPool* pool_;
+};
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_SWEEP_SWEEP_H_

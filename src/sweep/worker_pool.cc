@@ -1,0 +1,95 @@
+#include "src/sweep/worker_pool.h"
+
+#include <algorithm>
+
+namespace longstore {
+namespace {
+
+// Set for the lifetime of each pool worker thread; RunLanes uses it to detect
+// reentrant submission and fall back to inline execution.
+thread_local bool t_inside_pool_worker = false;
+
+}  // namespace
+
+WorkerPool::WorkerPool(int thread_count) {
+  if (thread_count <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    thread_count = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  workers_.reserve(static_cast<size_t>(thread_count));
+  for (int i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+WorkerPool& WorkerPool::Shared() {
+  static WorkerPool pool(0);
+  return pool;
+}
+
+void WorkerPool::RunLanes(int lanes, const std::function<void(int)>& body) {
+  if (lanes <= 0) {
+    return;
+  }
+  if (t_inside_pool_worker) {
+    for (int lane = 0; lane < lanes; ++lane) {
+      body(lane);
+    }
+    return;
+  }
+  LaneBatch batch;
+  batch.body = &body;
+  batch.remaining = lanes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int lane = 0; lane < lanes; ++lane) {
+      queue_.push_back(Unit{&batch, lane});
+    }
+  }
+  work_available_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (batch.error) {
+    std::rethrow_exception(batch.error);
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  t_inside_pool_worker = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return;  // shutting down and drained
+    }
+    const Unit unit = queue_.front();
+    queue_.pop_front();
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*unit.batch->body)(unit.lane);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !unit.batch->error) {
+      unit.batch->error = error;
+    }
+    if (--unit.batch->remaining == 0) {
+      unit.batch->done.notify_all();
+    }
+  }
+}
+
+}  // namespace longstore

@@ -1,0 +1,149 @@
+// Adaptive (CI-targeted) stopping: EstimateMttdlToPrecision and the sweep's
+// per-cell adaptive mode terminate at the requested relative CI half-width,
+// never exceed max_trials, accumulate trials across rounds instead of
+// restarting, and report non-increasing half-widths across rounds (at these
+// fixed seeds).
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/mc/monte_carlo.h"
+#include "src/sweep/sweep.h"
+
+namespace longstore {
+namespace {
+
+StorageSimConfig FastConfig() {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(1000.0);
+  config.params.ml = Duration::Hours(500.0);
+  config.params.mrv = Duration::Hours(50.0);
+  config.params.mrl = Duration::Hours(50.0);
+  config.scrub = ScrubPolicy::Exponential(Duration::Hours(100.0));
+  return config;
+}
+
+SweepResult AdaptiveRun(int64_t initial_trials, double precision, int64_t max_trials,
+                        uint64_t seed) {
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  options.adaptive = true;
+  options.relative_precision = precision;
+  options.max_trials = max_trials;
+  options.mc.trials = initial_trials;
+  options.mc.seed = seed;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  return SweepRunner().Run(SweepSpec(FastConfig()), options);
+}
+
+int64_t TotalTrials(const MttdlEstimate& estimate) {
+  return estimate.loss_time_years.count() + estimate.censored_trials;
+}
+
+TEST(AdaptiveStoppingTest, TerminatesAtRequestedPrecision) {
+  McConfig mc;
+  mc.trials = 100;
+  mc.seed = 9;
+  const MttdlEstimate estimate =
+      EstimateMttdlToPrecision(FastConfig(), mc, /*relative_precision=*/0.05,
+                               /*max_trials=*/50000);
+  const double half_width = (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0;
+  EXPECT_GT(estimate.mean_years(), 0.0);
+  EXPECT_LE(half_width / estimate.mean_years(), 0.05);
+  EXPECT_LE(TotalTrials(estimate), 50000);
+}
+
+TEST(AdaptiveStoppingTest, AccumulatesInsteadOfRestarting) {
+  // Rounds grow 100 -> 400 -> 1600 -> ...; the returned estimate must be
+  // built on the full accumulated trial count (a restart would report only
+  // the last round's count), and an unreachable precision must stop at
+  // exactly max_trials, never beyond.
+  const SweepResult result = AdaptiveRun(/*initial_trials=*/100,
+                                         /*precision=*/1e-9,
+                                         /*max_trials=*/2500, /*seed=*/21);
+  const SweepCellResult& cell = result.cells.front();
+  EXPECT_EQ(cell.trials, 2500);
+  EXPECT_EQ(TotalTrials(*cell.mttdl), 2500);
+  // 100 -> 400 -> 1600 -> 2500 (capped): four rounds.
+  EXPECT_EQ(cell.rounds, 4);
+  EXPECT_EQ(cell.half_width_history.size(), 4u);
+}
+
+TEST(AdaptiveStoppingTest, StopsInOneRoundWhenAlreadyPrecise) {
+  const SweepResult result = AdaptiveRun(/*initial_trials=*/2000,
+                                         /*precision=*/0.5,
+                                         /*max_trials=*/100000, /*seed=*/7);
+  const SweepCellResult& cell = result.cells.front();
+  EXPECT_EQ(cell.rounds, 1);
+  EXPECT_EQ(cell.trials, 2000);
+}
+
+TEST(AdaptiveStoppingTest, HalfWidthsNonIncreasingAcrossRounds) {
+  // With accumulation, the half-width shrinks like ~1/sqrt(n) as rounds
+  // quadruple the sample; at these fixed seeds the history is reproducible
+  // and monotone non-increasing.
+  const SweepResult result = AdaptiveRun(/*initial_trials=*/50,
+                                         /*precision=*/0.02,
+                                         /*max_trials=*/100000, /*seed=*/13);
+  const SweepCellResult& cell = result.cells.front();
+  ASSERT_GE(cell.half_width_history.size(), 3u);
+  for (size_t i = 1; i < cell.half_width_history.size(); ++i) {
+    EXPECT_LE(cell.half_width_history[i], cell.half_width_history[i - 1])
+        << "round " << i;
+  }
+  // And the final round met the target.
+  const MttdlEstimate& estimate = *cell.mttdl;
+  const double half_width = (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0;
+  EXPECT_LE(half_width / estimate.mean_years(), 0.02);
+}
+
+TEST(AdaptiveStoppingTest, PerCellStoppingIsIndependent) {
+  // A low-variance cell (same-batch wear-out Weibull: loss times concentrate
+  // around the batch's wear-out age) converges in fewer rounds than an
+  // exponential cell (CV ~ 1). Convergence must be tracked per cell, not per
+  // sweep, so the cheap cell drops out of later rounds.
+  StorageSimConfig tight = FastConfig();
+  tight.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+  tight.weibull_shape = 4.0;  // wear-out
+  const StorageSimConfig noisy = FastConfig();
+  SweepSpec spec;
+  spec.AddCell("tight", tight);
+  spec.AddCell("noisy", noisy);
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  options.adaptive = true;
+  options.relative_precision = 0.04;
+  options.max_trials = 200000;
+  options.mc.trials = 500;
+  options.mc.seed = 17;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  const SweepResult result = SweepRunner().Run(spec, options);
+  const SweepCellResult& tight_cell = result.ByLabel("tight");
+  const SweepCellResult& noisy_cell = result.ByLabel("noisy");
+  EXPECT_LT(tight_cell.trials, noisy_cell.trials);
+  EXPECT_LT(tight_cell.rounds, noisy_cell.rounds);
+  for (const SweepCellResult& cell : result.cells) {
+    const MttdlEstimate& estimate = *cell.mttdl;
+    const double half_width = (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0;
+    EXPECT_LE(half_width / estimate.mean_years(), 0.04) << cell.label;
+    EXPECT_LE(cell.trials, 200000) << cell.label;
+  }
+}
+
+TEST(AdaptiveStoppingTest, RejectsNonPositivePrecisionAndMaxTrials) {
+  McConfig mc;
+  mc.trials = 50;
+  EXPECT_THROW(EstimateMttdlToPrecision(FastConfig(), mc, 0.0, 100),
+               std::invalid_argument);
+  EXPECT_THROW(EstimateMttdlToPrecision(FastConfig(), mc, -1.0, 100),
+               std::invalid_argument);
+  EXPECT_THROW(EstimateMttdlToPrecision(FastConfig(), mc, 0.05, 0),
+               std::invalid_argument);
+  EXPECT_THROW(EstimateMttdlToPrecision(FastConfig(), mc, 0.05, -5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace longstore

@@ -1,0 +1,150 @@
+// The sweep determinism contract: estimates are bit-identical regardless of
+// thread count, lane scheduling, and the order cells were added to the spec
+// — for exponential and Weibull fault distributions, fixed and adaptive
+// trial counts. This is what makes the golden-figure regression suite
+// (paper_figures_test.cc) meaningful on any machine shape.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sweep/sweep.h"
+
+namespace longstore {
+namespace {
+
+StorageSimConfig MirrorConfig() {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(2000.0);
+  config.params.ml = Duration::Hours(400.0);
+  config.params.mrv = Duration::Hours(2.0);
+  config.params.mrl = Duration::Hours(2.0);
+  config.scrub = ScrubPolicy::Exponential(Duration::Hours(40.0));
+  return config;
+}
+
+StorageSimConfig WeibullConfig() {
+  StorageSimConfig config = MirrorConfig();
+  config.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+  config.weibull_shape = 2.0;  // wear-out
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(80.0));
+  config.repair_distribution = StorageSimConfig::RepairDistribution::kDeterministic;
+  return config;
+}
+
+// Four heterogeneous cells covering exponential and Weibull machinery.
+std::vector<std::pair<std::string, StorageSimConfig>> Cells() {
+  std::vector<std::pair<std::string, StorageSimConfig>> cells;
+  cells.emplace_back("exp mirror", MirrorConfig());
+  StorageSimConfig triple = MirrorConfig();
+  triple.replica_count = 3;
+  triple.params.alpha = 0.3;
+  cells.emplace_back("exp triple alpha=0.3", triple);
+  cells.emplace_back("weibull mirror", WeibullConfig());
+  StorageSimConfig aged = WeibullConfig();
+  aged.initial_age_hours = {1000.0, 1000.0};
+  cells.emplace_back("weibull same-batch aged", aged);
+  return cells;
+}
+
+SweepResult RunWith(int threads, bool shuffled, WorkerPool* pool,
+                    bool adaptive = false) {
+  auto cell_list = Cells();
+  if (shuffled) {
+    std::reverse(cell_list.begin(), cell_list.end());
+    std::swap(cell_list[0], cell_list[2]);
+  }
+  SweepSpec spec;
+  for (auto& [label, config] : cell_list) {
+    spec.AddCell(label, config);
+  }
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  options.mc.trials = 700;  // deliberately not a multiple of the block size
+  options.mc.seed = 0xd15c0;
+  options.mc.threads = threads;
+  options.seed_mode = SweepOptions::SeedMode::kPerCellDerived;
+  if (adaptive) {
+    options.adaptive = true;
+    options.relative_precision = 0.02;
+    options.max_trials = 6000;
+  }
+  return SweepRunner(pool).Run(spec, options);
+}
+
+void ExpectBitIdentical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (const SweepCellResult& cell_a : a.cells) {
+    const SweepCellResult& cell_b = b.ByLabel(cell_a.label);
+    const MttdlEstimate& ea = *cell_a.mttdl;
+    const MttdlEstimate& eb = *cell_b.mttdl;
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is bit-identical, not
+    // almost-equal.
+    EXPECT_EQ(ea.mean_years(), eb.mean_years()) << cell_a.label;
+    EXPECT_EQ(ea.loss_time_years.variance(), eb.loss_time_years.variance())
+        << cell_a.label;
+    EXPECT_EQ(ea.ci_years.lo, eb.ci_years.lo) << cell_a.label;
+    EXPECT_EQ(ea.ci_years.hi, eb.ci_years.hi) << cell_a.label;
+    EXPECT_EQ(ea.censored_trials, eb.censored_trials) << cell_a.label;
+    EXPECT_EQ(ea.aggregate_metrics.visible_faults,
+              eb.aggregate_metrics.visible_faults)
+        << cell_a.label;
+    EXPECT_EQ(ea.aggregate_metrics.latent_faults, eb.aggregate_metrics.latent_faults)
+        << cell_a.label;
+    EXPECT_EQ(ea.aggregate_metrics.detection_latency_hours.mean(),
+              eb.aggregate_metrics.detection_latency_hours.mean())
+        << cell_a.label;
+    EXPECT_EQ(cell_a.trials, cell_b.trials) << cell_a.label;
+  }
+}
+
+TEST(SweepDeterminismTest, ThreadCountDoesNotChangeEstimates) {
+  WorkerPool pool(8);  // a real 8-worker pool regardless of the host's cores
+  const SweepResult one = RunWith(/*threads=*/1, /*shuffled=*/false, &pool);
+  const SweepResult eight = RunWith(/*threads=*/8, /*shuffled=*/false, &pool);
+  ExpectBitIdentical(one, eight);
+}
+
+TEST(SweepDeterminismTest, SubmissionOrderDoesNotChangeEstimates) {
+  WorkerPool pool(8);
+  const SweepResult in_order = RunWith(8, /*shuffled=*/false, &pool);
+  const SweepResult shuffled = RunWith(8, /*shuffled=*/true, &pool);
+  ExpectBitIdentical(in_order, shuffled);
+}
+
+TEST(SweepDeterminismTest, SharedVsPrivatePoolAgree) {
+  WorkerPool pool(3);
+  const SweepResult private_pool = RunWith(3, false, &pool);
+  const SweepResult shared_pool = RunWith(3, false, nullptr);
+  ExpectBitIdentical(private_pool, shared_pool);
+}
+
+TEST(SweepDeterminismTest, AdaptiveRunsAreDeterministicToo) {
+  // Adaptive rounds pick each cell's trial counts from its accumulated
+  // stats; those are deterministic, so the whole adaptive trajectory
+  // (including per-cell totals) must be thread-count-invariant.
+  WorkerPool pool(8);
+  const SweepResult one = RunWith(1, false, &pool, /*adaptive=*/true);
+  const SweepResult eight = RunWith(8, true, &pool, /*adaptive=*/true);
+  ExpectBitIdentical(one, eight);
+  for (const SweepCellResult& cell : one.cells) {
+    const SweepCellResult& other = eight.ByLabel(cell.label);
+    ASSERT_EQ(cell.half_width_history.size(), other.half_width_history.size());
+    for (size_t i = 0; i < cell.half_width_history.size(); ++i) {
+      EXPECT_EQ(cell.half_width_history[i], other.half_width_history[i]);
+    }
+  }
+}
+
+TEST(SweepDeterminismTest, RepeatedRunsAreIdentical) {
+  const SweepResult first = RunWith(2, false, nullptr);
+  const SweepResult second = RunWith(2, false, nullptr);
+  ExpectBitIdentical(first, second);
+}
+
+}  // namespace
+}  // namespace longstore
