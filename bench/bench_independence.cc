@@ -9,17 +9,24 @@
 // Part 2 compares the three canonical deployments (single site / geo-
 // replicated with central ops / fully diverse) on the same hardware, using
 // both the α-model (CTMC) and generative common-mode simulation.
+//
+// Both parts run on the batch sweep engine: the farm is a one-cell
+// kLossProbability sweep whose aggregate metrics replace the old hand-rolled
+// 40-seed loop, and the three deployments execute as one explicit-cell sweep
+// (kSharedRoot, so every deployment sees the same trial streams).
 
 #include <cstdio>
 
-#include "src/mc/monte_carlo.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
+#include "src/sweep/sweep.h"
 #include "src/threats/independence.h"
 #include "src/util/table.h"
 
 namespace longstore {
 namespace {
+
+constexpr int64_t kFarmWindows = 40;
 
 void TalagalaFarm() {
   std::printf("Part 1: Talagala-style disk farm (368 drives, 8 shared power "
@@ -48,21 +55,26 @@ void TalagalaFarm() {
     config.common_mode.push_back(std::move(source));
   }
 
-  SimMetrics total;
-  int64_t events = 0;
-  for (uint64_t seed = 0; seed < 40; ++seed) {
-    const RunOutcome outcome =
-        RunToLossOrHorizon(config, 4242 + seed, Duration::Days(182.0));
-    total.Merge(outcome.metrics);
-    events += outcome.metrics.common_mode_events;
-  }
+  // One cell, 40 trials of one six-month window each; the estimand's loss
+  // count is irrelevant (a 368-replica farm never collapses in 6 months) —
+  // the aggregate metrics are the measurement.
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kLossProbability;
+  options.mission = Duration::Days(182.0);
+  options.mc.trials = kFarmWindows;
+  options.mc.seed = 4242;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  const SimMetrics& total = result.cells.front().loss->aggregate_metrics;
+
+  const double windows = static_cast<double>(kFarmWindows);
   const double share = static_cast<double>(total.common_mode_faults) /
                        static_cast<double>(total.visible_faults);
   Table farm({"metric", "value"});
   farm.AddRow({"visible faults (restarts) per 6-month window",
-               Table::Fmt(static_cast<double>(total.visible_faults) / 40.0, 3)});
+               Table::Fmt(static_cast<double>(total.visible_faults) / windows, 3)});
   farm.AddRow({"power events per window",
-               Table::Fmt(static_cast<double>(events) / 40.0, 3)});
+               Table::Fmt(static_cast<double>(total.common_mode_events) / windows, 3)});
   farm.AddRow({"share of restarts from shared power", Table::FmtPercent(share)});
   std::printf("%s", farm.Render().c_str());
   std::printf("\nPaper's citation: in the logged farm a single power outage accounted "
@@ -89,6 +101,27 @@ void Deployments() {
       {"fully diverse (British Library style)", FullyDiverseProfiles(3)},
   };
 
+  // Generative check: independent per-replica faults plus shared-risk
+  // common-mode events derived from the same profiles — all three
+  // deployments batched as one sweep.
+  SweepSpec spec;
+  for (const Deployment& deployment : deployments) {
+    StorageSimConfig sim;
+    sim.replica_count = 3;
+    sim.params = hardware;
+    sim.params.alpha = 1.0;
+    sim.scrub = ScrubPolicy::PeriodicPerYear(12.0);
+    sim.common_mode = BuildCommonModeSources(deployment.profiles, risk);
+    spec.AddCell(deployment.name, std::move(sim));
+  }
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kLossProbability;
+  options.mission = Duration::Years(50.0);
+  options.mc.trials = 3000;
+  options.mc.seed = 77;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  const SweepResult mc_result = SweepRunner().Run(spec, options);
+
   Table table({"deployment", "alpha (min pairwise)", "MTTDL (CTMC)",
                "P(loss 50 y, alpha model)", "P(loss 50 y, common-mode MC)"});
   for (const Deployment& deployment : deployments) {
@@ -98,20 +131,8 @@ void Deployments() {
     const ReplicatedChainBuilder chain(p, 3, RateConvention::kPhysical);
     const auto mttdl = chain.Mttdl();
     const auto loss = chain.LossProbability(Duration::Years(50.0));
-
-    // Generative check: independent per-replica faults plus shared-risk
-    // common-mode events derived from the same profiles.
-    StorageSimConfig sim;
-    sim.replica_count = 3;
-    sim.params = hardware;
-    sim.params.alpha = 1.0;
-    sim.scrub = ScrubPolicy::PeriodicPerYear(12.0);
-    sim.common_mode = BuildCommonModeSources(deployment.profiles, risk);
-    McConfig mc;
-    mc.trials = 3000;
-    mc.seed = 77;
-    const LossProbabilityEstimate estimate =
-        EstimateLossProbability(sim, Duration::Years(50.0), mc);
+    const LossProbabilityEstimate& estimate =
+        *mc_result.ByLabel(deployment.name).loss;
 
     table.AddRow({deployment.name, Table::FmtSci(alpha, 2),
                   Table::FmtYears(mttdl->years(), 0), Table::FmtSci(*loss, 2),

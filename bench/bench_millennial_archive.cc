@@ -1,0 +1,158 @@
+// Millennia-scale archive grid: censored-MLE MTTDL and importance-sampled
+// loss probability side by side.
+//
+// The regime the ROADMAP calls the frontier: a Cheetah-class mirrored
+// archive meant to survive 1000 years, whose MTTDL is so far beyond any
+// feasible trial length that EstimateMttdl would simulate for geological
+// time. Two rare-event estimators attack it from opposite ends:
+//
+//   * kCensoredMttdl runs cheap fixed-window trials (100 y here) and applies
+//     the exponential MLE "observed time / losses" — it estimates the loss
+//     *rate* and extrapolates P(loss by T) = 1 - exp(-T/MTTDL);
+//   * kWeightedLossProbability (src/rare/) simulates the full 1000-year
+//     mission under a tuned change of measure and estimates P directly,
+//     with no exponentiality assumption.
+//
+// Both run on the same SweepSpec grid, validated against the exact CTMC,
+// and the table compares trials-to-10%-CI (and simulated years, since a
+// censored trial is 10x shorter than a mission trial) for each cell.
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/model/replica_ctmc.h"
+#include "src/rare/rare_event.h"
+#include "src/sweep/sweep.h"
+#include "src/util/table.h"
+
+namespace longstore {
+namespace {
+
+constexpr double kMissionYears = 1000.0;
+constexpr double kCensorWindowYears = 100.0;
+constexpr int64_t kTrials = 20000;
+
+// Paper §5.4 hardware: Cheetah MV = 1.4e6 h, latent faults five times as
+// frequent, 20-minute rebuilds, correlation 0.2. Exponential audits so the
+// CTMC detection rate matches the simulator exactly.
+StorageSimConfig BaseConfig() {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params = FaultParams::PaperCheetahExample();
+  config.params.alpha = 0.2;
+  return config;
+}
+
+struct ScrubPoint {
+  const char* label;
+  double per_year;
+};
+
+double TrialsToTenPercentCi(double relative_error, int64_t trials) {
+  if (!std::isfinite(relative_error) || relative_error <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(trials) * (relative_error / 0.1) * (relative_error / 0.1);
+}
+
+std::string FmtTrials(double trials) {
+  return std::isinf(trials) ? "inf" : Table::FmtSci(trials, 2);
+}
+
+}  // namespace
+}  // namespace longstore
+
+int main() {
+  using namespace longstore;
+  std::printf("%s", Heading("millennial", "1000-year archive: censored MTTDL vs "
+                            "importance-sampled loss probability")
+                        .c_str());
+
+  const ScrubPoint points[] = {
+      {"monthly", 12.0}, {"weekly", 52.0}, {"daily", 365.0}, {"6-hourly", 1460.0}};
+
+  SweepSpec spec(BaseConfig());
+  spec.AddAxis("scrub");
+  for (const ScrubPoint& point : points) {
+    spec.AddPoint(point.label, point.per_year, [point](StorageSimConfig& c) {
+      const Duration mean_interval = Duration::Years(1.0 / point.per_year);
+      c.scrub = ScrubPolicy::Exponential(mean_interval);
+      c.params.mdl = mean_interval;  // keep the CTMC's detection rate in sync
+    });
+  }
+
+  // Exact ground truth for every cell, solved concurrently on the pool.
+  SweepRunner runner;
+  const std::vector<double> exact = runner.Map(spec, [](const SweepSpec::Cell& cell) {
+    const auto p = MirroredLossProbability(
+        cell.config.params, Duration::Years(kMissionYears), RateConvention::kPhysical);
+    return p.value_or(0.0);
+  });
+
+  McConfig mc;
+  mc.trials = kTrials;
+  mc.seed = 0xa2c417e;
+  SweepOptions censored_options;
+  censored_options.estimand = SweepOptions::Estimand::kCensoredMttdl;
+  censored_options.window = Duration::Years(kCensorWindowYears);
+  censored_options.mc = mc;
+  const SweepResult censored = runner.Run(spec, censored_options);
+
+  // One change of measure for the whole grid, tuned on the base (monthly)
+  // cell — the grid is homogeneous enough that the tuned tilt transfers.
+  std::vector<SweepSpec::Cell> cells = spec.BuildCells();
+  IsOptions is_options;
+  const FaultBias bias = TuneFaultBias(cells.front().config,
+                                       Duration::Years(kMissionYears), mc, is_options);
+  std::printf("tuned bias: theta_v=%g theta_l=%g tilt=%g force=%g\n\n",
+              bias.theta_visible, bias.theta_latent, bias.tilt_probability,
+              bias.force_probability);
+
+  SweepOptions weighted_options;
+  weighted_options.estimand = SweepOptions::Estimand::kWeightedLossProbability;
+  weighted_options.mission = Duration::Years(kMissionYears);
+  weighted_options.bias = bias;
+  weighted_options.mc = mc;
+  const SweepResult weighted = runner.Run(spec, weighted_options);
+
+  Table table({"scrub", "exact P(1000 y)", "censored MTTDL (y)", "implied P",
+               "IS P(1000 y)", "cens trials->10%", "IS trials->10%",
+               "naive trials->10%"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CensoredMttdlEstimate& ce = *censored.cells[i].censored;
+    const WeightedLossProbabilityEstimate& we = *weighted.cells[i].weighted;
+    // Censored relative error from the Poisson count: ~1/sqrt(losses).
+    const double censored_relerr =
+        ce.losses > 0 ? 1.0 / std::sqrt(static_cast<double>(ce.losses))
+                      : std::numeric_limits<double>::infinity();
+    const double implied_p =
+        ce.mttdl.is_infinite()
+            ? 0.0
+            : -std::expm1(-kMissionYears / ce.mttdl.years());
+    const double p = exact[i];
+    const double naive_trials = 1.959964 * 1.959964 * (1.0 - p) / (p * 0.1 * 0.1);
+    table.AddRow({censored.cells[i].coordinates[0].label, Table::FmtSci(p),
+                  ce.mttdl.is_infinite() ? "inf" : Table::FmtSci(ce.mttdl.years(), 3),
+                  Table::FmtSci(implied_p), Table::FmtSci(we.probability()),
+                  FmtTrials(TrialsToTenPercentCi(censored_relerr, kTrials)),
+                  FmtTrials(TrialsToTenPercentCi(we.relative_error, kTrials)),
+                  Table::FmtSci(naive_trials, 2)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf(
+      "\nReading the table: a censored trial simulates %g years against the\n"
+      "mission trial's %g, so multiply its trial counts by %g for equal work.\n"
+      "The censored MLE leans on loss times being exponential (true here:\n"
+      "window >> repair times) and wins when the mission is long enough that\n"
+      "faults are common but double faults are not; importance sampling makes\n"
+      "no distributional assumption and dominates as the mission shrinks or\n"
+      "the loss gets rarer (see bench_rare_perf: 448x at p ~ 2e-6). Both\n"
+      "bracket the exact CTMC column; naive Monte Carlo needs the right-hand\n"
+      "column's trial counts for the same certainty.\n",
+      kCensorWindowYears, kMissionYears, kCensorWindowYears / kMissionYears);
+  return 0;
+}

@@ -6,12 +6,17 @@
 // and the discrete-event simulator samples it. This bench quantifies every
 // gap so EXPERIMENTS.md can state precisely where the published closed forms
 // hold and by what factor they drift.
+//
+// All five scenarios run as one explicit-cell sweep on the shared worker
+// pool (kSharedRoot seeding keeps each scenario's trial streams — and hence
+// the printed numbers — identical to the pre-sweep per-call revision), and
+// the analytic columns are evaluated concurrently via SweepRunner::Map.
 
 #include <cstdio>
 
-#include "src/mc/monte_carlo.h"
 #include "src/model/paper_model.h"
 #include "src/model/replica_ctmc.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 namespace longstore {
@@ -32,6 +37,14 @@ FaultParams Make(double mv, double ml, double mrv, double mdl, double alpha) {
   p.alpha = alpha;
   return p;
 }
+
+// The analytic side of the triangle, one solve per scenario cell.
+struct AnalyticRow {
+  double paper_choice_hours = 0.0;
+  double eq8_hours = 0.0;
+  double ctmc_paper_hours = 0.0;
+  double ctmc_physical_hours = 0.0;
+};
 
 }  // namespace
 }  // namespace longstore
@@ -54,33 +67,48 @@ int main() {
       {"saturated latent window (eq 7, P~1)", Make(2000.0, 400.0, 2.0, 2000.0, 1.0)},
   };
 
-  Table table({"scenario", "paper-eq", "eq 8", "CTMC paper-conv", "CTMC physical",
-               "MC physical (+/- CI)", "eq8 / CTMCp"});
+  SweepSpec spec;
   for (const Scenario& scenario : scenarios) {
-    const FaultParams& p = scenario.params;
-    const Duration choice = MttdlPaperChoice(p);
-    const Duration eq8 = MttdlClosedForm(p);
-    const auto ctmc_paper = MirroredMttdl(p, RateConvention::kPaper);
-    const auto ctmc_physical = MirroredMttdl(p, RateConvention::kPhysical);
-
     StorageSimConfig config;
     config.replica_count = 2;
-    config.params = p;
-    config.scrub = ScrubPolicy::Exponential(p.mdl);
-    McConfig mc;
-    mc.trials = 5000;
-    mc.seed = 1111;
-    const MttdlEstimate estimate = EstimateMttdl(config, mc);
+    config.params = scenario.params;
+    config.scrub = ScrubPolicy::Exponential(scenario.params.mdl);
+    spec.AddCell(scenario.name, std::move(config));
+  }
 
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  options.mc.trials = 5000;
+  options.mc.seed = 1111;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+
+  SweepRunner runner;
+  const SweepResult mc_result = runner.Run(spec, options);
+  const std::vector<AnalyticRow> analytic =
+      runner.Map(spec, [](const SweepSpec::Cell& cell) {
+        const FaultParams& p = cell.config.params;
+        AnalyticRow row;
+        row.paper_choice_hours = MttdlPaperChoice(p).hours();
+        row.eq8_hours = MttdlClosedForm(p).hours();
+        row.ctmc_paper_hours = MirroredMttdl(p, RateConvention::kPaper)->hours();
+        row.ctmc_physical_hours = MirroredMttdl(p, RateConvention::kPhysical)->hours();
+        return row;
+      });
+
+  Table table({"scenario", "paper-eq", "eq 8", "CTMC paper-conv", "CTMC physical",
+               "MC physical (+/- CI)", "eq8 / CTMCp"});
+  for (size_t i = 0; i < mc_result.cells.size(); ++i) {
+    const AnalyticRow& row = analytic[i];
+    const MttdlEstimate& estimate = *mc_result.cells[i].mttdl;
     char mc_cell[64];
     std::snprintf(mc_cell, sizeof(mc_cell), "%.3g +/- %.2g h",
                   estimate.mean_years() * kHoursPerYear,
                   (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0 * kHoursPerYear);
-    table.AddRow({scenario.name, Table::Fmt(choice.hours(), 4) + " h",
-                  Table::Fmt(eq8.hours(), 4) + " h",
-                  Table::Fmt(ctmc_paper->hours(), 4) + " h",
-                  Table::Fmt(ctmc_physical->hours(), 4) + " h", mc_cell,
-                  Table::Fmt(eq8.hours() / ctmc_paper->hours(), 3)});
+    table.AddRow({mc_result.cells[i].label, Table::Fmt(row.paper_choice_hours, 4) + " h",
+                  Table::Fmt(row.eq8_hours, 4) + " h",
+                  Table::Fmt(row.ctmc_paper_hours, 4) + " h",
+                  Table::Fmt(row.ctmc_physical_hours, 4) + " h", mc_cell,
+                  Table::Fmt(row.eq8_hours / row.ctmc_paper_hours, 3)});
   }
   std::printf("%s", table.Render().c_str());
 

@@ -5,12 +5,17 @@
 // MV = 1.4e6 h, MRV = 20 min, α = 0.1, no detection. Equation 11 gives
 // MTTDL = 159.8 years and a 26.8% chance of loss in 50 years — against
 // millions of years if latent faults were handled.
+//
+// The four configurations are a SweepSpec of explicit cells; the exact-CTMC
+// column is evaluated concurrently on the worker pool via SweepRunner::Map
+// (no trials — this bench is purely analytic).
 
 #include <cstdio>
 
 #include "src/model/paper_model.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 int main() {
@@ -31,22 +36,41 @@ int main() {
   FaultParams no_latent = negligent;
   no_latent.ml = Duration::Hours(1e30);
 
+  struct Row {
+    const char* name;
+    const char* equation;
+    Duration mttdl;
+    FaultParams params;
+  };
+  const Row rows[] = {
+      {"negligent (paper eq 11; published 159.8 y / 26.8%)", "eq 11",
+       MttdlVisibleLongWov(negligent), negligent},
+      {"negligent (clamped eq 7: P(2nd|L1) capped at 1)", "eq 7",
+       MttdlGeneral(negligent), negligent},
+      {"monthly scrubbing added", "eq 8", MttdlClosedForm(diligent), diligent},
+      {"no latent faults at all", "eq 9", MttdlVisibleDominant(no_latent), no_latent},
+  };
+
+  SweepSpec spec;
+  for (const Row& row : rows) {
+    StorageSimConfig config;
+    config.replica_count = 2;
+    config.params = row.params;
+    spec.AddCell(row.name, std::move(config));
+  }
+  const std::vector<double> ctmc_years =
+      SweepRunner().Map(spec, [](const SweepSpec::Cell& cell) {
+        return MirroredMttdl(cell.config.params, RateConvention::kPhysical)->years();
+      });
+
   Table table({"configuration", "equation", "MTTDL", "P(loss in 50 y)",
                "CTMC (physical)"});
-  auto add_row = [&table](const char* name, const char* equation, Duration mttdl,
-                          const FaultParams& p) {
-    const auto ctmc = MirroredMttdl(p, RateConvention::kPhysical);
-    table.AddRow({name, equation, Table::FmtYears(mttdl.years()),
-                  Table::FmtPercent(LossProbability(mttdl, Duration::Years(50.0))),
-                  Table::FmtYears(ctmc->years())});
-  };
-  add_row("negligent (paper eq 11; published 159.8 y / 26.8%)", "eq 11",
-          MttdlVisibleLongWov(negligent), negligent);
-  add_row("negligent (clamped eq 7: P(2nd|L1) capped at 1)", "eq 7",
-          MttdlGeneral(negligent), negligent);
-  add_row("monthly scrubbing added", "eq 8", MttdlClosedForm(diligent), diligent);
-  add_row("no latent faults at all", "eq 9", MttdlVisibleDominant(no_latent),
-          no_latent);
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    const Row& row = rows[i];
+    table.AddRow({row.name, row.equation, Table::FmtYears(row.mttdl.years()),
+                  Table::FmtPercent(LossProbability(row.mttdl, Duration::Years(50.0))),
+                  Table::FmtYears(ctmc_years[i])});
+  }
   std::printf("%s", table.Render().c_str());
 
   std::printf(

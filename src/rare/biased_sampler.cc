@@ -1,0 +1,123 @@
+#include "src/rare/biased_sampler.h"
+
+#include <limits>
+
+namespace longstore {
+
+std::optional<std::string> FaultBias::Validate() const {
+  if (!(theta_visible >= 1.0) || !std::isfinite(theta_visible)) {
+    return "theta_visible must be >= 1 and finite (failure biasing accelerates "
+           "faults; it never slows them)";
+  }
+  if (!(theta_latent >= 1.0) || !std::isfinite(theta_latent)) {
+    return "theta_latent must be >= 1 and finite";
+  }
+  if (!(tilt_probability >= 0.0) || tilt_probability >= 1.0) {
+    return "tilt_probability must lie in [0, 1): the defensive mixture must keep "
+           "full nominal support";
+  }
+  if (!(force_probability >= 0.0) || force_probability >= 1.0) {
+    return "force_probability must lie in [0, 1): the forcing mixture must keep "
+           "full support";
+  }
+  return std::nullopt;
+}
+
+BiasedFaultSampler::BiasedFaultSampler(const FaultBias& bias) : bias_(bias) {}
+
+void BiasedFaultSampler::BeginTrial(Duration force_window) {
+  force_window_ = force_window;
+  log_weight_ = 0.0;
+}
+
+double BiasedFaultSampler::DrawCumulativeHazard(Rng& rng, double theta,
+                                                double window_hazard) {
+  // theta == 1 is the same measure as q == 0; folding it into q keeps the
+  // draw on the single-uniform identity path, bit for bit.
+  const double q = theta == 1.0 ? 0.0 : bias_.tilt_probability;
+  const double p = bias_.force_probability;
+  const bool forcing =
+      p > 0.0 && window_hazard > 0.0 && std::isfinite(window_hazard);
+  if (q == 0.0 && !forcing) {
+    // Unbiased inverse-transform draw: identical to Rng::NextExponential's
+    // expression, and contributes exactly zero log-weight.
+    return -std::log(rng.NextDoubleOpen());
+  }
+
+  // Window mass under the biased (defensive-tilt) proposal:
+  //   G(Λ_W) = q·(1 − e^{−θΛ_W}) + (1 − q)·(1 − e^{−Λ_W}).
+  double inside_mass = 0.0;
+  if (forcing) {
+    inside_mass = q * -std::expm1(-theta * window_hazard) +
+                  (1.0 - q) * -std::expm1(-window_hazard);
+  }
+
+  double hazard;
+  if (forcing && rng.NextDouble() < p) {
+    // Conditional draw from the defensive tilt restricted to [0, Λ_W]: pick
+    // the mixture component in proportion to its window mass, then invert
+    // its conditional CDF. The survival target 1 − v·G_c lies in
+    // [e^{−θ_cΛ_W}, 1), so the hazard lands in (0, Λ_W].
+    const double tilted_inside = q * -std::expm1(-theta * window_hazard);
+    const bool tilted = rng.NextDouble() * inside_mass < tilted_inside;
+    const double component_theta = tilted ? theta : 1.0;
+    const double v = rng.NextDoubleOpen();
+    hazard = -std::log1p(v * std::expm1(-component_theta * window_hazard)) /
+             component_theta;
+  } else if (q > 0.0 && rng.NextDouble() < q) {
+    hazard = -std::log(rng.NextDoubleOpen()) / theta;
+  } else {
+    hazard = -std::log(rng.NextDoubleOpen());
+  }
+
+  // log LR of the defensive tilt: −log(qθ·e^{−(θ−1)Λ} + 1 − q). Stable: the
+  // exponent is ≤ 0 (θ ≥ 1), so the argument lies in (1−q, qθ+1−q].
+  log_weight_ -= std::log(q * theta * std::exp(-(theta - 1.0) * hazard) + (1.0 - q));
+  if (forcing) {
+    // The forcing-mixture correction depends only on where the draw landed,
+    // not on which branch produced it.
+    log_weight_ -= std::log(
+        (hazard <= window_hazard ? p / inside_mass : 0.0) + (1.0 - p));
+  }
+  return hazard;
+}
+
+Duration BiasedFaultSampler::DrawExponentialFault(Rng& rng, Duration mean,
+                                                  FaultKind kind,
+                                                  bool forcing_eligible) {
+  if (mean.is_infinite()) {
+    return Duration::Infinite();
+  }
+  const double window_hazard =
+      forcing_eligible && !force_window_.is_infinite()
+          ? force_window_ / mean
+          : std::numeric_limits<double>::infinity();
+  const double hazard = DrawCumulativeHazard(rng, bias_.theta(kind), window_hazard);
+  return Duration::Hours(hazard * mean.hours());
+}
+
+Duration BiasedFaultSampler::DrawWeibullResidualFault(Rng& rng, double shape,
+                                                      Duration scale,
+                                                      double normalized_age,
+                                                      FaultKind kind,
+                                                      bool forcing_eligible) {
+  double window_hazard = std::numeric_limits<double>::infinity();
+  if (forcing_eligible && !force_window_.is_infinite()) {
+    const double window_end = normalized_age + force_window_ / scale;
+    window_hazard =
+        std::pow(window_end, shape) - std::pow(normalized_age, shape);
+  }
+  const double hazard = DrawCumulativeHazard(rng, bias_.theta(kind), window_hazard);
+  const double life = std::pow(std::pow(normalized_age, shape) + hazard, 1.0 / shape);
+  const double residual_hours = (life - normalized_age) * scale.hours();
+  // Same boundary guard as the unbiased engine draw: a residual rounded to
+  // zero or an overflowed age term both mean the hazard is astronomical at
+  // this age — fail (essentially) immediately.
+  if (!(residual_hours > 0.0) ||
+      residual_hours == std::numeric_limits<double>::infinity()) {
+    return Duration::Hours(1e-9);
+  }
+  return Duration::Hours(residual_hours);
+}
+
+}  // namespace longstore

@@ -1,0 +1,128 @@
+// Importance-sampling change of measure for fault-time draws.
+//
+// At realistic fault/repair rates a millennia-scale archive almost never
+// loses data inside a feasible trial, so naive Monte Carlo spends billions
+// of trials to observe a handful of losses. The standard rare-event remedy
+// (Heidelberger; Nicola, Shahabuddin & Nakayama) is to simulate under a
+// *tilted* fault distribution that makes faults frequent, and to weight each
+// trial by the exact likelihood ratio between the nominal and tilted path
+// measures, restoring unbiasedness.
+//
+// Both fault distributions this library simulates reduce to one primitive:
+// the integrated hazard over the drawn interval is a standard exponential.
+//   exponential(mean m):          Λ(x) = x / m
+//   Weibull residual at age a:    Λ(x) = ((a + x)/λ)^k − (a/λ)^k
+// so one sampler covers both families by drawing Λ and letting the caller
+// invert it.
+//
+// The change of measure has two ingredients, both *defensive mixtures*
+// (Hesterberg) so that every per-draw likelihood ratio is bounded — a pure
+// exponential tilt has E[LR²] = ∞ for θ ≥ 2 because non-firing clock draws
+// are unbounded, which degrades the weighted estimator catastrophically:
+//
+//  * failure biasing: with probability q the hazard is multiplied by θ
+//    (Λ ~ Exp(θ) instead of Exp(1)), with probability 1 − q the draw is
+//    nominal. Density g(Λ) = q·θe^{−θΛ} + (1−q)·e^{−Λ}, giving the exact,
+//    numerically stable per-draw log-likelihood ratio
+//      log LR = −log( qθ·e^{−(θ−1)Λ} + (1 − q) )   ∈ [−log(qθ+1−q), −log(1−q)]
+//  * forcing: draws taken at trial start (the initial fault clocks) are
+//    additionally pulled into the mission window: with probability p the
+//    draw is conditioned on Λ ≤ Λ_W (the nominal integrated hazard over the
+//    window), with probability 1 − p it is an ordinary biased draw. The
+//    mixture correction depends only on where the draw landed:
+//      log LR += −log( p·1{Λ ≤ Λ_W} / G(Λ_W) + (1 − p) )
+//    where G(Λ_W) = q·(1−e^{−θΛ_W}) + (1−q)·(1−e^{−Λ_W}) is the biased
+//    probability of landing inside the window.
+//
+// Repair, scrub/detection, and common-mode draws stay unbiased: they are not
+// what makes loss rare, and tilting them only adds weight variance.
+//
+// At the identity bias (θ = 1 or q = 0, and p = 0) every draw consumes the
+// same uniforms and computes the same expressions as the unbiased engine
+// path, so results are bit-identical to a run without a sampler and every
+// weight is exactly 1 (tests/rare_event_test.cc pins this).
+
+#ifndef LONGSTORE_SRC_RARE_BIASED_SAMPLER_H_
+#define LONGSTORE_SRC_RARE_BIASED_SAMPLER_H_
+
+#include <cmath>
+#include <optional>
+#include <string>
+
+#include "src/storage/metrics.h"
+#include "src/util/random.h"
+#include "src/util/units.h"
+
+namespace longstore {
+
+// The change of measure, as data. theta_* multiply the visible / latent
+// fault hazards (1 = no tilt); tilt_probability is the defensive-mixture
+// weight q of the tilted component; force_probability is the mixture weight
+// p pulling trial-start fault draws into the mission window. Both mixture
+// weights must stay below 1 so nominal-typical paths keep positive density
+// (that is what bounds the weights).
+struct FaultBias {
+  double theta_visible = 1.0;
+  double theta_latent = 1.0;
+  double tilt_probability = 0.9;
+  double force_probability = 0.0;
+
+  // Returns an error message if the bias is unusable (theta below 1 or
+  // non-finite, mixture probabilities outside [0, 1)).
+  std::optional<std::string> Validate() const;
+
+  double theta(FaultKind kind) const {
+    return kind == FaultKind::kVisible ? theta_visible : theta_latent;
+  }
+  bool is_identity() const {
+    return (tilt_probability == 0.0 ||
+            (theta_visible == 1.0 && theta_latent == 1.0)) &&
+           force_probability == 0.0;
+  }
+};
+
+// Draws fault times from the biased measure and accumulates the trial's
+// log-likelihood ratio. One sampler serves one TrialRunner: BeginTrial()
+// resets the weight and fixes the forcing window (the mission horizon);
+// the draw methods are called by ReplicatedStorageSystem in place of the
+// unbiased Rng draws, with `forcing_eligible` true only for draws taken at
+// simulation time zero (the initial fault clocks).
+class BiasedFaultSampler {
+ public:
+  explicit BiasedFaultSampler(const FaultBias& bias);
+
+  void BeginTrial(Duration force_window);
+
+  // Exponentially distributed fault delay with nominal mean `mean` (already
+  // including any correlation scaling). Infinite mean returns
+  // Duration::Infinite() without consuming randomness or weight, matching
+  // Rng::NextExponential.
+  Duration DrawExponentialFault(Rng& rng, Duration mean, FaultKind kind,
+                                bool forcing_eligible);
+
+  // Weibull residual-lifetime fault delay conditioned on survival to the
+  // replica's age: `normalized_age` is age/scale, `scale` the Weibull scale
+  // matching the configured mean. Mirrors the unbiased engine draw exactly,
+  // including its boundary guard (see ReplicatedStorageSystem::DrawFaultDelay).
+  Duration DrawWeibullResidualFault(Rng& rng, double shape, Duration scale,
+                                    double normalized_age, FaultKind kind,
+                                    bool forcing_eligible);
+
+  double log_weight() const { return log_weight_; }
+  double weight() const { return std::exp(log_weight_); }
+  const FaultBias& bias() const { return bias_; }
+
+ private:
+  // Draws the integrated hazard Λ (nominally Exp(1)) from the biased
+  // mixture, optionally forced below `window_hazard`, and accumulates the
+  // draw's log-likelihood ratio.
+  double DrawCumulativeHazard(Rng& rng, double theta, double window_hazard);
+
+  FaultBias bias_;
+  Duration force_window_ = Duration::Infinite();
+  double log_weight_ = 0.0;
+};
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_RARE_BIASED_SAMPLER_H_

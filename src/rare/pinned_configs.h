@@ -1,0 +1,30 @@
+// The pinned rare-loss configuration shared by the CI performance gate
+// (bench/bench_rare_perf.cc) and the rare-event test suite
+// (tests/rare_event_test.cc). Both assert the same >= 10x
+// trials-to-equal-CI bar against naive Monte Carlo on exactly this config;
+// keeping it in one place keeps the gate and the test honest about testing
+// the same thing. Mission-loss probability ~2.4e-6 per year (exact via the
+// mirrored CTMC), i.e. ~4e7 naive trials for 10% relative error.
+
+#ifndef LONGSTORE_SRC_RARE_PINNED_CONFIGS_H_
+#define LONGSTORE_SRC_RARE_PINNED_CONFIGS_H_
+
+#include "src/storage/config.h"
+
+namespace longstore {
+
+inline StorageSimConfig PinnedRareLossConfig() {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(1.0e6);
+  config.params.ml = Duration::Hours(5.0e5);
+  config.params.mrv = Duration::Hours(2.0);
+  config.params.mrl = Duration::Hours(2.0);
+  config.params.mdl = Duration::Hours(20.0);
+  config.scrub = ScrubPolicy::Exponential(config.params.mdl);
+  return config;
+}
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_RARE_PINNED_CONFIGS_H_

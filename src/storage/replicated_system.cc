@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/rare/biased_sampler.h"
+
 namespace longstore {
 
 std::optional<std::string> StorageSimConfig::Validate() const {
@@ -204,6 +206,10 @@ Duration ReplicatedStorageSystem::DrawFaultDelay(const Replica& replica,
     const Duration scale =
         kind == FaultKind::kVisible ? weibull_scale_mv_ : weibull_scale_ml_;
     const double age = (sim_->now() - replica.birth_time).hours() / scale.hours();
+    if (fault_sampler_ != nullptr) {
+      return fault_sampler_->DrawWeibullResidualFault(
+          *rng_, shape, scale, age, kind, /*forcing_eligible=*/sim_->now().is_zero());
+    }
     const double u = rng_->NextDoubleOpen();
     const double life = std::pow(std::pow(age, shape) - std::log(u), 1.0 / shape);
     const double residual_hours = (life - age) * scale.hours();
@@ -219,6 +225,11 @@ Duration ReplicatedStorageSystem::DrawFaultDelay(const Replica& replica,
   }
   const Duration mean =
       kind == FaultKind::kVisible ? config_.params.mv : config_.params.ml;
+  if (fault_sampler_ != nullptr) {
+    return fault_sampler_->DrawExponentialFault(
+        *rng_, mean / CorrelationMultiplier(), kind,
+        /*forcing_eligible=*/sim_->now().is_zero());
+  }
   return rng_->NextExponential(mean / CorrelationMultiplier());
 }
 
@@ -299,10 +310,19 @@ void ReplicatedStorageSystem::ScheduleSystemFaultClocks() {
   const double mult = CorrelationMultiplier();
   const bool has_visible = !config_.params.mv.is_infinite();
   const bool has_latent = !config_.params.ml.is_infinite();
+  const bool forcing_eligible = sim_->now().is_zero();
+  const auto draw = [&](Duration mean, FaultKind kind) {
+    return fault_sampler_ != nullptr
+               ? fault_sampler_->DrawExponentialFault(*rng_, mean, kind,
+                                                      forcing_eligible)
+               : rng_->NextExponential(mean);
+  };
   const Duration visible_delay =
-      has_visible ? rng_->NextExponential(config_.params.mv / mult) : Duration::Zero();
+      has_visible ? draw(config_.params.mv / mult, FaultKind::kVisible)
+                  : Duration::Zero();
   const Duration latent_delay =
-      has_latent ? rng_->NextExponential(config_.params.ml / mult) : Duration::Zero();
+      has_latent ? draw(config_.params.ml / mult, FaultKind::kLatent)
+                 : Duration::Zero();
   if (has_visible && (!has_latent || visible_delay <= latent_delay)) {
     system_visible_event_ = sim_->ScheduleAfter(visible_delay, kEvSystemVisibleFault);
   } else if (has_latent) {
@@ -639,16 +659,34 @@ void ReplicatedStorageSystem::RecordTraceImpl(TraceEventKind kind, int replica,
 TrialRunner::TrialRunner(const StorageSimConfig& config, ConfigValidation validation)
     : rng_(0), system_(&sim_, &rng_, config, /*trace=*/nullptr, validation) {}
 
+TrialRunner::TrialRunner(const StorageSimConfig& config, ConfigValidation validation,
+                         const FaultBias& bias)
+    : rng_(0),
+      system_(&sim_, &rng_, config, /*trace=*/nullptr, validation),
+      sampler_(std::make_unique<BiasedFaultSampler>(bias)) {
+  system_.set_fault_sampler(sampler_.get());
+}
+
+TrialRunner::~TrialRunner() = default;
+
 RunOutcome TrialRunner::Run(uint64_t seed, Duration horizon) {
   sim_.Reset();
   rng_.Reseed(seed);
   system_.Reset();
+  if (sampler_ != nullptr) {
+    // The forcing window is the trial horizon: for mission-loss estimation
+    // the first fault is pulled into the mission itself.
+    sampler_->BeginTrial(horizon);
+  }
   system_.Start();
   sim_.RunUntil(horizon);
   RunOutcome outcome;
   outcome.metrics = system_.metrics();
   if (system_.lost()) {
     outcome.loss_time = system_.loss_time();
+  }
+  if (sampler_ != nullptr) {
+    outcome.log_weight = sampler_->log_weight();
   }
   return outcome;
 }

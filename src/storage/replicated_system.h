@@ -11,6 +11,7 @@
 #ifndef LONGSTORE_SRC_STORAGE_REPLICATED_SYSTEM_H_
 #define LONGSTORE_SRC_STORAGE_REPLICATED_SYSTEM_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -21,6 +22,12 @@
 #include "src/util/random.h"
 
 namespace longstore {
+
+// Importance-sampling change of measure (src/rare/biased_sampler.h). The
+// storage layer only holds a pointer; the rare-event subsystem owns the
+// math.
+class BiasedFaultSampler;
+struct FaultBias;
 
 enum class ReplicaState {
   kHealthy,
@@ -51,6 +58,14 @@ class ReplicatedStorageSystem : public SimClient {
   // simulator and reseed the Rng first; see src/sim/README.md for the reuse
   // contract. No buffer is reallocated.
   void Reset();
+
+  // Attaches an importance-sampling fault sampler: all *fault-time* draws
+  // (per-replica and system-level, exponential and Weibull) go through it
+  // and accumulate the trial's likelihood ratio; repair, scrub/detection,
+  // and common-mode draws stay unbiased. Must be set before Start();
+  // nullptr (the default) keeps the unbiased path, bit for bit. The sampler
+  // must outlive the system; the caller resets it per trial.
+  void set_fault_sampler(BiasedFaultSampler* sampler) { fault_sampler_ = sampler; }
 
   // Event dispatch from the simulator; not for direct use.
   void OnSimEvent(uint16_t tag, int32_t a, int32_t b) override;
@@ -143,6 +158,7 @@ class ReplicatedStorageSystem : public SimClient {
   Rng* rng_;
   StorageSimConfig config_;
   TraceRecorder* trace_;
+  BiasedFaultSampler* fault_sampler_ = nullptr;
 
   std::vector<Replica> replicas_;
   int faulty_count_ = 0;
@@ -178,6 +194,9 @@ struct RunOutcome {
   // Time of data loss; nullopt if the system survived the horizon (censored).
   std::optional<Duration> loss_time;
   SimMetrics metrics;
+  // Log-likelihood ratio of the trial under the attached importance-sampling
+  // measure; exactly 0 (weight 1) for unbiased runs.
+  double log_weight = 0.0;
 };
 
 // Owns one Simulator + Rng + ReplicatedStorageSystem and reuses them across
@@ -191,9 +210,17 @@ class TrialRunner {
   explicit TrialRunner(const StorageSimConfig& config,
                        ConfigValidation validation = ConfigValidation::kValidate);
 
+  // Importance-sampling variant: fault-time draws are tilted by `bias` and
+  // each outcome carries the trial's exact log-likelihood ratio
+  // (RunOutcome::log_weight). The forcing window is the horizon passed to
+  // Run(). An identity bias reproduces the unbiased runner bit for bit.
+  TrialRunner(const StorageSimConfig& config, ConfigValidation validation,
+              const FaultBias& bias);
+
   // Self-referential (the system holds pointers to the simulator and rng).
   TrialRunner(const TrialRunner&) = delete;
   TrialRunner& operator=(const TrialRunner&) = delete;
+  ~TrialRunner();
 
   RunOutcome Run(uint64_t seed, Duration horizon);
 
@@ -203,6 +230,7 @@ class TrialRunner {
   Simulator sim_;
   Rng rng_;
   ReplicatedStorageSystem system_;
+  std::unique_ptr<BiasedFaultSampler> sampler_;  // null = unbiased
 };
 
 // Runs a fresh system until data loss or `horizon`, whichever comes first.

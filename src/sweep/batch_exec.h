@@ -40,6 +40,10 @@ inline constexpr int64_t kTrialBlockSize = 256;
 template <typename Accumulator>
 struct TrialBatchJob {
   const StorageSimConfig* config = nullptr;  // pre-validated by the caller
+  // Importance-sampling change of measure for this job's trials; null runs
+  // the unbiased engine path. Must outlive the batch (the sweep runner
+  // points it at its options).
+  const FaultBias* bias = nullptr;
   int64_t begin_trial = 0;                   // inclusive, absolute index
   int64_t end_trial = 0;                     // exclusive
   std::vector<Accumulator> blocks;
@@ -88,7 +92,11 @@ void RunTrialBlocks(WorkerPool& pool, int lanes,
       TrialBatchJob<Accumulator>& job = jobs[unit.job];
       std::unique_ptr<TrialRunner>& runner = runners[unit.job];
       if (!runner) {
-        runner = std::make_unique<TrialRunner>(*job.config, ConfigValidation::kPreValidated);
+        runner = job.bias != nullptr
+                     ? std::make_unique<TrialRunner>(
+                           *job.config, ConfigValidation::kPreValidated, *job.bias)
+                     : std::make_unique<TrialRunner>(*job.config,
+                                                     ConfigValidation::kPreValidated);
       }
       Accumulator& acc = job.blocks[unit.slot];
       for (int64_t t = unit.begin; t < unit.end; ++t) {

@@ -33,10 +33,13 @@ struct TrialAccumulator {
   // kMttdl
   RunningStats loss_years;
   int64_t censored = 0;
-  // kLossProbability
+  // kLossProbability (also: hit count for kWeightedLossProbability)
   int64_t losses = 0;
   // kCensoredMttdl
   double observed_years = 0.0;
+  // kWeightedLossProbability: per-trial w·1{loss} over every trial, zeros
+  // included, so mean() is the importance-sampled probability estimate.
+  RunningStats weighted;
 
   SimMetrics metrics;
 
@@ -45,6 +48,7 @@ struct TrialAccumulator {
     censored += other.censored;
     losses += other.losses;
     observed_years += other.observed_years;
+    weighted.Merge(other.weighted);
     metrics.Merge(other.metrics);
   }
 };
@@ -75,6 +79,29 @@ LossProbabilityEstimate FinalizeLoss(const TrialAccumulator& acc, int64_t trials
   estimate.trials = trials;
   estimate.losses = acc.losses;
   estimate.wilson_ci = WilsonInterval(acc.losses, trials, confidence);
+  estimate.aggregate_metrics = acc.metrics;
+  return estimate;
+}
+
+WeightedLossProbabilityEstimate FinalizeWeighted(const TrialAccumulator& acc,
+                                                 int64_t trials, double confidence) {
+  WeightedLossProbabilityEstimate estimate;
+  estimate.trials = trials;
+  estimate.hits = acc.losses;
+  estimate.weighted = acc.weighted;
+  estimate.ci = MeanConfidenceInterval(acc.weighted, confidence);
+  const double mean = acc.weighted.mean();
+  estimate.relative_error = mean > 0.0
+                                ? acc.weighted.std_error() / mean
+                                : std::numeric_limits<double>::infinity();
+  // ESS = (Σx)² / Σx² with x = w·1{loss}; recover Σx² from Welford's M2
+  // (variance · (n−1)) plus n·mean².
+  const double n = static_cast<double>(trials);
+  const double sum = mean * n;
+  const double sum_sq =
+      acc.weighted.variance() * (n - 1.0) + n * mean * mean;
+  estimate.effective_sample_size = sum_sq > 0.0 ? sum * sum / sum_sq : 0.0;
+  estimate.max_weight = acc.weighted.max();
   estimate.aggregate_metrics = acc.metrics;
   return estimate;
 }
@@ -271,10 +298,16 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
   if (mc.trials <= 0) {
     throw std::invalid_argument("Monte Carlo: trials must be positive");
   }
-  if (options.estimand == Estimand::kLossProbability &&
+  if ((options.estimand == Estimand::kLossProbability ||
+       options.estimand == Estimand::kWeightedLossProbability) &&
       (!(options.mission.hours() > 0.0) || options.mission.is_infinite())) {
     throw std::invalid_argument(
         "EstimateLossProbability: mission must be positive finite");
+  }
+  if (options.estimand == Estimand::kWeightedLossProbability) {
+    if (auto error = options.bias.Validate()) {
+      throw std::invalid_argument("FaultBias: " + *error);
+    }
   }
   if (options.estimand == Estimand::kCensoredMttdl &&
       (!(options.window.hours() > 0.0) || options.window.is_infinite())) {
@@ -320,11 +353,13 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
 
   const int lanes = mc.threads > 0 ? mc.threads : pool_->size();
   const Estimand estimand = options.estimand;
-  const Duration horizon = estimand == Estimand::kMttdl
-                               ? mc.max_trial_time
-                               : (estimand == Estimand::kLossProbability
-                                      ? options.mission
-                                      : options.window);
+  const Duration horizon =
+      estimand == Estimand::kMttdl
+          ? mc.max_trial_time
+          : (estimand == Estimand::kCensoredMttdl ? options.window
+                                                  : options.mission);
+  const FaultBias* bias =
+      estimand == Estimand::kWeightedLossProbability ? &options.bias : nullptr;
 
   while (true) {
     // Gather this round's work: every unconverged cell's next trial range.
@@ -337,6 +372,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
       }
       TrialBatchJob<TrialAccumulator> job;
       job.config = &state.cell.config;
+      job.bias = bias;
       job.begin_trial = state.trials_done;
       job.end_trial = state.target;
       jobs.push_back(std::move(job));
@@ -372,6 +408,14 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
                            acc.observed_years += outcome.loss_time->years();
                          } else {
                            acc.observed_years += horizon.years();
+                         }
+                         break;
+                       case Estimand::kWeightedLossProbability:
+                         if (outcome.loss_time) {
+                           acc.losses++;
+                           acc.weighted.Add(std::exp(outcome.log_weight));
+                         } else {
+                           acc.weighted.Add(0.0);
                          }
                          break;
                      }
@@ -425,6 +469,9 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
       case Estimand::kCensoredMttdl:
         cell.censored = FinalizeCensored(state.acc, state.trials_done, mc.confidence);
         break;
+      case Estimand::kWeightedLossProbability:
+        cell.weighted = FinalizeWeighted(state.acc, state.trials_done, mc.confidence);
+        break;
     }
     result.cells.push_back(std::move(cell));
   }
@@ -458,6 +505,10 @@ Table SweepResult::ToTable() const {
       headers.insert(headers.end(),
                      {"MTTDL (y)", "CI lo (y)", "CI hi (y)", "losses", "trials"});
       break;
+    case Estimand::kWeightedLossProbability:
+      headers.insert(headers.end(),
+                     {"P(loss)", "CI lo", "CI hi", "rel err", "ESS", "hits", "trials"});
+      break;
   }
   Table table(std::move(headers));
   for (const SweepCellResult& cell : cells) {
@@ -490,6 +541,18 @@ Table SweepResult::ToTable() const {
         row.push_back(Table::Fmt(e.ci_years.lo, 1));
         row.push_back(std::isinf(e.ci_years.hi) ? "inf" : Table::Fmt(e.ci_years.hi, 1));
         row.push_back(std::to_string(e.losses));
+        break;
+      }
+      case Estimand::kWeightedLossProbability: {
+        const WeightedLossProbabilityEstimate& e = *cell.weighted;
+        row.push_back(Table::FmtSci(e.probability(), 3));
+        row.push_back(Table::FmtSci(std::max(e.ci.lo, 0.0), 2));
+        row.push_back(Table::FmtSci(e.ci.hi, 2));
+        row.push_back(std::isinf(e.relative_error)
+                          ? "inf"
+                          : Table::Fmt(e.relative_error, 3));
+        row.push_back(Table::Fmt(e.effective_sample_size, 1));
+        row.push_back(std::to_string(e.hits));
         break;
       }
     }
@@ -541,6 +604,17 @@ std::string SweepResult::ToJson() const {
            << JsonNumber(e.mttdl.years()) << ",\"ci_lo\":" << JsonNumber(e.ci_years.lo)
            << ",\"ci_hi\":" << JsonNumber(e.ci_years.hi) << ",\"losses\":" << e.losses
            << ",\"observed_years\":" << JsonNumber(e.observed_years);
+        break;
+      }
+      case Estimand::kWeightedLossProbability: {
+        const WeightedLossProbabilityEstimate& e = *cell.weighted;
+        os << ",\"estimand\":\"weighted_loss_probability\",\"probability\":"
+           << JsonNumber(e.probability()) << ",\"ci_lo\":" << JsonNumber(e.ci.lo)
+           << ",\"ci_hi\":" << JsonNumber(e.ci.hi)
+           << ",\"relative_error\":" << JsonNumber(e.relative_error)
+           << ",\"effective_sample_size\":" << JsonNumber(e.effective_sample_size)
+           << ",\"max_weight\":" << JsonNumber(e.max_weight)
+           << ",\"hits\":" << e.hits;
         break;
       }
     }

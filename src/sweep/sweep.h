@@ -35,11 +35,35 @@
 #include <vector>
 
 #include "src/mc/monte_carlo.h"
+#include "src/rare/biased_sampler.h"
 #include "src/storage/config.h"
 #include "src/sweep/worker_pool.h"
 #include "src/util/table.h"
 
 namespace longstore {
+
+// Importance-sampled mission-loss probability (Estimand::
+// kWeightedLossProbability): trials run under the FaultBias change of
+// measure and each loss counts its exact likelihood-ratio weight, so the
+// weighted mean estimates the *nominal* loss probability unbiasedly.
+// `weighted` holds the per-trial values w·1{loss} over all trials (zeros
+// included), accumulated block-deterministically like every other estimand.
+struct WeightedLossProbabilityEstimate {
+  int64_t trials = 0;
+  int64_t hits = 0;  // trials that observed a (biased) loss
+  RunningStats weighted;
+  Interval ci;  // normal-approximation CI on the weighted mean
+  // Standard IS diagnostics: relative error = SE / mean (infinite until the
+  // first hit), and effective sample size (Σw·I)² / Σ(w·I)² — the number of
+  // ideal unweighted samples carrying the same information. A tiny ESS with
+  // many hits means a few huge weights dominate: the bias is too strong.
+  double relative_error = 0.0;
+  double effective_sample_size = 0.0;
+  double max_weight = 0.0;
+  SimMetrics aggregate_metrics;
+
+  double probability() const { return weighted.mean(); }
+};
 
 // The position of a cell along one axis: the axis name, the point's display
 // label, and a numeric value for plotting/JSON (0 when not meaningful).
@@ -117,6 +141,11 @@ struct SweepOptions {
     kMttdl,            // simulate each trial to data loss (or the safety cap)
     kLossProbability,  // simulate over `mission`, count losses
     kCensoredMttdl,    // type-I censored MLE over `window` (rare-loss regime)
+    // Importance-sampled loss probability over `mission` under `bias`
+    // (src/rare/): likelihood-ratio-weighted losses, for probabilities far
+    // below 1/trials. kSharedRoot sweeps with an identity bias reproduce
+    // kLossProbability's trial outcomes bit for bit (weights ≡ 1).
+    kWeightedLossProbability,
   };
   enum class SeedMode {
     kPerCellDerived,  // cell_seed = DeriveSeed(mc.seed, hash(cell label))
@@ -126,6 +155,10 @@ struct SweepOptions {
   Estimand estimand = Estimand::kMttdl;
   Duration mission = Duration::Years(50.0);  // kLossProbability horizon
   Duration window = Duration::Years(100.0);  // kCensoredMttdl trial window
+  // kWeightedLossProbability change of measure (identity = plain MC with
+  // weights ≡ 1). Validated by Run(). Shared by every cell of the sweep;
+  // use src/rare/rare_event.h to auto-tune it per configuration first.
+  FaultBias bias;
 
   // trials / seed / threads / max_trial_time / confidence. `threads` caps
   // the lanes used on the pool (0 = all pool workers); it never changes the
@@ -152,6 +185,7 @@ struct SweepCellResult {
   std::optional<MttdlEstimate> mttdl;
   std::optional<LossProbabilityEstimate> loss;
   std::optional<CensoredMttdlEstimate> censored;
+  std::optional<WeightedLossProbabilityEstimate> weighted;
 
   int64_t trials = 0;  // total trials executed for this cell
   int rounds = 0;      // 1 unless adaptive

@@ -1,0 +1,400 @@
+// The rare-event estimation contract (src/rare/):
+//  * at the identity bias, the sampler path is bit-identical to the
+//    unbiased engine for exponential and Weibull faults, with weight 1;
+//  * the likelihood ratio is exact: mean trial weight converges to 1 under
+//    any valid bias, for both fault families;
+//  * the importance-sampled loss probability is unbiased: it covers the
+//    analytic CTMC value on a calibration config;
+//  * on a rare-loss config the weighted estimator needs far fewer trials
+//    than naive Monte Carlo for the same CI (the 10x gate bench_rare_perf
+//    enforces in CI is asserted here too);
+//  * weighted sweep estimates obey the same bit-identical determinism
+//    contract as every other estimand.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/mc/monte_carlo.h"
+#include "src/model/replica_ctmc.h"
+#include "src/rare/pinned_configs.h"
+#include "src/rare/rare_event.h"
+#include "src/util/stats.h"
+
+namespace longstore {
+namespace {
+
+// Calibration config: mirrored pair, exponential faults/repairs, exponential
+// audits — the process ReplicaCtmc solves exactly. Mission-loss probability
+// ~6e-5 over one year: rare enough that naive MC at test-sized trial counts
+// sees nothing, common enough that the exact value is cheap to pin.
+StorageSimConfig CalibrationConfig() {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(1.0e6);
+  config.params.ml = Duration::Hours(2.0e5);
+  config.params.mrv = Duration::Hours(10.0);
+  config.params.mrl = Duration::Hours(10.0);
+  config.params.mdl = Duration::Hours(100.0);
+  config.scrub = ScrubPolicy::Exponential(config.params.mdl);
+  return config;
+}
+
+// The pinned rare-loss config (src/rare/pinned_configs.h, shared with the
+// bench_rare_perf CI gate): ~2.4e-6 per year, i.e. ~4e7 naive trials for
+// 10% relative error.
+StorageSimConfig RareLossConfig() { return PinnedRareLossConfig(); }
+
+StorageSimConfig WeibullConfig() {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(2000.0);
+  config.params.ml = Duration::Hours(400.0);
+  config.params.mrv = Duration::Hours(2.0);
+  config.params.mrl = Duration::Hours(2.0);
+  config.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+  config.weibull_shape = 2.0;
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(80.0));
+  config.repair_distribution = StorageSimConfig::RepairDistribution::kDeterministic;
+  return config;
+}
+
+FaultBias LatentTilt(double theta, double force = 0.5) {
+  FaultBias bias;
+  bias.theta_latent = theta;
+  bias.force_probability = force;
+  return bias;
+}
+
+void ExpectBitIdenticalOutcome(const RunOutcome& a, const RunOutcome& b) {
+  ASSERT_EQ(a.loss_time.has_value(), b.loss_time.has_value());
+  if (a.loss_time) {
+    EXPECT_EQ(a.loss_time->hours(), b.loss_time->hours());
+  }
+  EXPECT_EQ(a.metrics.visible_faults, b.metrics.visible_faults);
+  EXPECT_EQ(a.metrics.latent_faults, b.metrics.latent_faults);
+  EXPECT_EQ(a.metrics.latent_detections, b.metrics.latent_detections);
+  EXPECT_EQ(a.metrics.repairs_completed, b.metrics.repairs_completed);
+  EXPECT_EQ(a.metrics.detection_latency_hours.mean(),
+            b.metrics.detection_latency_hours.mean());
+}
+
+void CheckZeroBiasBitIdentical(const StorageSimConfig& config, Duration horizon) {
+  TrialRunner unbiased(config);
+  TrialRunner identity(config, ConfigValidation::kValidate, FaultBias{});
+  ASSERT_TRUE(FaultBias{}.is_identity());
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const RunOutcome a = unbiased.Run(seed, horizon);
+    const RunOutcome b = identity.Run(seed, horizon);
+    EXPECT_EQ(a.log_weight, 0.0);
+    EXPECT_EQ(b.log_weight, 0.0);
+    ExpectBitIdenticalOutcome(a, b);
+  }
+}
+
+TEST(RareEventTest, ZeroBiasBitIdenticalExponential) {
+  // Short horizon relative to the fault times so both censored and lossy
+  // trials occur; alpha < 1 exercises the correlation-redraw path.
+  StorageSimConfig config = CalibrationConfig();
+  config.params.mv = Duration::Hours(2000.0);
+  config.params.ml = Duration::Hours(400.0);
+  config.params.mdl = Duration::Hours(40.0);
+  config.params.alpha = 0.3;
+  config.scrub = ScrubPolicy::Exponential(config.params.mdl);
+  CheckZeroBiasBitIdentical(config, Duration::Hours(20000.0));
+}
+
+TEST(RareEventTest, ZeroBiasBitIdenticalPaperConvention) {
+  StorageSimConfig config = CalibrationConfig();
+  config.params.mv = Duration::Hours(2000.0);
+  config.params.ml = Duration::Hours(400.0);
+  config.params.mdl = Duration::Hours(40.0);
+  config.scrub = ScrubPolicy::Exponential(config.params.mdl);
+  config.convention = RateConvention::kPaper;
+  CheckZeroBiasBitIdentical(config, Duration::Hours(20000.0));
+}
+
+TEST(RareEventTest, ZeroBiasBitIdenticalWeibull) {
+  CheckZeroBiasBitIdentical(WeibullConfig(), Duration::Hours(20000.0));
+}
+
+// A theta of 1 is the same measure regardless of tilt_probability, so it
+// must also take the bit-identical path (no extra uniforms consumed).
+TEST(RareEventTest, UnitThetaIsIdentityEvenWithTiltProbability) {
+  FaultBias bias;
+  bias.tilt_probability = 0.9;
+  ASSERT_TRUE(bias.is_identity());
+  StorageSimConfig config = CalibrationConfig();
+  config.params.mv = Duration::Hours(2000.0);
+  config.params.ml = Duration::Hours(400.0);
+  TrialRunner unbiased(config);
+  TrialRunner identity(config, ConfigValidation::kValidate, bias);
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const RunOutcome a = unbiased.Run(seed, Duration::Hours(20000.0));
+    const RunOutcome b = identity.Run(seed, Duration::Hours(20000.0));
+    EXPECT_EQ(b.log_weight, 0.0);
+    ExpectBitIdenticalOutcome(a, b);
+  }
+}
+
+// Per-draw exactness of the likelihood ratio, tested at the sampler level
+// where the weight is a single bounded factor and the sample mean of w is a
+// reliable estimator: E[w] = 1 (unbiasedness of the change of measure) and
+// E[w · 1{X ≤ W}] = F(W) (the weighted window mass reproduces the *nominal*
+// window probability, which is precisely what forcing must preserve).
+void CheckDrawLikelihoodRatio(const FaultBias& bias, bool weibull, double age) {
+  BiasedFaultSampler sampler(bias);
+  Rng rng(0xfeedface);
+  const Duration window = Duration::Hours(90.0);
+  const Duration mean = Duration::Hours(1000.0);
+  const double shape = 2.0;
+  // Weibull scale chosen so the draw mean matches `mean` at shape 2.
+  const Duration scale = mean / std::tgamma(1.0 + 1.0 / shape);
+  RunningStats weights;
+  RunningStats weighted_inside;
+  for (int i = 0; i < 200000; ++i) {
+    sampler.BeginTrial(window);
+    const Duration x =
+        weibull ? sampler.DrawWeibullResidualFault(rng, shape, scale, age,
+                                                   FaultKind::kLatent,
+                                                   /*forcing_eligible=*/true)
+                : sampler.DrawExponentialFault(rng, mean, FaultKind::kLatent,
+                                               /*forcing_eligible=*/true);
+    const double w = sampler.weight();
+    weights.Add(w);
+    weighted_inside.Add(x <= window ? w : 0.0);
+  }
+  EXPECT_NEAR(weights.mean(), 1.0, 4.0 * weights.std_error());
+  double nominal_window_mass;
+  if (weibull) {
+    const double end = age + window / scale;
+    nominal_window_mass =
+        -std::expm1(-(std::pow(end, shape) - std::pow(age, shape)));
+  } else {
+    nominal_window_mass = -std::expm1(-(window / mean));
+  }
+  EXPECT_NEAR(weighted_inside.mean(), nominal_window_mass,
+              4.0 * weighted_inside.std_error() + 1e-6);
+}
+
+TEST(RareEventTest, DrawLikelihoodRatioExactExponential) {
+  CheckDrawLikelihoodRatio(LatentTilt(8.0, /*force=*/0.5), /*weibull=*/false, 0.0);
+}
+
+TEST(RareEventTest, DrawLikelihoodRatioExactWeibull) {
+  CheckDrawLikelihoodRatio(LatentTilt(8.0, /*force=*/0.5), /*weibull=*/true,
+                           /*age=*/0.0);
+}
+
+TEST(RareEventTest, DrawLikelihoodRatioExactWeibullAged) {
+  // Nonzero age exercises the residual-lifetime conditioning in both the
+  // draw inversion and the forcing-window hazard.
+  CheckDrawLikelihoodRatio(LatentTilt(4.0, /*force=*/0.4), /*weibull=*/true,
+                           /*age=*/1.7);
+}
+
+// Trial-level exactness: the trial weight w = dP/dQ has E_Q[w] = 1 over the
+// stopped path measure. Rare-regime configs keep the number of weight-
+// carrying draws per trial small, so the sample mean of w is trustworthy
+// (in fault-dense regimes the product weight is too heavy-tailed for this
+// diagnostic — which is exactly why the tuner tilts only the loss-driving
+// hazard; see src/rare/README.md).
+void CheckMeanWeightIsOne(const StorageSimConfig& config, const FaultBias& bias,
+                          Duration horizon, int64_t trials) {
+  TrialRunner runner(config, ConfigValidation::kValidate, bias);
+  RunningStats weights;
+  for (int64_t t = 0; t < trials; ++t) {
+    const RunOutcome outcome = runner.Run(DeriveSeed(0xabcdef, t), horizon);
+    weights.Add(std::exp(outcome.log_weight));
+  }
+  const double tolerance = std::max(0.02, 4.0 * weights.std_error());
+  EXPECT_NEAR(weights.mean(), 1.0, tolerance)
+      << "mean weight off over " << trials << " trials (SE " << weights.std_error()
+      << "): the likelihood ratio is not exact";
+}
+
+TEST(RareEventTest, MeanWeightIsOneExponentialLatentTilt) {
+  CheckMeanWeightIsOne(CalibrationConfig(), LatentTilt(8.0), Duration::Years(1.0),
+                       20000);
+}
+
+TEST(RareEventTest, MeanWeightIsOneExponentialVisibleTilt) {
+  FaultBias bias;
+  bias.theta_visible = 4.0;
+  bias.force_probability = 0.3;
+  CheckMeanWeightIsOne(CalibrationConfig(), bias, Duration::Years(1.0), 20000);
+}
+
+TEST(RareEventTest, MeanWeightIsOneWeibull) {
+  // Rare-regime scales (fault times far beyond the mission) with wear-out
+  // shape: a handful of draws per trial, all through the Weibull path.
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(1.0e6);
+  config.params.ml = Duration::Hours(2.0e5);
+  config.params.mrv = Duration::Hours(10.0);
+  config.params.mrl = Duration::Hours(10.0);
+  config.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+  config.weibull_shape = 2.0;
+  config.scrub = ScrubPolicy::Periodic(Duration::Hours(200.0));
+  config.initial_age_hours = {5.0e4, 5.0e4};  // same-batch fleet, mid-bathtub
+  FaultBias bias;
+  bias.theta_latent = 8.0;
+  bias.theta_visible = 2.0;
+  bias.force_probability = 0.4;
+  CheckMeanWeightIsOne(config, bias, Duration::Years(1.0), 20000);
+}
+
+TEST(RareEventTest, CoversAnalyticLossProbability) {
+  const StorageSimConfig config = CalibrationConfig();
+  const Duration mission = Duration::Years(1.0);
+  const auto exact =
+      MirroredLossProbability(config.params, mission, RateConvention::kPhysical);
+  ASSERT_TRUE(exact.has_value());
+
+  IsOptions options;
+  options.bias = LatentTilt(8.0);
+  McConfig mc;
+  mc.trials = 20000;
+  mc.seed = 4242;
+  const IsLossProbabilityEstimate is =
+      EstimateLossProbabilityIS(config, mission, mc, options);
+  EXPECT_GT(is.estimate.hits, 100);
+  EXPECT_TRUE(is.estimate.ci.lo <= *exact && *exact <= is.estimate.ci.hi)
+      << "exact=" << *exact << " is=[" << is.estimate.ci.lo << ", "
+      << is.estimate.ci.hi << "] p=" << is.probability();
+  // Sanity of the diagnostics: relative error well under 1, a real ESS.
+  EXPECT_LT(is.estimate.relative_error, 0.5);
+  EXPECT_GT(is.estimate.effective_sample_size, 10.0);
+}
+
+TEST(RareEventTest, AutoTunerCoversAnalyticLossProbability) {
+  const StorageSimConfig config = CalibrationConfig();
+  const Duration mission = Duration::Years(1.0);
+  const auto exact =
+      MirroredLossProbability(config.params, mission, RateConvention::kPhysical);
+  ASSERT_TRUE(exact.has_value());
+
+  IsOptions options;
+  options.theta_grid = {4.0, 16.0, 64.0};
+  options.pilot_trials = 1500;
+  McConfig mc;
+  mc.trials = 20000;
+  mc.seed = 77;
+  const IsLossProbabilityEstimate is =
+      EstimateLossProbabilityIS(config, mission, mc, options);
+  // identity + forcing-only + 3 grid candidates were piloted.
+  ASSERT_EQ(is.pilot.size(), 5u);
+  EXPECT_EQ(is.pilot_trials_total, 5 * 1500);
+  EXPECT_FALSE(is.bias.is_identity());
+  EXPECT_TRUE(is.estimate.ci.lo <= *exact && *exact <= is.estimate.ci.hi)
+      << "exact=" << *exact << " is=[" << is.estimate.ci.lo << ", "
+      << is.estimate.ci.hi << "]";
+}
+
+TEST(RareEventTest, TenfoldVarianceReductionOnRareLossConfig) {
+  const StorageSimConfig config = RareLossConfig();
+  const Duration mission = Duration::Years(1.0);
+  const auto exact =
+      MirroredLossProbability(config.params, mission, RateConvention::kPhysical);
+  ASSERT_TRUE(exact.has_value());
+  ASSERT_LT(*exact, 1e-5);  // the config really is in the rare regime
+
+  IsOptions options;
+  options.bias = LatentTilt(16.0);
+  McConfig mc;
+  mc.trials = 20000;
+  mc.seed = 31337;
+  const IsLossProbabilityEstimate is =
+      EstimateLossProbabilityIS(config, mission, mc, options);
+  EXPECT_TRUE(is.estimate.ci.lo <= *exact && *exact <= is.estimate.ci.hi)
+      << "exact=" << *exact << " is=[" << is.estimate.ci.lo << ", "
+      << is.estimate.ci.hi << "]";
+  // Trials-to-equal-CI ratio vs naive Monte Carlo: per-trial variance
+  // p(1-p) for the indicator vs the weighted estimator's sample variance.
+  const double naive_variance = *exact * (1.0 - *exact);
+  const double is_variance = is.estimate.weighted.variance();
+  ASSERT_GT(is_variance, 0.0);
+  EXPECT_GE(naive_variance / is_variance, 10.0)
+      << "importance sampling must cut trials-to-equal-CI by >= 10x here";
+}
+
+TEST(RareEventTest, IdentityWeightedSweepMatchesPlainLossProbability) {
+  // With the identity bias and shared-root seeding, the weighted estimand
+  // sees exactly the trials kLossProbability sees: same losses, weight 1.
+  StorageSimConfig config = CalibrationConfig();
+  config.params.mv = Duration::Hours(2000.0);
+  config.params.ml = Duration::Hours(400.0);
+  config.params.mdl = Duration::Hours(40.0);
+  config.scrub = ScrubPolicy::Exponential(config.params.mdl);
+  const Duration mission = Duration::Hours(20000.0);
+  McConfig mc;
+  mc.trials = 4000;
+  mc.seed = 555;
+
+  const LossProbabilityEstimate plain = EstimateLossProbability(config, mission, mc);
+
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kWeightedLossProbability;
+  options.mission = mission;
+  options.bias = FaultBias{};
+  options.mc = mc;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  const WeightedLossProbabilityEstimate& weighted = *result.cells.front().weighted;
+
+  EXPECT_EQ(weighted.hits, plain.losses);
+  EXPECT_NEAR(weighted.probability(), plain.probability(), 1e-12);
+  EXPECT_EQ(weighted.max_weight, 1.0);  // every loss carries weight exactly 1
+  EXPECT_EQ(weighted.aggregate_metrics.visible_faults,
+            plain.aggregate_metrics.visible_faults);
+}
+
+TEST(RareEventTest, EstimateIsThreadCountInvariant) {
+  const StorageSimConfig config = RareLossConfig();
+  IsOptions options;
+  options.bias = LatentTilt(16.0);
+  McConfig mc;
+  mc.trials = 3000;
+  mc.seed = 99;
+  mc.threads = 1;
+  const IsLossProbabilityEstimate one =
+      EstimateLossProbabilityIS(config, Duration::Years(1.0), mc, options);
+  mc.threads = 8;
+  const IsLossProbabilityEstimate eight =
+      EstimateLossProbabilityIS(config, Duration::Years(1.0), mc, options);
+  EXPECT_EQ(one.probability(), eight.probability());
+  EXPECT_EQ(one.estimate.ci.lo, eight.estimate.ci.lo);
+  EXPECT_EQ(one.estimate.ci.hi, eight.estimate.ci.hi);
+  EXPECT_EQ(one.estimate.effective_sample_size, eight.estimate.effective_sample_size);
+  EXPECT_EQ(one.estimate.hits, eight.estimate.hits);
+}
+
+TEST(RareEventTest, InvalidBiasIsRejected) {
+  const StorageSimConfig config = CalibrationConfig();
+  McConfig mc;
+  mc.trials = 10;
+
+  IsOptions options;
+  FaultBias bias;
+  bias.theta_latent = 0.5;  // deceleration is not failure biasing
+  options.bias = bias;
+  EXPECT_THROW(EstimateLossProbabilityIS(config, Duration::Years(1.0), mc, options),
+               std::invalid_argument);
+
+  bias = FaultBias{};
+  bias.force_probability = 1.0;  // hard conditioning would zero nominal paths
+  options.bias = bias;
+  EXPECT_THROW(EstimateLossProbabilityIS(config, Duration::Years(1.0), mc, options),
+               std::invalid_argument);
+
+  bias = FaultBias{};
+  bias.tilt_probability = 1.0;
+  bias.theta_latent = 4.0;
+  options.bias = bias;
+  EXPECT_THROW(EstimateLossProbabilityIS(config, Duration::Years(1.0), mc, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace longstore

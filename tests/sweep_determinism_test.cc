@@ -146,5 +146,64 @@ TEST(SweepDeterminismTest, RepeatedRunsAreIdentical) {
   ExpectBitIdentical(first, second);
 }
 
+// The weighted (importance-sampled) estimand rides the same block
+// aggregation, so its estimates — weighted mean, CI, ESS, max weight, not
+// just hit counts — must be bit-identical across thread counts and cell
+// orders too.
+SweepResult RunWeightedWith(int threads, bool shuffled, WorkerPool* pool) {
+  auto cell_list = Cells();
+  if (shuffled) {
+    std::reverse(cell_list.begin(), cell_list.end());
+    std::swap(cell_list[0], cell_list[2]);
+  }
+  SweepSpec spec;
+  for (auto& [label, config] : cell_list) {
+    spec.AddCell(label, config);
+  }
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kWeightedLossProbability;
+  options.mission = Duration::Hours(20000.0);
+  options.bias.theta_latent = 4.0;
+  options.bias.force_probability = 0.5;
+  options.mc.trials = 700;  // deliberately not a multiple of the block size
+  options.mc.seed = 0xd15c0;
+  options.mc.threads = threads;
+  options.seed_mode = SweepOptions::SeedMode::kPerCellDerived;
+  return SweepRunner(pool).Run(spec, options);
+}
+
+void ExpectWeightedBitIdentical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (const SweepCellResult& cell_a : a.cells) {
+    const SweepCellResult& cell_b = b.ByLabel(cell_a.label);
+    const WeightedLossProbabilityEstimate& ea = *cell_a.weighted;
+    const WeightedLossProbabilityEstimate& eb = *cell_b.weighted;
+    EXPECT_EQ(ea.probability(), eb.probability()) << cell_a.label;
+    EXPECT_EQ(ea.weighted.variance(), eb.weighted.variance()) << cell_a.label;
+    EXPECT_EQ(ea.ci.lo, eb.ci.lo) << cell_a.label;
+    EXPECT_EQ(ea.ci.hi, eb.ci.hi) << cell_a.label;
+    EXPECT_EQ(ea.relative_error, eb.relative_error) << cell_a.label;
+    EXPECT_EQ(ea.effective_sample_size, eb.effective_sample_size) << cell_a.label;
+    EXPECT_EQ(ea.max_weight, eb.max_weight) << cell_a.label;
+    EXPECT_EQ(ea.hits, eb.hits) << cell_a.label;
+    EXPECT_EQ(ea.aggregate_metrics.latent_faults, eb.aggregate_metrics.latent_faults)
+        << cell_a.label;
+  }
+}
+
+TEST(SweepDeterminismTest, WeightedEstimandThreadCountInvariant) {
+  WorkerPool pool(8);
+  const SweepResult one = RunWeightedWith(/*threads=*/1, /*shuffled=*/false, &pool);
+  const SweepResult eight = RunWeightedWith(/*threads=*/8, /*shuffled=*/false, &pool);
+  ExpectWeightedBitIdentical(one, eight);
+}
+
+TEST(SweepDeterminismTest, WeightedEstimandCellOrderInvariant) {
+  WorkerPool pool(8);
+  const SweepResult in_order = RunWeightedWith(8, /*shuffled=*/false, &pool);
+  const SweepResult shuffled = RunWeightedWith(8, /*shuffled=*/true, &pool);
+  ExpectWeightedBitIdentical(in_order, shuffled);
+}
+
 }  // namespace
 }  // namespace longstore
