@@ -7,8 +7,18 @@
 // Part 2 prices the §6.2 comparison: on-line replicas audit cheaply and
 // repair in minutes; off-line replicas pay retrieval/mount per audit, risk
 // handling faults, and repair over days.
+//
+// Both parts run as Scenario grids on SweepRunner::Map — the audit axis
+// mutates every replica's scrub policy, the media comparison is a list of
+// DiskSpec/TapeSpec cells — and the analytic scoring (paper equations +
+// exact CTMC) evaluates concurrently on the worker pool. The CTMC is built
+// from ScenarioFaultParams, i.e. the MDL = interval/2 approximation for the
+// periodic audits (the same linearization the paper uses); exact scrub
+// policies would use ScenarioCtmcMttdl, which rejects periodic scrubbing.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/drives/cost_model.h"
 #include "src/drives/drive_specs.h"
@@ -16,6 +26,10 @@
 #include "src/model/paper_model.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
+#include "src/scenario/media.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/scenario_ctmc.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 int main() {
@@ -24,20 +38,50 @@ int main() {
                             "replicas")
                         .c_str());
 
+  const SweepRunner runner;
+
   std::printf("Part 1: scrub-frequency sweep on the Cheetah mirror\n");
+  const FaultParams base = FaultParams::PaperCheetahExample();
+  SweepSpec frequency_spec(
+      ScenarioBuilder()
+          .Replicas(2, ReplicaSpec()
+                           .Media("Cheetah 15K.4")
+                           .FaultTimes(base.mv, base.ml)
+                           .RepairTimes(base.mrv, base.mrl))
+          .Build());
+  frequency_spec.AddAxis("audits / year");
+  for (const double audits : {0.0, 0.25, 1.0, 3.0, 12.0, 52.0, 365.0}) {
+    frequency_spec.AddPoint(
+        Table::Fmt(audits, 3), audits, [audits](Scenario& scenario) {
+          const ScrubPolicy policy = audits > 0.0
+                                         ? ScrubPolicy::PeriodicPerYear(audits)
+                                         : ScrubPolicy::None();
+          for (ReplicaSpec& replica : scenario.replicas) {
+            replica.ScrubWith(policy);
+          }
+        });
+  }
+
+  struct FrequencyRow {
+    std::string audits, mdl, paper, ctmc, loss;
+  };
+  const std::vector<FrequencyRow> frequency_rows = runner.Map(
+      frequency_spec, [](const SweepSpec::Cell& cell) {
+        const FaultParams p = ScenarioFaultParams(cell.scenario);
+        const auto ctmc = MirroredMttdl(p, RateConvention::kPhysical);
+        const auto loss = MirroredLossProbability(p, Duration::Years(50.0),
+                                                  RateConvention::kPhysical);
+        return FrequencyRow{Table::Fmt(cell.value("audits / year"), 3),
+                            p.mdl.ToString(),
+                            Table::FmtYears(MttdlPaperChoice(p).years(), 1),
+                            Table::FmtYears(ctmc->years(), 1),
+                            Table::FmtSci(*loss, 2)};
+      });
+
   Table sweep({"audits / year", "MDL", "paper-eq MTTDL", "CTMC (physical)",
                "P(loss in 50 y)"});
-  const FaultParams base = FaultParams::PaperCheetahExample();
-  for (double audits : {0.0, 0.25, 1.0, 3.0, 12.0, 52.0, 365.0}) {
-    const ScrubPolicy policy = audits > 0.0 ? ScrubPolicy::PeriodicPerYear(audits)
-                                            : ScrubPolicy::None();
-    const FaultParams p = ApplyScrubPolicy(base, policy);
-    const auto ctmc = MirroredMttdl(p, RateConvention::kPhysical);
-    const auto loss =
-        MirroredLossProbability(p, Duration::Years(50.0), RateConvention::kPhysical);
-    sweep.AddRow({Table::Fmt(audits, 3), p.mdl.ToString(),
-                  Table::FmtYears(MttdlPaperChoice(p).years(), 1),
-                  Table::FmtYears(ctmc->years(), 1), Table::FmtSci(*loss, 2)});
+  for (const FrequencyRow& row : frequency_rows) {
+    sweep.AddRow({row.audits, row.mdl, row.paper, row.ctmc, row.loss});
   }
   std::printf("%s", sweep.Render().c_str());
   std::printf("\nMTTDL grows ~linearly in audit frequency once detection dominates "
@@ -48,38 +92,55 @@ int main() {
               "mirrored)\n");
   const OfflineHandlingModel handling = OfflineHandlingModel::Defaults();
   const CostAssumptions costs = CostAssumptions::Defaults();
-  Table media({"configuration", "MRV", "MDL", "MTTDL (CTMC)", "P(loss 50 y)",
-               "annual cost"});
-  struct Row {
+
+  struct MediaCase {
     std::string name;
-    FaultParams params;
     DriveSpec drive;
     double audits;
   };
-  std::vector<Row> rows;
-  rows.push_back({"disk, scrubbed monthly",
-                  OnlineReplicaParams(SeagateBarracuda200Gb(),
-                                      ScrubPolicy::PeriodicPerYear(12.0), 5.0),
-                  SeagateBarracuda200Gb(), 12.0});
-  rows.push_back({"disk, scrubbed 3x/year",
-                  OnlineReplicaParams(SeagateBarracuda200Gb(),
-                                      ScrubPolicy::PeriodicPerYear(3.0), 5.0),
-                  SeagateBarracuda200Gb(), 3.0});
-  for (double audits : {12.0, 4.0, 1.0, 0.0}) {
+  std::vector<MediaCase> media_cases;
+  media_cases.push_back({"disk, scrubbed monthly", SeagateBarracuda200Gb(), 12.0});
+  media_cases.push_back({"disk, scrubbed 3x/year", SeagateBarracuda200Gb(), 3.0});
+  for (const double audits : {12.0, 4.0, 1.0, 0.0}) {
     char name[64];
     std::snprintf(name, sizeof(name), "tape, audited %.0fx/year", audits);
-    rows.push_back({audits > 0.0 ? name : "tape, never audited",
-                    OfflineReplicaParams(Lto3TapeCartridge(), audits, handling, 5.0),
-                    Lto3TapeCartridge(), audits});
+    media_cases.push_back({audits > 0.0 ? name : "tape, never audited",
+                           Lto3TapeCartridge(), audits});
   }
-  for (const Row& row : rows) {
-    const auto mttdl = MirroredMttdl(row.params, RateConvention::kPhysical);
-    const auto loss = MirroredLossProbability(row.params, Duration::Years(50.0),
-                                              RateConvention::kPhysical);
-    media.AddRow({row.name, row.params.mrv.ToString(), row.params.mdl.ToString(),
-                  Table::FmtYears(mttdl->years(), 1), Table::FmtSci(*loss, 2),
-                  "$" + Table::Fmt(AnnualSystemCost(row.drive, 1000.0, 2, row.audits,
-                                                    costs),
+
+  SweepSpec media_spec;
+  for (const MediaCase& entry : media_cases) {
+    const bool offline = entry.drive.media == MediaClass::kTapeCartridge;
+    const ReplicaSpec replica =
+        offline ? TapeSpec(entry.drive, entry.audits, handling, 5.0)
+                : DiskSpec(entry.drive,
+                           entry.audits > 0.0
+                               ? ScrubPolicy::PeriodicPerYear(entry.audits)
+                               : ScrubPolicy::None(),
+                           5.0);
+    media_spec.AddCell(entry.name, ScenarioBuilder().Replicas(2, replica).Build());
+  }
+
+  struct MediaRow {
+    std::string mrv, mdl, mttdl, loss;
+  };
+  const std::vector<MediaRow> media_rows = runner.Map(
+      media_spec, [](const SweepSpec::Cell& cell) {
+        const FaultParams p = ScenarioFaultParams(cell.scenario);
+        const auto mttdl = MirroredMttdl(p, RateConvention::kPhysical);
+        const auto loss = MirroredLossProbability(p, Duration::Years(50.0),
+                                                  RateConvention::kPhysical);
+        return MediaRow{p.mrv.ToString(), p.mdl.ToString(),
+                        Table::FmtYears(mttdl->years(), 1), Table::FmtSci(*loss, 2)};
+      });
+
+  Table media({"configuration", "MRV", "MDL", "MTTDL (CTMC)", "P(loss 50 y)",
+               "annual cost"});
+  for (size_t i = 0; i < media_cases.size(); ++i) {
+    media.AddRow({media_cases[i].name, media_rows[i].mrv, media_rows[i].mdl,
+                  media_rows[i].mttdl, media_rows[i].loss,
+                  "$" + Table::Fmt(AnnualSystemCost(media_cases[i].drive, 1000.0, 2,
+                                                    media_cases[i].audits, costs),
                                    4)});
   }
   std::printf("%s", media.Render().c_str());

@@ -5,33 +5,37 @@
 // the same point in the 'bathtub' lifetime failure curve." This bench gives
 // that sentence numbers: Weibull wear-out fleets whose members share an age
 // versus fleets refreshed by rolling procurement, measured by simulation.
+//
+// Fleets are per-replica Scenario cells (each member carries its own initial
+// age and Weibull shape) executed as ONE sweep batch — 12 cells on one
+// worker pool instead of 12 spawn/join estimator calls. kSharedRoot keeps
+// every cell's trial streams identical to the per-call original.
 
 #include <cstdio>
+#include <vector>
 
-#include "src/mc/monte_carlo.h"
+#include "src/scenario/scenario.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 namespace longstore {
 namespace {
 
-StorageSimConfig Fleet(double shape, std::vector<double> ages) {
-  StorageSimConfig config;
-  config.replica_count = static_cast<int>(ages.size());
-  config.params.mv = Duration::Hours(30000.0);  // ~3.4-year mean drive life
-  config.params.ml = Duration::Hours(1e12);
-  config.params.mrv = Duration::Hours(100.0);
-  config.params.alpha = 1.0;
-  config.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
-  config.weibull_shape = shape;
-  config.initial_age_hours = std::move(ages);
-  return config;
+Scenario Fleet(double shape, const std::vector<double>& ages) {
+  ScenarioBuilder builder;
+  for (const double age : ages) {
+    builder.AddReplica(ReplicaSpec()
+                           .FaultTimes(Duration::Hours(30000.0),  // ~3.4-year life
+                                       Duration::Hours(1e12))
+                           .RepairTimes(Duration::Hours(100.0), Duration::Zero())
+                           .Weibull(shape)
+                           .InitialAge(Duration::Hours(age)));
+  }
+  return builder.Build();
 }
 
-double LossIn(const StorageSimConfig& config, Duration mission) {
-  McConfig mc;
-  mc.trials = 6000;
-  mc.seed = 404;
-  return EstimateLossProbability(config, mission, mc).probability();
+std::string CellLabel(const char* fleet, double shape) {
+  return std::string(fleet) + " @ shape " + std::to_string(shape);
 }
 
 }  // namespace
@@ -48,8 +52,6 @@ int main() {
               "P(loss in %.0f y) by simulation (6000 trials/cell):\n\n",
               mission.years());
 
-  Table table({"fleet composition", "memoryless (shape 1)",
-               "mild wear-out (shape 2)", "strong wear-out (shape 4)"});
   struct FleetCase {
     const char* name;
     std::vector<double> ages;
@@ -60,10 +62,32 @@ int main() {
       {"all near end-of-life (one batch, 28000 h)", {28000.0, 28000.0}},
       {"rolling procurement (28000 / 0 h)", {28000.0, 0.0}},
   };
+  const double shapes[] = {1.0, 2.0, 4.0};
+
+  SweepSpec spec;
+  for (const FleetCase& fleet : cases) {
+    for (const double shape : shapes) {
+      spec.AddCell(CellLabel(fleet.name, shape), Fleet(shape, fleet.ages));
+    }
+  }
+
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kLossProbability;
+  options.mission = mission;
+  // Every cell reuses the root-seed trial streams, matching the per-call
+  // EstimateLossProbability runs this bench was born as (byte-identical).
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  options.mc.trials = 6000;
+  options.mc.seed = 404;
+  const SweepResult result = SweepRunner().Run(spec, options);
+
+  Table table({"fleet composition", "memoryless (shape 1)",
+               "mild wear-out (shape 2)", "strong wear-out (shape 4)"});
   for (const FleetCase& fleet : cases) {
     std::vector<std::string> row = {fleet.name};
-    for (double shape : {1.0, 2.0, 4.0}) {
-      row.push_back(Table::FmtSci(LossIn(Fleet(shape, fleet.ages), mission), 2));
+    for (const double shape : shapes) {
+      row.push_back(Table::FmtSci(
+          result.ByLabel(CellLabel(fleet.name, shape)).loss->probability(), 2));
     }
     table.AddRow(std::move(row));
   }

@@ -10,9 +10,10 @@
 
 #include <cstdio>
 
-#include "src/mc/monte_carlo.h"
 #include "src/model/paper_model.h"
 #include "src/model/replica_ctmc.h"
+#include "src/scenario/scenario.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 namespace longstore {
@@ -41,15 +42,24 @@ int main() {
                         .c_str());
 
   const FaultParams p = BenchParams();
-  StorageSimConfig config;
-  config.replica_count = 2;
-  config.params = p;
-  config.scrub = ScrubPolicy::Exponential(p.mdl);  // matches the model's MDL
+  // One sweep cell on the Scenario API: a mirrored pair whose replicas scrub
+  // memorylessly at the model's MDL. kSharedRoot + the root seed keeps the
+  // trial streams identical to the old EstimateMttdl call.
+  const Scenario scenario =
+      ScenarioBuilder()
+          .Replicas(2, ReplicaSpec()
+                           .FaultTimes(p.mv, p.ml)
+                           .RepairTimes(p.mrv, p.mrl)
+                           .ScrubWith(ScrubPolicy::Exponential(p.mdl)))
+          .Build();
 
-  McConfig mc;
-  mc.trials = 20000;
-  mc.seed = 22;
-  const MttdlEstimate estimate = EstimateMttdl(config, mc);
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  options.mc.trials = 20000;
+  options.mc.seed = 22;
+  const SweepResult result = SweepRunner().Run(SweepSpec(scenario), options);
+  const MttdlEstimate& estimate = *result.cells.front().mttdl;
   const SimMetrics& m = estimate.aggregate_metrics;
 
   const SecondFaultProbabilities eqs = ComputeSecondFaultProbabilities(p);

@@ -22,7 +22,7 @@
 namespace longstore {
 namespace {
 
-struct Scenario {
+struct ValidationCase {
   const char* name;
   FaultParams params;
 };
@@ -57,7 +57,7 @@ int main() {
 
   // Time-compressed scenarios covering each §5.4 regime (structure preserved,
   // absolute scales shrunk so MC trials are cheap).
-  const Scenario scenarios[] = {
+  const ValidationCase scenarios[] = {
       {"latent-dominated, scrubbed (eq 10 regime)",
        Make(2000.0, 400.0, 2.0, 40.0, 1.0)},
       {"latent-dominated, correlated", Make(2000.0, 400.0, 2.0, 40.0, 0.2)},
@@ -68,7 +68,7 @@ int main() {
   };
 
   SweepSpec spec;
-  for (const Scenario& scenario : scenarios) {
+  for (const ValidationCase& scenario : scenarios) {
     StorageSimConfig config;
     config.replica_count = 2;
     config.params = scenario.params;

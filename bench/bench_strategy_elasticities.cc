@@ -15,7 +15,7 @@
 namespace longstore {
 namespace {
 
-struct Scenario {
+struct StrategyCase {
   const char* name;
   FaultParams params;
 };
@@ -32,7 +32,7 @@ int main() {
   const FaultParams unscrubbed = FaultParams::PaperCheetahExample();
   const FaultParams scrubbed =
       ApplyScrubPolicy(unscrubbed, ScrubPolicy::PeriodicPerYear(3.0));
-  const Scenario scenarios[] = {
+  const StrategyCase scenarios[] = {
       {"unscrubbed Cheetah mirror (saturated latent window)", unscrubbed},
       {"scrubbed 3x/year (paper's recommended posture)", scrubbed},
       {"scrubbed, correlated alpha = 0.1", WithCorrelation(scrubbed, 0.1)},
@@ -42,7 +42,7 @@ int main() {
 
   Table table({"configuration", "e(MV)", "e(ML)", "e(MRV)", "e(MRL)", "e(MDL)",
                "e(alpha)", "top lever"});
-  for (const Scenario& scenario : scenarios) {
+  for (const StrategyCase& scenario : scenarios) {
     const auto elasticities =
         MttdlElasticities(scenario.params, 2, RateConvention::kPhysical);
     std::vector<std::string> row = {scenario.name};

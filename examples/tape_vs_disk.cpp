@@ -1,76 +1,158 @@
 // Tape vs disk: §1's question — "Would it be better to replicate an archive
 // on tape or on disk? (Disk, §6.2)" — answered end to end for a concrete
-// archive, including the costs.
+// archive, including the costs, and extended past the paper: real archives
+// are rarely all-disk or all-tape, so the candidate designs here are
+// *heterogeneous fleets* built replica by replica on the Scenario API (each
+// replica carries its own medium, audit cadence and repair behavior) rather
+// than one averaged parameter set.
+//
+// Every design is simulated (censored MTTDL over a 100-year window, one
+// sweep batch); designs inside the exact CTMC's state space also get the
+// closed-form answer next to it, and the ones outside it show the model's
+// precise refusal — the point where simulation is not a convenience but the
+// only tool.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/drives/cost_model.h"
 #include "src/drives/drive_specs.h"
 #include "src/drives/offline_media.h"
-#include "src/model/replica_ctmc.h"
+#include "src/scenario/media.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/scenario_ctmc.h"
+#include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
 int main() {
   using namespace longstore;
 
   constexpr double kArchiveGb = 4000.0;
-  constexpr int kReplicas = 2;
   const Duration mission = Duration::Years(50.0);
   const CostAssumptions costs = CostAssumptions::Defaults();
   const OfflineHandlingModel handling = OfflineHandlingModel::Defaults();
+  const DriveSpec disk = SeagateBarracuda200Gb();
+  const DriveSpec tape = Lto3TapeCartridge();
 
-  std::printf("A %.0f GB archive, mirrored (r = %d), %.0f-year mission\n\n", kArchiveGb,
-              kReplicas, mission.years());
+  std::printf("A %.0f GB archive, %.0f-year mission; replicas specified "
+              "individually (media + audit cadence):\n\n",
+              kArchiveGb, mission.years());
+
+  // Replica building blocks. The scrubbed disk uses a memoryless audit
+  // process so the all-disk designs stay inside the exact CTMC's state
+  // space; the tape replica audits periodically (retrieve + mount + read),
+  // which no memoryless chain can express.
+  const ReplicaSpec scrubbed_disk =
+      DiskSpec(disk, ScrubPolicy::Exponential(Duration::Years(1.0 / 12.0)));
+  const ReplicaSpec unscrubbed_disk = DiskSpec(disk, ScrubPolicy::None());
+  const ReplicaSpec audited_tape = TapeSpec(tape, /*audits_per_year=*/4.0, handling);
+  const ReplicaSpec vaulted_tape = TapeSpec(tape, /*audits_per_year=*/0.0, handling);
 
   struct Design {
     std::string name;
-    DriveSpec medium;
-    double audits_per_year;
-    bool offline;
+    Scenario scenario;
+    double annual_cost;
   };
-  const Design designs[] = {
-      {"disk, scrubbed weekly", SeagateBarracuda200Gb(), 52.0, false},
-      {"disk, scrubbed monthly", SeagateBarracuda200Gb(), 12.0, false},
-      {"disk, never scrubbed", SeagateBarracuda200Gb(), 0.0, false},
-      {"tape, audited monthly", Lto3TapeCartridge(), 12.0, true},
-      {"tape, audited yearly", Lto3TapeCartridge(), 1.0, true},
-      {"tape, write-and-forget", Lto3TapeCartridge(), 0.0, true},
+  const auto replica_cost = [&](const DriveSpec& drive, double audits) {
+    return AnnualReplicaCost(drive, kArchiveGb, audits, costs).total_per_year();
   };
+  std::vector<Design> designs;
+  designs.push_back({"2x disk, scrubbed monthly",
+                     ScenarioBuilder().Replicas(2, scrubbed_disk).Build(),
+                     2 * replica_cost(disk, 12.0)});
+  designs.push_back({"2x disk, never scrubbed",
+                     ScenarioBuilder().Replicas(2, unscrubbed_disk).Build(),
+                     2 * replica_cost(disk, 0.0)});
+  designs.push_back({"2x tape, audited quarterly",
+                     ScenarioBuilder().Replicas(2, audited_tape).Build(),
+                     2 * replica_cost(tape, 4.0)});
+  designs.push_back({"disk (scrubbed) + tape (quarterly)",
+                     ScenarioBuilder()
+                         .AddReplica(scrubbed_disk)
+                         .AddReplica(audited_tape)
+                         .Build(),
+                     replica_cost(disk, 12.0) + replica_cost(tape, 4.0)});
+  designs.push_back({"disk (scrubbed) + tape (vaulted)",
+                     ScenarioBuilder()
+                         .AddReplica(scrubbed_disk)
+                         .AddReplica(vaulted_tape)
+                         .Build(),
+                     replica_cost(disk, 12.0) + replica_cost(tape, 0.0)});
+  // The diversity play: two cheap disks share one machine room, and a
+  // shared-risk common mode (fire / power / admin error, ~1 per 20 years)
+  // strikes both at once. First the honest baseline with that mode modeled,
+  // then the same room backed by one off-site tape no room event can touch.
+  const auto machine_room = [] {
+    CommonModeSource room;
+    room.name = "machine room";
+    room.event_rate = Rate::PerYear(0.05);
+    room.members = {0, 1};
+    return room;
+  }();
+  designs.push_back({"2x disk, one machine room",
+                     ScenarioBuilder()
+                         .Replicas(2, scrubbed_disk)
+                         .CommonMode(machine_room)
+                         .Build(),
+                     2 * replica_cost(disk, 12.0)});
+  designs.push_back(
+      {"2x disk (one room) + offsite tape",
+       ScenarioBuilder()
+           .Replicas(2, scrubbed_disk)
+           .AddReplica(audited_tape)
+           .CommonMode(machine_room)
+           .Build(),
+       2 * replica_cost(disk, 12.0) + replica_cost(tape, 4.0)});
 
-  Table table({"design", "MTTDL", "P(loss over mission)", "annual cost",
+  // One sweep batch over all designs: censored MTTDL (100-year windows).
+  SweepSpec spec;
+  for (const Design& design : designs) {
+    spec.AddCell(design.name, design.scenario);
+  }
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kCensoredMttdl;
+  options.window = Duration::Years(100.0);
+  options.mc.trials = 40000;
+  options.mc.seed = 62;
+  const SweepResult result = SweepRunner().Run(spec, options);
+
+  Table table({"design", "sim MTTDL (censored)", "exact CTMC", "annual cost",
                "$ / TB-year"});
   for (const Design& design : designs) {
-    FaultParams params;
-    if (design.offline) {
-      params = OfflineReplicaParams(design.medium, design.audits_per_year, handling,
-                                    /*latent_to_visible_ratio=*/5.0);
+    const CensoredMttdlEstimate& sim = *result.ByLabel(design.name).censored;
+    std::string sim_text =
+        sim.losses > 0 ? Table::FmtYears(sim.mttdl.years(), 0)
+                       : (">= " + Table::FmtYears(sim.ci_years.lo, 0) + " (0 losses)");
+    std::string ctmc_text;
+    if (auto why_not = CtmcIncompatibility(design.scenario)) {
+      ctmc_text = "- (" + why_not->substr(0, 34) + "...)";
     } else {
-      const ScrubPolicy policy =
-          design.audits_per_year > 0.0
-              ? ScrubPolicy::PeriodicPerYear(design.audits_per_year)
-              : ScrubPolicy::None();
-      params = OnlineReplicaParams(design.medium, policy, 5.0);
+      const auto mttdl = ScenarioCtmcMttdl(design.scenario);
+      ctmc_text = !mttdl || mttdl->is_infinite() ? "inf"
+                                                 : Table::FmtYears(mttdl->years(), 0);
     }
-    const auto mttdl = MirroredMttdl(params, RateConvention::kPhysical);
-    const auto loss = MirroredLossProbability(params, mission, RateConvention::kPhysical);
-    const double annual = AnnualSystemCost(design.medium, kArchiveGb, kReplicas,
-                                           design.audits_per_year, costs);
-    table.AddRow({design.name,
-                  mttdl->is_infinite() ? "inf" : Table::FmtYears(mttdl->years(), 0),
-                  Table::FmtSci(*loss, 2), "$" + Table::Fmt(annual, 4),
-                  "$" + Table::Fmt(annual / (kArchiveGb / 1000.0), 4)});
+    table.AddRow({design.name, sim_text, ctmc_text,
+                  "$" + Table::Fmt(design.annual_cost, 4),
+                  "$" + Table::Fmt(design.annual_cost / (kArchiveGb / 1000.0), 4)});
   }
   std::printf("%s", table.Render().c_str());
 
   std::printf(
-      "\nWhy disk wins (§6.2):\n"
-      "  - auditing an on-line replica is a background read; auditing a vaulted\n"
-      "    tape is a retrieval + mount + read round-trip that costs real money and\n"
-      "    occasionally damages or loses the medium itself;\n"
-      "  - repair from an on-line peer takes minutes; repair from a vault takes\n"
-      "    more than a day, stretching every window of vulnerability;\n"
-      "  - so the tape mirror is caught between two failure modes: audit rarely\n"
-      "    and latent faults accumulate, audit often and handling faults plus\n"
-      "    audit fees dominate. The disk mirror has no such bind.\n");
+      "\nReading the table (§6.2, extended):\n"
+      "  - the all-disk mirror wins the paper's original question: background\n"
+      "    scrubs keep the latent window tiny at negligible cost, while every\n"
+      "    tape audit is a fault-injecting, billable handling round-trip;\n"
+      "  - the hybrid rows are inexpressible as one averaged parameter set: the\n"
+      "    disk replica scrubs monthly and repairs in hours while the tape\n"
+      "    replica audits quarterly (or never) and repairs over days — the CTMC\n"
+      "    column shows the exact model refusing them, with the reason;\n"
+      "  - the last two rows are the §6.5 diversity argument: once a machine-room\n"
+      "    common mode can take out both disks at once, the all-disk mirror's\n"
+      "    MTTDL collapses to roughly the room's event interval, and the off-site\n"
+      "    tape earns its keep — not through its own reliability but through its\n"
+      "    independence from the mode that kills everything else. (The vaulted,\n"
+      "    never-audited tape cannot play that role: with ~2-year latent times and\n"
+      "    no detection process it is silently dead within the first decade.)\n");
   return 0;
 }

@@ -3,11 +3,15 @@
 // directly so trial k draws from the stream DeriveSeed(seed, k) — exactly
 // the contract the header documents. The per-call thread spawn/join that
 // used to live here is gone; parallelism, deterministic block aggregation,
-// and adaptive stopping are all the sweep engine's.
+// and adaptive stopping are all the sweep engine's. Scenario and legacy
+// StorageSimConfig overloads differ only in which SweepSpec constructor
+// they hit; homogeneous scenarios and their legacy configs produce
+// bit-identical estimates.
 
 #include "src/mc/monte_carlo.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "src/sweep/sweep.h"
 
@@ -21,35 +25,33 @@ SweepOptions BaseOptions(const McConfig& mc) {
   return options;
 }
 
-}  // namespace
-
-MttdlEstimate EstimateMttdl(const StorageSimConfig& config, const McConfig& mc) {
+MttdlEstimate MttdlImpl(SweepSpec spec, const McConfig& mc) {
   SweepOptions options = BaseOptions(mc);
   options.estimand = SweepOptions::Estimand::kMttdl;
-  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  const SweepResult result = SweepRunner().Run(spec, options);
   return *result.cells.front().mttdl;
 }
 
-LossProbabilityEstimate EstimateLossProbability(const StorageSimConfig& config,
-                                                Duration mission, const McConfig& mc) {
+LossProbabilityEstimate LossImpl(SweepSpec spec, Duration mission,
+                                 const McConfig& mc) {
   SweepOptions options = BaseOptions(mc);
   options.estimand = SweepOptions::Estimand::kLossProbability;
   options.mission = mission;
-  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  const SweepResult result = SweepRunner().Run(spec, options);
   return *result.cells.front().loss;
 }
 
-CensoredMttdlEstimate EstimateMttdlCensored(const StorageSimConfig& config,
-                                            Duration window, const McConfig& mc) {
+CensoredMttdlEstimate CensoredImpl(SweepSpec spec, Duration window,
+                                   const McConfig& mc) {
   SweepOptions options = BaseOptions(mc);
   options.estimand = SweepOptions::Estimand::kCensoredMttdl;
   options.window = window;
-  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  const SweepResult result = SweepRunner().Run(spec, options);
   return *result.cells.front().censored;
 }
 
-MttdlEstimate EstimateMttdlToPrecision(const StorageSimConfig& config, McConfig mc,
-                                       double relative_precision, int64_t max_trials) {
+MttdlEstimate ToPrecisionImpl(SweepSpec spec, const McConfig& mc,
+                              double relative_precision, int64_t max_trials) {
   if (!(relative_precision > 0.0)) {
     throw std::invalid_argument("relative_precision must be positive");
   }
@@ -58,8 +60,48 @@ MttdlEstimate EstimateMttdlToPrecision(const StorageSimConfig& config, McConfig 
   options.adaptive = true;
   options.relative_precision = relative_precision;
   options.max_trials = max_trials;  // validated (positive) by SweepRunner::Run
-  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  const SweepResult result = SweepRunner().Run(spec, options);
   return *result.cells.front().mttdl;
+}
+
+}  // namespace
+
+MttdlEstimate EstimateMttdl(const Scenario& scenario, const McConfig& mc) {
+  return MttdlImpl(SweepSpec(scenario), mc);
+}
+
+MttdlEstimate EstimateMttdl(const StorageSimConfig& config, const McConfig& mc) {
+  return MttdlImpl(SweepSpec(config), mc);
+}
+
+LossProbabilityEstimate EstimateLossProbability(const Scenario& scenario,
+                                                Duration mission, const McConfig& mc) {
+  return LossImpl(SweepSpec(scenario), mission, mc);
+}
+
+LossProbabilityEstimate EstimateLossProbability(const StorageSimConfig& config,
+                                                Duration mission, const McConfig& mc) {
+  return LossImpl(SweepSpec(config), mission, mc);
+}
+
+CensoredMttdlEstimate EstimateMttdlCensored(const Scenario& scenario, Duration window,
+                                            const McConfig& mc) {
+  return CensoredImpl(SweepSpec(scenario), window, mc);
+}
+
+CensoredMttdlEstimate EstimateMttdlCensored(const StorageSimConfig& config,
+                                            Duration window, const McConfig& mc) {
+  return CensoredImpl(SweepSpec(config), window, mc);
+}
+
+MttdlEstimate EstimateMttdlToPrecision(const Scenario& scenario, McConfig mc,
+                                       double relative_precision, int64_t max_trials) {
+  return ToPrecisionImpl(SweepSpec(scenario), mc, relative_precision, max_trials);
+}
+
+MttdlEstimate EstimateMttdlToPrecision(const StorageSimConfig& config, McConfig mc,
+                                       double relative_precision, int64_t max_trials) {
+  return ToPrecisionImpl(SweepSpec(config), mc, relative_precision, max_trials);
 }
 
 }  // namespace longstore

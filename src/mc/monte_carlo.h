@@ -56,11 +56,17 @@ struct LossProbabilityEstimate {
   }
 };
 
-// Simulates each trial to data loss (or the safety cap) and averages.
+// Simulates each trial to data loss (or the safety cap) and averages. Every
+// estimator takes either a Scenario (heterogeneous fleets welcome) or a
+// legacy StorageSimConfig (converted through Scenario::FromLegacy,
+// bit-identical).
+MttdlEstimate EstimateMttdl(const Scenario& scenario, const McConfig& mc);
 MttdlEstimate EstimateMttdl(const StorageSimConfig& config, const McConfig& mc);
 
 // Simulates each trial over `mission` and counts losses (paper eq 1's
 // empirical counterpart, e.g. "probability of data loss in 50 years").
+LossProbabilityEstimate EstimateLossProbability(const Scenario& scenario,
+                                                Duration mission, const McConfig& mc);
 LossProbabilityEstimate EstimateLossProbability(const StorageSimConfig& config,
                                                 Duration mission, const McConfig& mc);
 
@@ -70,6 +76,8 @@ LossProbabilityEstimate EstimateLossProbability(const StorageSimConfig& config,
 // accumulate: trials from earlier rounds are kept (the trial-index stream
 // simply extends), so reaching precision p costs exactly the trials the
 // final estimate is built from — not a fresh restart per round.
+MttdlEstimate EstimateMttdlToPrecision(const Scenario& scenario, McConfig mc,
+                                       double relative_precision, int64_t max_trials);
 MttdlEstimate EstimateMttdlToPrecision(const StorageSimConfig& config, McConfig mc,
                                        double relative_precision, int64_t max_trials);
 
@@ -92,6 +100,8 @@ struct CensoredMttdlEstimate {
   SimMetrics aggregate_metrics;
 };
 
+CensoredMttdlEstimate EstimateMttdlCensored(const Scenario& scenario,
+                                            Duration window, const McConfig& mc);
 CensoredMttdlEstimate EstimateMttdlCensored(const StorageSimConfig& config,
                                             Duration window, const McConfig& mc);
 

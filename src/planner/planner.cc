@@ -7,6 +7,8 @@
 #include "src/model/paper_model.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
+#include "src/scenario/media.h"
+#include "src/scenario/scenario_ctmc.h"
 
 namespace longstore {
 
@@ -66,6 +68,25 @@ FaultParams DeriveParams(const StrategyOption& option, const PlannerConfig& conf
   return params;
 }
 
+namespace {
+
+Scenario ScenarioFromDerivedParams(const FaultParams& params,
+                                   const StrategyOption& option) {
+  return ScenarioBuilder()
+      .Replicas(option.replicas, SpecFromParams(params, option.drive.model))
+      .Correlation(params.alpha)
+      .Build();
+}
+
+}  // namespace
+
+Scenario PlannerScenario(const StrategyOption& option, const PlannerConfig& config) {
+  if (option.replicas < 1) {
+    throw std::invalid_argument("PlannerScenario: replicas must be >= 1");
+  }
+  return ScenarioFromDerivedParams(DeriveParams(option, config), option);
+}
+
 EvaluatedOption EvaluateOption(const StrategyOption& option, const PlannerConfig& config) {
   if (option.replicas < 1) {
     throw std::invalid_argument("EvaluateOption: replicas must be >= 1");
@@ -74,9 +95,12 @@ EvaluatedOption EvaluateOption(const StrategyOption& option, const PlannerConfig
   evaluated.option = option;
   evaluated.params = DeriveParams(option, config);
 
-  const ReplicatedChainBuilder chain(evaluated.params, option.replicas,
-                                     RateConvention::kPhysical);
-  const auto mttdl = chain.Mttdl();
+  // Score through the option's Scenario: the CTMC bridge rebuilds exactly
+  // these FaultParams (exponential scrub at MDL is the memoryless detection
+  // process the chain models), so the numbers match the direct chain build
+  // while the scenario itself stays available for simulation cross-checks.
+  const auto mttdl =
+      ScenarioCtmcMttdl(ScenarioFromDerivedParams(evaluated.params, option));
   evaluated.mttdl = mttdl.value_or(Duration::Infinite());
   // The exponential approximation on the exact MTTDL is accurate in the
   // rare-loss regime every sane configuration lives in, and avoids a matrix

@@ -18,6 +18,7 @@
 #include "src/drives/drive_specs.h"
 #include "src/drives/offline_media.h"
 #include "src/model/fault_params.h"
+#include "src/scenario/scenario.h"
 #include "src/threats/independence.h"
 
 namespace longstore {
@@ -67,6 +68,14 @@ struct PlannerConfig {
 // intrinsic rates, audit-driven MDL (off-line media pay handling-induced
 // faults), and deployment-driven α.
 FaultParams DeriveParams(const StrategyOption& option, const PlannerConfig& config);
+
+// The option as a runnable Scenario: `replicas` copies of a spec derived
+// from DeriveParams, detection realized as an exponential scrub at the
+// derived MDL (the memoryless process the exact CTMC models), correlation
+// from the deployment style. The planner scores options through this
+// scenario, so a chosen plan can be handed unchanged to the simulator, the
+// sweep engine, or a rare-event estimate for deeper validation.
+Scenario PlannerScenario(const StrategyOption& option, const PlannerConfig& config);
 
 // Scores one option (exact CTMC reliability + annual cost).
 EvaluatedOption EvaluateOption(const StrategyOption& option, const PlannerConfig& config);

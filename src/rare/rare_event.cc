@@ -14,7 +14,7 @@ namespace {
 // the root seed directly, matching the src/mc wrapper convention).
 constexpr uint64_t kPilotStreamTag = 0x9a7e5eedULL;
 
-WeightedLossProbabilityEstimate RunWeighted(const StorageSimConfig& config,
+WeightedLossProbabilityEstimate RunWeighted(const Scenario& scenario,
                                             Duration mission, const McConfig& mc,
                                             const FaultBias& bias) {
   SweepOptions options;
@@ -23,7 +23,7 @@ WeightedLossProbabilityEstimate RunWeighted(const StorageSimConfig& config,
   options.bias = bias;
   options.mc = mc;
   options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
-  const SweepResult result = SweepRunner().Run(SweepSpec(config), options);
+  const SweepResult result = SweepRunner().Run(SweepSpec(scenario), options);
   return *result.cells.front().weighted;
 }
 
@@ -33,7 +33,7 @@ std::vector<double> DefaultThetaGrid() {
 
 }  // namespace
 
-FaultBias TuneFaultBias(const StorageSimConfig& config, Duration mission,
+FaultBias TuneFaultBias(const Scenario& scenario, Duration mission,
                         const McConfig& mc, const IsOptions& options,
                         std::vector<PilotPoint>* pilot_out) {
   if (options.pilot_trials <= 0) {
@@ -48,7 +48,14 @@ FaultBias TuneFaultBias(const StorageSimConfig& config, Duration mission,
   // loss: latent faults when the config has them (their windows are what
   // kills archives), visible otherwise. Tilting the other kind as well only
   // multiplies repair churn — and with it weight-carrying draws.
-  const bool tilt_latent = !config.params.ml.is_infinite();
+  // A heterogeneous fleet tilts latent faults if *any* replica has them.
+  bool tilt_latent = false;
+  for (const ReplicaSpec& spec : scenario.replicas) {
+    if (!spec.ml.is_infinite()) {
+      tilt_latent = true;
+      break;
+    }
+  }
   std::vector<FaultBias> candidates;
   candidates.push_back(FaultBias{});
   {
@@ -70,7 +77,7 @@ FaultBias TuneFaultBias(const StorageSimConfig& config, Duration mission,
     pilot_mc.trials = options.pilot_trials;
     pilot_mc.seed = DeriveSeed(mc.seed, kPilotStreamTag + i);
     const WeightedLossProbabilityEstimate estimate =
-        RunWeighted(config, mission, pilot_mc, candidates[i]);
+        RunWeighted(scenario, mission, pilot_mc, candidates[i]);
     PilotPoint point;
     point.bias = candidates[i];
     point.hits = estimate.hits;
@@ -111,7 +118,7 @@ FaultBias TuneFaultBias(const StorageSimConfig& config, Duration mission,
   return best->bias;
 }
 
-IsLossProbabilityEstimate EstimateLossProbabilityIS(const StorageSimConfig& config,
+IsLossProbabilityEstimate EstimateLossProbabilityIS(const Scenario& scenario,
                                                     Duration mission,
                                                     const McConfig& mc,
                                                     const IsOptions& options) {
@@ -122,12 +129,25 @@ IsLossProbabilityEstimate EstimateLossProbabilityIS(const StorageSimConfig& conf
     }
     result.bias = *options.bias;
   } else {
-    result.bias = TuneFaultBias(config, mission, mc, options, &result.pilot);
+    result.bias = TuneFaultBias(scenario, mission, mc, options, &result.pilot);
     result.pilot_trials_total =
         static_cast<int64_t>(result.pilot.size()) * options.pilot_trials;
   }
-  result.estimate = RunWeighted(config, mission, mc, result.bias);
+  result.estimate = RunWeighted(scenario, mission, mc, result.bias);
   return result;
+}
+
+FaultBias TuneFaultBias(const StorageSimConfig& config, Duration mission,
+                        const McConfig& mc, const IsOptions& options,
+                        std::vector<PilotPoint>* pilot_out) {
+  return TuneFaultBias(Scenario::FromLegacy(config), mission, mc, options, pilot_out);
+}
+
+IsLossProbabilityEstimate EstimateLossProbabilityIS(const StorageSimConfig& config,
+                                                    Duration mission,
+                                                    const McConfig& mc,
+                                                    const IsOptions& options) {
+  return EstimateLossProbabilityIS(Scenario::FromLegacy(config), mission, mc, options);
 }
 
 }  // namespace longstore

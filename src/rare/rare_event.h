@@ -67,12 +67,17 @@ struct IsLossProbabilityEstimate {
   double probability() const { return estimate.probability(); }
 };
 
-// Picks a FaultBias for the config/mission by pilot runs: the candidate
+// Picks a FaultBias for the scenario/mission by pilot runs: the candidate
 // with the smallest estimated relative error among those with at least
 // min_pilot_hits losses, falling back to the candidate with the most
 // losses (largest tilt on ties) when none has enough. Deterministic in
 // mc.seed. If `pilot_out` is non-null it receives every candidate's pilot
-// diagnostics.
+// diagnostics. Heterogeneous fleets tilt the latent hazard if any replica
+// has latent faults. The StorageSimConfig overload converts through
+// Scenario::FromLegacy (bit-identical pilots for homogeneous fleets).
+FaultBias TuneFaultBias(const Scenario& scenario, Duration mission,
+                        const McConfig& mc, const IsOptions& options = {},
+                        std::vector<PilotPoint>* pilot_out = nullptr);
 FaultBias TuneFaultBias(const StorageSimConfig& config, Duration mission,
                         const McConfig& mc, const IsOptions& options = {},
                         std::vector<PilotPoint>* pilot_out = nullptr);
@@ -82,6 +87,10 @@ FaultBias TuneFaultBias(const StorageSimConfig& config, Duration mission,
 // Deterministic in mc.seed regardless of thread count, like every sweep
 // estimate. With the identity bias this reproduces the unbiased estimator's
 // trial outcomes bit for bit.
+IsLossProbabilityEstimate EstimateLossProbabilityIS(const Scenario& scenario,
+                                                    Duration mission,
+                                                    const McConfig& mc,
+                                                    const IsOptions& options = {});
 IsLossProbabilityEstimate EstimateLossProbabilityIS(const StorageSimConfig& config,
                                                     Duration mission,
                                                     const McConfig& mc,

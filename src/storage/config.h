@@ -1,4 +1,13 @@
-// Configuration for the replicated-storage discrete-event simulation.
+// Legacy flat configuration for the replicated-storage simulation.
+//
+// StorageSimConfig describes a *homogeneous* fleet: one FaultParams, one
+// scrub policy, one repair distribution and one Weibull shape shared by
+// every replica. The engine's native description is the composable Scenario
+// (src/scenario/scenario.h), which allows every one of those to differ per
+// replica; this struct remains as a thin front end — Scenario::FromLegacy
+// converts it, and the conversion is bit-identical to the pre-Scenario
+// engine for every valid configuration. New code should build Scenarios
+// directly (see src/scenario/README.md for the migration table).
 
 #ifndef LONGSTORE_SRC_STORAGE_CONFIG_H_
 #define LONGSTORE_SRC_STORAGE_CONFIG_H_
@@ -10,20 +19,9 @@
 #include "src/model/fault_params.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
+#include "src/scenario/scenario.h"
 
 namespace longstore {
-
-// A shared component whose failure strikes several replicas at once: a power
-// circuit, a cooling loop, a SCSI controller, an administrative domain, a
-// geographic site (§4.2, §6.5; Talagala's disk-farm observations). Events
-// arrive as a Poisson process; each event independently hits each member.
-struct CommonModeSource {
-  std::string name;
-  Rate event_rate;
-  std::vector<int> members;      // replica indices
-  double hit_probability = 1.0;  // chance each member is affected per event
-  double visible_fraction = 1.0; // affected member suffers visible (else latent) fault
-};
 
 struct StorageSimConfig {
   int replica_count = 2;
@@ -43,16 +41,13 @@ struct StorageSimConfig {
 
   ScrubPolicy scrub = ScrubPolicy::None();
 
-  enum class RepairDistribution {
-    kExponential,   // matches the CTMC solvers exactly
-    kDeterministic, // fixed rebuild time (physical drive re-copy)
-  };
+  // The shared enums live at namespace scope (src/scenario/scenario.h) so
+  // per-replica specs use the same vocabulary; the nested aliases keep the
+  // long-standing StorageSimConfig::FaultDistribution::kWeibull spelling.
+  using RepairDistribution = longstore::RepairDistribution;
   RepairDistribution repair_distribution = RepairDistribution::kExponential;
 
-  enum class FaultDistribution {
-    kExponential,
-    kWeibull,  // age-based; models the bathtub curve (§6.5 hardware aging).
-  };
+  using FaultDistribution = longstore::FaultDistribution;
   FaultDistribution fault_distribution = FaultDistribution::kExponential;
   // Weibull shape for both fault types; < 1 infant mortality, > 1 wear-out.
   // Scales are chosen so the mean matches MV / ML.

@@ -73,49 +73,99 @@ std::optional<std::string> StorageSimConfig::Validate() const {
 }
 
 ReplicatedStorageSystem::ReplicatedStorageSystem(Simulator* sim, Rng* rng,
-                                                 StorageSimConfig config,
+                                                 Scenario scenario,
                                                  TraceRecorder* trace,
                                                  ConfigValidation validation)
-    : sim_(sim), rng_(rng), config_(std::move(config)), trace_(trace) {
+    : sim_(sim), rng_(rng), scenario_(std::move(scenario)), trace_(trace) {
   if (validation == ConfigValidation::kValidate) {
-    if (auto error = config_.Validate()) {
-      throw std::invalid_argument("StorageSimConfig: " + *error);
+    if (auto error = scenario_.Validate()) {
+      throw std::invalid_argument("Scenario: " + *error);
     }
   } else {
 #ifndef NDEBUG
     // The caller promised it validated already; cross-check in debug builds.
-    if (auto error = config_.Validate()) {
-      throw std::logic_error("StorageSimConfig passed as pre-validated but invalid: " +
-                             *error);
+    if (auto error = scenario_.Validate()) {
+      throw std::logic_error("Scenario passed as pre-validated but invalid: " + *error);
     }
 #endif
   }
   sim_->set_client(this);
-  replicas_.resize(static_cast<size_t>(config_.replica_count));
-  repair_ring_.resize(static_cast<size_t>(config_.replica_count), 0);
-  if (config_.fault_distribution == StorageSimConfig::FaultDistribution::kWeibull) {
-    const double gamma = std::tgamma(1.0 + 1.0 / config_.weibull_shape);
-    weibull_scale_mv_ = config_.params.mv / gamma;
-    weibull_scale_ml_ = config_.params.ml / gamma;
-  }
+  replica_count_ = scenario_.replica_count();
+  required_intact_ = scenario_.required_intact;
+  alpha_ = scenario_.alpha;
+  convention_ = scenario_.convention;
+  record_scrub_passes_ = scenario_.record_scrub_passes;
+  visible_fault_surfaces_latent_ = scenario_.visible_fault_surfaces_latent;
+  replicas_.resize(static_cast<size_t>(replica_count_));
+  repair_ring_.resize(static_cast<size_t>(replica_count_), 0);
+  ResolveSpecs();
   InitializeState();
 }
 
+ReplicatedStorageSystem::ReplicatedStorageSystem(Simulator* sim, Rng* rng,
+                                                 StorageSimConfig config,
+                                                 TraceRecorder* trace,
+                                                 ConfigValidation validation)
+    : ReplicatedStorageSystem(sim, rng,
+                              [&config, validation]() {
+                                if (validation == ConfigValidation::kValidate) {
+                                  if (auto error = config.Validate()) {
+                                    throw std::invalid_argument("StorageSimConfig: " +
+                                                                *error);
+                                  }
+                                }
+                                return Scenario::FromLegacy(config);
+                              }(),
+                              trace,
+                              // A valid legacy config converts to a valid
+                              // scenario; skip re-validating the conversion.
+                              validation == ConfigValidation::kValidate
+                                  ? ConfigValidation::kPreValidated
+                                  : validation) {}
+
+void ReplicatedStorageSystem::ResolveSpecs() {
+  resolved_.resize(static_cast<size_t>(replica_count_));
+  for (int i = 0; i < replica_count_; ++i) {
+    const ReplicaSpec& spec = scenario_.replicas[static_cast<size_t>(i)];
+    ResolvedReplica& r = resolved_[static_cast<size_t>(i)];
+    r.mv = spec.mv;
+    r.ml = spec.ml;
+    r.mrv = spec.mrv;
+    r.mrl = spec.mrl;
+    r.fault_distribution = spec.fault_distribution;
+    r.repair_distribution = spec.repair_distribution;
+    r.weibull_shape = spec.weibull_shape;
+    if (spec.fault_distribution == FaultDistribution::kWeibull) {
+      const double gamma = std::tgamma(1.0 + 1.0 / spec.weibull_shape);
+      r.weibull_scale_mv = spec.mv / gamma;
+      r.weibull_scale_ml = spec.ml / gamma;
+    } else {
+      r.weibull_scale_mv = Duration::Infinite();
+      r.weibull_scale_ml = Duration::Infinite();
+    }
+    r.initial_age = Duration::Hours(spec.initial_age_hours);
+    r.scrub = spec.scrub;
+    if (spec.scrub_phase_hours >= 0.0) {
+      r.scrub_phase = Duration::Hours(spec.scrub_phase_hours);
+    } else if (spec.scrub.kind == ScrubPolicy::Kind::kPeriodic &&
+               scenario_.scrub_staggered) {
+      r.scrub_phase =
+          spec.scrub.interval * (static_cast<double>(i) / replica_count_);
+    } else {
+      r.scrub_phase = Duration::Zero();
+    }
+  }
+}
+
 void ReplicatedStorageSystem::InitializeState() {
-  for (int i = 0; i < config_.replica_count; ++i) {
+  for (int i = 0; i < replica_count_; ++i) {
     auto& replica = replicas_[static_cast<size_t>(i)];
     replica.state = ReplicaState::kHealthy;
     replica.current_fault = FaultKind::kVisible;
     replica.fault_time = Duration::Zero();
     // A pre-aged replica has a birth time in the (virtual) past.
     replica.birth_time =
-        config_.initial_age_hours.empty()
-            ? Duration::Zero()
-            : Duration::Zero() - Duration::Hours(config_.initial_age_hours[i]);
-    replica.scrub_phase =
-        (config_.scrub.kind == ScrubPolicy::Kind::kPeriodic && config_.scrub_staggered)
-            ? config_.scrub.interval * (static_cast<double>(i) / config_.replica_count)
-            : Duration::Zero();
+        Duration::Zero() - resolved_[static_cast<size_t>(i)].initial_age;
     replica.visible_event = EventId();
     replica.latent_event = EventId();
     replica.detect_event = EventId();
@@ -143,17 +193,17 @@ void ReplicatedStorageSystem::Start() {
     throw std::logic_error("ReplicatedStorageSystem::Start called twice");
   }
   started_ = true;
-  if (config_.convention == RateConvention::kPaper) {
+  if (convention_ == RateConvention::kPaper) {
     ScheduleSystemFaultClocks();
   } else {
-    for (int i = 0; i < config_.replica_count; ++i) {
+    for (int i = 0; i < replica_count_; ++i) {
       ScheduleReplicaFaults(i);
-      if (config_.record_scrub_passes) {
+      if (record_scrub_passes_) {
         ScheduleScrubTick(i);
       }
     }
   }
-  for (size_t s = 0; s < config_.common_mode.size(); ++s) {
+  for (size_t s = 0; s < scenario_.common_mode.size(); ++s) {
     ScheduleCommonModeSource(s);
   }
 }
@@ -192,19 +242,20 @@ void ReplicatedStorageSystem::OnSimEvent(uint16_t tag, int32_t a, int32_t /*b*/)
 }
 
 double ReplicatedStorageSystem::CorrelationMultiplier() const {
-  return faulty_count_ > 0 ? 1.0 / config_.params.alpha : 1.0;
+  return faulty_count_ > 0 ? 1.0 / alpha_ : 1.0;
 }
 
-Duration ReplicatedStorageSystem::DrawFaultDelay(const Replica& replica,
-                                                 FaultKind kind) const {
-  if (config_.fault_distribution == StorageSimConfig::FaultDistribution::kWeibull) {
+Duration ReplicatedStorageSystem::DrawFaultDelay(int i, FaultKind kind) const {
+  const ResolvedReplica& rp = resolved_[static_cast<size_t>(i)];
+  if (rp.fault_distribution == FaultDistribution::kWeibull) {
     // Exact residual-lifetime draw, conditioned on survival to the replica's
     // current age: with S(x) = exp(-(x/scale)^k), inverting
     // u = S(x)/S(age) gives x = scale * ((age/scale)^k - ln u)^(1/k).
     // One uniform, O(1), no rejection loop.
-    const double shape = config_.weibull_shape;
+    const double shape = rp.weibull_shape;
     const Duration scale =
-        kind == FaultKind::kVisible ? weibull_scale_mv_ : weibull_scale_ml_;
+        kind == FaultKind::kVisible ? rp.weibull_scale_mv : rp.weibull_scale_ml;
+    const Replica& replica = replicas_[static_cast<size_t>(i)];
     const double age = (sim_->now() - replica.birth_time).hours() / scale.hours();
     if (fault_sampler_ != nullptr) {
       return fault_sampler_->DrawWeibullResidualFault(
@@ -223,8 +274,7 @@ Duration ReplicatedStorageSystem::DrawFaultDelay(const Replica& replica,
     }
     return Duration::Hours(residual_hours);
   }
-  const Duration mean =
-      kind == FaultKind::kVisible ? config_.params.mv : config_.params.ml;
+  const Duration mean = kind == FaultKind::kVisible ? rp.mv : rp.ml;
   if (fault_sampler_ != nullptr) {
     return fault_sampler_->DrawExponentialFault(
         *rng_, mean / CorrelationMultiplier(), kind,
@@ -233,21 +283,22 @@ Duration ReplicatedStorageSystem::DrawFaultDelay(const Replica& replica,
   return rng_->NextExponential(mean / CorrelationMultiplier());
 }
 
-Duration ReplicatedStorageSystem::DrawRepairDuration(FaultKind kind) const {
-  const Duration mean =
-      kind == FaultKind::kVisible ? config_.params.mrv : config_.params.mrl;
-  if (config_.repair_distribution == StorageSimConfig::RepairDistribution::kDeterministic) {
+Duration ReplicatedStorageSystem::DrawRepairDuration(int i, FaultKind kind) const {
+  const ResolvedReplica& rp = resolved_[static_cast<size_t>(i)];
+  const Duration mean = kind == FaultKind::kVisible ? rp.mrv : rp.mrl;
+  if (rp.repair_distribution == RepairDistribution::kDeterministic) {
     return mean;
   }
   return rng_->NextExponential(mean);
 }
 
-Duration ReplicatedStorageSystem::NextScrubTick(const Replica& replica) const {
-  const Duration period = config_.scrub.interval;
+Duration ReplicatedStorageSystem::NextScrubTick(int i) const {
+  const ResolvedReplica& rp = resolved_[static_cast<size_t>(i)];
+  const Duration period = rp.scrub.interval;
   const Duration now = sim_->now();
   const double periods_elapsed =
-      std::floor((now - replica.scrub_phase).hours() / period.hours()) + 1.0;
-  Duration tick = replica.scrub_phase + period * periods_elapsed;
+      std::floor((now - rp.scrub_phase).hours() / period.hours()) + 1.0;
+  Duration tick = rp.scrub_phase + period * periods_elapsed;
   if (tick <= now) {
     tick += period;  // floating-point boundary guard
   }
@@ -256,6 +307,7 @@ Duration ReplicatedStorageSystem::NextScrubTick(const Replica& replica) const {
 
 void ReplicatedStorageSystem::ScheduleReplicaFaults(int i) {
   auto& replica = replicas_[static_cast<size_t>(i)];
+  const ResolvedReplica& rp = resolved_[static_cast<size_t>(i)];
   sim_->Cancel(replica.visible_event);
   sim_->Cancel(replica.latent_event);
   replica.visible_event = EventId();
@@ -266,33 +318,33 @@ void ReplicatedStorageSystem::ScheduleReplicaFaults(int i) {
     // two can ever fire: draw both delays (keeping the random stream
     // unchanged) but enqueue just the winner. Visible wins ties, matching
     // the old visible-first scheduling order.
-    const bool has_visible = !config_.params.mv.is_infinite();
-    const bool has_latent = !config_.params.ml.is_infinite();
+    const bool has_visible = !rp.mv.is_infinite();
+    const bool has_latent = !rp.ml.is_infinite();
     const Duration visible_delay =
-        has_visible ? DrawFaultDelay(replica, FaultKind::kVisible) : Duration::Zero();
+        has_visible ? DrawFaultDelay(i, FaultKind::kVisible) : Duration::Zero();
     const Duration latent_delay =
-        has_latent ? DrawFaultDelay(replica, FaultKind::kLatent) : Duration::Zero();
+        has_latent ? DrawFaultDelay(i, FaultKind::kLatent) : Duration::Zero();
     if (has_visible && (!has_latent || visible_delay <= latent_delay)) {
       replica.visible_event = sim_->ScheduleAfter(visible_delay, kEvVisibleFault, i);
     } else if (has_latent) {
       replica.latent_event = sim_->ScheduleAfter(latent_delay, kEvLatentFault, i);
     }
   } else if (replica.state == ReplicaState::kLatentFaulty &&
-             config_.visible_fault_surfaces_latent && !config_.params.mv.is_infinite()) {
-    const Duration delay = DrawFaultDelay(replica, FaultKind::kVisible);
+             visible_fault_surfaces_latent_ && !rp.mv.is_infinite()) {
+    const Duration delay = DrawFaultDelay(i, FaultKind::kVisible);
     replica.visible_event = sim_->ScheduleAfter(delay, kEvVisibleFault, i);
   }
 }
 
 void ReplicatedStorageSystem::RescheduleFaultsForCorrelationChange() {
-  if (config_.params.alpha >= 1.0) {
+  if (alpha_ >= 1.0) {
     return;  // no hazard change; exponential clocks stay valid (memoryless)
   }
-  if (config_.convention == RateConvention::kPaper) {
+  if (convention_ == RateConvention::kPaper) {
     ScheduleSystemFaultClocks();
     return;
   }
-  for (int i = 0; i < config_.replica_count; ++i) {
+  for (int i = 0; i < replica_count_; ++i) {
     ScheduleReplicaFaults(i);
   }
 }
@@ -306,10 +358,12 @@ void ReplicatedStorageSystem::ScheduleSystemFaultClocks() {
     return;
   }
   // As with the per-replica clocks, the pair is always redrawn together
-  // after either fires, so only the earlier one is enqueued.
+  // after either fires, so only the earlier one is enqueued. kPaper fleets
+  // are homogeneous; replica 0 carries the system-level rates.
+  const ResolvedReplica& rp = resolved_[0];
   const double mult = CorrelationMultiplier();
-  const bool has_visible = !config_.params.mv.is_infinite();
-  const bool has_latent = !config_.params.ml.is_infinite();
+  const bool has_visible = !rp.mv.is_infinite();
+  const bool has_latent = !rp.ml.is_infinite();
   const bool forcing_eligible = sim_->now().is_zero();
   const auto draw = [&](Duration mean, FaultKind kind) {
     return fault_sampler_ != nullptr
@@ -318,11 +372,9 @@ void ReplicatedStorageSystem::ScheduleSystemFaultClocks() {
                : rng_->NextExponential(mean);
   };
   const Duration visible_delay =
-      has_visible ? draw(config_.params.mv / mult, FaultKind::kVisible)
-                  : Duration::Zero();
+      has_visible ? draw(rp.mv / mult, FaultKind::kVisible) : Duration::Zero();
   const Duration latent_delay =
-      has_latent ? draw(config_.params.ml / mult, FaultKind::kLatent)
-                 : Duration::Zero();
+      has_latent ? draw(rp.ml / mult, FaultKind::kLatent) : Duration::Zero();
   if (has_visible && (!has_latent || visible_delay <= latent_delay)) {
     system_visible_event_ = sim_->ScheduleAfter(visible_delay, kEvSystemVisibleFault);
   } else if (has_latent) {
@@ -332,22 +384,23 @@ void ReplicatedStorageSystem::ScheduleSystemFaultClocks() {
 
 void ReplicatedStorageSystem::ScheduleDetection(int i) {
   auto& replica = replicas_[static_cast<size_t>(i)];
+  const ResolvedReplica& rp = resolved_[static_cast<size_t>(i)];
   sim_->Cancel(replica.detect_event);
   replica.detect_event = EventId();
-  switch (config_.scrub.kind) {
+  switch (rp.scrub.kind) {
     case ScrubPolicy::Kind::kNone:
       return;
     case ScrubPolicy::Kind::kPeriodic: {
-      if (config_.record_scrub_passes) {
+      if (record_scrub_passes_) {
         return;  // the scrub-tick loop performs detection
       }
-      const Duration tick = NextScrubTick(replica);
+      const Duration tick = NextScrubTick(i);
       replica.detect_event = sim_->ScheduleAt(tick, kEvDetect, i);
       return;
     }
     case ScrubPolicy::Kind::kExponential:
     case ScrubPolicy::Kind::kOnAccess: {
-      const Duration delay = rng_->NextExponential(config_.scrub.interval);
+      const Duration delay = rng_->NextExponential(rp.scrub.interval);
       replica.detect_event = sim_->ScheduleAfter(delay, kEvDetect, i);
       return;
     }
@@ -355,13 +408,12 @@ void ReplicatedStorageSystem::ScheduleDetection(int i) {
 }
 
 void ReplicatedStorageSystem::ScheduleScrubTick(int i) {
-  auto& replica = replicas_[static_cast<size_t>(i)];
-  const Duration tick = NextScrubTick(replica);
+  const Duration tick = NextScrubTick(i);
   sim_->ScheduleAt(tick, kEvScrubTick, i);
 }
 
 void ReplicatedStorageSystem::ScheduleCommonModeSource(size_t source_index) {
-  const CommonModeSource& source = config_.common_mode[source_index];
+  const CommonModeSource& source = scenario_.common_mode[source_index];
   const Duration delay = rng_->NextExponential(source.event_rate);
   sim_->ScheduleAfter(delay, kEvCommonMode, static_cast<int32_t>(source_index));
 }
@@ -373,7 +425,7 @@ void ReplicatedStorageSystem::OnVisibleFault(int i) {
     return;  // already being rebuilt; nothing new to learn
   }
   if (replica.state == ReplicaState::kLatentFaulty) {
-    if (!config_.visible_fault_surfaces_latent) {
+    if (!visible_fault_surfaces_latent_) {
       return;
     }
     // The whole-replica failure surfaces the latent fault: detection via
@@ -452,7 +504,7 @@ void ReplicatedStorageSystem::InflictFault(int i, FaultKind kind, bool detected)
   replica.current_fault = kind;
   replica.fault_time = sim_->now();
 
-  if (config_.replica_count - faulty_count_ < config_.required_intact) {
+  if (replica_count_ - faulty_count_ < required_intact_) {
     lost_ = true;
     loss_time_ = sim_->now();
     RecordTrace(TraceEventKind::kDataLoss, -1);
@@ -463,15 +515,15 @@ void ReplicatedStorageSystem::InflictFault(int i, FaultKind kind, bool detected)
   if (detected) {
     StartRepair(i);
   } else {
-    if (config_.convention == RateConvention::kPaper) {
+    if (convention_ == RateConvention::kPaper) {
       if (!system_detect_event_.is_valid() &&
-          config_.scrub.kind != ScrubPolicy::Kind::kNone) {
-        const Duration delay = rng_->NextExponential(config_.scrub.interval);
+          resolved_[0].scrub.kind != ScrubPolicy::Kind::kNone) {
+        const Duration delay = rng_->NextExponential(resolved_[0].scrub.interval);
         system_detect_event_ = sim_->ScheduleAfter(delay, kEvSystemDetect);
       }
     } else {
       ScheduleDetection(i);
-      if (config_.visible_fault_surfaces_latent) {
+      if (visible_fault_surfaces_latent_) {
         ScheduleReplicaFaults(i);  // keep a visible-fault clock running
       }
     }
@@ -483,7 +535,7 @@ void ReplicatedStorageSystem::InflictFault(int i, FaultKind kind, bool detected)
 }
 
 void ReplicatedStorageSystem::StartRepair(int i) {
-  if (config_.convention == RateConvention::kPaper) {
+  if (convention_ == RateConvention::kPaper) {
     repair_ring_[(repair_head_ + repair_queued_) % repair_ring_.size()] = i;
     ++repair_queued_;
     if (!repair_active_) {
@@ -492,7 +544,7 @@ void ReplicatedStorageSystem::StartRepair(int i) {
     return;
   }
   auto& replica = replicas_[static_cast<size_t>(i)];
-  const Duration duration = DrawRepairDuration(replica.current_fault);
+  const Duration duration = DrawRepairDuration(i, replica.current_fault);
   RecordTrace(TraceEventKind::kRepairStarted, i);
   replica.repair_event = sim_->ScheduleAfter(duration, kEvRepairComplete, i);
 }
@@ -507,7 +559,7 @@ void ReplicatedStorageSystem::BeginNextSerialRepair() {
   repair_head_ = (repair_head_ + 1) % repair_ring_.size();
   --repair_queued_;
   auto& replica = replicas_[static_cast<size_t>(i)];
-  const Duration duration = DrawRepairDuration(replica.current_fault);
+  const Duration duration = DrawRepairDuration(i, replica.current_fault);
   RecordTrace(TraceEventKind::kRepairStarted, i);
   replica.repair_event = sim_->ScheduleAfter(duration, kEvRepairComplete, i);
 }
@@ -528,7 +580,7 @@ void ReplicatedStorageSystem::OnRepairComplete(int i) {
     window_open_ = false;
   }
 
-  if (config_.convention == RateConvention::kPaper) {
+  if (convention_ == RateConvention::kPaper) {
     BeginNextSerialRepair();
     if (faulty_count_ == 0) {
       RescheduleFaultsForCorrelationChange();
@@ -536,7 +588,7 @@ void ReplicatedStorageSystem::OnRepairComplete(int i) {
     return;
   }
 
-  if (faulty_count_ == 0 && config_.params.alpha < 1.0) {
+  if (faulty_count_ == 0 && alpha_ < 1.0) {
     // Correlation relaxes: redraw every healthy replica, including this one.
     RescheduleFaultsForCorrelationChange();
   } else {
@@ -580,7 +632,7 @@ void ReplicatedStorageSystem::OnSystemDetect() {
   OnDetect(*target);
   // Another undetected latent fault keeps the serial audit busy.
   if (OldestUndetectedLatent().has_value()) {
-    const Duration delay = rng_->NextExponential(config_.scrub.interval);
+    const Duration delay = rng_->NextExponential(resolved_[0].scrub.interval);
     system_detect_event_ = sim_->ScheduleAfter(delay, kEvSystemDetect);
   }
 }
@@ -589,7 +641,7 @@ void ReplicatedStorageSystem::OnCommonModeEvent(size_t source_index) {
   if (lost_) {
     return;
   }
-  const CommonModeSource& source = config_.common_mode[source_index];
+  const CommonModeSource& source = scenario_.common_mode[source_index];
   metrics_.common_mode_events++;
   RecordTrace(TraceEventKind::kCommonModeEvent, -1, source.name);
   for (int member : source.members) {
@@ -625,7 +677,7 @@ int ReplicatedStorageSystem::PickRandomHealthyReplica() {
   // distribution (and same rng consumption) as materializing the healthy
   // list, without the per-call vector.
   uint64_t k = rng_->NextBounded(static_cast<uint64_t>(intact_count()));
-  for (int i = 0; i < config_.replica_count; ++i) {
+  for (int i = 0; i < replica_count_; ++i) {
     if (replicas_[static_cast<size_t>(i)].state == ReplicaState::kHealthy) {
       if (k == 0) {
         return i;
@@ -638,7 +690,7 @@ int ReplicatedStorageSystem::PickRandomHealthyReplica() {
 
 std::optional<int> ReplicatedStorageSystem::OldestUndetectedLatent() const {
   std::optional<int> best;
-  for (int i = 0; i < config_.replica_count; ++i) {
+  for (int i = 0; i < replica_count_; ++i) {
     const auto& replica = replicas_[static_cast<size_t>(i)];
     if (replica.state != ReplicaState::kLatentFaulty) {
       continue;
@@ -656,8 +708,19 @@ void ReplicatedStorageSystem::RecordTraceImpl(TraceEventKind kind, int replica,
   trace_->Record(sim_->now(), kind, replica, std::move(detail));
 }
 
+TrialRunner::TrialRunner(const Scenario& scenario, ConfigValidation validation)
+    : rng_(0), system_(&sim_, &rng_, scenario, /*trace=*/nullptr, validation) {}
+
 TrialRunner::TrialRunner(const StorageSimConfig& config, ConfigValidation validation)
     : rng_(0), system_(&sim_, &rng_, config, /*trace=*/nullptr, validation) {}
+
+TrialRunner::TrialRunner(const Scenario& scenario, ConfigValidation validation,
+                         const FaultBias& bias)
+    : rng_(0),
+      system_(&sim_, &rng_, scenario, /*trace=*/nullptr, validation),
+      sampler_(std::make_unique<BiasedFaultSampler>(bias)) {
+  system_.set_fault_sampler(sampler_.get());
+}
 
 TrialRunner::TrialRunner(const StorageSimConfig& config, ConfigValidation validation,
                          const FaultBias& bias)
@@ -689,6 +752,12 @@ RunOutcome TrialRunner::Run(uint64_t seed, Duration horizon) {
     outcome.log_weight = sampler_->log_weight();
   }
   return outcome;
+}
+
+RunOutcome RunToLossOrHorizon(const Scenario& scenario, uint64_t seed,
+                              Duration horizon) {
+  TrialRunner runner(scenario);
+  return runner.Run(seed, horizon);
 }
 
 RunOutcome RunToLossOrHorizon(const StorageSimConfig& config, uint64_t seed,

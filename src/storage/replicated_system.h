@@ -3,6 +3,15 @@
 // correlated faults via the paper's hazard multiplier and/or shared-risk
 // common-mode events.
 //
+// The system is described by a Scenario (src/scenario/scenario.h): one
+// ReplicaSpec per replica, so fleets may mix media, fault distributions,
+// scrub cadences, repair processes and initial ages. At construction the
+// specs are resolved into flat per-replica parameter arrays; the event loop
+// reads only those arrays and never allocates (see src/sim/README.md for
+// the reuse contract). The legacy homogeneous StorageSimConfig is accepted
+// through Scenario::FromLegacy and runs bit-identically to the pre-Scenario
+// engine.
+//
 // Data loss (the paper's "double-fault" generalized to r replicas) occurs the
 // moment no intact replica remains — whether or not the outstanding faults
 // were detected, matching the paper's data-centric reliability perspective
@@ -15,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/scenario/scenario.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
 #include "src/storage/config.h"
@@ -35,16 +45,23 @@ enum class ReplicaState {
   kFaultyDetected,   // visible fault, or detected latent fault; under repair
 };
 
-// Whether the constructor re-validates the config. Callers that already ran
-// StorageSimConfig::Validate() (the Monte Carlo drivers validate once per
-// estimate) pass kPreValidated to skip the per-construction throw path; a
-// debug build still cross-checks.
+// Whether the constructor re-validates the scenario. Callers that already
+// ran Scenario::Validate() / StorageSimConfig::Validate() (the Monte Carlo
+// drivers validate once per estimate) pass kPreValidated to skip the
+// per-construction throw path; a debug build still cross-checks.
 enum class ConfigValidation { kValidate, kPreValidated };
 
 class ReplicatedStorageSystem : public SimClient {
  public:
   // `sim`, `rng` and `trace` must outlive the system. `trace` may be null.
   // Attaches itself as `sim`'s client: one system per simulator.
+  ReplicatedStorageSystem(Simulator* sim, Rng* rng, Scenario scenario,
+                          TraceRecorder* trace = nullptr,
+                          ConfigValidation validation = ConfigValidation::kValidate);
+
+  // Legacy flat-config front end: converts via Scenario::FromLegacy.
+  // Homogeneous by construction and bit-identical to the pre-Scenario
+  // engine.
   ReplicatedStorageSystem(Simulator* sim, Rng* rng, StorageSimConfig config,
                           TraceRecorder* trace = nullptr,
                           ConfigValidation validation = ConfigValidation::kValidate);
@@ -75,13 +92,14 @@ class ReplicatedStorageSystem : public SimClient {
   Duration loss_time() const { return loss_time_; }
 
   const SimMetrics& metrics() const { return metrics_; }
-  const StorageSimConfig& config() const { return config_; }
+  const Scenario& scenario() const { return scenario_; }
 
   ReplicaState replica_state(int i) const {
     return replicas_[static_cast<size_t>(i)].state;
   }
+  int replica_count() const { return replica_count_; }
   int faulty_count() const { return faulty_count_; }
-  int intact_count() const { return config_.replica_count - faulty_count_; }
+  int intact_count() const { return replica_count_ - faulty_count_; }
 
  private:
   struct Replica {
@@ -89,11 +107,32 @@ class ReplicatedStorageSystem : public SimClient {
     FaultKind current_fault = FaultKind::kVisible;
     Duration fault_time;
     Duration birth_time;   // last replacement; Weibull age reference
-    Duration scrub_phase;  // periodic-scrub phase offset
     EventId visible_event;
     EventId latent_event;
     EventId detect_event;
     EventId repair_event;
+  };
+
+  // A ReplicaSpec resolved to the flat values the event loop reads: means,
+  // precomputed Weibull scales, concrete scrub phase. Built once at
+  // construction (specs are immutable for the system's lifetime), indexed
+  // like `replicas_`, and never touched by Reset or the hot path beyond
+  // loads.
+  struct ResolvedReplica {
+    Duration mv = Duration::Infinite();
+    Duration ml = Duration::Infinite();
+    Duration mrv = Duration::Zero();
+    Duration mrl = Duration::Zero();
+    FaultDistribution fault_distribution = FaultDistribution::kExponential;
+    RepairDistribution repair_distribution = RepairDistribution::kExponential;
+    double weibull_shape = 1.0;
+    // Weibull scales matching the configured means, precomputed once (the
+    // draw path runs on every fault reschedule).
+    Duration weibull_scale_mv = Duration::Infinite();
+    Duration weibull_scale_ml = Duration::Infinite();
+    Duration initial_age = Duration::Zero();
+    ScrubPolicy scrub = ScrubPolicy::None();
+    Duration scrub_phase = Duration::Zero();  // periodic-scrub phase offset
   };
 
   // Simulator event tags (payload `a` = replica or common-mode source index).
@@ -110,13 +149,14 @@ class ReplicatedStorageSystem : public SimClient {
   };
 
   // --- initialization ---
+  void ResolveSpecs();
   void InitializeState();
 
   // --- scheduling helpers ---
   double CorrelationMultiplier() const;
-  Duration DrawFaultDelay(const Replica& replica, FaultKind kind) const;
-  Duration DrawRepairDuration(FaultKind kind) const;
-  Duration NextScrubTick(const Replica& replica) const;
+  Duration DrawFaultDelay(int i, FaultKind kind) const;
+  Duration DrawRepairDuration(int i, FaultKind kind) const;
+  Duration NextScrubTick(int i) const;
   void ScheduleReplicaFaults(int i);
   void RescheduleFaultsForCorrelationChange();
   void ScheduleSystemFaultClocks();  // kPaper convention
@@ -156,20 +196,24 @@ class ReplicatedStorageSystem : public SimClient {
 
   Simulator* sim_;
   Rng* rng_;
-  StorageSimConfig config_;
+  Scenario scenario_;
   TraceRecorder* trace_;
   BiasedFaultSampler* fault_sampler_ = nullptr;
 
+  // Shared scenario structure, flattened for the hot path.
+  int replica_count_ = 0;
+  int required_intact_ = 1;
+  double alpha_ = 1.0;
+  RateConvention convention_ = RateConvention::kPhysical;
+  bool record_scrub_passes_ = false;
+  bool visible_fault_surfaces_latent_ = false;
+
+  std::vector<ResolvedReplica> resolved_;
   std::vector<Replica> replicas_;
   int faulty_count_ = 0;
   bool lost_ = false;
   Duration loss_time_;
   SimMetrics metrics_;
-
-  // Weibull scales matching the configured means, precomputed once (the
-  // draw path runs on every fault reschedule).
-  Duration weibull_scale_mv_ = Duration::Infinite();
-  Duration weibull_scale_ml_ = Duration::Infinite();
 
   // Window-of-vulnerability bookkeeping (Figure 2 measurements).
   bool window_open_ = false;
@@ -178,6 +222,8 @@ class ReplicatedStorageSystem : public SimClient {
   // kPaper-convention machinery: system-level clocks and serial repair. The
   // repair queue is a fixed-capacity ring over replica indices (each replica
   // is queued at most once), so enqueue/dequeue never allocate or shift.
+  // kPaper requires a homogeneous fleet (Scenario::Validate enforces it), so
+  // the system-level clocks read resolved_[0].
   EventId system_visible_event_;
   EventId system_latent_event_;
   EventId system_detect_event_;
@@ -201,19 +247,23 @@ struct RunOutcome {
 
 // Owns one Simulator + Rng + ReplicatedStorageSystem and reuses them across
 // trials: Run() resets all three, reseeds, and runs to loss or `horizon`.
-// Construction validates the config once (unless told it is pre-validated);
+// Construction validates the scenario once (unless told it is pre-validated);
 // the per-trial path performs no validation and no steady-state allocation.
 // A trial's outcome is bit-identical to a freshly constructed run with the
 // same seed.
 class TrialRunner {
  public:
+  explicit TrialRunner(const Scenario& scenario,
+                       ConfigValidation validation = ConfigValidation::kValidate);
   explicit TrialRunner(const StorageSimConfig& config,
                        ConfigValidation validation = ConfigValidation::kValidate);
 
-  // Importance-sampling variant: fault-time draws are tilted by `bias` and
+  // Importance-sampling variants: fault-time draws are tilted by `bias` and
   // each outcome carries the trial's exact log-likelihood ratio
   // (RunOutcome::log_weight). The forcing window is the horizon passed to
   // Run(). An identity bias reproduces the unbiased runner bit for bit.
+  TrialRunner(const Scenario& scenario, ConfigValidation validation,
+              const FaultBias& bias);
   TrialRunner(const StorageSimConfig& config, ConfigValidation validation,
               const FaultBias& bias);
 
@@ -234,6 +284,8 @@ class TrialRunner {
 };
 
 // Runs a fresh system until data loss or `horizon`, whichever comes first.
+RunOutcome RunToLossOrHorizon(const Scenario& scenario, uint64_t seed,
+                              Duration horizon);
 RunOutcome RunToLossOrHorizon(const StorageSimConfig& config, uint64_t seed,
                               Duration horizon);
 

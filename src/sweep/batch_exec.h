@@ -39,7 +39,7 @@ inline constexpr int64_t kTrialBlockSize = 256;
 // folded in that order by the caller.
 template <typename Accumulator>
 struct TrialBatchJob {
-  const StorageSimConfig* config = nullptr;  // pre-validated by the caller
+  const Scenario* scenario = nullptr;  // pre-validated by the caller
   // Importance-sampling change of measure for this job's trials; null runs
   // the unbiased engine path. Must outlive the batch (the sweep runner
   // points it at its options).
@@ -94,8 +94,8 @@ void RunTrialBlocks(WorkerPool& pool, int lanes,
       if (!runner) {
         runner = job.bias != nullptr
                      ? std::make_unique<TrialRunner>(
-                           *job.config, ConfigValidation::kPreValidated, *job.bias)
-                     : std::make_unique<TrialRunner>(*job.config,
+                           *job.scenario, ConfigValidation::kPreValidated, *job.bias)
+                     : std::make_unique<TrialRunner>(*job.scenario,
                                                      ConfigValidation::kPreValidated);
       }
       Accumulator& acc = job.blocks[unit.slot];

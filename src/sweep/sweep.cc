@@ -185,11 +185,28 @@ std::string JsonNumber(double v) {
 
 // --- SweepSpec -------------------------------------------------------------
 
+SweepSpec::SweepSpec(Scenario base)
+    : base_scenario_(std::move(base)), legacy_base_(false) {}
+
+SweepSpec::SweepSpec(StorageSimConfig base)
+    : base_config_(std::move(base)), legacy_base_(true) {}
+
 SweepSpec& SweepSpec::AddAxis(std::string name) {
   if (!explicit_cells_.empty()) {
     throw std::invalid_argument("SweepSpec: cannot mix axes and explicit cells");
   }
   axes_.push_back(Axis{std::move(name), {}});
+  return *this;
+}
+
+SweepSpec& SweepSpec::AddPoint(std::string label, double value, ScenarioMutation apply) {
+  if (axes_.empty()) {
+    throw std::invalid_argument("SweepSpec: AddPoint before any AddAxis");
+  }
+  if (!apply) {
+    throw std::invalid_argument("SweepSpec: AddPoint requires a mutation");
+  }
+  axes_.back().points.push_back(Point{std::move(label), value, std::move(apply), {}});
   return *this;
 }
 
@@ -200,7 +217,19 @@ SweepSpec& SweepSpec::AddPoint(std::string label, double value, ConfigMutation a
   if (!apply) {
     throw std::invalid_argument("SweepSpec: AddPoint requires a mutation");
   }
-  axes_.back().points.push_back(Point{std::move(label), value, std::move(apply)});
+  axes_.back().points.push_back(Point{std::move(label), value, {}, std::move(apply)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::AddCell(std::string label, Scenario scenario) {
+  if (!axes_.empty()) {
+    throw std::invalid_argument("SweepSpec: cannot mix axes and explicit cells");
+  }
+  ExplicitCell cell;
+  cell.label = std::move(label);
+  cell.scenario = std::move(scenario);
+  cell.from_legacy = false;
+  explicit_cells_.push_back(std::move(cell));
   return *this;
 }
 
@@ -208,7 +237,12 @@ SweepSpec& SweepSpec::AddCell(std::string label, StorageSimConfig config) {
   if (!axes_.empty()) {
     throw std::invalid_argument("SweepSpec: cannot mix axes and explicit cells");
   }
-  explicit_cells_.push_back(ExplicitCell{std::move(label), std::move(config)});
+  ExplicitCell cell;
+  cell.label = std::move(label);
+  cell.scenario = Scenario::FromLegacy(config);
+  cell.config = std::move(config);
+  cell.from_legacy = true;
+  explicit_cells_.push_back(std::move(cell));
   return *this;
 }
 
@@ -249,7 +283,9 @@ std::vector<SweepSpec::Cell> SweepSpec::BuildCells() const {
       Cell cell;
       cell.index = cells.size();
       cell.label = explicit_cell.label;
+      cell.scenario = explicit_cell.scenario;
       cell.config = explicit_cell.config;
+      cell.from_legacy = explicit_cell.from_legacy;
       cells.push_back(std::move(cell));
     }
     return cells;
@@ -266,15 +302,42 @@ std::vector<SweepSpec::Cell> SweepSpec::BuildCells() const {
   for (size_t n = 0; n < total; ++n) {
     Cell cell;
     cell.index = n;
-    cell.config = base_;
+    // A cell drafts in the base's representation and converts to Scenario
+    // at the first Scenario mutation (or at the end): legacy mutations keep
+    // operating on the flat config so their cells stay bit-identical to the
+    // pre-Scenario engine, and the conversion is one-way.
+    bool converted = !legacy_base_;
+    cell.config = base_config_;
+    if (converted) {
+      cell.scenario = base_scenario_;
+    }
     for (size_t a = 0; a < axes_.size(); ++a) {
       const Point& point = axes_[a].points[indices[a]];
-      point.apply(cell.config);
+      if (point.legacy_apply) {
+        if (converted) {
+          throw std::invalid_argument(
+              "SweepSpec: point '" + point.label +
+              "' is a legacy StorageSimConfig mutation ordered after a Scenario "
+              "mutation (or on a Scenario base); the legacy->Scenario conversion "
+              "is one-way — order legacy points first or migrate the axis");
+        }
+        point.legacy_apply(cell.config);
+      } else {
+        if (!converted) {
+          cell.scenario = Scenario::FromLegacy(cell.config);
+          converted = true;
+        }
+        point.apply(cell.scenario);
+      }
       cell.coordinates.push_back(SweepCoordinate{axes_[a].name, point.label, point.value});
       if (!cell.label.empty()) {
         cell.label += ", ";
       }
       cell.label += point.label;
+    }
+    if (!converted) {
+      cell.scenario = Scenario::FromLegacy(cell.config);
+      cell.from_legacy = true;
     }
     cells.push_back(std::move(cell));
     for (size_t a = axes_.size(); a-- > 0;) {
@@ -330,11 +393,17 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
     throw std::invalid_argument("SweepRunner: the sweep has no cells");
   }
   for (const SweepSpec::Cell& cell : cells) {
-    if (auto error = cell.config.Validate()) {
-      // The one-cell estimator wrappers produce an unlabelled cell; keep
-      // their message identical to a direct config validation failure.
+    if (cell.from_legacy) {
+      // The one-cell estimator wrappers produce an unlabelled legacy cell;
+      // keep their message identical to a direct config validation failure.
+      if (auto error = cell.config.Validate()) {
+        throw std::invalid_argument(
+            "StorageSimConfig: " + *error +
+            (cell.label.empty() ? "" : " (cell '" + cell.label + "')"));
+      }
+    } else if (auto error = cell.scenario.Validate()) {
       throw std::invalid_argument(
-          "StorageSimConfig: " + *error +
+          "Scenario: " + *error +
           (cell.label.empty() ? "" : " (cell '" + cell.label + "')"));
     }
   }
@@ -345,9 +414,17 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
   for (size_t i = 0; i < cells.size(); ++i) {
     CellState& state = states[i];
     state.cell = std::move(cells[i]);
-    state.seed = options.seed_mode == SweepOptions::SeedMode::kSharedRoot
-                     ? mc.seed
-                     : DeriveSeed(mc.seed, HashLabel(state.cell.label));
+    switch (options.seed_mode) {
+      case SweepOptions::SeedMode::kSharedRoot:
+        state.seed = mc.seed;
+        break;
+      case SweepOptions::SeedMode::kPerCellDerived:
+        state.seed = DeriveSeed(mc.seed, HashLabel(state.cell.label));
+        break;
+      case SweepOptions::SeedMode::kScenarioDerived:
+        state.seed = DeriveSeed(mc.seed, state.cell.scenario.CanonicalHash());
+        break;
+    }
     state.target = std::min<int64_t>(mc.trials, cap);
   }
 
@@ -371,7 +448,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
         continue;
       }
       TrialBatchJob<TrialAccumulator> job;
-      job.config = &state.cell.config;
+      job.scenario = &state.cell.scenario;
       job.bias = bias;
       job.begin_trial = state.trials_done;
       job.end_trial = state.target;

@@ -1,21 +1,33 @@
-// Batch sweep engine: declarative grids of StorageSimConfig variants
-// executed as one batch of trial blocks on a shared worker pool.
+// Batch sweep engine: declarative grids of Scenario variants executed as
+// one batch of trial blocks on a shared worker pool.
 //
 // Every figure in the source paper is a *sweep* — scrub frequency vs MTTDL,
 // correlation factor vs loss probability, replication level vs MTTDL — and
 // before this subsystem each bench hand-rolled its own loop of EstimateMttdl
 // calls, each spawning and joining threads. A SweepSpec describes the grid
-// (a base config plus axes of labelled mutations, or an explicit cell list);
-// SweepRunner executes every cell's trials as interleaved work units on one
-// persistent WorkerPool and returns a structured SweepResult with table /
-// CSV / JSON emitters.
+// (a base scenario plus axes of labelled mutations, or an explicit cell
+// list); SweepRunner executes every cell's trials as interleaved work units
+// on one persistent WorkerPool and returns a structured SweepResult with
+// table / CSV / JSON emitters.
+//
+// Cells are Scenarios (src/scenario/scenario.h), so an axis may mutate any
+// replica's field — replica 2's scrub cadence, the tape replica's audit
+// rate, one batch's initial age — not just global knobs. Legacy
+// StorageSimConfig bases, cells and mutations are still accepted (converted
+// through Scenario::FromLegacy, bit-identical for homogeneous fleets); a
+// spec may apply legacy mutations first and Scenario mutations after, but
+// not a legacy mutation after a Scenario one (the conversion is one-way).
 //
 // Determinism contract (see src/sweep/README.md):
 //   * trial t of a cell uses the stream DeriveSeed(cell_seed, t);
 //   * cell_seed is DeriveSeed(spec_seed, hash(cell label)) in the default
 //     kPerCellDerived mode — a function of the cell's identity, not of its
-//     position — or spec_seed itself in kSharedRoot mode (every cell sees
-//     the same trial streams, the convention of the pre-sweep benches);
+//     position; spec_seed itself in kSharedRoot mode (every cell sees
+//     the same trial streams, the convention of the pre-sweep benches); or
+//     DeriveSeed(spec_seed, scenario.CanonicalHash()) in kScenarioDerived
+//     mode — a function of the cell's *content*, so shards that receive a
+//     serialized scenario (Scenario::ToJson / FromJson) re-derive the same
+//     streams with no label coordination;
 //   * aggregation is block-structured (src/sweep/batch_exec.h) and folded in
 //     trial order.
 // Together these make every estimate bit-identical regardless of thread
@@ -36,6 +48,7 @@
 
 #include "src/mc/monte_carlo.h"
 #include "src/rare/biased_sampler.h"
+#include "src/scenario/scenario.h"
 #include "src/storage/config.h"
 #include "src/sweep/worker_pool.h"
 #include "src/util/table.h"
@@ -73,35 +86,52 @@ struct SweepCoordinate {
   double value = 0.0;
 };
 
-// A grid of StorageSimConfig variants. Either add axes (the cells are the
-// Cartesian product of all axis points, applied to the base config in axis
-// order) or add explicit cells; mixing the two is an error. A spec with no
-// axes and no explicit cells has exactly one cell: the base config.
+// A grid of Scenario variants. Either add axes (the cells are the Cartesian
+// product of all axis points, applied to the base in axis order) or add
+// explicit cells; mixing the two is an error. A spec with no axes and no
+// explicit cells has exactly one cell: the base.
 class SweepSpec {
  public:
+  // Scenario mutations are the native axis vocabulary; legacy ConfigMutation
+  // points are still accepted on legacy-based specs (overload resolution
+  // picks the right one from the lambda's parameter type).
+  using ScenarioMutation = std::function<void(Scenario&)>;
   using ConfigMutation = std::function<void(StorageSimConfig&)>;
 
-  explicit SweepSpec(StorageSimConfig base = {}) : base_(std::move(base)) {}
+  explicit SweepSpec(Scenario base);
+  explicit SweepSpec(StorageSimConfig base = {});
 
   // Starts a new axis; subsequent AddPoint calls attach to it.
   SweepSpec& AddAxis(std::string name);
 
-  // Adds a point to the most recently added axis. `apply` mutates the
-  // config; `value` is the point's numeric coordinate (used by emitters and
-  // Cell::value()).
+  // Adds a point to the most recently added axis. `apply` mutates the cell
+  // under construction; `value` is the point's numeric coordinate (used by
+  // emitters and Cell::value()). A Scenario mutation may touch any
+  // replica's field; a legacy mutation requires that no Scenario mutation
+  // ran before it on the same cell (BuildCells enforces this).
+  SweepSpec& AddPoint(std::string label, double value, ScenarioMutation apply);
   SweepSpec& AddPoint(std::string label, double value, ConfigMutation apply);
 
   // Adds a fully-formed cell (for grids that are not a Cartesian product,
-  // e.g. a hand-picked list of erasure-code geometries). Cell labels double
-  // as seed-derivation identity: distinct labels get independent trial
-  // streams, duplicated labels share one.
+  // e.g. a hand-picked list of erasure-code geometries or heterogeneous
+  // fleets). Cell labels double as seed-derivation identity in
+  // kPerCellDerived mode: distinct labels get independent trial streams,
+  // duplicated labels share one.
+  SweepSpec& AddCell(std::string label, Scenario scenario);
   SweepSpec& AddCell(std::string label, StorageSimConfig config);
 
   struct Cell {
     size_t index = 0;
     std::string label;
     std::vector<SweepCoordinate> coordinates;
+    // The cell's system description — what SweepRunner executes.
+    Scenario scenario;
+    // The legacy flat view; meaningful only when `from_legacy` (the cell was
+    // built from a StorageSimConfig base/cell through legacy mutations
+    // alone). Kept so legacy analytic call sites can keep reading
+    // cell.config.params and friends.
     StorageSimConfig config;
+    bool from_legacy = false;
 
     // The numeric coordinate along `axis`; throws std::out_of_range if the
     // cell has no such axis.
@@ -109,18 +139,24 @@ class SweepSpec {
   };
 
   // Materializes the grid. Throws std::invalid_argument for an axis with no
-  // points or a spec mixing axes and explicit cells.
+  // points, a spec mixing axes and explicit cells, or a legacy mutation
+  // ordered after a Scenario mutation.
   std::vector<Cell> BuildCells() const;
 
   std::vector<std::string> AxisNames() const;
-  const StorageSimConfig& base() const { return base_; }
+  // The legacy base; default-constructed when the spec was built from a
+  // Scenario.
+  const StorageSimConfig& base() const { return base_config_; }
+  const Scenario& base_scenario() const { return base_scenario_; }
   size_t CellCount() const;
 
  private:
+  // Exactly one of `apply` / `legacy_apply` is set per point.
   struct Point {
     std::string label;
     double value;
-    ConfigMutation apply;
+    ScenarioMutation apply;
+    ConfigMutation legacy_apply;
   };
   struct Axis {
     std::string name;
@@ -128,10 +164,14 @@ class SweepSpec {
   };
   struct ExplicitCell {
     std::string label;
+    Scenario scenario;
     StorageSimConfig config;
+    bool from_legacy = false;
   };
 
-  StorageSimConfig base_;
+  Scenario base_scenario_;
+  StorageSimConfig base_config_;
+  bool legacy_base_ = true;
   std::vector<Axis> axes_;
   std::vector<ExplicitCell> explicit_cells_;
 };
@@ -150,6 +190,12 @@ struct SweepOptions {
   enum class SeedMode {
     kPerCellDerived,  // cell_seed = DeriveSeed(mc.seed, hash(cell label))
     kSharedRoot,      // cell_seed = mc.seed (all cells share trial streams)
+    // cell_seed = DeriveSeed(mc.seed, scenario.CanonicalHash()): derived
+    // from the cell's *content*, not its label or position. Two processes
+    // that exchange a scenario as JSON (sharded fan-out) re-derive the same
+    // trial streams with no label coordination; relabelling a cell cannot
+    // change its estimate.
+    kScenarioDerived,
   };
 
   Estimand estimand = Estimand::kMttdl;
