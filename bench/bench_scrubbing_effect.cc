@@ -10,12 +10,27 @@
 // the full closed form (eq 8), the exact CTMC under both rate conventions,
 // and a Monte Carlo run of the simulator (physical convention, exponential
 // audits matching MDL).
+//
+// --shards=K executes the Monte Carlo sweep as K shards through the shard
+// driver (src/shard/) instead of one SweepRunner call; with --worker=PATH
+// each shard runs in a separate process of the given sweep_worker binary.
+// Output is byte-identical either way — CI diffs the 3-process run against
+// the single-process output.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
 
 #include "src/model/paper_model.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
+#include "src/shard/shard.h"
 #include "src/sweep/sweep.h"
 #include "src/util/table.h"
 
@@ -45,11 +60,64 @@ std::string McCell(const SweepCellResult& cell) {
   return buf;
 }
 
+// Executes the sweep as `shards` shards; `worker` non-null spawns one
+// process of that binary per shard, else the shards run in-process. Either
+// way the merged result is byte-identical to SweepRunner::Run (the contract
+// tests/shard_e2e_test.cc pins; this path lets CI prove it on a figure).
+SweepResult RunSharded(const SweepSpec& spec, const SweepOptions& options,
+                       int shards, const char* worker) {
+  const ShardPlan plan(spec, options, shards);
+  ShardMerger merger;
+  for (const ShardSpec& shard : plan.shards()) {
+    if (worker == nullptr) {
+      merger.Add(RunShard(shard));
+      continue;
+    }
+    const std::string stem = "/tmp/longstore_bench_shard_" +
+                             std::to_string(getpid()) + "_" +
+                             std::to_string(shard.shard_index);
+    const std::string shard_path = stem + ".shard.json";
+    const std::string out_path = stem + ".result.json";
+    {
+      std::ofstream out(shard_path, std::ios::binary);
+      out << shard.ToJson();
+    }
+    const std::string command =
+        std::string(worker) + " --shard=" + shard_path + " --out=" + out_path;
+    if (std::system(command.c_str()) != 0) {
+      std::fprintf(stderr, "worker failed: %s\n", command.c_str());
+      std::exit(1);
+    }
+    std::ifstream in(out_path, std::ios::binary);
+    std::ostringstream json;
+    json << in.rdbuf();
+    merger.AddJson(json.str());
+    std::remove(shard_path.c_str());
+    std::remove(out_path.c_str());
+  }
+  return merger.Finish();
+}
+
 }  // namespace
 }  // namespace longstore
 
-int main() {
+int main(int argc, char** argv) {
   using namespace longstore;
+  int shards = 0;
+  const char* worker = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--worker=", 9) == 0) {
+      worker = argv[i] + 9;
+    } else {
+      std::fprintf(stderr, "usage: %s [--shards=K] [--worker=PATH]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (shards <= 0 && worker != nullptr) {
+    shards = 1;
+  }
   std::printf("%s",
               Heading("E3 (§5.4)", "scrubbing and correlation on the Cheetah example "
                       "(MV=1.4e6 h, ML=MV/5, MRV=MRL=20 min)")
@@ -80,7 +148,8 @@ int main() {
   options.mc.trials = 4000;
   options.mc.seed = 33;
   options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
-  const SweepResult sweep = SweepRunner().Run(spec, options);
+  const SweepResult sweep = shards > 0 ? RunSharded(spec, options, shards, worker)
+                                       : SweepRunner().Run(spec, options);
 
   Table table({"configuration", "paper MTTDL", "our paper-eq", "eq 8", "CTMC (paper conv)",
                "CTMC (physical)", "MC sim (physical)"});

@@ -42,6 +42,10 @@
 
 namespace longstore {
 
+namespace json {
+struct Value;  // parsed JSON tree (src/util/json.h)
+}
+
 struct StorageSimConfig;  // legacy flat config (src/storage/config.h)
 
 // How a replica's fault clocks are distributed.
@@ -183,6 +187,17 @@ struct Scenario {
   // behavior implies equal canonical identity. Does not validate.
   static Scenario FromLegacy(const StorageSimConfig& config);
 
+  // The inverse direction, for round-tripping old tooling: a flat config
+  // whose FromLegacy image is *identical* to this scenario (canonical JSON
+  // equality, hence equal CanonicalHash and trial streams). Throws
+  // std::invalid_argument naming the obstacle when no such config exists —
+  // heterogeneous replicas (per-replica initial ages excepted; the flat
+  // config carries those), an explicit scrub phase, or a non-default media
+  // label, none of which StorageSimConfig can express. params.mdl, which
+  // FromLegacy ignores, is set to the scrub policy's analytic mean
+  // detection latency so legacy closed-form call sites stay consistent.
+  StorageSimConfig ToLegacy() const;
+
   // --- serialization & identity (scenario_json.cc) ------------------------
 
   // Canonical compact JSON: fixed key order, every field emitted,
@@ -196,6 +211,11 @@ struct Scenario {
   // on malformed input. FromJson(ToJson(s)) == s exactly (bit-identical
   // doubles), so the round trip preserves CanonicalHash and trial streams.
   static Scenario FromJson(std::string_view json);
+
+  // Maps an already-parsed JSON value with the same strictness as FromJson.
+  // For protocols that embed scenarios inside larger canonical documents
+  // (the shard spec, src/shard/) and parse the enclosing tree themselves.
+  static Scenario FromJsonValue(const json::Value& value);
 
   // Stable 64-bit FNV-1a over the canonical JSON. The scenario's identity:
   // deterministic across processes and platforms, so sweep shards can

@@ -4,70 +4,20 @@
 // CanonicalHash is FNV-1a over that string, so two scenarios hash equal iff
 // they are field-wise identical — the property the sweep engine's
 // kScenarioDerived seed mode and sharded fan-out rely on.
+//
+// The JSON mechanics (emission helpers, strict parser, ObjectReader) live in
+// src/util/json.h, shared with the shard protocol (src/shard/), which embeds
+// scenarios as nested objects inside its own canonical documents.
 
-#include <cctype>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <limits>
-#include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "src/scenario/scenario.h"
+#include "src/util/json.h"
 
 namespace longstore {
 namespace {
 
-// --- emission --------------------------------------------------------------
-
-void AppendEscaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-// Round-trip-exact double: shortest %.17g form re-parses to the same bits.
-// Infinities and NaN (not valid JSON numbers) are emitted as strings.
-void AppendDouble(std::string& out, double v) {
-  if (std::isinf(v)) {
-    out += v > 0 ? "\"inf\"" : "\"-inf\"";
-    return;
-  }
-  if (std::isnan(v)) {
-    out += "\"nan\"";
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
-}
+constexpr char kContext[] = "Scenario::FromJson";
 
 const char* FaultDistributionName(FaultDistribution d) {
   return d == FaultDistribution::kWeibull ? "weibull" : "exponential";
@@ -95,358 +45,6 @@ const char* ConventionName(RateConvention convention) {
   return convention == RateConvention::kPaper ? "paper" : "physical";
 }
 
-// --- strict parser ---------------------------------------------------------
-//
-// A minimal JSON value tree: just enough for the Scenario schema. Object
-// keys keep insertion order but are looked up by name; duplicate keys are
-// an error (a duplicate would make the canonical form ambiguous).
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) {
-        return &v;
-      }
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue Parse() {
-    JsonValue value = ParseValue();
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      Fail("trailing characters after the top-level value");
-    }
-    return value;
-  }
-
- private:
-  [[noreturn]] void Fail(const std::string& what) const {
-    throw std::invalid_argument("Scenario::FromJson: " + what + " (at byte " +
-                                std::to_string(pos_) + ")");
-  }
-
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char Peek() {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) {
-      Fail("unexpected end of input");
-    }
-    return text_[pos_];
-  }
-
-  void Expect(char c) {
-    if (Peek() != c) {
-      Fail(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-  }
-
-  bool Consume(char c) {
-    if (pos_ < text_.size() && Peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ConsumeWord(std::string_view word) {
-    SkipWhitespace();
-    if (text_.substr(pos_, word.size()) == word) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue ParseValue() {
-    const char c = Peek();
-    switch (c) {
-      case '{':
-        return ParseObject();
-      case '[':
-        return ParseArray();
-      case '"': {
-        JsonValue value;
-        value.kind = JsonValue::Kind::kString;
-        value.string = ParseString();
-        return value;
-      }
-      default:
-        break;
-    }
-    JsonValue value;
-    if (ConsumeWord("true")) {
-      value.kind = JsonValue::Kind::kBool;
-      value.boolean = true;
-      return value;
-    }
-    if (ConsumeWord("false")) {
-      value.kind = JsonValue::Kind::kBool;
-      value.boolean = false;
-      return value;
-    }
-    if (ConsumeWord("null")) {
-      value.kind = JsonValue::Kind::kNull;
-      return value;
-    }
-    return ParseNumber();
-  }
-
-  std::string ParseString() {
-    Expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) {
-        Fail("unterminated string");
-      }
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return out;
-      }
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        Fail("unterminated escape");
-      }
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"':
-          out += '"';
-          break;
-        case '\\':
-          out += '\\';
-          break;
-        case '/':
-          out += '/';
-          break;
-        case 'n':
-          out += '\n';
-          break;
-        case 't':
-          out += '\t';
-          break;
-        case 'r':
-          out += '\r';
-          break;
-        case 'b':
-          out += '\b';
-          break;
-        case 'f':
-          out += '\f';
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            Fail("truncated \\u escape");
-          }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              Fail("invalid \\u escape");
-            }
-          }
-          // The canonical emitter only escapes control characters; decode
-          // the BMP code point as UTF-8 for generality.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xc0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3f));
-          } else {
-            out += static_cast<char>(0xe0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
-            out += static_cast<char>(0x80 | (code & 0x3f));
-          }
-          break;
-        }
-        default:
-          Fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue ParseNumber() {
-    SkipWhitespace();
-    const size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      Fail("expected a value");
-    }
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
-      Fail("malformed number '" + token + "'");
-    }
-    JsonValue out;
-    out.kind = JsonValue::Kind::kNumber;
-    out.number = value;
-    return out;
-  }
-
-  JsonValue ParseArray() {
-    Expect('[');
-    JsonValue out;
-    out.kind = JsonValue::Kind::kArray;
-    if (Consume(']')) {
-      return out;
-    }
-    while (true) {
-      out.array.push_back(ParseValue());
-      if (Consume(']')) {
-        return out;
-      }
-      Expect(',');
-    }
-  }
-
-  JsonValue ParseObject() {
-    Expect('{');
-    JsonValue out;
-    out.kind = JsonValue::Kind::kObject;
-    if (Consume('}')) {
-      return out;
-    }
-    while (true) {
-      const std::string key = ParseString();
-      if (out.Find(key) != nullptr) {
-        Fail("duplicate key \"" + key + "\"");
-      }
-      Expect(':');
-      out.object.emplace_back(key, ParseValue());
-      if (Consume('}')) {
-        return out;
-      }
-      Expect(',');
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-// --- schema mapping --------------------------------------------------------
-
-[[noreturn]] void SchemaFail(const std::string& what) {
-  throw std::invalid_argument("Scenario::FromJson: " + what);
-}
-
-// A strict view over one object: every Get marks its key as consumed, and
-// Finish() rejects unknown keys, so schema drift fails loudly instead of
-// silently dropping a field (which would break the identity contract).
-class ObjectReader {
- public:
-  ObjectReader(const JsonValue& value, std::string where)
-      : value_(value), where_(std::move(where)) {
-    if (value.kind != JsonValue::Kind::kObject) {
-      SchemaFail(where_ + " must be an object");
-    }
-  }
-
-  const JsonValue& Get(const std::string& key, JsonValue::Kind kind) {
-    const JsonValue* found = value_.Find(key);
-    if (found == nullptr) {
-      SchemaFail(where_ + " is missing key \"" + key + "\"");
-    }
-    consumed_.push_back(key);
-    if (found->kind != kind &&
-        !(kind == JsonValue::Kind::kNumber &&
-          found->kind == JsonValue::Kind::kString)) {
-      SchemaFail(where_ + " key \"" + key + "\" has the wrong type");
-    }
-    return *found;
-  }
-
-  double GetNumber(const std::string& key) {
-    const JsonValue& v = Get(key, JsonValue::Kind::kNumber);
-    if (v.kind == JsonValue::Kind::kString) {
-      // "inf" / "-inf" / "nan": the canonical spellings for non-finite
-      // doubles (JSON has no literal for them).
-      if (v.string == "inf") {
-        return std::numeric_limits<double>::infinity();
-      }
-      if (v.string == "-inf") {
-        return -std::numeric_limits<double>::infinity();
-      }
-      if (v.string == "nan") {
-        return std::numeric_limits<double>::quiet_NaN();
-      }
-      SchemaFail(where_ + " key \"" + key + "\" has a non-numeric string value");
-    }
-    return v.number;
-  }
-
-  std::string GetString(const std::string& key) {
-    return Get(key, JsonValue::Kind::kString).string;
-  }
-
-  bool GetBool(const std::string& key) {
-    return Get(key, JsonValue::Kind::kBool).boolean;
-  }
-
-  const std::vector<JsonValue>& GetArray(const std::string& key) {
-    return Get(key, JsonValue::Kind::kArray).array;
-  }
-
-  void Finish() {
-    for (const auto& [key, unused] : value_.object) {
-      bool known = false;
-      for (const std::string& c : consumed_) {
-        if (c == key) {
-          known = true;
-          break;
-        }
-      }
-      if (!known) {
-        SchemaFail(where_ + " has unknown key \"" + key + "\"");
-      }
-    }
-  }
-
- private:
-  const JsonValue& value_;
-  std::string where_;
-  std::vector<std::string> consumed_;
-};
-
 FaultDistribution ParseFaultDistribution(const std::string& name) {
   if (name == "exponential") {
     return FaultDistribution::kExponential;
@@ -454,7 +52,7 @@ FaultDistribution ParseFaultDistribution(const std::string& name) {
   if (name == "weibull") {
     return FaultDistribution::kWeibull;
   }
-  SchemaFail("unknown fault_distribution \"" + name + "\"");
+  json::Fail(kContext, "unknown fault_distribution \"" + name + "\"");
 }
 
 RepairDistribution ParseRepairDistribution(const std::string& name) {
@@ -464,7 +62,7 @@ RepairDistribution ParseRepairDistribution(const std::string& name) {
   if (name == "deterministic") {
     return RepairDistribution::kDeterministic;
   }
-  SchemaFail("unknown repair_distribution \"" + name + "\"");
+  json::Fail(kContext, "unknown repair_distribution \"" + name + "\"");
 }
 
 ScrubPolicy::Kind ParseScrubKind(const std::string& name) {
@@ -480,7 +78,7 @@ ScrubPolicy::Kind ParseScrubKind(const std::string& name) {
   if (name == "on_access") {
     return ScrubPolicy::Kind::kOnAccess;
   }
-  SchemaFail("unknown scrub_kind \"" + name + "\"");
+  json::Fail(kContext, "unknown scrub_kind \"" + name + "\"");
 }
 
 RateConvention ParseConvention(const std::string& name) {
@@ -490,29 +88,14 @@ RateConvention ParseConvention(const std::string& name) {
   if (name == "paper") {
     return RateConvention::kPaper;
   }
-  SchemaFail("unknown convention \"" + name + "\"");
-}
-
-int CheckedInt(double value, const std::string& what) {
-  // Range-check before the cast: converting a double outside int's range
-  // (or NaN/inf, which GetNumber can produce from the "inf"/"nan" string
-  // spellings) is undefined behavior, and FromJson ingests cross-process
-  // input that must fail cleanly instead.
-  constexpr double kIntMin = static_cast<double>(std::numeric_limits<int>::min());
-  constexpr double kIntMax = static_cast<double>(std::numeric_limits<int>::max());
-  if (!(value >= kIntMin && value <= kIntMax)) {
-    SchemaFail(what + " is out of integer range");
-  }
-  const int as_int = static_cast<int>(value);
-  if (static_cast<double>(as_int) != value) {
-    SchemaFail(what + " must be an integer");
-  }
-  return as_int;
+  json::Fail(kContext, "unknown convention \"" + name + "\"");
 }
 
 }  // namespace
 
 std::string Scenario::ToJson() const {
+  using json::AppendDouble;
+  using json::AppendEscaped;
   std::string out;
   out.reserve(256 + replicas.size() * 256);
   out += "{\"version\":1,\"required_intact\":";
@@ -586,17 +169,15 @@ std::string Scenario::ToJson() const {
   return out;
 }
 
-Scenario Scenario::FromJson(std::string_view json) {
-  const JsonValue root = JsonParser(json).Parse();
-  ObjectReader reader(root, "scenario");
-  const int version = CheckedInt(reader.GetNumber("version"), "version");
+Scenario Scenario::FromJsonValue(const json::Value& root) {
+  json::ObjectReader reader(root, "scenario", kContext);
+  const int version = reader.GetInt("version");
   if (version != 1) {
-    SchemaFail("unsupported version " + std::to_string(version));
+    json::Fail(kContext, "unsupported version " + std::to_string(version));
   }
 
   Scenario scenario;
-  scenario.required_intact =
-      CheckedInt(reader.GetNumber("required_intact"), "required_intact");
+  scenario.required_intact = reader.GetInt("required_intact");
   scenario.alpha = reader.GetNumber("alpha");
   scenario.convention = ParseConvention(reader.GetString("convention"));
   scenario.scrub_staggered = reader.GetBool("scrub_staggered");
@@ -604,8 +185,8 @@ Scenario Scenario::FromJson(std::string_view json) {
   scenario.visible_fault_surfaces_latent =
       reader.GetBool("visible_fault_surfaces_latent");
 
-  for (const JsonValue& entry : reader.GetArray("replicas")) {
-    ObjectReader replica(entry, "replica");
+  for (const json::Value& entry : reader.GetArray("replicas")) {
+    json::ObjectReader replica(entry, "replica", kContext);
     ReplicaSpec spec;
     spec.media = replica.GetString("media");
     spec.fault_distribution =
@@ -625,18 +206,19 @@ Scenario Scenario::FromJson(std::string_view json) {
     scenario.replicas.push_back(std::move(spec));
   }
 
-  for (const JsonValue& entry : reader.GetArray("common_mode")) {
-    ObjectReader object(entry, "common_mode source");
+  for (const json::Value& entry : reader.GetArray("common_mode")) {
+    json::ObjectReader object(entry, "common_mode source", kContext);
     CommonModeSource source;
     source.name = object.GetString("name");
     source.event_rate = Rate::PerHour(object.GetNumber("events_per_hour"));
     source.hit_probability = object.GetNumber("hit_probability");
     source.visible_fraction = object.GetNumber("visible_fraction");
-    for (const JsonValue& member : object.GetArray("members")) {
-      if (member.kind != JsonValue::Kind::kNumber) {
-        SchemaFail("common_mode members must be integers");
+    for (const json::Value& member : object.GetArray("members")) {
+      if (member.kind != json::Value::Kind::kNumber) {
+        json::Fail(kContext, "common_mode members must be integers");
       }
-      source.members.push_back(CheckedInt(member.number, "common_mode member"));
+      source.members.push_back(
+          json::CheckedInt(member.number, "common_mode member", kContext));
     }
     object.Finish();
     scenario.common_mode.push_back(std::move(source));
@@ -644,6 +226,10 @@ Scenario Scenario::FromJson(std::string_view json) {
 
   reader.Finish();
   return scenario;
+}
+
+Scenario Scenario::FromJson(std::string_view json) {
+  return FromJsonValue(json::Parse(json, kContext));
 }
 
 uint64_t Scenario::CanonicalHash() const {

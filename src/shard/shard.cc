@@ -1,0 +1,602 @@
+#include "src/shard/shard.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "src/sweep/accumulator.h"
+#include "src/util/json.h"
+
+namespace longstore {
+namespace {
+
+constexpr char kSpecContext[] = "ShardSpec::FromJson";
+constexpr char kResultContext[] = "ShardResult::FromJson";
+
+const char* EstimandName(SweepOptions::Estimand estimand) {
+  switch (estimand) {
+    case SweepOptions::Estimand::kMttdl:
+      return "mttdl";
+    case SweepOptions::Estimand::kLossProbability:
+      return "loss_probability";
+    case SweepOptions::Estimand::kCensoredMttdl:
+      return "censored_mttdl";
+    case SweepOptions::Estimand::kWeightedLossProbability:
+      return "weighted_loss_probability";
+  }
+  return "mttdl";
+}
+
+SweepOptions::Estimand ParseEstimand(const std::string& name,
+                                     const std::string& context) {
+  if (name == "mttdl") {
+    return SweepOptions::Estimand::kMttdl;
+  }
+  if (name == "loss_probability") {
+    return SweepOptions::Estimand::kLossProbability;
+  }
+  if (name == "censored_mttdl") {
+    return SweepOptions::Estimand::kCensoredMttdl;
+  }
+  if (name == "weighted_loss_probability") {
+    return SweepOptions::Estimand::kWeightedLossProbability;
+  }
+  json::Fail(context, "unknown estimand \"" + name + "\"");
+}
+
+const char* SeedModeName(SweepOptions::SeedMode mode) {
+  switch (mode) {
+    case SweepOptions::SeedMode::kPerCellDerived:
+      return "per_cell_derived";
+    case SweepOptions::SeedMode::kSharedRoot:
+      return "shared_root";
+    case SweepOptions::SeedMode::kScenarioDerived:
+      return "scenario_derived";
+  }
+  return "per_cell_derived";
+}
+
+SweepOptions::SeedMode ParseSeedMode(const std::string& name,
+                                     const std::string& context) {
+  if (name == "per_cell_derived") {
+    return SweepOptions::SeedMode::kPerCellDerived;
+  }
+  if (name == "shared_root") {
+    return SweepOptions::SeedMode::kSharedRoot;
+  }
+  if (name == "scenario_derived") {
+    return SweepOptions::SeedMode::kScenarioDerived;
+  }
+  json::Fail(context, "unknown seed_mode \"" + name + "\"");
+}
+
+void AppendCoordinatesJson(std::string& out,
+                           const std::vector<SweepCoordinate>& coordinates) {
+  out += '[';
+  for (size_t c = 0; c < coordinates.size(); ++c) {
+    if (c > 0) {
+      out += ',';
+    }
+    out += "{\"axis\":";
+    json::AppendEscaped(out, coordinates[c].axis);
+    out += ",\"label\":";
+    json::AppendEscaped(out, coordinates[c].label);
+    out += ",\"value\":";
+    json::AppendDouble(out, coordinates[c].value);
+    out += '}';
+  }
+  out += ']';
+}
+
+void AppendAxesJson(std::string& out, const std::vector<std::string>& axes) {
+  out += '[';
+  for (size_t a = 0; a < axes.size(); ++a) {
+    if (a > 0) {
+      out += ',';
+    }
+    json::AppendEscaped(out, axes[a]);
+  }
+  out += ']';
+}
+
+std::vector<std::string> ReadAxes(json::ObjectReader& reader,
+                                  const std::string& context) {
+  std::vector<std::string> axes;
+  for (const json::Value& axis : reader.GetArray("axes")) {
+    if (axis.kind != json::Value::Kind::kString) {
+      json::Fail(context, "axes entries must be strings");
+    }
+    axes.push_back(axis.string);
+  }
+  return axes;
+}
+
+// Coordinates must mirror the axis list one to one and in order — that is
+// the invariant the table/CSV emitters rely on to build rectangular rows.
+std::vector<SweepCoordinate> ReadCoordinates(json::ObjectReader& cell,
+                                             const std::vector<std::string>& axes,
+                                             size_t cell_index,
+                                             const std::string& context) {
+  std::vector<SweepCoordinate> coordinates;
+  const std::vector<json::Value>& entries = cell.GetArray("coordinates");
+  if (entries.size() != axes.size()) {
+    json::Fail(context, "cell " + std::to_string(cell_index) + " has " +
+                            std::to_string(entries.size()) +
+                            " coordinates for " + std::to_string(axes.size()) +
+                            " axes");
+  }
+  for (size_t c = 0; c < entries.size(); ++c) {
+    json::ObjectReader coordinate(entries[c], "coordinate", context);
+    SweepCoordinate out;
+    out.axis = coordinate.GetString("axis");
+    out.label = coordinate.GetString("label");
+    out.value = coordinate.GetNumber("value");
+    coordinate.Finish();
+    if (out.axis != axes[c]) {
+      json::Fail(context, "cell " + std::to_string(cell_index) + " coordinate " +
+                              std::to_string(c) + " names axis \"" + out.axis +
+                              "\" but the shard's axis " + std::to_string(c) +
+                              " is \"" + axes[c] + "\"");
+    }
+    coordinates.push_back(std::move(out));
+  }
+  return coordinates;
+}
+
+// Shared header fields of both shard documents.
+struct ShardHeader {
+  int shard_index = 0;
+  int shard_count = 1;
+  size_t total_cells = 0;
+};
+
+void AppendHeaderJson(std::string& out, int shard_index, int shard_count,
+                      size_t total_cells) {
+  out += "{\"shard_version\":";
+  json::AppendInt64(out, kShardProtocolVersion);
+  out += ",\"shard_index\":";
+  json::AppendInt64(out, shard_index);
+  out += ",\"shard_count\":";
+  json::AppendInt64(out, shard_count);
+  out += ",\"total_cells\":";
+  json::AppendInt64(out, static_cast<int64_t>(total_cells));
+}
+
+ShardHeader ReadHeader(json::ObjectReader& reader, const std::string& context) {
+  const int version = reader.GetInt("shard_version");
+  if (version != kShardProtocolVersion) {
+    json::Fail(context, "unsupported shard_version " + std::to_string(version) +
+                            " (this build speaks " +
+                            std::to_string(kShardProtocolVersion) + ")");
+  }
+  ShardHeader header;
+  header.shard_count = reader.GetInt("shard_count");
+  if (header.shard_count < 1) {
+    json::Fail(context, "shard_count must be >= 1");
+  }
+  header.shard_index = reader.GetInt("shard_index");
+  if (header.shard_index < 0 || header.shard_index >= header.shard_count) {
+    json::Fail(context, "shard_index " + std::to_string(header.shard_index) +
+                            " is outside [0, shard_count)");
+  }
+  const int64_t total = reader.GetInt64("total_cells");
+  if (total < 1) {
+    json::Fail(context, "total_cells must be >= 1");
+  }
+  header.total_cells = static_cast<size_t>(total);
+  return header;
+}
+
+// Tracks which grid indices this document has already claimed.
+class CellIndexSet {
+ public:
+  CellIndexSet(size_t total_cells, std::string context)
+      : seen_(total_cells, false), context_(std::move(context)) {}
+
+  size_t Claim(int64_t index) {
+    if (index < 0 || static_cast<size_t>(index) >= seen_.size()) {
+      json::Fail(context_, "cell index " + std::to_string(index) +
+                               " is outside [0, total_cells)");
+    }
+    const size_t i = static_cast<size_t>(index);
+    if (seen_[i]) {
+      json::Fail(context_, "duplicate cell index " + std::to_string(index));
+    }
+    seen_[i] = true;
+    return i;
+  }
+
+ private:
+  std::vector<bool> seen_;
+  std::string context_;
+};
+
+std::string ListIndices(const std::vector<size_t>& indices) {
+  std::string out;
+  const size_t shown = std::min<size_t>(indices.size(), 8);
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(indices[i]);
+  }
+  if (indices.size() > shown) {
+    out += ", ... (" + std::to_string(indices.size()) + " total)";
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- ShardSpec -------------------------------------------------------------
+
+std::string ShardSpec::ToJson() const {
+  std::string out;
+  out.reserve(512 + cells.size() * 1024);
+  AppendHeaderJson(out, shard_index, shard_count, total_cells);
+  out += ",\"estimand\":\"";
+  out += EstimandName(options.estimand);
+  out += "\",\"seed_mode\":\"";
+  out += SeedModeName(options.seed_mode);
+  out += "\",\"mission_hours\":";
+  json::AppendDouble(out, options.mission.hours());
+  out += ",\"window_hours\":";
+  json::AppendDouble(out, options.window.hours());
+  out += ",\"bias\":{\"theta_visible\":";
+  json::AppendDouble(out, options.bias.theta_visible);
+  out += ",\"theta_latent\":";
+  json::AppendDouble(out, options.bias.theta_latent);
+  out += ",\"tilt_probability\":";
+  json::AppendDouble(out, options.bias.tilt_probability);
+  out += ",\"force_probability\":";
+  json::AppendDouble(out, options.bias.force_probability);
+  out += "},\"mc\":{\"trials\":";
+  json::AppendInt64(out, options.mc.trials);
+  out += ",\"seed\":";
+  json::AppendUint64Hex(out, options.mc.seed);
+  out += ",\"max_trial_time_hours\":";
+  json::AppendDouble(out, options.mc.max_trial_time.hours());
+  out += ",\"confidence\":";
+  json::AppendDouble(out, options.mc.confidence);
+  out += "},\"adaptive\":";
+  out += options.adaptive ? "true" : "false";
+  out += ",\"relative_precision\":";
+  json::AppendDouble(out, options.relative_precision);
+  out += ",\"max_trials\":";
+  json::AppendInt64(out, options.max_trials);
+  out += ",\"axes\":";
+  AppendAxesJson(out, axis_names);
+  out += ",\"cells\":[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const SweepSpec::Cell& cell = cells[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"index\":";
+    json::AppendInt64(out, static_cast<int64_t>(cell.index));
+    out += ",\"label\":";
+    json::AppendEscaped(out, cell.label);
+    out += ",\"coordinates\":";
+    AppendCoordinatesJson(out, cell.coordinates);
+    // The scenario's canonical JSON, spliced verbatim: the scenario
+    // subtree's bytes — and therefore CanonicalHash and kScenarioDerived
+    // seeds — are exactly the driver's.
+    out += ",\"scenario\":";
+    out += cell.scenario.ToJson();
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+ShardSpec ShardSpec::FromJson(std::string_view text) {
+  const json::Value root = json::Parse(text, kSpecContext);
+  json::ObjectReader reader(root, "shard", kSpecContext);
+  const ShardHeader header = ReadHeader(reader, kSpecContext);
+
+  ShardSpec shard;
+  shard.shard_index = header.shard_index;
+  shard.shard_count = header.shard_count;
+  shard.total_cells = header.total_cells;
+  shard.options.estimand = ParseEstimand(reader.GetString("estimand"), kSpecContext);
+  shard.options.seed_mode = ParseSeedMode(reader.GetString("seed_mode"), kSpecContext);
+  shard.options.mission = Duration::Hours(reader.GetNumber("mission_hours"));
+  shard.options.window = Duration::Hours(reader.GetNumber("window_hours"));
+  {
+    json::ObjectReader bias(reader.GetObject("bias"), "bias", kSpecContext);
+    shard.options.bias.theta_visible = bias.GetNumber("theta_visible");
+    shard.options.bias.theta_latent = bias.GetNumber("theta_latent");
+    shard.options.bias.tilt_probability = bias.GetNumber("tilt_probability");
+    shard.options.bias.force_probability = bias.GetNumber("force_probability");
+    bias.Finish();
+  }
+  {
+    json::ObjectReader mc(reader.GetObject("mc"), "mc", kSpecContext);
+    shard.options.mc.trials = mc.GetInt64("trials");
+    shard.options.mc.seed = mc.GetUint64Hex("seed");
+    shard.options.mc.max_trial_time = Duration::Hours(mc.GetNumber("max_trial_time_hours"));
+    shard.options.mc.confidence = mc.GetNumber("confidence");
+    mc.Finish();
+  }
+  shard.options.adaptive = reader.GetBool("adaptive");
+  shard.options.relative_precision = reader.GetNumber("relative_precision");
+  shard.options.max_trials = reader.GetInt64("max_trials");
+  shard.axis_names = ReadAxes(reader, kSpecContext);
+
+  CellIndexSet seen(header.total_cells, kSpecContext);
+  for (const json::Value& entry : reader.GetArray("cells")) {
+    json::ObjectReader cell(entry, "cell", kSpecContext);
+    SweepSpec::Cell out;
+    out.index = seen.Claim(cell.GetInt64("index"));
+    out.label = cell.GetString("label");
+    out.coordinates = ReadCoordinates(cell, shard.axis_names, out.index, kSpecContext);
+    out.scenario = Scenario::FromJsonValue(cell.GetObject("scenario"));
+    cell.Finish();
+    shard.cells.push_back(std::move(out));
+  }
+  reader.Finish();
+  return shard;
+}
+
+// --- ShardPlan -------------------------------------------------------------
+
+ShardPlan::ShardPlan(const SweepSpec& spec, const SweepOptions& options,
+                     int shard_count) {
+  if (shard_count < 1) {
+    throw std::invalid_argument("ShardPlan: shard_count must be >= 1");
+  }
+  ValidateSweepOptions(options);
+  std::vector<SweepSpec::Cell> cells = spec.BuildCells();
+  if (cells.empty()) {
+    throw std::invalid_argument("ShardPlan: the sweep has no cells");
+  }
+  // Fail in the driver, with the driver's clean message, rather than in K
+  // worker processes at once.
+  ValidateSweepCells(cells);
+
+  axis_names_ = spec.AxisNames();
+  total_cells_ = cells.size();
+  shards_.resize(static_cast<size_t>(shard_count));
+  for (int k = 0; k < shard_count; ++k) {
+    ShardSpec& shard = shards_[static_cast<size_t>(k)];
+    shard.shard_index = k;
+    shard.shard_count = shard_count;
+    shard.total_cells = total_cells_;
+    shard.axis_names = axis_names_;
+    shard.options = options;
+    // Lane count is the worker's own business (and never changes results).
+    shard.options.mc.threads = 0;
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    SweepSpec::Cell& cell = cells[i];
+    // The shard document is scenario-native: the legacy flat view (if any)
+    // has already been converted, bit-identically, by BuildCells.
+    cell.config = StorageSimConfig{};
+    cell.from_legacy = false;
+    shards_[i % static_cast<size_t>(shard_count)].cells.push_back(std::move(cell));
+  }
+}
+
+// --- RunShard --------------------------------------------------------------
+
+ShardResult RunShard(const ShardSpec& shard, WorkerPool* pool) {
+  ValidateSweepOptions(shard.options);
+  ValidateSweepCells(shard.cells);
+  WorkerPool& exec_pool = pool != nullptr ? *pool : WorkerPool::Shared();
+
+  ShardResult result;
+  result.shard_index = shard.shard_index;
+  result.shard_count = shard.shard_count;
+  result.total_cells = shard.total_cells;
+  result.estimand = shard.options.estimand;
+  result.confidence = shard.options.mc.confidence;
+  result.axis_names = shard.axis_names;
+  result.cells = RunSweepCells(exec_pool, shard.cells, shard.options);
+  return result;
+}
+
+// --- ShardResult -----------------------------------------------------------
+
+std::string ShardResult::ToJson() const {
+  std::string out;
+  out.reserve(512 + cells.size() * 1024);
+  AppendHeaderJson(out, shard_index, shard_count, total_cells);
+  out += ",\"estimand\":\"";
+  out += EstimandName(estimand);
+  out += "\",\"confidence\":";
+  json::AppendDouble(out, confidence);
+  out += ",\"axes\":";
+  AppendAxesJson(out, axis_names);
+  out += ",\"cells\":[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const SweepCellExecution& cell = cells[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"index\":";
+    json::AppendInt64(out, static_cast<int64_t>(cell.index));
+    out += ",\"label\":";
+    json::AppendEscaped(out, cell.label);
+    out += ",\"coordinates\":";
+    AppendCoordinatesJson(out, cell.coordinates);
+    out += ",\"trials\":";
+    json::AppendInt64(out, cell.trials);
+    out += ",\"rounds\":";
+    json::AppendInt64(out, cell.rounds);
+    out += ",\"half_width_history\":[";
+    for (size_t h = 0; h < cell.half_width_history.size(); ++h) {
+      if (h > 0) {
+        out += ',';
+      }
+      json::AppendDouble(out, cell.half_width_history[h]);
+    }
+    out += "],\"accumulator\":";
+    AppendTrialAccumulatorJson(out, cell.acc);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+ShardResult ShardResult::FromJson(std::string_view text) {
+  const json::Value root = json::Parse(text, kResultContext);
+  json::ObjectReader reader(root, "shard result", kResultContext);
+  const ShardHeader header = ReadHeader(reader, kResultContext);
+
+  ShardResult result;
+  result.shard_index = header.shard_index;
+  result.shard_count = header.shard_count;
+  result.total_cells = header.total_cells;
+  result.estimand = ParseEstimand(reader.GetString("estimand"), kResultContext);
+  result.confidence = reader.GetNumber("confidence");
+  result.axis_names = ReadAxes(reader, kResultContext);
+
+  CellIndexSet seen(header.total_cells, kResultContext);
+  for (const json::Value& entry : reader.GetArray("cells")) {
+    json::ObjectReader cell(entry, "cell", kResultContext);
+    SweepCellExecution out;
+    out.index = seen.Claim(cell.GetInt64("index"));
+    out.label = cell.GetString("label");
+    out.coordinates = ReadCoordinates(cell, result.axis_names, out.index, kResultContext);
+    out.trials = cell.GetInt64("trials");
+    if (out.trials < 0) {
+      json::Fail(kResultContext, "cell " + std::to_string(out.index) +
+                                     " has a negative trial count");
+    }
+    out.rounds = cell.GetInt("rounds");
+    if (out.rounds < 0) {
+      json::Fail(kResultContext, "cell " + std::to_string(out.index) +
+                                     " has a negative round count");
+    }
+    for (const json::Value& half_width : cell.GetArray("half_width_history")) {
+      // Accept the "inf"/"-inf"/"nan" string spellings like every other
+      // double in the protocol: an unconverged cell can legitimately report
+      // an infinite half-width, and the emitter writes it as a string.
+      if (half_width.kind == json::Value::Kind::kString) {
+        if (half_width.string == "inf") {
+          out.half_width_history.push_back(std::numeric_limits<double>::infinity());
+          continue;
+        }
+        if (half_width.string == "-inf") {
+          out.half_width_history.push_back(-std::numeric_limits<double>::infinity());
+          continue;
+        }
+        if (half_width.string == "nan") {
+          out.half_width_history.push_back(std::numeric_limits<double>::quiet_NaN());
+          continue;
+        }
+      }
+      if (half_width.kind != json::Value::Kind::kNumber) {
+        json::Fail(kResultContext, "half_width_history entries must be numbers");
+      }
+      out.half_width_history.push_back(half_width.number);
+    }
+    out.acc = TrialAccumulatorFromJsonValue(cell.GetObject("accumulator"),
+                                            kResultContext);
+    cell.Finish();
+    result.cells.push_back(std::move(out));
+  }
+  reader.Finish();
+  return result;
+}
+
+// --- ShardMerger -----------------------------------------------------------
+
+void ShardMerger::Add(ShardResult result) {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("ShardMerger: " + what);
+  };
+  if (result.total_cells < 1) {
+    fail("total_cells must be >= 1");
+  }
+  if (result.shard_count < 1 || result.shard_index < 0 ||
+      result.shard_index >= result.shard_count) {
+    fail("shard_index " + std::to_string(result.shard_index) +
+         " is outside [0, shard_count)");
+  }
+  // Detach the payload before any header bookkeeping so keeping the first
+  // result's header never copies its (potentially large) cell vector.
+  std::vector<SweepCellExecution> incoming = std::move(result.cells);
+  result.cells.clear();
+  if (!have_header_) {
+    have_header_ = true;
+    header_ = std::move(result);
+    cells_.resize(header_.total_cells);
+  } else {
+    if (result.estimand != header_.estimand) {
+      fail("shard " + std::to_string(result.shard_index) +
+           " was run with a different estimand than the first shard");
+    }
+    if (result.confidence != header_.confidence) {
+      fail("shard " + std::to_string(result.shard_index) +
+           " was run at a different confidence than the first shard");
+    }
+    if (result.total_cells != header_.total_cells) {
+      fail("shard " + std::to_string(result.shard_index) + " claims " +
+           std::to_string(result.total_cells) + " total cells, the first shard " +
+           std::to_string(header_.total_cells));
+    }
+    if (result.shard_count != header_.shard_count) {
+      fail("shard " + std::to_string(result.shard_index) + " claims " +
+           std::to_string(result.shard_count) + " shards, the first shard " +
+           std::to_string(header_.shard_count));
+    }
+    if (result.axis_names != header_.axis_names) {
+      fail("shard " + std::to_string(result.shard_index) +
+           " has a different axis list than the first shard");
+    }
+  }
+  for (SweepCellExecution& cell : incoming) {
+    if (cell.index >= cells_.size()) {
+      fail("cell index " + std::to_string(cell.index) +
+           " is outside [0, total_cells)");
+    }
+    if (cells_[cell.index].has_value()) {
+      fail("cell " + std::to_string(cell.index) + " (\"" + cell.label +
+           "\") arrived twice; each cell must be owned by exactly one shard");
+    }
+    cells_[cell.index] = std::move(cell);
+    ++received_;
+  }
+}
+
+void ShardMerger::AddJson(std::string_view json) { Add(ShardResult::FromJson(json)); }
+
+bool ShardMerger::complete() const {
+  return have_header_ && received_ == cells_.size();
+}
+
+std::vector<size_t> ShardMerger::MissingCells() const {
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (!cells_[i].has_value()) {
+      missing.push_back(i);
+    }
+  }
+  return missing;
+}
+
+SweepResult ShardMerger::Finish() const {
+  if (!have_header_) {
+    throw std::invalid_argument("ShardMerger: no shard results were added");
+  }
+  if (!complete()) {
+    throw std::invalid_argument("ShardMerger: incomplete merge; missing cells " +
+                                ListIndices(MissingCells()));
+  }
+  // Cells were slotted by grid index, so this fold is independent of both
+  // the partition and the arrival order — the property the merge tests pin.
+  // The copy (rather than a move) keeps Finish const and re-callable; cell
+  // payloads are small (a few hundred bytes each), so even huge grids pay
+  // little.
+  std::vector<SweepCellExecution> executions;
+  executions.reserve(cells_.size());
+  for (const std::optional<SweepCellExecution>& cell : cells_) {
+    executions.push_back(*cell);
+  }
+  return FinalizeSweepCells(std::move(executions), header_.axis_names,
+                            header_.estimand, header_.confidence);
+}
+
+}  // namespace longstore

@@ -1,0 +1,159 @@
+// Sharded sweep fan-out: partition a SweepSpec into self-contained shard
+// documents, execute each shard in a separate process (tools/sweep_worker),
+// and merge the worker outputs back into a SweepResult that is byte-for-byte
+// identical to the single-process run.
+//
+// Long-term archives are exactly the regime where "re-run it and hope" is
+// not verification: a millennia-scale figure must be *provably* the same
+// number no matter how many machines computed it. The protocol therefore
+// trades no precision anywhere — scenarios travel as their canonical JSON
+// (identity-preserving by construction), seeds as exact hex strings, and
+// partial aggregates as raw Welford state — and the merge is cell-granular:
+//
+//   * a shard owns whole cells (every trial of a cell runs in exactly one
+//     worker), so each cell's block fold happens in trial order inside one
+//     process, exactly as the single-process runner folds it;
+//   * cell seeds derive from the spec seed plus the cell's label hash
+//     (kPerCellDerived), the spec seed alone (kSharedRoot), or the
+//     scenario's content hash (kScenarioDerived) — never from the cell's
+//     position, so partitioning cannot move any cell's trial streams;
+//   * the merger places finished cells by their grid index, so shard count
+//     and arrival order are invisible in the output.
+//
+// Together: ShardMerger(RunShard(plan)) == SweepRunner::Run(spec) bit for
+// bit, for any shard count and any merge order (tests/shard_*_test.cc pin
+// this; CI diffs a 3-process run of a golden figure against the
+// single-process output).
+//
+// Wire format and versioning rules: src/shard/README.md. Everything ingested
+// from another process is parsed strictly (src/util/json.h): malformed,
+// truncated, duplicate-cell, missing-cell and version-mismatched documents
+// are rejected with a precise std::invalid_argument, never undefined
+// behavior.
+
+#ifndef LONGSTORE_SRC_SHARD_SHARD_H_
+#define LONGSTORE_SRC_SHARD_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sweep/sweep.h"
+
+namespace longstore {
+
+// Bumped whenever the shard JSON schema changes shape or meaning. A worker
+// or merger speaking a different version rejects the document outright:
+// silently reinterpreting a foreign schema could change figures without
+// failing a single test.
+inline constexpr int kShardProtocolVersion = 1;
+
+// One shard: a self-contained slice of a sweep that a worker process can
+// execute with no access to the driver's memory. Carries the full options
+// (estimand, horizons, bias, seed, adaptive policy) plus the shard's cells —
+// label, grid index, axis coordinates, and the scenario as canonical JSON.
+// mc.threads is deliberately NOT part of the document: it only shapes each
+// worker's wall clock (never results), so it stays a per-process concern
+// (the sweep_worker --threads flag).
+struct ShardSpec {
+  int shard_index = 0;
+  int shard_count = 1;
+  // Cell count of the *full* sweep; the merger uses it to prove
+  // completeness before finalizing.
+  size_t total_cells = 0;
+  std::vector<std::string> axis_names;
+  SweepOptions options;
+  std::vector<SweepSpec::Cell> cells;  // scenario-native; from_legacy unset
+
+  // Canonical JSON (fixed key order, exact doubles, hex seed).
+  std::string ToJson() const;
+  // Strict inverse; rejects unknown/missing/mistyped keys, version
+  // mismatches, duplicate or out-of-range cell indices, and coordinate rows
+  // that do not match the axis list. Does not run semantic validation
+  // (Scenario::Validate etc.) — RunShard does, exactly as SweepRunner::Run
+  // would.
+  static ShardSpec FromJson(std::string_view json);
+};
+
+// Partitions a sweep into `shard_count` ShardSpecs, round-robin by cell
+// index so adjacent (typically similar-cost) grid cells land on different
+// shards. Validates options and every cell up front — a plan that builds is
+// safe to ship. A shard may end up empty when shard_count exceeds the cell
+// count; its worker returns an empty (but well-formed) result.
+class ShardPlan {
+ public:
+  ShardPlan(const SweepSpec& spec, const SweepOptions& options, int shard_count);
+
+  const std::vector<ShardSpec>& shards() const { return shards_; }
+  size_t total_cells() const { return total_cells_; }
+  const std::vector<std::string>& axis_names() const { return axis_names_; }
+
+ private:
+  std::vector<ShardSpec> shards_;
+  std::vector<std::string> axis_names_;
+  size_t total_cells_ = 0;
+};
+
+// A worker's output: the raw per-cell executions (folded trial
+// accumulators plus bookkeeping), with enough header to let the merger
+// prove the results belong together. Finalization (CIs, estimator math)
+// happens once, in the merger, from exact deserialized state.
+struct ShardResult {
+  int shard_index = 0;
+  int shard_count = 1;
+  size_t total_cells = 0;
+  SweepOptions::Estimand estimand = SweepOptions::Estimand::kMttdl;
+  double confidence = 0.95;
+  std::vector<std::string> axis_names;
+  std::vector<SweepCellExecution> cells;
+
+  std::string ToJson() const;
+  static ShardResult FromJson(std::string_view json);
+};
+
+// Executes one shard on `pool` (nullptr = the process-wide pool) through the
+// same RunSweepCells path SweepRunner::Run uses, so the returned
+// accumulators are bit-identical to the same cells' accumulators in a
+// single-process run by construction. Throws std::invalid_argument on
+// invalid options or cells, with the same messages SweepRunner::Run emits.
+ShardResult RunShard(const ShardSpec& shard, WorkerPool* pool = nullptr);
+
+// Folds worker outputs back into a SweepResult. Order-invariant and
+// partition-invariant: each cell arrives exactly once (whole, with its
+// trial-order fold already done), is slotted by grid index, and finalized
+// identically to the single-process path — so any grouping of cells into
+// shards and any Add order produce the same bytes. Inconsistent headers,
+// duplicate cells, and premature Finish are errors.
+class ShardMerger {
+ public:
+  // Validates against the first-added result's header (estimand,
+  // confidence, axes, total_cells, shard_count); throws
+  // std::invalid_argument on any mismatch or duplicated cell index.
+  void Add(ShardResult result);
+  // Parses then Adds; convenience for driver loops reading worker files.
+  void AddJson(std::string_view json);
+
+  size_t cells_received() const { return received_; }
+  bool complete() const;
+  // Grid indices not yet covered by any added shard (empty when complete,
+  // or before the first Add).
+  std::vector<size_t> MissingCells() const;
+
+  // Finalizes into the single-process-identical SweepResult; throws
+  // std::invalid_argument naming the missing cells if incomplete, or if
+  // nothing was added.
+  SweepResult Finish() const;
+
+ private:
+  bool have_header_ = false;
+  ShardResult header_;  // cells unused; header fields of the first Add
+  std::vector<std::optional<SweepCellExecution>> cells_;
+  size_t received_ = 0;
+};
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_SHARD_SHARD_H_

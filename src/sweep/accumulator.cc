@@ -1,0 +1,173 @@
+#include "src/sweep/accumulator.h"
+
+#include "src/util/json.h"
+
+namespace longstore {
+namespace {
+
+void AppendRunningStatsJson(std::string& out, const RunningStats& stats) {
+  const RunningStats::Raw raw = stats.raw();
+  out += "{\"count\":";
+  json::AppendInt64(out, raw.count);
+  out += ",\"mean\":";
+  json::AppendDouble(out, raw.mean);
+  out += ",\"m2\":";
+  json::AppendDouble(out, raw.m2);
+  out += ",\"min\":";
+  json::AppendDouble(out, raw.min);
+  out += ",\"max\":";
+  json::AppendDouble(out, raw.max);
+  out += '}';
+}
+
+RunningStats RunningStatsFromJsonValue(const json::Value& value,
+                                       const std::string& where,
+                                       const std::string& context) {
+  json::ObjectReader reader(value, where, context);
+  RunningStats::Raw raw;
+  raw.count = reader.GetInt64("count");
+  raw.mean = reader.GetNumber("mean");
+  raw.m2 = reader.GetNumber("m2");
+  raw.min = reader.GetNumber("min");
+  raw.max = reader.GetNumber("max");
+  reader.Finish();
+  if (raw.count < 0) {
+    json::Fail(context, where + " has a negative sample count");
+  }
+  return RunningStats::FromRaw(raw);
+}
+
+void AppendSimMetricsJson(std::string& out, const SimMetrics& metrics) {
+  out += "{\"visible_faults\":";
+  json::AppendInt64(out, metrics.visible_faults);
+  out += ",\"latent_faults\":";
+  json::AppendInt64(out, metrics.latent_faults);
+  out += ",\"latent_detections\":";
+  json::AppendInt64(out, metrics.latent_detections);
+  out += ",\"repairs_completed\":";
+  json::AppendInt64(out, metrics.repairs_completed);
+  out += ",\"common_mode_events\":";
+  json::AppendInt64(out, metrics.common_mode_events);
+  out += ",\"common_mode_faults\":";
+  json::AppendInt64(out, metrics.common_mode_faults);
+  out += ",\"windows_opened\":[";
+  for (int i = 0; i < 2; ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    json::AppendInt64(out, metrics.windows_opened[i]);
+  }
+  out += "],\"windows_survived\":[";
+  for (int i = 0; i < 2; ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    json::AppendInt64(out, metrics.windows_survived[i]);
+  }
+  out += "],\"second_faults\":[";
+  for (int i = 0; i < 2; ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '[';
+    for (int j = 0; j < 2; ++j) {
+      if (j > 0) {
+        out += ',';
+      }
+      json::AppendInt64(out, metrics.second_faults[i][j]);
+    }
+    out += ']';
+  }
+  out += "],\"detection_latency_hours\":";
+  AppendRunningStatsJson(out, metrics.detection_latency_hours);
+  out += ",\"repair_duration_hours\":";
+  AppendRunningStatsJson(out, metrics.repair_duration_hours);
+  out += '}';
+}
+
+// Reads a fixed-length array of int64 counters.
+void ReadInt64Array(const json::Value& value, int64_t* out, size_t n,
+                    const std::string& what, const std::string& context) {
+  if (value.kind != json::Value::Kind::kArray || value.array.size() != n) {
+    json::Fail(context, what + " must be an array of " + std::to_string(n) +
+                            " integers");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const json::Value& entry = value.array[i];
+    if (entry.kind != json::Value::Kind::kNumber) {
+      json::Fail(context, what + " entries must be integers");
+    }
+    out[i] = json::CheckedInt64(entry.number, what, context);
+  }
+}
+
+SimMetrics SimMetricsFromJsonValue(const json::Value& value,
+                                   const std::string& context) {
+  json::ObjectReader reader(value, "metrics", context);
+  SimMetrics metrics;
+  metrics.visible_faults = reader.GetInt64("visible_faults");
+  metrics.latent_faults = reader.GetInt64("latent_faults");
+  metrics.latent_detections = reader.GetInt64("latent_detections");
+  metrics.repairs_completed = reader.GetInt64("repairs_completed");
+  metrics.common_mode_events = reader.GetInt64("common_mode_events");
+  metrics.common_mode_faults = reader.GetInt64("common_mode_faults");
+  ReadInt64Array(reader.Get("windows_opened", json::Value::Kind::kArray),
+                 metrics.windows_opened, 2, "windows_opened", context);
+  ReadInt64Array(reader.Get("windows_survived", json::Value::Kind::kArray),
+                 metrics.windows_survived, 2, "windows_survived", context);
+  const json::Value& second = reader.Get("second_faults", json::Value::Kind::kArray);
+  if (second.array.size() != 2) {
+    json::Fail(context, "second_faults must be a 2x2 integer matrix");
+  }
+  for (int i = 0; i < 2; ++i) {
+    ReadInt64Array(second.array[static_cast<size_t>(i)], metrics.second_faults[i], 2,
+                   "second_faults", context);
+  }
+  metrics.detection_latency_hours = RunningStatsFromJsonValue(
+      reader.Get("detection_latency_hours", json::Value::Kind::kObject),
+      "detection_latency_hours", context);
+  metrics.repair_duration_hours = RunningStatsFromJsonValue(
+      reader.Get("repair_duration_hours", json::Value::Kind::kObject),
+      "repair_duration_hours", context);
+  reader.Finish();
+  return metrics;
+}
+
+}  // namespace
+
+void AppendTrialAccumulatorJson(std::string& out, const TrialAccumulator& acc) {
+  out += "{\"loss_years\":";
+  AppendRunningStatsJson(out, acc.loss_years);
+  out += ",\"censored\":";
+  json::AppendInt64(out, acc.censored);
+  out += ",\"losses\":";
+  json::AppendInt64(out, acc.losses);
+  out += ",\"observed_years\":";
+  json::AppendDouble(out, acc.observed_years);
+  out += ",\"weighted\":";
+  AppendRunningStatsJson(out, acc.weighted);
+  out += ",\"metrics\":";
+  AppendSimMetricsJson(out, acc.metrics);
+  out += '}';
+}
+
+TrialAccumulator TrialAccumulatorFromJsonValue(const json::Value& value,
+                                               const std::string& context) {
+  json::ObjectReader reader(value, "accumulator", context);
+  TrialAccumulator acc;
+  acc.loss_years = RunningStatsFromJsonValue(
+      reader.Get("loss_years", json::Value::Kind::kObject), "loss_years", context);
+  acc.censored = reader.GetInt64("censored");
+  acc.losses = reader.GetInt64("losses");
+  acc.observed_years = reader.GetNumber("observed_years");
+  acc.weighted = RunningStatsFromJsonValue(
+      reader.Get("weighted", json::Value::Kind::kObject), "weighted", context);
+  acc.metrics = SimMetricsFromJsonValue(reader.GetObject("metrics"), context);
+  reader.Finish();
+  if (acc.censored < 0 || acc.losses < 0) {
+    json::Fail(context, "accumulator counters must be non-negative");
+  }
+  return acc;
+}
+
+}  // namespace longstore

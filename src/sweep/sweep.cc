@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "src/sweep/batch_exec.h"
+#include "src/util/json.h"
 #include "src/util/random.h"
 #include "src/util/stats.h"
 
@@ -26,33 +27,6 @@ uint64_t HashLabel(const std::string& label) {
   return h;
 }
 
-// One accumulator type serves all three estimands (only the active one's
-// fields are touched); keeping a single type lets every sweep share the
-// block executor.
-struct TrialAccumulator {
-  // kMttdl
-  RunningStats loss_years;
-  int64_t censored = 0;
-  // kLossProbability (also: hit count for kWeightedLossProbability)
-  int64_t losses = 0;
-  // kCensoredMttdl
-  double observed_years = 0.0;
-  // kWeightedLossProbability: per-trial w·1{loss} over every trial, zeros
-  // included, so mean() is the importance-sampled probability estimate.
-  RunningStats weighted;
-
-  SimMetrics metrics;
-
-  void MergeFrom(const TrialAccumulator& other) {
-    loss_years.Merge(other.loss_years);
-    censored += other.censored;
-    losses += other.losses;
-    observed_years += other.observed_years;
-    weighted.Merge(other.weighted);
-    metrics.Merge(other.metrics);
-  }
-};
-
 struct CellState {
   SweepSpec::Cell cell;
   uint64_t seed = 0;
@@ -64,121 +38,21 @@ struct CellState {
   std::vector<double> half_widths;
 };
 
-MttdlEstimate FinalizeMttdl(const TrialAccumulator& acc, double confidence) {
-  MttdlEstimate estimate;
-  estimate.loss_time_years = acc.loss_years;
-  estimate.censored_trials = acc.censored;
-  estimate.ci_years = MeanConfidenceInterval(acc.loss_years, confidence);
-  estimate.aggregate_metrics = acc.metrics;
-  return estimate;
-}
-
-LossProbabilityEstimate FinalizeLoss(const TrialAccumulator& acc, int64_t trials,
-                                     double confidence) {
-  LossProbabilityEstimate estimate;
-  estimate.trials = trials;
-  estimate.losses = acc.losses;
-  estimate.wilson_ci = WilsonInterval(acc.losses, trials, confidence);
-  estimate.aggregate_metrics = acc.metrics;
-  return estimate;
-}
-
-WeightedLossProbabilityEstimate FinalizeWeighted(const TrialAccumulator& acc,
-                                                 int64_t trials, double confidence) {
-  WeightedLossProbabilityEstimate estimate;
-  estimate.trials = trials;
-  estimate.hits = acc.losses;
-  estimate.weighted = acc.weighted;
-  estimate.ci = MeanConfidenceInterval(acc.weighted, confidence);
-  const double mean = acc.weighted.mean();
-  estimate.relative_error = mean > 0.0
-                                ? acc.weighted.std_error() / mean
-                                : std::numeric_limits<double>::infinity();
-  // ESS = (Σx)² / Σx² with x = w·1{loss}; recover Σx² from Welford's M2
-  // (variance · (n−1)) plus n·mean².
-  const double n = static_cast<double>(trials);
-  const double sum = mean * n;
-  const double sum_sq =
-      acc.weighted.variance() * (n - 1.0) + n * mean * mean;
-  estimate.effective_sample_size = sum_sq > 0.0 ? sum * sum / sum_sq : 0.0;
-  estimate.max_weight = acc.weighted.max();
-  estimate.aggregate_metrics = acc.metrics;
-  return estimate;
-}
-
-CensoredMttdlEstimate FinalizeCensored(const TrialAccumulator& acc, int64_t trials,
-                                       double confidence) {
-  CensoredMttdlEstimate estimate;
-  estimate.trials = trials;
-  estimate.losses = acc.losses;
-  estimate.observed_years = acc.observed_years;
-  estimate.aggregate_metrics = acc.metrics;
-  if (acc.losses > 0) {
-    estimate.mttdl =
-        Duration::Years(acc.observed_years / static_cast<double>(acc.losses));
-    // Normal approximation to the Poisson count d: MTTDL in T/(d +/- z*sqrt(d)).
-    const double z = NormalQuantileTwoSided(confidence);
-    const double d = static_cast<double>(acc.losses);
-    const double hi_count = d + z * std::sqrt(d);
-    const double lo_count = d - z * std::sqrt(d);
-    estimate.ci_years.lo = acc.observed_years / hi_count;
-    estimate.ci_years.hi = lo_count > 0.0
-                               ? acc.observed_years / lo_count
-                               : std::numeric_limits<double>::infinity();
-  } else {
-    estimate.mttdl = Duration::Infinite();
-    // Rule of three: zero losses over T observed years puts MTTDL above T/3
-    // at 95% confidence (P(0 losses) = exp(-T/MTTDL) = 0.05).
-    estimate.ci_years.lo = acc.observed_years / 3.0;
-    estimate.ci_years.hi = std::numeric_limits<double>::infinity();
-  }
-  return estimate;
-}
-
+// Thin string-returning shims over the shared canonical emitters
+// (src/util/json.h), so SweepResult::ToJson cannot drift from the scenario
+// and shard documents' escaping or double formatting.
 std::string JsonEscape(const std::string& s) {
   std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  json::AppendEscaped(out, s);
+  // AppendEscaped emits the surrounding quotes; ToJson's format strings
+  // already place their own.
+  return out.substr(1, out.size() - 2);
 }
 
 std::string JsonNumber(double v) {
-  if (std::isinf(v)) {
-    return v > 0 ? "\"inf\"" : "\"-inf\"";
-  }
-  if (std::isnan(v)) {
-    return "\"nan\"";
-  }
-  std::ostringstream os;
-  os.precision(17);
-  os << v;
-  return os.str();
+  std::string out;
+  json::AppendDouble(out, v);
+  return out;
 }
 
 }  // namespace
@@ -350,15 +224,83 @@ std::vector<SweepSpec::Cell> SweepSpec::BuildCells() const {
   return cells;
 }
 
-// --- SweepRunner -----------------------------------------------------------
+// --- execution core --------------------------------------------------------
 
-SweepRunner::SweepRunner(WorkerPool* pool)
-    : pool_(pool != nullptr ? pool : &WorkerPool::Shared()) {}
+MttdlEstimate FinalizeMttdl(const TrialAccumulator& acc, double confidence) {
+  MttdlEstimate estimate;
+  estimate.loss_time_years = acc.loss_years;
+  estimate.censored_trials = acc.censored;
+  estimate.ci_years = MeanConfidenceInterval(acc.loss_years, confidence);
+  estimate.aggregate_metrics = acc.metrics;
+  return estimate;
+}
 
-SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options) const {
+LossProbabilityEstimate FinalizeLossProbability(const TrialAccumulator& acc,
+                                                int64_t trials, double confidence) {
+  LossProbabilityEstimate estimate;
+  estimate.trials = trials;
+  estimate.losses = acc.losses;
+  estimate.wilson_ci = WilsonInterval(acc.losses, trials, confidence);
+  estimate.aggregate_metrics = acc.metrics;
+  return estimate;
+}
+
+WeightedLossProbabilityEstimate FinalizeWeightedLoss(const TrialAccumulator& acc,
+                                                     int64_t trials,
+                                                     double confidence) {
+  WeightedLossProbabilityEstimate estimate;
+  estimate.trials = trials;
+  estimate.hits = acc.losses;
+  estimate.weighted = acc.weighted;
+  estimate.ci = MeanConfidenceInterval(acc.weighted, confidence);
+  const double mean = acc.weighted.mean();
+  estimate.relative_error = mean > 0.0
+                                ? acc.weighted.std_error() / mean
+                                : std::numeric_limits<double>::infinity();
+  // ESS = (Σx)² / Σx² with x = w·1{loss}; recover Σx² from Welford's M2
+  // (variance · (n−1)) plus n·mean².
+  const double n = static_cast<double>(trials);
+  const double sum = mean * n;
+  const double sum_sq =
+      acc.weighted.variance() * (n - 1.0) + n * mean * mean;
+  estimate.effective_sample_size = sum_sq > 0.0 ? sum * sum / sum_sq : 0.0;
+  estimate.max_weight = acc.weighted.max();
+  estimate.aggregate_metrics = acc.metrics;
+  return estimate;
+}
+
+CensoredMttdlEstimate FinalizeCensoredMttdl(const TrialAccumulator& acc,
+                                            int64_t trials, double confidence) {
+  CensoredMttdlEstimate estimate;
+  estimate.trials = trials;
+  estimate.losses = acc.losses;
+  estimate.observed_years = acc.observed_years;
+  estimate.aggregate_metrics = acc.metrics;
+  if (acc.losses > 0) {
+    estimate.mttdl =
+        Duration::Years(acc.observed_years / static_cast<double>(acc.losses));
+    // Normal approximation to the Poisson count d: MTTDL in T/(d +/- z*sqrt(d)).
+    const double z = NormalQuantileTwoSided(confidence);
+    const double d = static_cast<double>(acc.losses);
+    const double hi_count = d + z * std::sqrt(d);
+    const double lo_count = d - z * std::sqrt(d);
+    estimate.ci_years.lo = acc.observed_years / hi_count;
+    estimate.ci_years.hi = lo_count > 0.0
+                               ? acc.observed_years / lo_count
+                               : std::numeric_limits<double>::infinity();
+  } else {
+    estimate.mttdl = Duration::Infinite();
+    // Rule of three: zero losses over T observed years puts MTTDL above T/3
+    // at 95% confidence (P(0 losses) = exp(-T/MTTDL) = 0.05).
+    estimate.ci_years.lo = acc.observed_years / 3.0;
+    estimate.ci_years.hi = std::numeric_limits<double>::infinity();
+  }
+  return estimate;
+}
+
+void ValidateSweepOptions(const SweepOptions& options) {
   using Estimand = SweepOptions::Estimand;
-  const McConfig& mc = options.mc;
-  if (mc.trials <= 0) {
+  if (options.mc.trials <= 0) {
     throw std::invalid_argument("Monte Carlo: trials must be positive");
   }
   if ((options.estimand == Estimand::kLossProbability ||
@@ -387,11 +329,9 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
       throw std::invalid_argument("SweepRunner: max_trials must be positive");
     }
   }
+}
 
-  std::vector<SweepSpec::Cell> cells = spec.BuildCells();
-  if (cells.empty()) {
-    throw std::invalid_argument("SweepRunner: the sweep has no cells");
-  }
+void ValidateSweepCells(const std::vector<SweepSpec::Cell>& cells) {
   for (const SweepSpec::Cell& cell : cells) {
     if (cell.from_legacy) {
       // The one-cell estimator wrappers produce an unlabelled legacy cell;
@@ -407,7 +347,13 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
           (cell.label.empty() ? "" : " (cell '" + cell.label + "')"));
     }
   }
+}
 
+std::vector<SweepCellExecution> RunSweepCells(WorkerPool& pool,
+                                              std::vector<SweepSpec::Cell> cells,
+                                              const SweepOptions& options) {
+  using Estimand = SweepOptions::Estimand;
+  const McConfig& mc = options.mc;
   const int64_t cap = options.adaptive ? options.max_trials
                                        : std::numeric_limits<int64_t>::max();
   std::vector<CellState> states(cells.size());
@@ -428,7 +374,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
     state.target = std::min<int64_t>(mc.trials, cap);
   }
 
-  const int lanes = mc.threads > 0 ? mc.threads : pool_->size();
+  const int lanes = mc.threads > 0 ? mc.threads : pool.size();
   const Estimand estimand = options.estimand;
   const Duration horizon =
       estimand == Estimand::kMttdl
@@ -459,7 +405,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
       break;
     }
 
-    RunTrialBlocks(*pool_, lanes, jobs,
+    RunTrialBlocks(pool, lanes, jobs,
                    [&](TrialRunner& runner, size_t job, int64_t trial,
                        TrialAccumulator& acc) {
                      const CellState& state = states[job_cells[job]];
@@ -524,35 +470,74 @@ SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options)
     }
   }
 
-  SweepResult result;
-  result.axis_names = spec.AxisNames();
-  result.estimand = estimand;
-  result.cells.reserve(states.size());
+  std::vector<SweepCellExecution> executions;
+  executions.reserve(states.size());
   for (CellState& state : states) {
+    SweepCellExecution execution;
+    execution.index = state.cell.index;
+    execution.label = std::move(state.cell.label);
+    execution.coordinates = std::move(state.cell.coordinates);
+    execution.acc = std::move(state.acc);
+    execution.trials = state.trials_done;
+    execution.rounds = state.rounds;
+    execution.half_width_history = std::move(state.half_widths);
+    executions.push_back(std::move(execution));
+  }
+  return executions;
+}
+
+SweepResult FinalizeSweepCells(std::vector<SweepCellExecution> executions,
+                               std::vector<std::string> axis_names,
+                               SweepOptions::Estimand estimand, double confidence) {
+  using Estimand = SweepOptions::Estimand;
+  SweepResult result;
+  result.axis_names = std::move(axis_names);
+  result.estimand = estimand;
+  result.cells.reserve(executions.size());
+  for (SweepCellExecution& execution : executions) {
     SweepCellResult cell;
-    cell.index = state.cell.index;
-    cell.label = state.cell.label;
-    cell.coordinates = std::move(state.cell.coordinates);
-    cell.trials = state.trials_done;
-    cell.rounds = state.rounds;
-    cell.half_width_history = std::move(state.half_widths);
+    cell.index = execution.index;
+    cell.label = std::move(execution.label);
+    cell.coordinates = std::move(execution.coordinates);
+    cell.trials = execution.trials;
+    cell.rounds = execution.rounds;
+    cell.half_width_history = std::move(execution.half_width_history);
     switch (estimand) {
       case Estimand::kMttdl:
-        cell.mttdl = FinalizeMttdl(state.acc, mc.confidence);
+        cell.mttdl = FinalizeMttdl(execution.acc, confidence);
         break;
       case Estimand::kLossProbability:
-        cell.loss = FinalizeLoss(state.acc, state.trials_done, mc.confidence);
+        cell.loss = FinalizeLossProbability(execution.acc, execution.trials, confidence);
         break;
       case Estimand::kCensoredMttdl:
-        cell.censored = FinalizeCensored(state.acc, state.trials_done, mc.confidence);
+        cell.censored =
+            FinalizeCensoredMttdl(execution.acc, execution.trials, confidence);
         break;
       case Estimand::kWeightedLossProbability:
-        cell.weighted = FinalizeWeighted(state.acc, state.trials_done, mc.confidence);
+        cell.weighted = FinalizeWeightedLoss(execution.acc, execution.trials, confidence);
         break;
     }
     result.cells.push_back(std::move(cell));
   }
   return result;
+}
+
+// --- SweepRunner -----------------------------------------------------------
+
+SweepRunner::SweepRunner(WorkerPool* pool)
+    : pool_(pool != nullptr ? pool : &WorkerPool::Shared()) {}
+
+SweepResult SweepRunner::Run(const SweepSpec& spec, const SweepOptions& options) const {
+  ValidateSweepOptions(options);
+  std::vector<SweepSpec::Cell> cells = spec.BuildCells();
+  if (cells.empty()) {
+    throw std::invalid_argument("SweepRunner: the sweep has no cells");
+  }
+  ValidateSweepCells(cells);
+  std::vector<SweepCellExecution> executions =
+      RunSweepCells(*pool_, std::move(cells), options);
+  return FinalizeSweepCells(std::move(executions), spec.AxisNames(), options.estimand,
+                            options.mc.confidence);
 }
 
 // --- SweepResult -----------------------------------------------------------

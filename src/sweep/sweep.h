@@ -50,6 +50,7 @@
 #include "src/rare/biased_sampler.h"
 #include "src/scenario/scenario.h"
 #include "src/storage/config.h"
+#include "src/sweep/accumulator.h"
 #include "src/sweep/worker_pool.h"
 #include "src/util/table.h"
 
@@ -256,6 +257,59 @@ class SweepResult {
   // half-width history) for plotting pipelines.
   std::string ToJson() const;
 };
+
+// --- execution core (shared with the shard driver, src/shard/) -------------
+
+// The raw execution state of one cell: the folded trial accumulator plus the
+// bookkeeping the result emitters need (trials run, adaptive rounds, CI
+// half-width trajectory). This is the unit the shard protocol ships between
+// processes: finalizing a deserialized execution yields the same bits as
+// finalizing the in-process original.
+struct SweepCellExecution {
+  size_t index = 0;
+  std::string label;
+  std::vector<SweepCoordinate> coordinates;
+  TrialAccumulator acc;
+  int64_t trials = 0;
+  int rounds = 0;
+  std::vector<double> half_width_history;
+};
+
+// Validates `options` exactly as SweepRunner::Run does; throws
+// std::invalid_argument on the first inconsistency.
+void ValidateSweepOptions(const SweepOptions& options);
+
+// Validates every cell exactly as SweepRunner::Run does (legacy cells
+// through StorageSimConfig::Validate, scenario cells through
+// Scenario::Validate, both tagged with the cell label).
+void ValidateSweepCells(const std::vector<SweepSpec::Cell>& cells);
+
+// Executes every cell's trials on `pool` and returns the raw per-cell
+// executions in cell order. This is the single execution path —
+// SweepRunner::Run and the shard worker (src/shard/ RunShard) both call it,
+// so a shard's accumulators are bit-identical to the same cells' in a
+// single-process run by construction, not by careful reimplementation.
+// Cells and options must be pre-validated.
+std::vector<SweepCellExecution> RunSweepCells(WorkerPool& pool,
+                                              std::vector<SweepSpec::Cell> cells,
+                                              const SweepOptions& options);
+
+// Finalizes raw executions (already in result order) into a SweepResult.
+SweepResult FinalizeSweepCells(std::vector<SweepCellExecution> executions,
+                               std::vector<std::string> axis_names,
+                               SweepOptions::Estimand estimand, double confidence);
+
+// Per-estimand finalizers: the estimate structs from a folded accumulator.
+// FinalizeSweepCells uses these; exposed for diagnostics over partial
+// shard outputs.
+MttdlEstimate FinalizeMttdl(const TrialAccumulator& acc, double confidence);
+LossProbabilityEstimate FinalizeLossProbability(const TrialAccumulator& acc,
+                                                int64_t trials, double confidence);
+CensoredMttdlEstimate FinalizeCensoredMttdl(const TrialAccumulator& acc,
+                                            int64_t trials, double confidence);
+WeightedLossProbabilityEstimate FinalizeWeightedLoss(const TrialAccumulator& acc,
+                                                     int64_t trials,
+                                                     double confidence);
 
 class SweepRunner {
  public:

@@ -1,0 +1,464 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace longstore::json {
+
+// --- canonical emission ----------------------------------------------------
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendDouble(std::string& out, double v) {
+  if (std::isinf(v)) {
+    out += v > 0 ? "\"inf\"" : "\"-inf\"";
+    return;
+  }
+  if (std::isnan(v)) {
+    out += "\"nan\"";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void AppendInt64(std::string& out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void AppendUint64Hex(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"0x%" PRIx64 "\"", v);
+  out += buf;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& context)
+      : text_(text), context_(context) {}
+
+  Value Parse() {
+    Value value = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      ParseFail("trailing characters after the top-level value");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void ParseFail(const std::string& what) const {
+    throw std::invalid_argument(context_ + ": " + what + " (at byte " +
+                                std::to_string(pos_) + ")");
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      ParseFail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      ParseFail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipWhitespace();
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value ParseValue() {
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        Value value;
+        value.kind = Value::Kind::kString;
+        value.string = ParseString();
+        return value;
+      }
+      default:
+        break;
+    }
+    Value value;
+    if (ConsumeWord("true")) {
+      value.kind = Value::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (ConsumeWord("false")) {
+      value.kind = Value::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (ConsumeWord("null")) {
+      value.kind = Value::Kind::kNull;
+      return value;
+    }
+    return ParseNumber();
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        ParseFail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        ParseFail("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            ParseFail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              ParseFail("invalid \\u escape");
+            }
+          }
+          // The canonical emitters only escape control characters; decode
+          // the BMP code point as UTF-8 for generality.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          ParseFail("unknown escape");
+      }
+    }
+  }
+
+  Value ParseNumber() {
+    SkipWhitespace();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      ParseFail("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      ParseFail("malformed number '" + token + "'");
+    }
+    Value out;
+    out.kind = Value::Kind::kNumber;
+    out.number = value;
+    return out;
+  }
+
+  Value ParseArray() {
+    Expect('[');
+    Value out;
+    out.kind = Value::Kind::kArray;
+    if (Consume(']')) {
+      return out;
+    }
+    while (true) {
+      out.array.push_back(ParseValue());
+      if (Consume(']')) {
+        return out;
+      }
+      Expect(',');
+    }
+  }
+
+  Value ParseObject() {
+    Expect('{');
+    Value out;
+    out.kind = Value::Kind::kObject;
+    if (Consume('}')) {
+      return out;
+    }
+    while (true) {
+      const std::string key = ParseString();
+      if (out.Find(key) != nullptr) {
+        ParseFail("duplicate key \"" + key + "\"");
+      }
+      Expect(':');
+      out.object.emplace_back(key, ParseValue());
+      if (Consume('}')) {
+        return out;
+      }
+      Expect(',');
+    }
+  }
+
+  std::string_view text_;
+  const std::string& context_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Parse(std::string_view text, const std::string& context) {
+  return Parser(text, context).Parse();
+}
+
+void Fail(const std::string& context, const std::string& what) {
+  throw std::invalid_argument(context + ": " + what);
+}
+
+// --- schema mapping --------------------------------------------------------
+
+int CheckedInt(double value, const std::string& what, const std::string& context) {
+  constexpr double kIntMin = static_cast<double>(std::numeric_limits<int>::min());
+  constexpr double kIntMax = static_cast<double>(std::numeric_limits<int>::max());
+  if (!(value >= kIntMin && value <= kIntMax)) {
+    Fail(context, what + " is out of integer range");
+  }
+  const int as_int = static_cast<int>(value);
+  if (static_cast<double>(as_int) != value) {
+    Fail(context, what + " must be an integer");
+  }
+  return as_int;
+}
+
+int64_t CheckedInt64(double value, const std::string& what, const std::string& context) {
+  // Doubles hold integers exactly only up to 2^53; anything larger has
+  // already been rounded by the emitter or the parser, so reject it.
+  constexpr double kExactMax = 9007199254740992.0;  // 2^53
+  if (!(value >= -kExactMax && value <= kExactMax)) {
+    Fail(context, what + " is out of exactly-representable integer range");
+  }
+  const int64_t as_int = static_cast<int64_t>(value);
+  if (static_cast<double>(as_int) != value) {
+    Fail(context, what + " must be an integer");
+  }
+  return as_int;
+}
+
+uint64_t ParseUint64Hex(const std::string& text, const std::string& what,
+                        const std::string& context) {
+  if (text.size() < 3 || text.size() > 18 || text[0] != '0' || text[1] != 'x') {
+    Fail(context, what + " must be a \"0x...\" hex string");
+  }
+  uint64_t value = 0;
+  for (size_t i = 2; i < text.size(); ++i) {
+    const char h = text[i];
+    value <<= 4;
+    if (h >= '0' && h <= '9') {
+      value |= static_cast<uint64_t>(h - '0');
+    } else if (h >= 'a' && h <= 'f') {
+      value |= static_cast<uint64_t>(h - 'a' + 10);
+    } else {
+      Fail(context, what + " has a non-hex digit (lowercase hex only)");
+    }
+  }
+  return value;
+}
+
+ObjectReader::ObjectReader(const Value& value, std::string where, std::string context)
+    : value_(value), where_(std::move(where)), context_(std::move(context)) {
+  if (value.kind != Value::Kind::kObject) {
+    Fail(context_, where_ + " must be an object");
+  }
+}
+
+const Value& ObjectReader::Get(const std::string& key, Value::Kind kind) {
+  const Value* found = value_.Find(key);
+  if (found == nullptr) {
+    Fail(context_, where_ + " is missing key \"" + key + "\"");
+  }
+  consumed_.push_back(key);
+  if (found->kind != kind &&
+      !(kind == Value::Kind::kNumber && found->kind == Value::Kind::kString)) {
+    Fail(context_, where_ + " key \"" + key + "\" has the wrong type");
+  }
+  return *found;
+}
+
+double ObjectReader::GetNumber(const std::string& key) {
+  const Value& v = Get(key, Value::Kind::kNumber);
+  if (v.kind == Value::Kind::kString) {
+    // "inf" / "-inf" / "nan": the canonical spellings for non-finite
+    // doubles (JSON has no literal for them).
+    if (v.string == "inf") {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (v.string == "-inf") {
+      return -std::numeric_limits<double>::infinity();
+    }
+    if (v.string == "nan") {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    Fail(context_, where_ + " key \"" + key + "\" has a non-numeric string value");
+  }
+  return v.number;
+}
+
+int ObjectReader::GetInt(const std::string& key) {
+  return CheckedInt(GetNumber(key), "key \"" + key + "\"", context_);
+}
+
+int64_t ObjectReader::GetInt64(const std::string& key) {
+  return CheckedInt64(GetNumber(key), "key \"" + key + "\"", context_);
+}
+
+uint64_t ObjectReader::GetUint64Hex(const std::string& key) {
+  return ParseUint64Hex(Get(key, Value::Kind::kString).string, "key \"" + key + "\"",
+                        context_);
+}
+
+std::string ObjectReader::GetString(const std::string& key) {
+  return Get(key, Value::Kind::kString).string;
+}
+
+bool ObjectReader::GetBool(const std::string& key) {
+  return Get(key, Value::Kind::kBool).boolean;
+}
+
+const std::vector<Value>& ObjectReader::GetArray(const std::string& key) {
+  return Get(key, Value::Kind::kArray).array;
+}
+
+const Value& ObjectReader::GetObject(const std::string& key) {
+  return Get(key, Value::Kind::kObject);
+}
+
+void ObjectReader::Finish() {
+  for (const auto& [key, unused] : value_.object) {
+    bool known = false;
+    for (const std::string& c : consumed_) {
+      if (c == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      Fail(context_, where_ + " has unknown key \"" + key + "\"");
+    }
+  }
+}
+
+}  // namespace longstore::json

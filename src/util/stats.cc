@@ -21,6 +21,16 @@ void RunningStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+RunningStats RunningStats::FromRaw(const Raw& raw) {
+  RunningStats stats;
+  stats.count_ = raw.count;
+  stats.mean_ = raw.mean;
+  stats.m2_ = raw.m2;
+  stats.min_ = raw.min;
+  stats.max_ = raw.max;
+  return stats;
+}
+
 void RunningStats::Merge(const RunningStats& other) {
   if (other.count_ == 0) {
     return;

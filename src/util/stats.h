@@ -13,8 +13,23 @@ namespace longstore {
 // one without keeping raw samples.
 class RunningStats {
  public:
+  // The accumulator's exact internal state, for serializing partial
+  // aggregates across processes (the sweep shard protocol). A FromRaw of an
+  // unmodified raw() is bit-identical to the original — further Add/Merge
+  // calls continue exactly where the source accumulator left off.
+  struct Raw {
+    int64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void Add(double x);
   void Merge(const RunningStats& other);
+
+  Raw raw() const { return Raw{count_, mean_, m2_, min_, max_}; }
+  static RunningStats FromRaw(const Raw& raw);
 
   int64_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }

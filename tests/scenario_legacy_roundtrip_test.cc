@@ -1,0 +1,224 @@
+// Scenario::ToLegacy: the inverse of FromLegacy for scenarios the flat
+// StorageSimConfig can express. The contract is exact — FromLegacy(
+// ToLegacy(s)) == s by canonical JSON (hence equal CanonicalHash and
+// identical trial streams) — or a precise std::invalid_argument naming the
+// field the flat config cannot carry. Verified across the same fingerprint
+// config space tests/scenario_engine_test.cc uses for FromLegacy
+// bit-identity.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/scenario/media.h"
+#include "src/scenario/scenario.h"
+#include "src/storage/config.h"
+
+namespace longstore {
+namespace {
+
+StorageSimConfig FastConfig() {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params.mv = Duration::Hours(500.0);
+  config.params.ml = Duration::Hours(250.0);
+  config.params.mrv = Duration::Hours(20.0);
+  config.params.mrl = Duration::Hours(20.0);
+  config.scrub = ScrubPolicy::Exponential(Duration::Hours(50.0));
+  return config;
+}
+
+// The fingerprint config space of ScenarioEngineTest.
+// FromLegacyIsBitIdenticalAcrossConfigSpace: exponential, Weibull with
+// per-replica ages, paper convention, erasure-coded with correlation and
+// deterministic repair, and common-mode with surfacing.
+std::vector<StorageSimConfig> FingerprintConfigSpace() {
+  std::vector<StorageSimConfig> configs;
+  configs.push_back(FastConfig());
+  {
+    StorageSimConfig weibull = FastConfig();
+    weibull.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+    weibull.weibull_shape = 2.5;
+    weibull.initial_age_hours = {400.0, 0.0};
+    weibull.scrub = ScrubPolicy::Periodic(Duration::Hours(50.0));
+    configs.push_back(weibull);
+  }
+  {
+    StorageSimConfig paper = FastConfig();
+    paper.convention = RateConvention::kPaper;
+    configs.push_back(paper);
+  }
+  {
+    StorageSimConfig erasure = FastConfig();
+    erasure.replica_count = 5;
+    erasure.required_intact = 3;
+    erasure.params.alpha = 0.5;
+    erasure.repair_distribution = StorageSimConfig::RepairDistribution::kDeterministic;
+    configs.push_back(erasure);
+  }
+  {
+    StorageSimConfig common = FastConfig();
+    CommonModeSource source;
+    source.name = "rack";
+    source.event_rate = Rate::InverseOf(Duration::Hours(300.0));
+    source.members = {0, 1};
+    source.hit_probability = 0.8;
+    source.visible_fraction = 0.5;
+    common.common_mode.push_back(source);
+    common.visible_fault_surfaces_latent = true;
+    configs.push_back(common);
+  }
+  return configs;
+}
+
+TEST(ScenarioLegacyRoundTripTest, FromLegacyAfterToLegacyIsIdentity) {
+  const std::vector<StorageSimConfig> configs = FingerprintConfigSpace();
+  for (size_t c = 0; c < configs.size(); ++c) {
+    const Scenario scenario = Scenario::FromLegacy(configs[c]);
+    const StorageSimConfig legacy = scenario.ToLegacy();
+    const Scenario round_tripped = Scenario::FromLegacy(legacy);
+    // Canonical JSON equality is full field-wise identity, and implies
+    // equal CanonicalHash — i.e. identical kScenarioDerived trial streams.
+    EXPECT_EQ(round_tripped.ToJson(), scenario.ToJson()) << "config #" << c;
+    EXPECT_EQ(round_tripped.CanonicalHash(), scenario.CanonicalHash())
+        << "config #" << c;
+  }
+}
+
+TEST(ScenarioLegacyRoundTripTest, ToLegacyPreservesEngineVisibleConfigFields) {
+  // Config-side: every field the engine reads survives the round trip
+  // config -> FromLegacy -> ToLegacy. (params.mdl is the documented
+  // exception: the simulator derives detection from the scrub policy, and
+  // ToLegacy emits the policy's analytic latency.)
+  for (const StorageSimConfig& config : FingerprintConfigSpace()) {
+    const StorageSimConfig out = Scenario::FromLegacy(config).ToLegacy();
+    EXPECT_EQ(out.replica_count, config.replica_count);
+    EXPECT_EQ(out.required_intact, config.required_intact);
+    EXPECT_EQ(out.params.mv.hours(), config.params.mv.hours());
+    EXPECT_EQ(out.params.ml.hours(), config.params.ml.hours());
+    EXPECT_EQ(out.params.mrv.hours(), config.params.mrv.hours());
+    EXPECT_EQ(out.params.mrl.hours(), config.params.mrl.hours());
+    EXPECT_EQ(out.params.alpha, config.params.alpha);
+    EXPECT_EQ(out.scrub.kind, config.scrub.kind);
+    EXPECT_EQ(out.scrub.interval.hours(), config.scrub.interval.hours());
+    EXPECT_EQ(out.fault_distribution, config.fault_distribution);
+    EXPECT_EQ(out.repair_distribution, config.repair_distribution);
+    EXPECT_EQ(out.convention, config.convention);
+    EXPECT_EQ(out.scrub_staggered, config.scrub_staggered);
+    EXPECT_EQ(out.record_scrub_passes, config.record_scrub_passes);
+    EXPECT_EQ(out.visible_fault_surfaces_latent, config.visible_fault_surfaces_latent);
+    EXPECT_EQ(out.common_mode.size(), config.common_mode.size());
+    const bool weibull =
+        config.fault_distribution == StorageSimConfig::FaultDistribution::kWeibull;
+    if (weibull) {
+      EXPECT_EQ(out.weibull_shape, config.weibull_shape);
+      EXPECT_EQ(out.initial_age_hours, config.initial_age_hours);
+    }
+    // mdl is rebuilt from the scrub policy, not copied.
+    EXPECT_EQ(out.params.mdl.hours(), out.scrub.MeanDetectionLatency().hours());
+  }
+}
+
+TEST(ScenarioLegacyRoundTripTest, PerReplicaAgesRoundTrip) {
+  // Ages are the one per-replica heterogeneity the flat config can carry.
+  StorageSimConfig config = FastConfig();
+  config.fault_distribution = StorageSimConfig::FaultDistribution::kWeibull;
+  config.weibull_shape = 1.8;
+  config.replica_count = 3;
+  config.initial_age_hours = {100.0, 0.0, 7000.5};
+  const Scenario scenario = Scenario::FromLegacy(config);
+  ASSERT_FALSE(scenario.IsHomogeneous());  // ages differ...
+  const StorageSimConfig out = scenario.ToLegacy();  // ...but still round-trip
+  EXPECT_EQ(out.initial_age_hours, config.initial_age_hours);
+  EXPECT_EQ(Scenario::FromLegacy(out).ToJson(), scenario.ToJson());
+}
+
+// Asserts ToLegacy throws std::invalid_argument mentioning `needle`.
+void ExpectToLegacyRejects(const Scenario& scenario, const std::string& needle) {
+  try {
+    scenario.ToLegacy();
+    FAIL() << "ToLegacy accepted a non-representable scenario (wanted: " << needle
+           << ")";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(ScenarioLegacyRoundTripTest, RejectsWhatTheFlatConfigCannotExpress) {
+  const Scenario base = Scenario::FromLegacy(FastConfig());
+
+  {
+    Scenario empty;
+    ExpectToLegacyRejects(empty, "no replicas");
+  }
+  {
+    // Heterogeneous beyond ages: one replica scrubs differently.
+    Scenario heterogeneous = base;
+    heterogeneous.replicas[1].scrub = ScrubPolicy::None();
+    ExpectToLegacyRejects(heterogeneous, "homogeneous");
+  }
+  {
+    // Explicit scrub phases have no legacy spelling.
+    Scenario phased = base;
+    for (ReplicaSpec& replica : phased.replicas) {
+      replica.scrub_phase_hours = 12.0;
+    }
+    ExpectToLegacyRejects(phased, "scrub phase");
+  }
+  {
+    // Any negative phase means "automatic", but only the canonical -1.0
+    // spelling survives FromLegacy — others would break the exact contract.
+    Scenario odd_auto = base;
+    odd_auto.replicas[0].scrub_phase_hours = -2.0;
+    ExpectToLegacyRejects(odd_auto, "non-canonical automatic scrub phase");
+  }
+  {
+    // Media labels (e.g. from the drive catalog) would be silently dropped;
+    // the exact-identity contract refuses instead.
+    Scenario labelled = base;
+    for (ReplicaSpec& replica : labelled.replicas) {
+      replica.media = "ST3200822A";
+    }
+    ExpectToLegacyRejects(labelled, "media label");
+  }
+  {
+    // Non-canonical exponential spellings FromLegacy would normalize away.
+    Scenario shaped = base;
+    shaped.replicas[0].weibull_shape = 2.0;
+    shaped.replicas[1].weibull_shape = 2.0;
+    ExpectToLegacyRejects(shaped, "weibull_shape on an exponential replica");
+  }
+  {
+    Scenario aged = base;
+    aged.replicas[0].initial_age_hours = 5.0;
+    aged.replicas[1].initial_age_hours = 5.0;
+    ExpectToLegacyRejects(aged, "initial age on an exponential replica");
+  }
+}
+
+TEST(ScenarioLegacyRoundTripTest, CatalogMediaRoundTripsAfterRelabelling) {
+  // A DiskSpec-built homogeneous fleet round-trips once its display label
+  // is reset to the legacy default — the rejection is about the label, not
+  // the physics.
+  Scenario scenario =
+      ScenarioBuilder()
+          .Replicas(2, ReplicaSpec()
+                           .FaultTimes(Duration::Hours(1.4e6), Duration::Hours(2.8e5))
+                           .RepairTimes(Duration::Minutes(20.0), Duration::Minutes(20.0))
+                           .ScrubWith(ScrubPolicy::Exponential(Duration::Hours(1460.0)))
+                           .Media("ST3200822A"))
+          .Build();
+  EXPECT_THROW(scenario.ToLegacy(), std::invalid_argument);
+  for (ReplicaSpec& replica : scenario.replicas) {
+    replica.media = "replica";
+  }
+  const StorageSimConfig legacy = scenario.ToLegacy();
+  EXPECT_EQ(Scenario::FromLegacy(legacy).ToJson(), scenario.ToJson());
+  EXPECT_EQ(legacy.params.mv.hours(), 1.4e6);
+}
+
+}  // namespace
+}  // namespace longstore

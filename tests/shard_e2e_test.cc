@@ -1,0 +1,164 @@
+// End-to-end shard determinism through the real worker binary: the pinned
+// §5.4 Cheetah golden sweep (the same spec tests/paper_figures_test.cc
+// pins) is run single-process and as K separate sweep_worker processes for
+// K in {1, 2, 3}; the merged CSV and JSON output must be byte-for-byte
+// identical to the single-process run, for every shard count and with the
+// worker outputs merged in non-arrival order.
+//
+// Unlike the exact golden *values* (toolchain-pinned, skippable via
+// LONGSTORE_SKIP_EXACT_GOLDENS), byte-identity of two runs of the same
+// build holds on any toolchain, so these tests never skip.
+//
+// LONGSTORE_SWEEP_WORKER is injected by CMake as the built binary's path.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/model/fault_params.h"
+#include "src/model/strategies.h"
+#include "src/shard/shard.h"
+#include "src/sweep/sweep.h"
+
+namespace longstore {
+namespace {
+
+// Matches tests/paper_figures_test.cc (and bench_scrubbing_effect's
+// simulation column) for the §5.4 table.
+StorageSimConfig CheetahConfig(const FaultParams& p) {
+  StorageSimConfig config;
+  config.replica_count = 2;
+  config.params = p;
+  config.scrub =
+      p.mdl.is_infinite() ? ScrubPolicy::None() : ScrubPolicy::Exponential(p.mdl);
+  return config;
+}
+
+SweepSpec CheetahSpec() {
+  const FaultParams unscrubbed = FaultParams::PaperCheetahExample();
+  const FaultParams scrubbed =
+      ApplyScrubPolicy(unscrubbed, ScrubPolicy::PeriodicPerYear(3.0));
+  const FaultParams correlated = WithCorrelation(scrubbed, 0.1);
+  SweepSpec spec;
+  spec.AddCell("unscrubbed", CheetahConfig(unscrubbed));
+  spec.AddCell("scrub 3x/year", CheetahConfig(scrubbed));
+  spec.AddCell("scrub 3x/year, alpha=0.1", CheetahConfig(correlated));
+  return spec;
+}
+
+SweepOptions CheetahOptions() {
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  options.mc.trials = 2000;
+  options.mc.seed = 0x5ca1ab1e;
+  options.seed_mode = SweepOptions::SeedMode::kPerCellDerived;
+  return options;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.good()) << path;
+  out << text;
+}
+
+// Runs the built sweep_worker on `shard_path`, writing to `out_path`;
+// returns the raw std::system status.
+int RunWorker(const std::string& shard_path, const std::string& out_path) {
+  const std::string command = std::string(LONGSTORE_SWEEP_WORKER) +
+                              " --shard=" + shard_path + " --out=" + out_path;
+  return std::system(command.c_str());
+}
+
+TEST(ShardE2eTest, GoldenSweepShardedThroughWorkerProcessesIsByteIdentical) {
+  const SweepSpec spec = CheetahSpec();
+  const SweepOptions options = CheetahOptions();
+  const SweepResult single = SweepRunner().Run(spec, options);
+  const std::string golden_csv = single.ToCsv();
+  const std::string golden_json = single.ToJson();
+
+  const std::string dir = testing::TempDir();
+  for (int shard_count = 1; shard_count <= 3; ++shard_count) {
+    const ShardPlan plan(spec, options, shard_count);
+    ASSERT_EQ(plan.shards().size(), static_cast<size_t>(shard_count));
+
+    std::vector<std::string> result_jsons;
+    for (const ShardSpec& shard : plan.shards()) {
+      const std::string tag =
+          "longstore_e2e_k" + std::to_string(shard_count) + "_s" +
+          std::to_string(shard.shard_index);
+      const std::string shard_path = dir + tag + ".shard.json";
+      const std::string out_path = dir + tag + ".result.json";
+      WriteFile(shard_path, shard.ToJson());
+      ASSERT_EQ(RunWorker(shard_path, out_path), 0)
+          << "worker failed for shard " << shard.shard_index << " of "
+          << shard_count;
+      result_jsons.push_back(ReadFile(out_path));
+      std::remove(shard_path.c_str());
+      std::remove(out_path.c_str());
+    }
+
+    // Merge in reverse arrival order: the merger must not care.
+    ShardMerger merger;
+    for (size_t i = result_jsons.size(); i-- > 0;) {
+      merger.AddJson(result_jsons[i]);
+    }
+    ASSERT_TRUE(merger.complete());
+    const SweepResult merged = merger.Finish();
+
+    EXPECT_EQ(merged.ToCsv(), golden_csv) << shard_count << " shards";
+    EXPECT_EQ(merged.ToJson(), golden_json) << shard_count << " shards";
+  }
+}
+
+TEST(ShardE2eTest, WorkerRejectsMalformedShardWithNonZeroExit) {
+  const std::string dir = testing::TempDir();
+  const std::string shard_path = dir + "longstore_e2e_malformed.shard.json";
+  const std::string out_path = dir + "longstore_e2e_malformed.result.json";
+  WriteFile(shard_path, "{\"shard_version\":99,");
+  EXPECT_NE(RunWorker(shard_path, out_path), 0);
+  std::remove(shard_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(ShardE2eTest, WorkerThreadCapDoesNotChangeOutputBytes) {
+  // --threads caps the worker pool lanes; the shard document promises that
+  // never changes results. Run the same one-shard plan at 1 and 4 threads.
+  const SweepSpec spec = CheetahSpec();
+  SweepOptions options = CheetahOptions();
+  options.mc.trials = 500;  // cheaper: this test is about lanes, not values
+  const ShardPlan plan(spec, options, 1);
+
+  const std::string dir = testing::TempDir();
+  const std::string shard_path = dir + "longstore_e2e_threads.shard.json";
+  WriteFile(shard_path, plan.shards()[0].ToJson());
+
+  std::vector<std::string> outputs;
+  for (const char* threads : {"1", "4"}) {
+    const std::string out_path =
+        dir + "longstore_e2e_threads" + threads + ".result.json";
+    const std::string command = std::string(LONGSTORE_SWEEP_WORKER) +
+                                " --shard=" + shard_path + " --out=" + out_path +
+                                " --threads=" + threads;
+    ASSERT_EQ(std::system(command.c_str()), 0);
+    outputs.push_back(ReadFile(out_path));
+    std::remove(out_path.c_str());
+  }
+  std::remove(shard_path.c_str());
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+}  // namespace
+}  // namespace longstore

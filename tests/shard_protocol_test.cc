@@ -1,0 +1,301 @@
+// Shard protocol totality: every way a shard document can be wrong —
+// malformed bytes, truncation, version mismatch, schema drift, duplicate or
+// missing cells, nonsense numerics — is rejected with a precise
+// std::invalid_argument, never undefined behavior. The whole suite also
+// runs under the ASan/UBSan preset in CI, so "never UB" is enforced, not
+// asserted.
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/shard/shard.h"
+#include "src/sweep/sweep.h"
+
+namespace longstore {
+namespace {
+
+Scenario SmallScenario() {
+  return ScenarioBuilder()
+      .Replicas(2, ReplicaSpec()
+                       .FaultTimes(Duration::Hours(400.0), Duration::Hours(200.0))
+                       .RepairTimes(Duration::Hours(10.0), Duration::Hours(10.0))
+                       .ScrubWith(ScrubPolicy::Exponential(Duration::Hours(40.0))))
+      .Build();
+}
+
+// A valid two-cell plan to mutate from.
+ShardPlan ValidPlan(int shard_count = 1) {
+  SweepSpec spec(SmallScenario());
+  spec.AddAxis("mv_hours");
+  for (const double hours : {400.0, 800.0}) {
+    spec.AddPoint(std::to_string(static_cast<int>(hours)), hours,
+                  [hours](Scenario& scenario) {
+                    for (ReplicaSpec& replica : scenario.replicas) {
+                      replica.mv = Duration::Hours(hours);
+                    }
+                  });
+  }
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  options.mc.trials = 64;
+  options.mc.seed = 99;
+  return ShardPlan(spec, options, shard_count);
+}
+
+std::string ValidSpecJson() { return ValidPlan().shards()[0].ToJson(); }
+
+std::string ValidResultJson() { return RunShard(ValidPlan().shards()[0]).ToJson(); }
+
+// Replaces the first occurrence of `from` (which must exist) with `to`.
+std::string Replaced(const std::string& text, const std::string& from,
+                     const std::string& to) {
+  const size_t at = text.find(from);
+  EXPECT_NE(at, std::string::npos) << "pattern not in document: " << from;
+  std::string out = text;
+  out.replace(at, from.size(), to);
+  return out;
+}
+
+// Asserts that parsing throws std::invalid_argument whose message contains
+// `needle` — the "precise errors" half of the protocol contract.
+template <typename Parse>
+void ExpectRejects(const Parse& parse, const std::string& document,
+                   const std::string& needle) {
+  try {
+    parse(document);
+    FAIL() << "accepted a document that should be rejected (wanted: " << needle
+           << ")";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+const auto kParseSpec = [](const std::string& text) { ShardSpec::FromJson(text); };
+const auto kParseResult = [](const std::string& text) {
+  ShardResult::FromJson(text);
+};
+
+TEST(ShardProtocolTest, SpecRejectsMalformedAndTruncatedInput) {
+  const std::string valid = ValidSpecJson();
+  ExpectRejects(kParseSpec, "", "unexpected end of input");
+  ExpectRejects(kParseSpec, "not json at all", "expected a value");
+  ExpectRejects(kParseSpec, "\x01\x02\x03", "expected a value");
+  ExpectRejects(kParseSpec, valid + "x", "trailing characters");
+  ExpectRejects(kParseSpec, "[1,2,3]", "must be an object");
+  // Truncation at any prefix must throw, not crash; probe a spread of cuts.
+  for (const size_t fraction : {1u, 2u, 3u, 5u, 7u}) {
+    const std::string truncated = valid.substr(0, valid.size() * fraction / 8);
+    EXPECT_THROW(ShardSpec::FromJson(truncated), std::invalid_argument)
+        << "cut at " << fraction << "/8";
+  }
+}
+
+TEST(ShardProtocolTest, SpecRejectsProtocolVersionMismatch) {
+  const std::string valid = ValidSpecJson();
+  ExpectRejects(kParseSpec, Replaced(valid, "\"shard_version\":1", "\"shard_version\":2"),
+                "unsupported shard_version 2");
+  ExpectRejects(kParseSpec,
+                Replaced(valid, "\"shard_version\":1", "\"shard_version\":1.5"),
+                "must be an integer");
+}
+
+TEST(ShardProtocolTest, SpecRejectsSchemaDrift) {
+  const std::string valid = ValidSpecJson();
+  // Missing key: drop the estimand entirely.
+  ExpectRejects(kParseSpec, Replaced(valid, "\"estimand\":\"mttdl\",", ""),
+                "missing key \"estimand\"");
+  // Unknown key.
+  ExpectRejects(kParseSpec,
+                Replaced(valid, "\"shard_version\":1", "\"shard_version\":1,\"zzz\":0"),
+                "unknown key \"zzz\"");
+  // Wrong type.
+  ExpectRejects(kParseSpec, Replaced(valid, "\"adaptive\":false", "\"adaptive\":0"),
+                "has the wrong type");
+  // Unknown enum values.
+  ExpectRejects(kParseSpec, Replaced(valid, "\"estimand\":\"mttdl\"",
+                                     "\"estimand\":\"median\""),
+                "unknown estimand");
+  ExpectRejects(kParseSpec,
+                Replaced(valid, "\"seed_mode\":\"per_cell_derived\"",
+                         "\"seed_mode\":\"vibes\""),
+                "unknown seed_mode");
+  // Seeds must be exact hex strings (doubles cannot carry 64 bits).
+  ExpectRejects(kParseSpec, Replaced(valid, "\"seed\":\"0x63\"", "\"seed\":\"63\""),
+                "hex string");
+  ExpectRejects(kParseSpec, Replaced(valid, "\"seed\":\"0x63\"", "\"seed\":99"),
+                "wrong type");
+  // Fractional trial counts.
+  ExpectRejects(kParseSpec, Replaced(valid, "\"trials\":64", "\"trials\":64.5"),
+                "must be an integer");
+  // An invalid scenario subtree fails with the Scenario parser's error.
+  ExpectRejects(kParseSpec, Replaced(valid, "\"convention\":\"physical\"",
+                                     "\"convention\":\"quantum\""),
+                "unknown convention");
+  // Duplicate keys are ambiguous and rejected at the parse layer.
+  ExpectRejects(kParseSpec,
+                Replaced(valid, "\"adaptive\":false",
+                         "\"adaptive\":false,\"adaptive\":false"),
+                "duplicate key");
+}
+
+TEST(ShardProtocolTest, SpecRejectsBadCellGeometry) {
+  const std::string valid = ValidSpecJson();
+  // Duplicate cell index within one document.
+  ExpectRejects(kParseSpec, Replaced(valid, "\"index\":1", "\"index\":0"),
+                "duplicate cell index 0");
+  // Cell index outside the grid.
+  ExpectRejects(kParseSpec, Replaced(valid, "\"index\":1", "\"index\":7"),
+                "outside [0, total_cells)");
+  ExpectRejects(kParseSpec, Replaced(valid, "\"index\":1", "\"index\":-1"),
+                "outside [0, total_cells)");
+  // total_cells / shard geometry nonsense.
+  ExpectRejects(kParseSpec, Replaced(valid, "\"total_cells\":2", "\"total_cells\":0"),
+                "total_cells must be >= 1");
+  ExpectRejects(kParseSpec, Replaced(valid, "\"shard_index\":0", "\"shard_index\":5"),
+                "outside [0, shard_count)");
+  ExpectRejects(kParseSpec, Replaced(valid, "\"shard_count\":1", "\"shard_count\":0"),
+                "shard_count must be >= 1");
+  // Coordinates that do not mirror the axis list.
+  ExpectRejects(kParseSpec, Replaced(valid, "\"axis\":\"mv_hours\"", "\"axis\":\"other\""),
+                "names axis \"other\"");
+  ExpectRejects(kParseSpec, Replaced(valid, "\"axes\":[\"mv_hours\"]", "\"axes\":[]"),
+                "coordinates for 0 axes");
+}
+
+TEST(ShardProtocolTest, ResultRejectsMalformedDocuments) {
+  const std::string valid = ValidResultJson();
+  ExpectRejects(kParseResult, "", "unexpected end of input");
+  ExpectRejects(kParseResult, valid.substr(0, valid.size() / 2), "");
+  ExpectRejects(kParseResult,
+                Replaced(valid, "\"shard_version\":1", "\"shard_version\":3"),
+                "unsupported shard_version 3");
+  ExpectRejects(kParseResult, Replaced(valid, "\"index\":1", "\"index\":0"),
+                "duplicate cell index 0");
+  ExpectRejects(kParseResult, Replaced(valid, "\"trials\":64", "\"trials\":-4"),
+                "negative trial count");
+  // Accumulator state is validated too: negative sample counts can't arise
+  // from any real run and would poison downstream Welford merges.
+  ExpectRejects(kParseResult, Replaced(valid, "\"censored\":", "\"censored\":-1,\"x\":"),
+                "unknown key \"x\"");
+  ExpectRejects(
+      kParseResult,
+      Replaced(valid, "\"loss_years\":{\"count\":64", "\"loss_years\":{\"count\":-64"),
+      "negative sample count");
+}
+
+TEST(ShardProtocolTest, ResultAcceptsNonFiniteHalfWidths) {
+  // An unconverged adaptive cell can report an infinite CI half-width; the
+  // emitter writes non-finite doubles as strings, and the parser must take
+  // them back (emit/parse asymmetry here once made a worker produce output
+  // its own protocol rejected).
+  const std::string doctored =
+      Replaced(ValidResultJson(), "\"half_width_history\":[]",
+               "\"half_width_history\":[\"inf\",0.5,\"nan\"]");
+  const ShardResult result = ShardResult::FromJson(doctored);
+  ASSERT_EQ(result.cells[0].half_width_history.size(), 3u);
+  EXPECT_TRUE(std::isinf(result.cells[0].half_width_history[0]));
+  EXPECT_EQ(result.cells[0].half_width_history[1], 0.5);
+  EXPECT_TRUE(std::isnan(result.cells[0].half_width_history[2]));
+  // Round trip: re-emitting reproduces the same spellings.
+  EXPECT_NE(result.ToJson().find("\"half_width_history\":[\"inf\",0.5,\"nan\"]"),
+            std::string::npos);
+}
+
+TEST(ShardProtocolTest, MergerRejectsInconsistentAndIncompleteMerges) {
+  // Two single-shard plans over the same sweep; doctor their headers.
+  const ShardPlan plan = ValidPlan(2);
+  ShardResult first = RunShard(plan.shards()[0]);
+  ShardResult second = RunShard(plan.shards()[1]);
+
+  {
+    // Duplicate cell across shards: resend the first shard.
+    ShardMerger merger;
+    merger.Add(first);
+    EXPECT_THROW(merger.Add(first), std::invalid_argument);
+  }
+  {
+    // Estimand mismatch.
+    ShardMerger merger;
+    merger.Add(first);
+    ShardResult wrong = second;
+    wrong.estimand = SweepOptions::Estimand::kLossProbability;
+    EXPECT_THROW(merger.Add(wrong), std::invalid_argument);
+  }
+  {
+    // Confidence mismatch.
+    ShardMerger merger;
+    merger.Add(first);
+    ShardResult wrong = second;
+    wrong.confidence = 0.99;
+    EXPECT_THROW(merger.Add(wrong), std::invalid_argument);
+  }
+  {
+    // Grid-size mismatch.
+    ShardMerger merger;
+    merger.Add(first);
+    ShardResult wrong = second;
+    wrong.total_cells = 3;
+    EXPECT_THROW(merger.Add(wrong), std::invalid_argument);
+  }
+  {
+    // Axis-list mismatch.
+    ShardMerger merger;
+    merger.Add(first);
+    ShardResult wrong = second;
+    wrong.axis_names = {"renamed"};
+    EXPECT_THROW(merger.Add(wrong), std::invalid_argument);
+  }
+  {
+    // Missing cell at Finish, with the missing indices named.
+    ShardMerger merger;
+    merger.Add(first);
+    EXPECT_FALSE(merger.complete());
+    EXPECT_EQ(merger.MissingCells(), std::vector<size_t>{1});
+    try {
+      merger.Finish();
+      FAIL() << "finished an incomplete merge";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("missing cells 1"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // Finishing an empty merger.
+    ShardMerger merger;
+    EXPECT_THROW(merger.Finish(), std::invalid_argument);
+  }
+  {
+    // The happy path still works after all that doctoring.
+    ShardMerger merger;
+    merger.Add(second);
+    merger.Add(first);
+    EXPECT_TRUE(merger.complete());
+    EXPECT_EQ(merger.Finish().cells.size(), 2u);
+  }
+}
+
+TEST(ShardProtocolTest, RunShardValidatesSemanticsLikeTheRunner) {
+  // Structural parsing and semantic validation are separate layers: a
+  // well-formed document with an unrunnable scenario parses, then RunShard
+  // rejects it with the runner's message.
+  ShardSpec shard = ValidPlan().shards()[0];
+  shard.cells[0].scenario.alpha = 0.0;
+  const ShardSpec parsed = ShardSpec::FromJson(shard.ToJson());
+  try {
+    RunShard(parsed);
+    FAIL() << "ran a shard with an invalid scenario";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("alpha"), std::string::npos) << e.what();
+  }
+
+  ShardSpec bad_options = ValidPlan().shards()[0];
+  bad_options.options.mc.trials = 0;
+  EXPECT_THROW(RunShard(bad_options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace longstore

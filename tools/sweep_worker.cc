@@ -1,0 +1,120 @@
+// sweep_worker: executes one sweep shard and emits its raw per-cell
+// accumulators — the worker half of the sharded fan-out protocol
+// (src/shard/README.md).
+//
+//   sweep_worker --shard=FILE [--out=FILE] [--threads=N]
+//
+// Reads a ShardSpec JSON document (the file "-" means stdin), runs its cells
+// on this process's worker pool, and writes the ShardResult JSON to --out
+// (default stdout). The result is deterministic: cell seeds derive from the
+// document's seed mode, never from this process's identity, so any worker
+// produces the same bytes for the same shard. --threads only caps the lanes
+// used (wall clock, never results).
+//
+// Exit status: 0 on success, 1 on any error (malformed shard, invalid
+// scenario, I/O failure), with a one-line diagnostic on stderr — shard
+// drivers treat a non-zero worker as a failed shard and may reassign it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "src/shard/shard.h"
+#include "src/sweep/worker_pool.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --shard=FILE [--out=FILE] [--threads=N]\n"
+               "  --shard=FILE   shard spec JSON (\"-\" = stdin)\n"
+               "  --out=FILE     write the shard result JSON here (default stdout)\n"
+               "  --threads=N    cap worker-pool lanes (never changes results)\n",
+               argv0);
+  return 1;
+}
+
+std::string ReadAll(std::FILE* file) {
+  std::string out;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out.append(buffer, n);
+  }
+  if (std::ferror(file)) {
+    throw std::runtime_error("failed to read the shard file");
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* shard_path = nullptr;
+  const char* out_path = nullptr;
+  long threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--shard=", 8) == 0) {
+      shard_path = arg + 8;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      char* end = nullptr;
+      threads = std::strtol(arg + 10, &end, 10);
+      if (end == arg + 10 || *end != '\0' || threads < 0) {
+        return Usage(argv[0]);
+      }
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (shard_path == nullptr) {
+    return Usage(argv[0]);
+  }
+
+  try {
+    std::string text;
+    if (std::strcmp(shard_path, "-") == 0) {
+      text = ReadAll(stdin);
+    } else {
+      std::FILE* file = std::fopen(shard_path, "rb");
+      if (file == nullptr) {
+        throw std::runtime_error(std::string("cannot open shard file '") +
+                                 shard_path + "'");
+      }
+      text = ReadAll(file);
+      std::fclose(file);
+    }
+
+    longstore::ShardSpec shard = longstore::ShardSpec::FromJson(text);
+    shard.options.mc.threads = static_cast<int>(threads);
+    const longstore::ShardResult result = longstore::RunShard(shard);
+    const std::string json = result.ToJson();
+
+    std::FILE* out = stdout;
+    if (out_path != nullptr) {
+      out = std::fopen(out_path, "wb");
+      if (out == nullptr) {
+        throw std::runtime_error(std::string("cannot open output file '") +
+                                 out_path + "'");
+      }
+    }
+    const bool wrote = std::fwrite(json.data(), 1, json.size(), out) == json.size() &&
+                       std::fputc('\n', out) != EOF;
+    const bool flushed = std::fflush(out) == 0;
+    if (out != stdout) {
+      std::fclose(out);
+    }
+    if (!wrote || !flushed) {
+      throw std::runtime_error("failed to write the shard result");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_worker: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
