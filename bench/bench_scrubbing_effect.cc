@@ -13,20 +13,21 @@
 //
 // --shards=K executes the Monte Carlo sweep as K shards through the shard
 // driver (src/shard/) instead of one SweepRunner call; with --worker=PATH
-// each shard runs in a separate process of the given sweep_worker binary.
-// Output is byte-identical either way — CI diffs the 3-process run against
-// the single-process output.
+// each shard runs in a separate process of the given sweep_worker binary,
+// supervised by the fleet driver (src/fleet/) — add --fail-mode/--fail-prob/
+// --fail-seed to inject worker faults and watch it recover. Output is
+// byte-identical every way — CI diffs the fleet run (with and without
+// chaos) against the single-process output.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
+#include "src/fleet/fleet.h"
 #include "src/model/paper_model.h"
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
@@ -60,42 +61,59 @@ std::string McCell(const SweepCellResult& cell) {
   return buf;
 }
 
-// Executes the sweep as `shards` shards; `worker` non-null spawns one
-// process of that binary per shard, else the shards run in-process. Either
-// way the merged result is byte-identical to SweepRunner::Run (the contract
-// tests/shard_e2e_test.cc pins; this path lets CI prove it on a figure).
+// Worker-fleet knobs (only meaningful with --worker): fault injection and
+// the per-attempt timeout, forwarded to the FleetSupervisor.
+struct FleetFlags {
+  const char* fail_mode = nullptr;
+  double fail_prob = 0.0;
+  uint64_t fail_seed = 1;
+  double timeout_s = 120.0;
+};
+
+// Executes the sweep as `shards` shards; `worker` non-null runs them as a
+// supervised fleet of that binary's processes (retries, timeouts, checksum
+// verification — src/fleet/), else the shards run in-process. Either way
+// the merged result is byte-identical to SweepRunner::Run (the contract
+// tests/shard_e2e_test.cc and tests/fleet_recovery_test.cc pin; this path
+// lets CI prove it on a figure, including under injected chaos).
 SweepResult RunSharded(const SweepSpec& spec, const SweepOptions& options,
-                       int shards, const char* worker) {
-  const ShardPlan plan(spec, options, shards);
-  ShardMerger merger;
-  for (const ShardSpec& shard : plan.shards()) {
-    if (worker == nullptr) {
+                       int shards, const char* worker, const FleetFlags& flags) {
+  if (worker == nullptr) {
+    const ShardPlan plan(spec, options, shards);
+    ShardMerger merger;
+    for (const ShardSpec& shard : plan.shards()) {
       merger.Add(RunShard(shard));
-      continue;
     }
-    const std::string stem = "/tmp/longstore_bench_shard_" +
-                             std::to_string(getpid()) + "_" +
-                             std::to_string(shard.shard_index);
-    const std::string shard_path = stem + ".shard.json";
-    const std::string out_path = stem + ".result.json";
-    {
-      std::ofstream out(shard_path, std::ios::binary);
-      out << shard.ToJson();
-    }
-    const std::string command =
-        std::string(worker) + " --shard=" + shard_path + " --out=" + out_path;
-    if (std::system(command.c_str()) != 0) {
-      std::fprintf(stderr, "worker failed: %s\n", command.c_str());
-      std::exit(1);
-    }
-    std::ifstream in(out_path, std::ios::binary);
-    std::ostringstream json;
-    json << in.rdbuf();
-    merger.AddJson(json.str());
-    std::remove(shard_path.c_str());
-    std::remove(out_path.c_str());
+    return merger.Finish();
   }
-  return merger.Finish();
+  char tmp_dir[] = "/tmp/longstore_bench_fleet.XXXXXX";
+  if (::mkdtemp(tmp_dir) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  FleetOptions fleet;
+  fleet.worker_path = worker;
+  fleet.temp_dir = tmp_dir;
+  fleet.shard_count = shards;
+  fleet.max_parallel = 2;
+  fleet.max_retries = 8;  // chaos at --fail-prob=0.3 must still converge
+  fleet.backoff_initial_seconds = 0.05;
+  fleet.timeout_seconds = flags.timeout_s;
+  if (flags.fail_mode != nullptr) {
+    fleet.fail_mode = flags.fail_mode;
+    fleet.fail_prob = flags.fail_prob;
+    fleet.fail_seed = flags.fail_seed;
+  }
+  fleet.log = stderr;
+  SweepResult result;
+  try {
+    result = FleetSupervisor(fleet).Run(spec, options).result;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
+  ::rmdir(tmp_dir);
+  return result;
 }
 
 }  // namespace
@@ -105,13 +123,25 @@ int main(int argc, char** argv) {
   using namespace longstore;
   int shards = 0;
   const char* worker = nullptr;
+  FleetFlags flags;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::atoi(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--worker=", 9) == 0) {
       worker = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--fail-mode=", 12) == 0) {
+      flags.fail_mode = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--fail-prob=", 12) == 0) {
+      flags.fail_prob = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--fail-seed=", 12) == 0) {
+      flags.fail_seed = std::strtoull(argv[i] + 12, nullptr, 0);
+    } else if (std::strncmp(argv[i], "--timeout-s=", 12) == 0) {
+      flags.timeout_s = std::atof(argv[i] + 12);
     } else {
-      std::fprintf(stderr, "usage: %s [--shards=K] [--worker=PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--shards=K] [--worker=PATH] [--fail-mode=MODE]\n"
+                   "          [--fail-prob=P] [--fail-seed=S] [--timeout-s=T]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -148,8 +178,9 @@ int main(int argc, char** argv) {
   options.mc.trials = 4000;
   options.mc.seed = 33;
   options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
-  const SweepResult sweep = shards > 0 ? RunSharded(spec, options, shards, worker)
-                                       : SweepRunner().Run(spec, options);
+  const SweepResult sweep = shards > 0
+                                ? RunSharded(spec, options, shards, worker, flags)
+                                : SweepRunner().Run(spec, options);
 
   Table table({"configuration", "paper MTTDL", "our paper-eq", "eq 8", "CTMC (paper conv)",
                "CTMC (physical)", "MC sim (physical)"});

@@ -1,0 +1,398 @@
+#include "src/fleet/fleet.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "src/fleet/subprocess.h"
+#include "src/shard/shard.h"
+#include "src/util/json.h"
+#include "src/util/random.h"
+
+namespace longstore {
+namespace {
+
+double MonotonicSeconds() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void SleepSeconds(double seconds) {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(seconds);
+  ts.tv_nsec = static_cast<long>((seconds - static_cast<double>(ts.tv_sec)) * 1e9);
+  ::nanosleep(&ts, nullptr);
+}
+
+// Backoff before retry `attempt` (1 = after the first failure): exponential
+// growth capped at backoff_max, scaled by 0.5..1.0 jitter drawn
+// deterministically from (seed, unit, attempt) — no global RNG, so the
+// schedule reproduces exactly in tests.
+double JitteredDelay(const FleetOptions& options, int unit_id, int attempt) {
+  double base = options.backoff_initial_seconds;
+  for (int i = 1; i < attempt && base < options.backoff_max_seconds; ++i) {
+    base *= options.backoff_multiplier;
+  }
+  base = std::min(base, options.backoff_max_seconds);
+  const uint64_t draw = DeriveSeed(
+      DeriveSeed(options.backoff_seed, static_cast<uint64_t>(unit_id)),
+      static_cast<uint64_t>(attempt));
+  const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  return base * (0.5 + 0.5 * u);
+}
+
+bool WriteFile(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+// One supervised work item: initially a planned shard; after an exhausted
+// multi-cell unit is split, one of its cells.
+struct Unit {
+  enum class State { kReady, kRunning, kBackoff, kDone, kLost, kSplit };
+
+  int id = 0;
+  ShardSpec spec;
+  State state = State::kReady;
+  int attempt = 0;  // attempts started so far
+  double ready_at = 0.0;
+  double started_at = 0.0;
+  Subprocess child;
+  std::string spec_path;
+  std::string out_path;  // current attempt's output
+  std::string log_path;
+  std::string last_error;
+};
+
+bool UnitFinished(const Unit& unit) {
+  return unit.state == Unit::State::kDone || unit.state == Unit::State::kLost ||
+         unit.state == Unit::State::kSplit;
+}
+
+}  // namespace
+
+FleetSupervisor::FleetSupervisor(FleetOptions options) : options_(std::move(options)) {}
+
+FleetReport FleetSupervisor::Run(const SweepSpec& spec,
+                                 const SweepOptions& sweep_options) const {
+  const FleetOptions& opt = options_;
+  if (opt.worker_path.empty()) {
+    throw FleetError("fleet: worker_path is required");
+  }
+  if (opt.temp_dir.empty()) {
+    throw FleetError("fleet: temp_dir is required");
+  }
+  if (opt.shard_count < 1 || opt.max_parallel < 1 || opt.max_retries < 0) {
+    throw FleetError("fleet: shard_count and max_parallel must be >= 1, "
+                     "max_retries >= 0");
+  }
+  if (opt.backoff_initial_seconds <= 0.0 || opt.backoff_max_seconds <= 0.0 ||
+      opt.backoff_multiplier < 1.0) {
+    throw FleetError("fleet: backoff parameters must be positive "
+                     "(multiplier >= 1)");
+  }
+
+  // Plan exactly as the in-process driver would; validation errors
+  // propagate with SweepRunner::Run's own messages.
+  const ShardPlan plan(spec, sweep_options, opt.shard_count);
+  const size_t total_cells = plan.total_cells();
+  // Every unit ever created gets a distinct id used as its shard_index;
+  // splitting a unit of n cells creates n single-cell units and single-cell
+  // units never split, so initial_units + total_cells bounds the id space.
+  // sweep_id, not shard_count, proves the documents belong together.
+  const int id_bound =
+      opt.shard_count + static_cast<int>(std::min<size_t>(total_cells, 1 << 20));
+
+  std::map<size_t, std::string> cell_labels;
+  std::vector<std::string> created_files;
+  // Scratch files go on every exit path (including exceptions) unless the
+  // caller asked to keep them for debugging.
+  struct Cleanup {
+    const std::vector<std::string>* files;
+    bool keep;
+    ~Cleanup() {
+      if (!keep) {
+        for (const std::string& path : *files) {
+          std::remove(path.c_str());
+        }
+      }
+    }
+  } cleanup{&created_files, opt.keep_files};
+  // Units are appended while iterating (splits), so store stable pointers.
+  std::vector<std::unique_ptr<Unit>> units;
+
+  const auto log = [&](const char* fmt, auto... args) {
+    if (opt.log != nullptr) {
+      std::fprintf(opt.log, fmt, args...);
+      std::fflush(opt.log);
+    }
+  };
+
+  const auto make_unit = [&](ShardSpec shard) -> Unit& {
+    const int id = static_cast<int>(units.size());
+    units.push_back(std::make_unique<Unit>());
+    Unit& unit = *units.back();
+    unit.id = id;
+    unit.spec = std::move(shard);
+    unit.spec.shard_index = id;
+    unit.spec.shard_count = id_bound;
+    unit.spec_path =
+        opt.temp_dir + "/unit" + std::to_string(id) + ".shard.json";
+    unit.log_path = opt.temp_dir + "/unit" + std::to_string(id) + ".log";
+    if (!WriteFile(unit.spec_path, unit.spec.ToJson())) {
+      throw FleetError("fleet: cannot write shard document " + unit.spec_path);
+    }
+    created_files.push_back(unit.spec_path);
+    created_files.push_back(unit.log_path);
+    for (const SweepSpec::Cell& cell : unit.spec.cells) {
+      cell_labels[cell.index] = cell.label;
+    }
+    return unit;
+  };
+
+  for (const ShardSpec& shard : plan.shards()) {
+    make_unit(shard);
+  }
+
+  FleetStats stats;
+  ShardMerger merger;
+  std::map<size_t, std::string> cell_errors;  // grid index -> last failure
+
+  const auto spawn = [&](Unit& unit) {
+    ++unit.attempt;
+    ++stats.spawned;
+    unit.out_path = opt.temp_dir + "/unit" + std::to_string(unit.id) +
+                    ".attempt" + std::to_string(unit.attempt) + ".result.json";
+    created_files.push_back(unit.out_path);
+    std::vector<std::string> argv = {opt.worker_path,
+                                     "--shard=" + unit.spec_path,
+                                     "--out=" + unit.out_path};
+    if (opt.worker_threads > 0) {
+      argv.push_back("--threads=" + std::to_string(opt.worker_threads));
+    }
+    if (!opt.fail_mode.empty()) {
+      char prob[64];
+      std::snprintf(prob, sizeof(prob), "%.17g", opt.fail_prob);
+      argv.push_back("--fail-mode=" + opt.fail_mode);
+      argv.push_back("--fail-prob=" + std::string(prob));
+      argv.push_back("--fail-seed=" + std::to_string(opt.fail_seed));
+      // Fresh fault draw per attempt; without this a deterministic failure
+      // would repeat verbatim on every retry.
+      argv.push_back("--fail-nonce=" + std::to_string(unit.attempt));
+    }
+    unit.child = Subprocess::Spawn(argv, unit.log_path);
+    unit.state = Unit::State::kRunning;
+    unit.started_at = MonotonicSeconds();
+    log("[fleet] unit %d attempt %d/%d: spawned pid %d (%zu cells)\n", unit.id,
+        unit.attempt, 1 + opt.max_retries, static_cast<int>(unit.child.pid()),
+        unit.spec.cells.size());
+  };
+
+  // A failed attempt: retry with backoff while budget remains; then split a
+  // multi-cell unit into per-cell units with fresh budgets (poison-cell
+  // isolation); then declare the cells lost.
+  const auto fail = [&](Unit& unit, const std::string& reason) {
+    unit.last_error = reason;
+    if (unit.attempt <= opt.max_retries) {
+      const double delay = JitteredDelay(opt, unit.id, unit.attempt);
+      unit.state = Unit::State::kBackoff;
+      unit.ready_at = MonotonicSeconds() + delay;
+      ++stats.retries;
+      log("[fleet] unit %d attempt %d/%d failed: %s; retrying in %.2fs\n",
+          unit.id, unit.attempt, 1 + opt.max_retries, reason.c_str(), delay);
+      return;
+    }
+    if (opt.split_exhausted && unit.spec.cells.size() > 1) {
+      unit.state = Unit::State::kSplit;
+      ++stats.splits;
+      log("[fleet] unit %d exhausted its %d attempts (%s); splitting %zu "
+          "cells into single-cell units\n",
+          unit.id, 1 + opt.max_retries, reason.c_str(), unit.spec.cells.size());
+      ShardSpec base = unit.spec;
+      std::vector<SweepSpec::Cell> cells = std::move(base.cells);
+      base.cells.clear();
+      for (SweepSpec::Cell& cell : cells) {
+        ShardSpec single = base;
+        single.cells.push_back(std::move(cell));
+        make_unit(std::move(single));
+      }
+      return;
+    }
+    unit.state = Unit::State::kLost;
+    for (const SweepSpec::Cell& cell : unit.spec.cells) {
+      cell_errors[cell.index] = reason + " after " + std::to_string(unit.attempt) +
+                                " attempts";
+    }
+    log("[fleet] unit %d lost after %d attempts: %s (%zu cells)\n", unit.id,
+        unit.attempt, reason.c_str(), unit.spec.cells.size());
+  };
+
+  // A clean exit: the document must exist, verify (envelope length +
+  // FNV-1a), and parse strictly before it may merge. Failures at this stage
+  // are transport faults — retryable — not merge faults.
+  const auto harvest = [&](Unit& unit) {
+    std::string text;
+    if (!ReadFile(unit.out_path, &text)) {
+      ++stats.malformed;
+      fail(unit, "exited cleanly but wrote no result document");
+      return;
+    }
+    ShardResult result;
+    try {
+      result = ShardResult::FromJson(text, unit.out_path);
+    } catch (const json::IntegrityError& e) {
+      ++stats.corrupt;
+      fail(unit, std::string("corrupt result document: ") + e.what());
+      return;
+    } catch (const std::exception& e) {
+      ++stats.malformed;
+      fail(unit, std::string("unreadable result document: ") + e.what());
+      return;
+    }
+    try {
+      merger.Add(std::move(result), unit.out_path);
+    } catch (const std::invalid_argument& e) {
+      // Verified bytes that do not merge mean a worker/driver bug (wrong
+      // sweep, duplicate cells), which a retry cannot fix.
+      throw FleetError(std::string("fleet: merge failed: ") + e.what());
+    }
+    unit.state = Unit::State::kDone;
+    ++stats.succeeded;
+    log("[fleet] unit %d done after %d attempt%s (%zu cells merged)\n", unit.id,
+        unit.attempt, unit.attempt == 1 ? "" : "s", unit.spec.cells.size());
+  };
+
+  // Single-threaded supervision loop; subprocesses provide the only real
+  // concurrency, which keeps every state transition trivially race-free.
+  size_t open_units = units.size();
+  while (open_units > 0) {
+    int running = 0;
+    for (size_t i = 0; i < units.size(); ++i) {
+      Unit& unit = *units[i];
+      if (unit.state == Unit::State::kRunning) {
+        if (unit.child.Poll()) {
+          if (unit.child.exited_cleanly()) {
+            harvest(unit);
+          } else {
+            ++stats.crashed;
+            fail(unit, "worker died: " + unit.child.DescribeExit());
+          }
+        } else if (opt.timeout_seconds > 0.0 &&
+                   MonotonicSeconds() - unit.started_at > opt.timeout_seconds) {
+          unit.child.Kill();
+          unit.child.Await();
+          ++stats.timed_out;
+          char reason[96];
+          std::snprintf(reason, sizeof(reason),
+                        "timed out after %.1fs; sent SIGKILL", opt.timeout_seconds);
+          fail(unit, reason);
+        }
+      }
+      if (unit.state == Unit::State::kBackoff &&
+          MonotonicSeconds() >= unit.ready_at) {
+        unit.state = Unit::State::kReady;
+      }
+      if (unit.state == Unit::State::kRunning) {
+        ++running;
+      }
+    }
+    for (size_t i = 0; i < units.size() && running < opt.max_parallel; ++i) {
+      Unit& unit = *units[i];
+      if (unit.state == Unit::State::kReady) {
+        spawn(unit);
+        ++running;
+      }
+    }
+    open_units = 0;
+    for (const auto& unit : units) {
+      if (!UnitFinished(*unit)) {
+        ++open_units;
+      }
+    }
+    if (open_units > 0) {
+      SleepSeconds(0.002);
+    }
+  }
+
+  // Subprocess destructors have reaped everything; now account for the
+  // sweep.
+  FleetReport report;
+  report.stats = stats;
+  if (merger.complete()) {
+    report.result = merger.Finish();
+    report.complete = true;
+    return report;
+  }
+
+  // MissingCells() is only meaningful once the merger saw a header; with
+  // zero successes every cell is missing.
+  std::vector<size_t> missing = merger.MissingCells();
+  if (merger.cells_received() == 0 && missing.empty()) {
+    missing.resize(total_cells);
+    for (size_t i = 0; i < total_cells; ++i) {
+      missing[i] = i;
+    }
+  }
+  std::vector<FleetLostCell> lost;
+  for (const size_t index : missing) {
+    FleetLostCell cell;
+    cell.index = index;
+    const auto label = cell_labels.find(index);
+    cell.label = label != cell_labels.end() ? label->second : "";
+    const auto error = cell_errors.find(index);
+    cell.reason = error != cell_errors.end() ? error->second : "never attempted";
+    lost.push_back(std::move(cell));
+  }
+
+  std::string summary = std::to_string(lost.size()) + " of " +
+                        std::to_string(total_cells) +
+                        " cells lost after retries were exhausted:";
+  for (size_t i = 0; i < lost.size() && i < 8; ++i) {
+    summary += "\n  cell " + std::to_string(lost[i].index) + " \"" +
+               lost[i].label + "\": " + lost[i].reason;
+  }
+  if (lost.size() > 8) {
+    summary += "\n  ... and " + std::to_string(lost.size() - 8) + " more";
+  }
+
+  if (!opt.partial_ok) {
+    throw FleetError("fleet: " + summary);
+  }
+  if (merger.cells_received() == 0) {
+    throw FleetError("fleet: every attempt failed; no cells to finalize (" +
+                     summary + ")");
+  }
+  log("[fleet] partial result: %s\n", summary.c_str());
+  report.result = merger.FinishPartial();
+  report.complete = false;
+  report.lost = std::move(lost);
+  return report;
+}
+
+}  // namespace longstore

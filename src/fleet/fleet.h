@@ -1,0 +1,160 @@
+// Fault-tolerant execution of sharded sweeps: a supervisor that plans a
+// sweep into shard documents (src/shard/), runs a fleet of sweep_worker
+// subprocesses, and drives every shard to a verified result *despite*
+// workers that crash, hang, exit dirty, or return corrupted bytes — the
+// paper's fault/detect/repair discipline (Baker et al., EuroSys 2006,
+// strategies 2 and 4) applied to the compute fleet itself.
+//
+// Supervision model (src/fleet/README.md has the full state machine):
+//
+//   * every unit (initially one planned shard) runs as its own subprocess;
+//     at most max_parallel run at once;
+//   * a unit fails when its process dies dirty, exceeds the wall-clock
+//     timeout (SIGKILL escalation), writes no output, or writes a document
+//     that fails the envelope checksum (json::IntegrityError) or strict
+//     parse — every one of these is *detected*, logged with the shard and
+//     file named, and retried with exponential backoff plus deterministic
+//     jitter, up to max_retries retries per unit;
+//   * a multi-cell unit that exhausts its retries is split into single-cell
+//     units with fresh budgets, isolating a poison cell so the rest of the
+//     shard still completes (the "reassignment" of a dead worker's cells);
+//   * results merge through ShardMerger, so the final figure is
+//     byte-identical to the single-process run whenever every cell
+//     eventually succeeds — the PR 5 contract survives any amount of
+//     retrying, re-partitioning, and out-of-order completion, because cell
+//     identity (sweep_id, grid index, content-derived seeds) never depends
+//     on which process computed what;
+//   * cells that still fail after splitting are *lost*: Run throws a
+//     FleetError naming them, or, with partial_ok, returns the finalized
+//     survivors plus an explicit lost-cell list — never a silently
+//     truncated table.
+//
+// Determinism: the estimates are bit-identical to SweepRunner::Run by the
+// shard contract; the *supervision schedule* (which attempt failed, backoff
+// draws) is additionally deterministic given the options' seeds, which is
+// what makes the fault-injection matrix (tests/fleet_recovery_test.cc)
+// reproducible.
+
+#ifndef LONGSTORE_SRC_FLEET_FLEET_H_
+#define LONGSTORE_SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/sweep/sweep.h"
+
+namespace longstore {
+
+struct FleetOptions {
+  // Path to the sweep_worker binary (execv'd directly; no PATH search).
+  std::string worker_path;
+  // Existing writable directory for shard/result/log files. Required.
+  std::string temp_dir;
+
+  // Initial shard count (>= 1). More shards than max_parallel is fine —
+  // they queue.
+  int shard_count = 1;
+  // Workers running at once (>= 1).
+  int max_parallel = 2;
+  // Retries per unit after its first attempt: a unit gets 1 + max_retries
+  // attempts before it is split (multi-cell) or declared lost.
+  int max_retries = 3;
+  // Wall-clock seconds per attempt before SIGKILL; 0 disables the timeout
+  // (then a hung worker hangs the fleet — always set this in production).
+  double timeout_seconds = 0.0;
+
+  // Backoff before retry k (k = 1 after the first failure):
+  //   min(backoff_max, backoff_initial * multiplier^(k-1)) * (0.5 + 0.5*u)
+  // with u in [0,1) drawn deterministically from (backoff_seed, unit, k) —
+  // jitter without a global RNG, reproducible in tests.
+  double backoff_initial_seconds = 0.1;
+  double backoff_max_seconds = 5.0;
+  double backoff_multiplier = 2.0;
+  uint64_t backoff_seed = 0x5eedb0ffu;
+
+  // Accept an incomplete sweep: exhausted cells come back explicitly marked
+  // (FleetReport::lost, complete=false) instead of FleetError.
+  bool partial_ok = false;
+  // Split a multi-cell unit that exhausts its retries into single-cell
+  // units with fresh retry budgets (isolates poison cells). On by default;
+  // off means the whole unit's cells are lost together.
+  bool split_exhausted = true;
+
+  // Worker lane count (--threads); 0 lets each worker pick its default.
+  // Never changes results, only wall clock.
+  int worker_threads = 1;
+  // Keep shard/result/log files in temp_dir after Run (debugging).
+  bool keep_files = false;
+
+  // Deterministic fault injection, forwarded to every worker
+  // (--fail-mode/--fail-prob/--fail-seed; the supervisor adds
+  // --fail-nonce=<attempt> so retries of the same shard draw fresh
+  // decisions). Empty fail_mode = no injection. Test/CI chaos only.
+  std::string fail_mode;
+  double fail_prob = 0.0;
+  uint64_t fail_seed = 0;
+
+  // Supervision log (retries, timeouts, splits), e.g. stderr; nullptr =
+  // silent.
+  std::FILE* log = nullptr;
+};
+
+struct FleetStats {
+  int spawned = 0;    // processes started (attempts)
+  int succeeded = 0;  // attempts whose document verified and merged
+  int crashed = 0;    // dirty exits (nonzero status or signal)
+  int timed_out = 0;  // SIGKILLed past timeout_seconds
+  int corrupt = 0;    // envelope checksum/length failures (IntegrityError)
+  int malformed = 0;  // other unreadable/unparseable output
+  int retries = 0;    // re-spawns after failure
+  int splits = 0;     // exhausted multi-cell units split into cells
+};
+
+// A cell no attempt could deliver: its grid index, label, and the last
+// failure the supervisor saw from a unit that owned it.
+struct FleetLostCell {
+  size_t index = 0;
+  std::string label;
+  std::string reason;
+};
+
+struct FleetReport {
+  SweepResult result;
+  // True: every cell merged; `result` is byte-identical to the
+  // single-process run. False (partial_ok only): `result` holds the
+  // finalized survivors, `lost` the rest.
+  bool complete = true;
+  std::vector<FleetLostCell> lost;
+  FleetStats stats;
+};
+
+// Retries exhausted (without partial_ok), no usable results at all, or the
+// fleet could not run (bad options, unwritable temp_dir, merge
+// inconsistency — which would mean a worker bug, not a transport fault).
+class FleetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FleetSupervisor {
+ public:
+  explicit FleetSupervisor(FleetOptions options);
+
+  // Plans `spec` into options.shard_count shards and supervises them to
+  // completion. Throws std::invalid_argument for invalid sweep
+  // specs/options (same messages as SweepRunner::Run), FleetError for
+  // fleet-level failure.
+  FleetReport Run(const SweepSpec& spec, const SweepOptions& sweep_options) const;
+
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  FleetOptions options_;
+};
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_FLEET_FLEET_H_

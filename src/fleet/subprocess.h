@@ -1,0 +1,66 @@
+// A minimal POSIX child-process handle for the fleet supervisor: spawn an
+// argv with stdout/stderr captured to a file, poll or await its exit, and
+// SIGKILL it when it overstays its deadline. Deliberately tiny — no pipes,
+// no shells (fork + execv, so worker arguments are never re-parsed), no
+// threads — because the supervisor's whole failure model is "the child is a
+// black box that either produces a verifiable document or gets retried".
+
+#ifndef LONGSTORE_SRC_FLEET_SUBPROCESS_H_
+#define LONGSTORE_SRC_FLEET_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace longstore {
+
+class Subprocess {
+ public:
+  Subprocess() = default;
+  // A still-running child is killed and reaped on destruction so a throwing
+  // supervisor can never leak zombies or orphaned workers.
+  ~Subprocess();
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+
+  // Forks and execs argv (argv[0] is the binary path; no PATH search, no
+  // shell). The child's stdout and stderr are appended to `output_path`
+  // (empty = inherit). Throws std::runtime_error if the fork itself fails;
+  // an exec failure surfaces as exit code 127 on Poll/Await.
+  static Subprocess Spawn(const std::vector<std::string>& argv,
+                          const std::string& output_path);
+
+  bool started() const { return pid_ > 0; }
+  bool running() const { return pid_ > 0 && !exited_; }
+
+  // Non-blocking reap; returns true once the child has exited (repeat calls
+  // after that stay true and are free).
+  bool Poll();
+  // Blocking reap.
+  void Await();
+  // SIGKILL — the escalation of last resort for hung workers. Idempotent;
+  // the caller still needs Poll/Await to reap. No-op after exit.
+  void Kill();
+
+  // Valid after Poll/Await returned true.
+  bool exited_cleanly() const { return exited_ && term_signal_ == 0 && exit_code_ == 0; }
+  int exit_code() const { return exit_code_; }      // -1 when signaled
+  int term_signal() const { return term_signal_; }  // 0 when exited normally
+  pid_t pid() const { return pid_; }
+
+  // "exit status 1", "signal 9 (Killed)" — for retry-log messages.
+  std::string DescribeExit() const;
+
+ private:
+  pid_t pid_ = -1;
+  bool exited_ = false;
+  int exit_code_ = -1;
+  int term_signal_ = 0;
+};
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_FLEET_SUBPROCESS_H_

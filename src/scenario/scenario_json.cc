@@ -232,14 +232,6 @@ Scenario Scenario::FromJson(std::string_view json) {
   return FromJsonValue(json::Parse(json, kContext));
 }
 
-uint64_t Scenario::CanonicalHash() const {
-  const std::string canonical = ToJson();
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : canonical) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+uint64_t Scenario::CanonicalHash() const { return json::Fnv1a64(ToJson()); }
 
 }  // namespace longstore

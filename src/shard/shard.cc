@@ -144,31 +144,69 @@ std::vector<SweepCoordinate> ReadCoordinates(json::ObjectReader& cell,
   return coordinates;
 }
 
-// Shared header fields of both shard documents.
+// Shared header fields of both shard document bodies.
 struct ShardHeader {
   int shard_index = 0;
   int shard_count = 1;
   size_t total_cells = 0;
+  uint64_t sweep_id = 0;
 };
 
 void AppendHeaderJson(std::string& out, int shard_index, int shard_count,
-                      size_t total_cells) {
-  out += "{\"shard_version\":";
-  json::AppendInt64(out, kShardProtocolVersion);
-  out += ",\"shard_index\":";
+                      size_t total_cells, uint64_t sweep_id) {
+  out += "{\"shard_index\":";
   json::AppendInt64(out, shard_index);
   out += ",\"shard_count\":";
   json::AppendInt64(out, shard_count);
   out += ",\"total_cells\":";
   json::AppendInt64(out, static_cast<int64_t>(total_cells));
+  out += ",\"sweep_id\":";
+  json::AppendUint64Hex(out, sweep_id);
 }
 
-ShardHeader ReadHeader(json::ObjectReader& reader, const std::string& context) {
-  const int version = reader.GetInt("shard_version");
-  if (version != kShardProtocolVersion) {
-    json::Fail(context, "unsupported shard_version " + std::to_string(version) +
-                            " (this build speaks " +
-                            std::to_string(kShardProtocolVersion) + ")");
+// Opens the (possibly enveloped) document, enforcing the version rules:
+// version 2 must arrive checksummed, version 1 must not, anything else is
+// foreign. Returns the verified body to parse.
+json::ChecksummedDocument OpenShardDocument(std::string_view text,
+                                            const std::string& context,
+                                            const std::string& source) {
+  const auto fail = [&](const std::string& what) {
+    json::Fail(context, source.empty() ? what : "[" + source + "] " + what);
+  };
+  const json::ChecksummedDocument doc =
+      json::OpenChecksummedDocument(text, "shard_version", context, source);
+  if (doc.checksummed && doc.version != kShardProtocolVersion) {
+    fail("unsupported shard_version " + std::to_string(doc.version) +
+         " in a checksummed envelope (this build speaks " +
+         std::to_string(kShardProtocolVersion) + ")");
+  }
+  return doc;
+}
+
+// Reads the body header. For an unchecksummed (legacy) body the version key
+// still lives inside the body and must say kShardLegacyVersion; a flat
+// document claiming version 2 is refused outright — accepting it would make
+// the integrity layer optional in exactly the silent-corruption cases it
+// exists for.
+ShardHeader ReadHeader(json::ObjectReader& reader,
+                       const json::ChecksummedDocument& doc,
+                       const std::string& context, const std::string& source) {
+  const auto fail = [&](const std::string& what) {
+    json::Fail(context, source.empty() ? what : "[" + source + "] " + what);
+  };
+  if (!doc.checksummed) {
+    const int version = reader.GetInt("shard_version");
+    if (version == kShardProtocolVersion) {
+      fail("shard_version " + std::to_string(kShardProtocolVersion) +
+           " documents must arrive in the checksummed envelope; refusing an "
+           "unverifiable document");
+    }
+    if (version != kShardLegacyVersion) {
+      fail("unsupported shard_version " + std::to_string(version) +
+           " (this build speaks " + std::to_string(kShardProtocolVersion) +
+           "; version " + std::to_string(kShardLegacyVersion) +
+           " still accepted unchecksummed)");
+    }
   }
   ShardHeader header;
   header.shard_count = reader.GetInt("shard_count");
@@ -185,7 +223,27 @@ ShardHeader ReadHeader(json::ObjectReader& reader, const std::string& context) {
     json::Fail(context, "total_cells must be >= 1");
   }
   header.total_cells = static_cast<size_t>(total);
+  if (doc.checksummed) {
+    header.sweep_id = reader.GetUint64Hex("sweep_id");
+  }
   return header;
+}
+
+// Re-throws a schema/parse error with the source document named, unless the
+// message already names it (OpenShardDocument and ReadHeader tag their own).
+// Keeps json::IntegrityError's type intact for the retryable/fatal split.
+[[noreturn]] void RethrowTagged(const std::string& source) {
+  try {
+    throw;
+  } catch (const json::IntegrityError&) {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    if (source.empty() || what.find("[" + source + "]") != std::string::npos) {
+      throw;
+    }
+    throw std::invalid_argument("[" + source + "] " + what);
+  }
 }
 
 // Tracks which grid indices this document has already claimed.
@@ -227,15 +285,10 @@ std::string ListIndices(const std::vector<size_t>& indices) {
   return out;
 }
 
-}  // namespace
-
-// --- ShardSpec -------------------------------------------------------------
-
-std::string ShardSpec::ToJson() const {
-  std::string out;
-  out.reserve(512 + cells.size() * 1024);
-  AppendHeaderJson(out, shard_index, shard_count, total_cells);
-  out += ",\"estimand\":\"";
+// The sweep-level option fields, shared verbatim between the shard spec
+// body and the sweep-identity string ComputeSweepId hashes.
+void AppendOptionsJson(std::string& out, const SweepOptions& options) {
+  out += "\"estimand\":\"";
   out += EstimandName(options.estimand);
   out += "\",\"seed_mode\":\"";
   out += SeedModeName(options.seed_mode);
@@ -265,40 +318,97 @@ std::string ShardSpec::ToJson() const {
   json::AppendDouble(out, options.relative_precision);
   out += ",\"max_trials\":";
   json::AppendInt64(out, options.max_trials);
-  out += ",\"axes\":";
-  AppendAxesJson(out, axis_names);
-  out += ",\"cells\":[";
+}
+
+}  // namespace
+
+// --- sweep identity --------------------------------------------------------
+
+uint64_t ComputeSweepId(const std::vector<std::string>& axis_names,
+                        const SweepOptions& options,
+                        const std::vector<SweepSpec::Cell>& cells) {
+  std::string id;
+  id.reserve(256 + cells.size() * 64);
+  id += "{\"total_cells\":";
+  json::AppendInt64(id, static_cast<int64_t>(cells.size()));
+  id += ',';
+  // Lane count shapes wall clock, never results; it must not move the id.
+  SweepOptions canonical = options;
+  canonical.mc.threads = 0;
+  AppendOptionsJson(id, canonical);
+  id += ",\"axes\":";
+  AppendAxesJson(id, axis_names);
+  id += ",\"cells\":[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      id += ',';
+    }
+    id += "{\"index\":";
+    json::AppendInt64(id, static_cast<int64_t>(cells[i].index));
+    id += ",\"label\":";
+    json::AppendEscaped(id, cells[i].label);
+    id += ",\"scenario\":";
+    json::AppendUint64Hex(id, cells[i].scenario.CanonicalHash());
+    id += '}';
+  }
+  id += "]}";
+  return json::Fnv1a64(id);
+}
+
+// --- ShardSpec -------------------------------------------------------------
+
+std::string ShardSpec::ToJson() const {
+  std::string body;
+  body.reserve(512 + cells.size() * 1024);
+  AppendHeaderJson(body, shard_index, shard_count, total_cells, sweep_id);
+  body += ',';
+  AppendOptionsJson(body, options);
+  body += ",\"axes\":";
+  AppendAxesJson(body, axis_names);
+  body += ",\"cells\":[";
   for (size_t i = 0; i < cells.size(); ++i) {
     const SweepSpec::Cell& cell = cells[i];
     if (i > 0) {
-      out += ',';
+      body += ',';
     }
-    out += "{\"index\":";
-    json::AppendInt64(out, static_cast<int64_t>(cell.index));
-    out += ",\"label\":";
-    json::AppendEscaped(out, cell.label);
-    out += ",\"coordinates\":";
-    AppendCoordinatesJson(out, cell.coordinates);
+    body += "{\"index\":";
+    json::AppendInt64(body, static_cast<int64_t>(cell.index));
+    body += ",\"label\":";
+    json::AppendEscaped(body, cell.label);
+    body += ",\"coordinates\":";
+    AppendCoordinatesJson(body, cell.coordinates);
     // The scenario's canonical JSON, spliced verbatim: the scenario
     // subtree's bytes — and therefore CanonicalHash and kScenarioDerived
     // seeds — are exactly the driver's.
-    out += ",\"scenario\":";
-    out += cell.scenario.ToJson();
-    out += '}';
+    body += ",\"scenario\":";
+    body += cell.scenario.ToJson();
+    body += '}';
   }
-  out += "]}";
-  return out;
+  body += "]}";
+  return json::WrapChecksummedBody("shard_version", kShardProtocolVersion, body);
 }
 
-ShardSpec ShardSpec::FromJson(std::string_view text) {
-  const json::Value root = json::Parse(text, kSpecContext);
+ShardSpec ShardSpec::FromJson(std::string_view text, const std::string& source) {
+  try {
+    return FromJsonUntagged(text, source);
+  } catch (...) {
+    RethrowTagged(source);
+  }
+}
+
+ShardSpec ShardSpec::FromJsonUntagged(std::string_view text,
+                                      const std::string& source) {
+  const json::ChecksummedDocument doc =
+      OpenShardDocument(text, kSpecContext, source);
+  const json::Value root = json::Parse(doc.body, kSpecContext);
   json::ObjectReader reader(root, "shard", kSpecContext);
-  const ShardHeader header = ReadHeader(reader, kSpecContext);
+  const ShardHeader header = ReadHeader(reader, doc, kSpecContext, source);
 
   ShardSpec shard;
   shard.shard_index = header.shard_index;
   shard.shard_count = header.shard_count;
   shard.total_cells = header.total_cells;
+  shard.sweep_id = header.sweep_id;
   shard.options.estimand = ParseEstimand(reader.GetString("estimand"), kSpecContext);
   shard.options.seed_mode = ParseSeedMode(reader.GetString("seed_mode"), kSpecContext);
   shard.options.mission = Duration::Hours(reader.GetNumber("mission_hours"));
@@ -357,12 +467,14 @@ ShardPlan::ShardPlan(const SweepSpec& spec, const SweepOptions& options,
 
   axis_names_ = spec.AxisNames();
   total_cells_ = cells.size();
+  const uint64_t sweep_id = ComputeSweepId(axis_names_, options, cells);
   shards_.resize(static_cast<size_t>(shard_count));
   for (int k = 0; k < shard_count; ++k) {
     ShardSpec& shard = shards_[static_cast<size_t>(k)];
     shard.shard_index = k;
     shard.shard_count = shard_count;
     shard.total_cells = total_cells_;
+    shard.sweep_id = sweep_id;
     shard.axis_names = axis_names_;
     shard.options = options;
     // Lane count is the worker's own business (and never changes results).
@@ -389,6 +501,7 @@ ShardResult RunShard(const ShardSpec& shard, WorkerPool* pool) {
   result.shard_index = shard.shard_index;
   result.shard_count = shard.shard_count;
   result.total_cells = shard.total_cells;
+  result.sweep_id = shard.sweep_id;
   result.estimand = shard.options.estimand;
   result.confidence = shard.options.mc.confidence;
   result.axis_names = shard.axis_names;
@@ -399,55 +512,67 @@ ShardResult RunShard(const ShardSpec& shard, WorkerPool* pool) {
 // --- ShardResult -----------------------------------------------------------
 
 std::string ShardResult::ToJson() const {
-  std::string out;
-  out.reserve(512 + cells.size() * 1024);
-  AppendHeaderJson(out, shard_index, shard_count, total_cells);
-  out += ",\"estimand\":\"";
-  out += EstimandName(estimand);
-  out += "\",\"confidence\":";
-  json::AppendDouble(out, confidence);
-  out += ",\"axes\":";
-  AppendAxesJson(out, axis_names);
-  out += ",\"cells\":[";
+  std::string body;
+  body.reserve(512 + cells.size() * 1024);
+  AppendHeaderJson(body, shard_index, shard_count, total_cells, sweep_id);
+  body += ",\"estimand\":\"";
+  body += EstimandName(estimand);
+  body += "\",\"confidence\":";
+  json::AppendDouble(body, confidence);
+  body += ",\"axes\":";
+  AppendAxesJson(body, axis_names);
+  body += ",\"cells\":[";
   for (size_t i = 0; i < cells.size(); ++i) {
     const SweepCellExecution& cell = cells[i];
     if (i > 0) {
-      out += ',';
+      body += ',';
     }
-    out += "{\"index\":";
-    json::AppendInt64(out, static_cast<int64_t>(cell.index));
-    out += ",\"label\":";
-    json::AppendEscaped(out, cell.label);
-    out += ",\"coordinates\":";
-    AppendCoordinatesJson(out, cell.coordinates);
-    out += ",\"trials\":";
-    json::AppendInt64(out, cell.trials);
-    out += ",\"rounds\":";
-    json::AppendInt64(out, cell.rounds);
-    out += ",\"half_width_history\":[";
+    body += "{\"index\":";
+    json::AppendInt64(body, static_cast<int64_t>(cell.index));
+    body += ",\"label\":";
+    json::AppendEscaped(body, cell.label);
+    body += ",\"coordinates\":";
+    AppendCoordinatesJson(body, cell.coordinates);
+    body += ",\"trials\":";
+    json::AppendInt64(body, cell.trials);
+    body += ",\"rounds\":";
+    json::AppendInt64(body, cell.rounds);
+    body += ",\"half_width_history\":[";
     for (size_t h = 0; h < cell.half_width_history.size(); ++h) {
       if (h > 0) {
-        out += ',';
+        body += ',';
       }
-      json::AppendDouble(out, cell.half_width_history[h]);
+      json::AppendDouble(body, cell.half_width_history[h]);
     }
-    out += "],\"accumulator\":";
-    AppendTrialAccumulatorJson(out, cell.acc);
-    out += '}';
+    body += "],\"accumulator\":";
+    AppendTrialAccumulatorJson(body, cell.acc);
+    body += '}';
   }
-  out += "]}";
-  return out;
+  body += "]}";
+  return json::WrapChecksummedBody("shard_version", kShardProtocolVersion, body);
 }
 
-ShardResult ShardResult::FromJson(std::string_view text) {
-  const json::Value root = json::Parse(text, kResultContext);
+ShardResult ShardResult::FromJson(std::string_view text, const std::string& source) {
+  try {
+    return FromJsonUntagged(text, source);
+  } catch (...) {
+    RethrowTagged(source);
+  }
+}
+
+ShardResult ShardResult::FromJsonUntagged(std::string_view text,
+                                          const std::string& source) {
+  const json::ChecksummedDocument doc =
+      OpenShardDocument(text, kResultContext, source);
+  const json::Value root = json::Parse(doc.body, kResultContext);
   json::ObjectReader reader(root, "shard result", kResultContext);
-  const ShardHeader header = ReadHeader(reader, kResultContext);
+  const ShardHeader header = ReadHeader(reader, doc, kResultContext, source);
 
   ShardResult result;
   result.shard_index = header.shard_index;
   result.shard_count = header.shard_count;
   result.total_cells = header.total_cells;
+  result.sweep_id = header.sweep_id;
   result.estimand = ParseEstimand(reader.GetString("estimand"), kResultContext);
   result.confidence = reader.GetNumber("confidence");
   result.axis_names = ReadAxes(reader, kResultContext);
@@ -503,16 +628,31 @@ ShardResult ShardResult::FromJson(std::string_view text) {
 
 // --- ShardMerger -----------------------------------------------------------
 
-void ShardMerger::Add(ShardResult result) {
+namespace {
+
+// "shard 3 (k3.result.json)" / "shard 3" — the retry-log-actionable name of
+// a result document, used in every merger failure message.
+std::string DescribeShard(int shard_index, const std::string& source) {
+  std::string out = "shard " + std::to_string(shard_index);
+  if (!source.empty()) {
+    out += " (" + source + ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+void ShardMerger::Add(ShardResult result, const std::string& source) {
   auto fail = [](const std::string& what) {
     throw std::invalid_argument("ShardMerger: " + what);
   };
+  const std::string who = DescribeShard(result.shard_index, source);
   if (result.total_cells < 1) {
-    fail("total_cells must be >= 1");
+    fail(who + ": total_cells must be >= 1");
   }
   if (result.shard_count < 1 || result.shard_index < 0 ||
       result.shard_index >= result.shard_count) {
-    fail("shard_index " + std::to_string(result.shard_index) +
+    fail(who + ": shard_index " + std::to_string(result.shard_index) +
          " is outside [0, shard_count)");
   }
   // Detach the payload before any header bookkeeping so keeping the first
@@ -522,46 +662,57 @@ void ShardMerger::Add(ShardResult result) {
   if (!have_header_) {
     have_header_ = true;
     header_ = std::move(result);
+    first_source_ = source;
     cells_.resize(header_.total_cells);
+    cell_sources_.resize(header_.total_cells);
   } else {
+    const std::string first = DescribeShard(header_.shard_index, first_source_);
     if (result.estimand != header_.estimand) {
-      fail("shard " + std::to_string(result.shard_index) +
-           " was run with a different estimand than the first shard");
+      fail(who + " was run with a different estimand than " + first);
     }
     if (result.confidence != header_.confidence) {
-      fail("shard " + std::to_string(result.shard_index) +
-           " was run at a different confidence than the first shard");
+      fail(who + " was run at a different confidence than " + first);
     }
     if (result.total_cells != header_.total_cells) {
-      fail("shard " + std::to_string(result.shard_index) + " claims " +
-           std::to_string(result.total_cells) + " total cells, the first shard " +
-           std::to_string(header_.total_cells));
+      fail(who + " claims " + std::to_string(result.total_cells) +
+           " total cells, " + first + " " + std::to_string(header_.total_cells));
     }
-    if (result.shard_count != header_.shard_count) {
-      fail("shard " + std::to_string(result.shard_index) + " claims " +
-           std::to_string(result.shard_count) + " shards, the first shard " +
-           std::to_string(header_.shard_count));
+    if (result.sweep_id != 0 && header_.sweep_id != 0) {
+      // Version-2 documents prove membership by sweep identity; shard_count
+      // is provenance only (a fleet driver that re-partitions failed shards
+      // legitimately emits documents with differing counts).
+      if (result.sweep_id != header_.sweep_id) {
+        fail(who + " belongs to a different sweep than " + first +
+             " (sweep_id mismatch)");
+      }
+    } else if (result.shard_count != header_.shard_count) {
+      fail(who + " claims " + std::to_string(result.shard_count) +
+           " shards, " + first + " " + std::to_string(header_.shard_count));
     }
     if (result.axis_names != header_.axis_names) {
-      fail("shard " + std::to_string(result.shard_index) +
-           " has a different axis list than the first shard");
+      fail(who + " has a different axis list than " + first);
     }
   }
   for (SweepCellExecution& cell : incoming) {
     if (cell.index >= cells_.size()) {
-      fail("cell index " + std::to_string(cell.index) +
+      fail(who + ": cell index " + std::to_string(cell.index) +
            " is outside [0, total_cells)");
     }
     if (cells_[cell.index].has_value()) {
       fail("cell " + std::to_string(cell.index) + " (\"" + cell.label +
-           "\") arrived twice; each cell must be owned by exactly one shard");
+           "\") arrived twice: first from " + cell_sources_[cell.index] +
+           ", again from " + who +
+           "; each cell must be owned by exactly one shard");
     }
     cells_[cell.index] = std::move(cell);
+    cell_sources_[cell.index] = who;
     ++received_;
   }
 }
 
-void ShardMerger::AddJson(std::string_view json) { Add(ShardResult::FromJson(json)); }
+void ShardMerger::AddJson(std::string_view json, const std::string& source) {
+  Add(ShardResult::FromJson(json, source), source);
+}
 
 bool ShardMerger::complete() const {
   return have_header_ && received_ == cells_.size();
@@ -594,6 +745,25 @@ SweepResult ShardMerger::Finish() const {
   executions.reserve(cells_.size());
   for (const std::optional<SweepCellExecution>& cell : cells_) {
     executions.push_back(*cell);
+  }
+  return FinalizeSweepCells(std::move(executions), header_.axis_names,
+                            header_.estimand, header_.confidence);
+}
+
+SweepResult ShardMerger::FinishPartial() const {
+  if (!have_header_) {
+    throw std::invalid_argument("ShardMerger: no shard results were added");
+  }
+  // Like Finish(), but tolerate gaps: only the cells that actually arrived
+  // are finalized. They keep their true grid indices, so each present cell
+  // produces exactly the bytes it would in the complete merge and the
+  // absent indices stay reportable via MissingCells().
+  std::vector<SweepCellExecution> executions;
+  executions.reserve(received_);
+  for (const std::optional<SweepCellExecution>& cell : cells_) {
+    if (cell.has_value()) {
+      executions.push_back(*cell);
+    }
   }
   return FinalizeSweepCells(std::move(executions), header_.axis_names,
                             header_.estimand, header_.confidence);

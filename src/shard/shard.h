@@ -29,7 +29,11 @@
 // from another process is parsed strictly (src/util/json.h): malformed,
 // truncated, duplicate-cell, missing-cell and version-mismatched documents
 // are rejected with a precise std::invalid_argument, never undefined
-// behavior.
+// behavior. Since protocol version 2, every document additionally travels in
+// a checksummed envelope (byte length + FNV-1a over the body, verified on
+// the raw bytes before parsing — json::OpenChecksummedDocument), so a
+// transport that corrupts silently produces a retryable
+// json::IntegrityError, never a wrong figure.
 
 #ifndef LONGSTORE_SRC_SHARD_SHARD_H_
 #define LONGSTORE_SRC_SHARD_SHARD_H_
@@ -48,8 +52,21 @@ namespace longstore {
 // Bumped whenever the shard JSON schema changes shape or meaning. A worker
 // or merger speaking a different version rejects the document outright:
 // silently reinterpreting a foreign schema could change figures without
-// failing a single test.
-inline constexpr int kShardProtocolVersion = 1;
+// failing a single test. Version 2 added the checksum envelope and the
+// sweep_id; version-1 documents (unchecksummed, no sweep_id) are still
+// accepted for one release so in-flight shard files survive the upgrade.
+inline constexpr int kShardProtocolVersion = 2;
+inline constexpr int kShardLegacyVersion = 1;
+
+// Identity of the *whole* sweep a shard belongs to: FNV-1a over the sweep's
+// canonical description (options, axes, and every cell's index, label and
+// scenario hash). Stamped into every version-2 shard document and echoed by
+// workers, it is the merger's proof that results belong together — stronger
+// than the old equal-shard-count rule, and independent of how the driver
+// partitioned (or re-partitioned, after failures) the cells into workers.
+uint64_t ComputeSweepId(const std::vector<std::string>& axis_names,
+                        const SweepOptions& options,
+                        const std::vector<SweepSpec::Cell>& cells);
 
 // One shard: a self-contained slice of a sweep that a worker process can
 // execute with no access to the driver's memory. Carries the full options
@@ -64,18 +81,28 @@ struct ShardSpec {
   // Cell count of the *full* sweep; the merger uses it to prove
   // completeness before finalizing.
   size_t total_cells = 0;
+  // ComputeSweepId of the full sweep; 0 on documents parsed from the
+  // version-1 wire format (which predates it).
+  uint64_t sweep_id = 0;
   std::vector<std::string> axis_names;
   SweepOptions options;
   std::vector<SweepSpec::Cell> cells;  // scenario-native; from_legacy unset
 
-  // Canonical JSON (fixed key order, exact doubles, hex seed).
+  // Canonical version-2 JSON: the body (fixed key order, exact doubles, hex
+  // seed) wrapped in the checksummed envelope.
   std::string ToJson() const;
   // Strict inverse; rejects unknown/missing/mistyped keys, version
-  // mismatches, duplicate or out-of-range cell indices, and coordinate rows
-  // that do not match the axis list. Does not run semantic validation
-  // (Scenario::Validate etc.) — RunShard does, exactly as SweepRunner::Run
-  // would.
-  static ShardSpec FromJson(std::string_view json);
+  // mismatches, envelope length/checksum mismatches (json::IntegrityError),
+  // duplicate or out-of-range cell indices, and coordinate rows that do not
+  // match the axis list. `source` (e.g. the file name) prefixes every error
+  // so drivers can log which shard document failed. Does not run semantic
+  // validation (Scenario::Validate etc.) — RunShard does, exactly as
+  // SweepRunner::Run would.
+  static ShardSpec FromJson(std::string_view json, const std::string& source = "");
+
+ private:
+  static ShardSpec FromJsonUntagged(std::string_view json,
+                                    const std::string& source);
 };
 
 // Partitions a sweep into `shard_count` ShardSpecs, round-robin by cell
@@ -105,13 +132,22 @@ struct ShardResult {
   int shard_index = 0;
   int shard_count = 1;
   size_t total_cells = 0;
+  // Echoed verbatim from the shard spec the worker executed; 0 for
+  // version-1 documents.
+  uint64_t sweep_id = 0;
   SweepOptions::Estimand estimand = SweepOptions::Estimand::kMttdl;
   double confidence = 0.95;
   std::vector<std::string> axis_names;
   std::vector<SweepCellExecution> cells;
 
   std::string ToJson() const;
-  static ShardResult FromJson(std::string_view json);
+  // Verifies the envelope (json::IntegrityError on length/checksum
+  // mismatch), then parses strictly; `source` names the document in errors.
+  static ShardResult FromJson(std::string_view json, const std::string& source = "");
+
+ private:
+  static ShardResult FromJsonUntagged(std::string_view json,
+                                      const std::string& source);
 };
 
 // Executes one shard on `pool` (nullptr = the process-wide pool) through the
@@ -129,12 +165,19 @@ ShardResult RunShard(const ShardSpec& shard, WorkerPool* pool = nullptr);
 // duplicate cells, and premature Finish are errors.
 class ShardMerger {
  public:
-  // Validates against the first-added result's header (estimand,
-  // confidence, axes, total_cells, shard_count); throws
-  // std::invalid_argument on any mismatch or duplicated cell index.
-  void Add(ShardResult result);
+  // Validates against the first-added result's header: estimand,
+  // confidence, axes, total_cells, and sweep identity. Version-2 results
+  // must agree on sweep_id (shard_count is provenance only — a supervisor
+  // that re-partitions failed shards legitimately produces documents with
+  // differing counts); when either side is a version-1 document with no
+  // sweep_id, the legacy equal-shard-count rule applies instead. Throws
+  // std::invalid_argument on any mismatch or duplicated cell index, naming
+  // the offending shard index and source file in every message. `source`
+  // (e.g. the file the result was read from) may be empty.
+  void Add(ShardResult result, const std::string& source = "");
   // Parses then Adds; convenience for driver loops reading worker files.
-  void AddJson(std::string_view json);
+  // `source` names the document in both parse and merge errors.
+  void AddJson(std::string_view json, const std::string& source = "");
 
   size_t cells_received() const { return received_; }
   bool complete() const;
@@ -147,10 +190,22 @@ class ShardMerger {
   // nothing was added.
   SweepResult Finish() const;
 
+  // Finalizes whatever arrived — for drivers running with explicit
+  // partial-results consent (--partial-ok) after retries are exhausted.
+  // Cells keep their true grid indices, so the gaps (MissingCells()) stay
+  // visible; throws std::invalid_argument if nothing was added. Each
+  // present cell finalizes to exactly the bytes it would have in the
+  // complete merge.
+  SweepResult FinishPartial() const;
+
  private:
   bool have_header_ = false;
-  ShardResult header_;  // cells unused; header fields of the first Add
+  ShardResult header_;    // cells unused; header fields of the first Add
+  std::string first_source_;
   std::vector<std::optional<SweepCellExecution>> cells_;
+  // Which shard delivered each received cell ("shard 3 (k3.result.json)"),
+  // so duplicate-cell errors can name both deliverers.
+  std::vector<std::string> cell_sources_;
   size_t received_ = 0;
 };
 

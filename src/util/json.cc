@@ -70,6 +70,148 @@ void AppendUint64Hex(std::string& out, uint64_t v) {
   out += buf;
 }
 
+// --- checksummed documents -------------------------------------------------
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string WrapChecksummedBody(const std::string& version_key, int version,
+                                std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 80);
+  out += "{\"";
+  out += version_key;
+  out += "\":";
+  AppendInt64(out, version);
+  out += ",\"body_bytes\":";
+  AppendInt64(out, static_cast<int64_t>(body.size()));
+  out += ",\"body_fnv1a\":";
+  AppendUint64Hex(out, Fnv1a64(body));
+  out += ",\"body\":";
+  out += body;
+  out += '}';
+  return out;
+}
+
+namespace {
+
+std::string HexString(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v);
+  return buf;
+}
+
+bool IsJsonWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+}  // namespace
+
+ChecksummedDocument OpenChecksummedDocument(std::string_view text,
+                                            const std::string& version_key,
+                                            const std::string& context,
+                                            const std::string& source) {
+  const auto fail = [&](const std::string& what) {
+    throw IntegrityError(context + ": " +
+                         (source.empty() ? what : "[" + source + "] " + what));
+  };
+  // Trim surrounding whitespace so a trailing newline (every worker writes
+  // one) never shifts the byte accounting.
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && IsJsonWhitespace(text[begin])) {
+    ++begin;
+  }
+  while (end > begin && IsJsonWhitespace(text[end - 1])) {
+    --end;
+  }
+  const std::string_view doc = text.substr(begin, end - begin);
+
+  ChecksummedDocument out;
+  out.body = doc;
+  const std::string head = "{\"" + version_key + "\":";
+  if (doc.substr(0, head.size()) != head) {
+    // Not even a versioned document; the caller's JSON parse reports it.
+    return out;
+  }
+  size_t pos = head.size();
+  const size_t digits_begin = pos;
+  while (pos < doc.size() && doc[pos] >= '0' && doc[pos] <= '9') {
+    ++pos;
+  }
+  if (pos == digits_begin || pos - digits_begin > 9) {
+    return out;  // "1.5", "-1", ...: let the schema layer reject it precisely
+  }
+  int version = 0;
+  for (size_t i = digits_begin; i < pos; ++i) {
+    version = version * 10 + (doc[i] - '0');
+  }
+  constexpr std::string_view kBytesKey = ",\"body_bytes\":";
+  if (doc.substr(pos, kBytesKey.size()) != kBytesKey) {
+    // A legacy flat document: the version key lives inside the body.
+    out.version = version;
+    return out;
+  }
+  out.version = version;
+  out.checksummed = true;
+  pos += kBytesKey.size();
+
+  const size_t bytes_begin = pos;
+  uint64_t body_bytes = 0;
+  while (pos < doc.size() && doc[pos] >= '0' && doc[pos] <= '9') {
+    body_bytes = body_bytes * 10 + static_cast<uint64_t>(doc[pos] - '0');
+    ++pos;
+  }
+  if (pos == bytes_begin || pos - bytes_begin > 15) {
+    fail("malformed body_bytes in the checksum envelope");
+  }
+  constexpr std::string_view kFnvKey = ",\"body_fnv1a\":\"0x";
+  if (doc.substr(pos, kFnvKey.size()) != kFnvKey) {
+    fail("checksum envelope is missing body_fnv1a after body_bytes");
+  }
+  pos += kFnvKey.size();
+  const size_t hex_begin = pos;
+  uint64_t declared = 0;
+  while (pos < doc.size() &&
+         ((doc[pos] >= '0' && doc[pos] <= '9') || (doc[pos] >= 'a' && doc[pos] <= 'f'))) {
+    declared = (declared << 4) |
+               static_cast<uint64_t>(doc[pos] <= '9' ? doc[pos] - '0'
+                                                     : doc[pos] - 'a' + 10);
+    ++pos;
+  }
+  if (pos == hex_begin || pos - hex_begin > 16) {
+    fail("malformed body_fnv1a in the checksum envelope (lowercase hex only)");
+  }
+  constexpr std::string_view kBodyKey = "\",\"body\":";
+  if (doc.substr(pos, kBodyKey.size()) != kBodyKey) {
+    fail("checksum envelope is missing the body after body_fnv1a");
+  }
+  pos += kBodyKey.size();
+  if (doc.empty() || doc.back() != '}' || pos >= doc.size()) {
+    fail("checksum envelope is not closed by '}'");
+  }
+  const std::string_view body = doc.substr(pos, doc.size() - 1 - pos);
+  if (body.size() != body_bytes) {
+    fail("body_bytes says " + std::to_string(body_bytes) +
+         " bytes but the body holds " + std::to_string(body.size()) +
+         " — the document was truncated or padded in transport");
+  }
+  const uint64_t actual = Fnv1a64(body);
+  if (actual != declared) {
+    fail("body_fnv1a mismatch: the envelope declares " + HexString(declared) +
+         " but the body hashes to " + HexString(actual) +
+         " — the document was corrupted in transport");
+  }
+  out.body = body;
+  return out;
+}
+
 // --- parser ----------------------------------------------------------------
 
 namespace {

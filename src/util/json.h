@@ -19,6 +19,7 @@
 #define LONGSTORE_SRC_UTIL_JSON_H_
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -44,6 +45,60 @@ void AppendInt64(std::string& out, int64_t v);
 // representation that survives JSON's double-typed numbers above 2^53
 // losslessly. Used for seeds and hashes.
 void AppendUint64Hex(std::string& out, uint64_t v);
+
+// --- checksummed documents -------------------------------------------------
+//
+// End-to-end integrity for documents that cross a process or transport
+// boundary: the canonical body is wrapped in an envelope carrying its exact
+// byte length and FNV-1a hash,
+//
+//   {"<version_key>":V,"body_bytes":N,"body_fnv1a":"0x...","body":{...}}
+//
+// and the reader verifies both against the raw received bytes *before* any
+// JSON parsing. A transport that corrupts silently (the worker wrote the
+// bytes and exited 0, but the merger read something else) therefore becomes
+// a precise, retryable IntegrityError instead of a wrong figure. The length
+// check catches truncation and padding outright; the hash catches flipped
+// bytes the length cannot.
+
+// FNV-1a over `bytes` (offset 0xcbf29ce484222325, prime 0x100000001b3) —
+// the same hash Scenario::CanonicalHash uses, kept in one place.
+uint64_t Fnv1a64(std::string_view bytes);
+
+// A std::invalid_argument subclass for envelope length/hash mismatches, so
+// callers (shard fleet drivers) can tell transport corruption — retryable —
+// from schema errors, which re-running the same worker cannot fix.
+class IntegrityError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+// Wraps a canonical JSON object `body` in the checksummed envelope above.
+std::string WrapChecksummedBody(const std::string& version_key, int version,
+                                std::string_view body);
+
+// The opened view of a document that may or may not carry an envelope.
+struct ChecksummedDocument {
+  // The envelope's version, or 0 when no "<version_key>":N prefix was
+  // recognized (the caller's body parse then produces its usual precise
+  // error for garbage input).
+  int version = 0;
+  bool checksummed = false;
+  // For an envelope: the verified body bytes. Otherwise the whole (trimmed)
+  // input — a legacy flat document carrying the version key inside. Views
+  // into the caller's `text`; valid only while that buffer lives.
+  std::string_view body;
+};
+
+// Detects and verifies the envelope on raw bytes. Input starting with
+// '{"<version_key>":N,"body_bytes":' is treated as an envelope: its length
+// and FNV-1a are checked (IntegrityError on mismatch, with `source` — a file
+// name, may be empty — named in the message) and the body view returned.
+// Anything else passes through unverified as a legacy flat document.
+ChecksummedDocument OpenChecksummedDocument(std::string_view text,
+                                            const std::string& version_key,
+                                            const std::string& context,
+                                            const std::string& source = "");
 
 // --- value tree ------------------------------------------------------------
 

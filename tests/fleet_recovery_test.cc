@@ -1,0 +1,393 @@
+// Fleet supervision under injected faults: drives the real sweep_worker and
+// sweep_fleet binaries (paths baked in by CMake) through the deterministic
+// fault matrix — flaky exits, crashes mid-write, corrupted documents, hangs —
+// and asserts the two halves of the fleet contract:
+//
+//   * whenever recovery succeeds, the merged result is byte-identical to the
+//     single-process SweepRunner::Run (the PR 5 shard contract survives
+//     retries, timeouts, and re-partitioning);
+//   * whenever retries are exhausted, the loss is *explicit*: a FleetError
+//     naming the cells, or (with partial_ok) a report marking exactly the
+//     exhausted cells — never a silently truncated table.
+//
+// Every fault is seeded: the worker's fault draw is a pure hash of
+// (fail_seed, shard_index, attempt), so the seeds below pin which attempts
+// fail on every platform. With prob = 0.5 the draws are:
+//   seed  1: unit0 fails attempt 1;   unit1 fails attempts 1 and 2
+//   seed 21: unit0 fails attempt 1;   units 1 and 2 never fail
+// (tools/sweep_worker.cc DecideFault; the stats assertions below would catch
+// any drift in the draw function.)
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/fleet.h"
+#include "src/fleet/subprocess.h"
+#include "src/scenario/scenario.h"
+#include "src/shard/shard.h"
+#include "src/sweep/sweep.h"
+
+#ifndef LONGSTORE_SWEEP_WORKER
+#error "CMake must define LONGSTORE_SWEEP_WORKER (path to the worker binary)"
+#endif
+#ifndef LONGSTORE_SWEEP_FLEET
+#error "CMake must define LONGSTORE_SWEEP_FLEET (path to the fleet binary)"
+#endif
+
+namespace longstore {
+namespace {
+
+Scenario SmallScenario() {
+  return ScenarioBuilder()
+      .Replicas(2, ReplicaSpec()
+                       .FaultTimes(Duration::Hours(400.0), Duration::Hours(200.0))
+                       .RepairTimes(Duration::Hours(10.0), Duration::Hours(10.0))
+                       .ScrubWith(ScrubPolicy::Exponential(Duration::Hours(40.0))))
+      .Build();
+}
+
+// The two-cell sweep every fleet run here executes; small enough that a
+// worker attempt is milliseconds, so the fault matrix dominates the clock.
+struct SmallSweep {
+  SweepSpec spec;
+  SweepOptions options;
+};
+
+SmallSweep MakeSweep() {
+  SmallSweep sweep{SweepSpec(SmallScenario()), SweepOptions()};
+  sweep.spec.AddAxis("mv_hours");
+  for (const double hours : {400.0, 800.0}) {
+    sweep.spec.AddPoint(std::to_string(static_cast<int>(hours)), hours,
+                        [hours](Scenario& scenario) {
+                          for (ReplicaSpec& replica : scenario.replicas) {
+                            replica.mv = Duration::Hours(hours);
+                          }
+                        });
+  }
+  sweep.options.estimand = SweepOptions::Estimand::kMttdl;
+  sweep.options.mc.trials = 64;
+  sweep.options.mc.seed = 99;
+  return sweep;
+}
+
+std::string SingleProcessJson() {
+  const SmallSweep sweep = MakeSweep();
+  return SweepRunner().Run(sweep.spec, sweep.options).ToJson();
+}
+
+// Scratch directory, recursively removed on destruction (the supervisor
+// cleans its own files, but crashed workers leave torn .tmp files behind —
+// deliberately — and the binary tests write their own captures).
+class TempDir {
+ public:
+  TempDir() {
+    char pattern[] = "/tmp/fleet_recovery_test.XXXXXX";
+    EXPECT_NE(::mkdtemp(pattern), nullptr);
+    path_ = pattern;
+  }
+  ~TempDir() { RemoveTree(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static void RemoveTree(const std::string& dir) {
+    DIR* handle = ::opendir(dir.c_str());
+    if (handle == nullptr) return;
+    while (const dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      const std::string child = dir + "/" + name;
+      struct stat info;
+      if (::lstat(child.c_str(), &info) == 0 && S_ISDIR(info.st_mode)) {
+        RemoveTree(child);
+      } else {
+        ::unlink(child.c_str());
+      }
+    }
+    ::closedir(handle);
+    ::rmdir(dir.c_str());
+  }
+
+  std::string path_;
+};
+
+FleetOptions BaseOptions(const TempDir& dir) {
+  FleetOptions options;
+  options.worker_path = LONGSTORE_SWEEP_WORKER;
+  options.temp_dir = dir.path();
+  options.shard_count = 2;
+  options.max_parallel = 2;
+  options.max_retries = 3;
+  options.timeout_seconds = 30.0;
+  options.backoff_initial_seconds = 0.02;  // fault matrix, not wall clock
+  return options;
+}
+
+FleetReport RunFleet(const FleetOptions& options) {
+  const SmallSweep sweep = MakeSweep();
+  return FleetSupervisor(options).Run(sweep.spec, sweep.options);
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(file, nullptr) << path;
+  if (file == nullptr) return "";
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+TEST(FleetRecoveryTest, CleanFleetRunIsByteIdenticalToSingleProcess) {
+  TempDir dir;
+  const FleetReport report = RunFleet(BaseOptions(dir));
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.lost.empty());
+  EXPECT_EQ(report.result.ToJson(), SingleProcessJson());
+  EXPECT_EQ(report.stats.spawned, 2);
+  EXPECT_EQ(report.stats.succeeded, 2);
+  EXPECT_EQ(report.stats.retries, 0);
+  EXPECT_EQ(report.stats.crashed + report.stats.timed_out + report.stats.corrupt +
+                report.stats.malformed,
+            0);
+}
+
+// flaky / crash / corrupt all follow the same seeded failure schedule (three
+// failed attempts across the two units), differ only in *how* the attempt
+// fails, and must all converge to the byte-identical figure.
+TEST(FleetRecoveryTest, RecoversByteIdenticallyFromFlakyCrashAndCorrupt) {
+  const std::string expected = SingleProcessJson();
+  struct Mode {
+    const char* name;
+    int FleetStats::* counter;  // which detector must have fired
+  };
+  const Mode modes[] = {
+      {"flaky", &FleetStats::crashed},    // dirty exit status 1
+      {"crash", &FleetStats::crashed},    // SIGABRT mid-write
+      {"corrupt", &FleetStats::corrupt},  // envelope checksum mismatch
+  };
+  for (const Mode& mode : modes) {
+    SCOPED_TRACE(mode.name);
+    TempDir dir;
+    FleetOptions options = BaseOptions(dir);
+    options.fail_mode = mode.name;
+    options.fail_prob = 0.5;
+    options.fail_seed = 1;  // unit0 fails attempt 1; unit1 attempts 1 and 2
+    const FleetReport report = RunFleet(options);
+    EXPECT_TRUE(report.complete);
+    EXPECT_EQ(report.result.ToJson(), expected);
+    EXPECT_EQ(report.stats.retries, 3);
+    EXPECT_EQ(report.stats.*mode.counter, 3);
+    EXPECT_EQ(report.stats.spawned, 5);  // 2 first attempts + 3 retries
+    EXPECT_EQ(report.stats.succeeded, 2);
+  }
+}
+
+TEST(FleetRecoveryTest, CorruptDocumentsAreDetectedNeverMerged) {
+  TempDir dir;
+  FleetOptions options = BaseOptions(dir);
+  options.fail_mode = "corrupt";
+  options.fail_prob = 0.5;
+  options.fail_seed = 1;
+  const FleetReport report = RunFleet(options);
+  // The corrupted attempts were detected by the checksum (IntegrityError →
+  // corrupt, not malformed) and retried; nothing corrupt reached the merge,
+  // or the bytes could not match the single-process run.
+  EXPECT_EQ(report.stats.corrupt, 3);
+  EXPECT_EQ(report.stats.malformed, 0);
+  EXPECT_EQ(report.result.ToJson(), SingleProcessJson());
+}
+
+TEST(FleetRecoveryTest, KillsAndRetriesHungWorkers) {
+  TempDir dir;
+  FleetOptions options = BaseOptions(dir);
+  options.fail_mode = "hang";
+  options.fail_prob = 0.5;
+  options.fail_seed = 21;  // only unit0, only attempt 1
+  options.timeout_seconds = 1.0;
+  const FleetReport report = RunFleet(options);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.result.ToJson(), SingleProcessJson());
+  EXPECT_EQ(report.stats.timed_out, 1);
+  EXPECT_EQ(report.stats.retries, 1);
+  EXPECT_EQ(report.stats.spawned, 3);
+}
+
+TEST(FleetRecoveryTest, SplitsExhaustedMultiCellUnitAndStillCompletes) {
+  TempDir dir;
+  FleetOptions options = BaseOptions(dir);
+  options.shard_count = 1;  // one unit owns both cells
+  options.max_retries = 0;  // first failure exhausts it
+  options.fail_mode = "flaky";
+  options.fail_prob = 0.5;
+  options.fail_seed = 21;  // unit0 fails; split units 1 and 2 never do
+  const FleetReport report = RunFleet(options);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.result.ToJson(), SingleProcessJson());
+  EXPECT_EQ(report.stats.splits, 1);
+  EXPECT_EQ(report.stats.retries, 0);
+  EXPECT_EQ(report.stats.spawned, 3);  // the failed unit + its two halves
+}
+
+TEST(FleetRecoveryTest, PartialOkMarksExactlyTheExhaustedCells) {
+  TempDir dir;
+  FleetOptions options = BaseOptions(dir);
+  options.max_retries = 0;
+  options.fail_mode = "flaky";
+  options.fail_prob = 0.5;
+  options.fail_seed = 21;  // unit0 (cell 0, "400") fails its only attempt
+  options.partial_ok = true;
+  const FleetReport report = RunFleet(options);
+  EXPECT_FALSE(report.complete);
+  ASSERT_EQ(report.lost.size(), 1u);
+  EXPECT_EQ(report.lost[0].index, 0u);
+  EXPECT_EQ(report.lost[0].label, "400");
+  EXPECT_NE(report.lost[0].reason.find("after 1 attempts"), std::string::npos)
+      << report.lost[0].reason;
+
+  // The surviving cell finalizes to exactly the bytes it has in the full
+  // single-process run — partial results never perturb what did arrive.
+  const SmallSweep sweep = MakeSweep();
+  const SweepResult full = SweepRunner().Run(sweep.spec, sweep.options);
+  const SweepCellResult& survivor = report.result.ByLabel("800");
+  const SweepCellResult& reference = full.ByLabel("800");
+  ASSERT_TRUE(survivor.mttdl.has_value());
+  EXPECT_EQ(survivor.mttdl->mean_years(), reference.mttdl->mean_years());
+  EXPECT_EQ(survivor.mttdl->ci_years.lo, reference.mttdl->ci_years.lo);
+  EXPECT_EQ(survivor.mttdl->ci_years.hi, reference.mttdl->ci_years.hi);
+}
+
+TEST(FleetRecoveryTest, ExhaustedCellsThrowNamingThemWithoutPartialOk) {
+  TempDir dir;
+  FleetOptions options = BaseOptions(dir);
+  options.max_retries = 0;
+  options.fail_mode = "flaky";
+  options.fail_prob = 0.5;
+  options.fail_seed = 21;
+  try {
+    RunFleet(options);
+    FAIL() << "an incomplete fleet run without partial_ok must throw";
+  } catch (const FleetError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("1 of 2 cells lost"), std::string::npos) << message;
+    EXPECT_NE(message.find("cell 0 \"400\""), std::string::npos) << message;
+  }
+}
+
+// The worker's atomic-output contract: a crash mid-write may leave a torn
+// .tmp file but never a torn document at --out, so a supervisor (or human)
+// polling the output path can never read half a result.
+TEST(FleetRecoveryTest, CrashingWorkerNeverLeavesTornOutput) {
+  TempDir dir;
+  const SmallSweep sweep = MakeSweep();
+  const ShardPlan plan(sweep.spec, sweep.options, 1);
+  const std::string spec_path = dir.path() + "/shard.json";
+  const std::string out_path = dir.path() + "/result.json";
+  const std::string log_path = dir.path() + "/worker.log";
+  {
+    std::FILE* file = std::fopen(spec_path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const std::string json = plan.shards()[0].ToJson();
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+  }
+
+  Subprocess crashing = Subprocess::Spawn(
+      {LONGSTORE_SWEEP_WORKER, "--shard=" + spec_path, "--out=" + out_path,
+       "--fail-mode=crash", "--fail-prob=1", "--fail-seed=1", "--fail-nonce=1"},
+      log_path);
+  crashing.Await();
+  EXPECT_FALSE(crashing.exited_cleanly());
+  EXPECT_EQ(crashing.term_signal(), SIGABRT) << crashing.DescribeExit();
+  EXPECT_FALSE(FileExists(out_path))
+      << "a crashed worker must never leave bytes at --out";
+
+  // The same invocation without the fault lands the document atomically:
+  // the final path appears, the temporary does not survive.
+  Subprocess clean = Subprocess::Spawn(
+      {LONGSTORE_SWEEP_WORKER, "--shard=" + spec_path, "--out=" + out_path},
+      log_path);
+  clean.Await();
+  EXPECT_TRUE(clean.exited_cleanly()) << clean.DescribeExit();
+  EXPECT_EQ(clean.exit_code(), 0);
+  ASSERT_TRUE(FileExists(out_path));
+  EXPECT_FALSE(FileExists(out_path + ".tmp"));
+  EXPECT_NO_THROW(ShardResult::FromJson(ReadAll(out_path), out_path));
+}
+
+// End-to-end through the sweep_fleet binary: a chaos run must print the same
+// bytes as --single and exit 0; an exhausted run with --partial-ok must mark
+// the loss on stdout and exit 2.
+TEST(FleetRecoveryTest, SweepFleetBinaryMatchesSingleAndSignalsPartial) {
+  TempDir dir;
+  const std::string scenario_path = dir.path() + "/scenario.json";
+  {
+    std::FILE* file = std::fopen(scenario_path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const std::string json = SmallScenario().ToJson();
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+  }
+  const std::string fleet = LONGSTORE_SWEEP_FLEET;
+  const std::string common =
+      " --scenario=" + scenario_path + " --trials=64 --seed=99 --format=csv";
+
+  const std::string single_out = dir.path() + "/single.csv";
+  int status = std::system((fleet + " --single" + common + " >" + single_out +
+                            " 2>" + dir.path() + "/single.err")
+                               .c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  const std::string chaos_out = dir.path() + "/chaos.csv";
+  status = std::system((fleet + " --worker=" + LONGSTORE_SWEEP_WORKER +
+                        " --shards=2 --fail-mode=flaky --fail-prob=0.5"
+                        " --fail-seed=1 --backoff-initial-s=0.02 --tmp=" +
+                        dir.path() + common + " >" + chaos_out + " 2>" +
+                        dir.path() + "/chaos.err")
+                           .c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << ReadAll(dir.path() + "/chaos.err");
+  EXPECT_EQ(ReadAll(chaos_out), ReadAll(single_out));
+
+  // Two cells (one per scenario flag), unit0 exhausted on its only attempt:
+  // --partial-ok turns that into exit 2 plus an explicit loss marker.
+  const std::string scenario_b = dir.path() + "/scenario_b.json";
+  status = std::system(("cp " + scenario_path + " " + scenario_b).c_str());
+  ASSERT_EQ(status, 0);
+  const std::string partial_out = dir.path() + "/partial.txt";
+  status = std::system((fleet + " --worker=" + LONGSTORE_SWEEP_WORKER +
+                        " --scenario=" + scenario_path + " --scenario=" +
+                        scenario_b +
+                        " --shards=2 --max-retries=0 --fail-mode=flaky"
+                        " --fail-prob=0.5 --fail-seed=21 --partial-ok"
+                        " --backoff-initial-s=0.02 --trials=64 --seed=99"
+                        " --tmp=" + dir.path() + " >" + partial_out + " 2>" +
+                        dir.path() + "/partial.err")
+                           .c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2) << ReadAll(dir.path() + "/partial.err");
+  const std::string partial = ReadAll(partial_out);
+  EXPECT_NE(partial.find("INCOMPLETE SWEEP: 1 of 2 cells lost"),
+            std::string::npos)
+      << partial;
+}
+
+}  // namespace
+}  // namespace longstore

@@ -1,9 +1,9 @@
 // Shard protocol totality: every way a shard document can be wrong —
-// malformed bytes, truncation, version mismatch, schema drift, duplicate or
-// missing cells, nonsense numerics — is rejected with a precise
-// std::invalid_argument, never undefined behavior. The whole suite also
-// runs under the ASan/UBSan preset in CI, so "never UB" is enforced, not
-// asserted.
+// malformed bytes, truncation, corruption (checksum), version mismatch,
+// schema drift, duplicate or missing cells, nonsense numerics — is rejected
+// with a precise std::invalid_argument, never undefined behavior. The whole
+// suite also runs under the ASan/UBSan preset in CI, so "never UB" is
+// enforced, not asserted.
 
 #include <cmath>
 #include <stdexcept>
@@ -13,6 +13,7 @@
 
 #include "src/shard/shard.h"
 #include "src/sweep/sweep.h"
+#include "src/util/json.h"
 
 namespace longstore {
 namespace {
@@ -59,6 +60,38 @@ std::string Replaced(const std::string& text, const std::string& from,
   return out;
 }
 
+// Since protocol version 2 every document travels in a checksummed envelope,
+// so probing body-schema errors takes envelope surgery: unwrap the verified
+// body, mutate it textually, and re-wrap with a freshly computed (valid)
+// envelope — otherwise every mutation would just trip the checksum.
+std::string Body(const std::string& document) {
+  const json::ChecksummedDocument doc =
+      json::OpenChecksummedDocument(document, "shard_version", "test");
+  EXPECT_TRUE(doc.checksummed);
+  return std::string(doc.body);
+}
+
+std::string Rewrapped(const std::string& body) {
+  return json::WrapChecksummedBody("shard_version", kShardProtocolVersion, body);
+}
+
+std::string Doctored(const std::string& document, const std::string& from,
+                     const std::string& to) {
+  return Rewrapped(Replaced(Body(document), from, to));
+}
+
+// A faithful version-1 document: flat (no envelope), shard_version inside
+// the body, no sweep_id — what a pre-upgrade worker would have written.
+std::string AsLegacyV1(const std::string& document) {
+  std::string body = Body(document);
+  const size_t at = body.find(",\"sweep_id\":\"");
+  EXPECT_NE(at, std::string::npos);
+  const size_t value_end = body.find('"', at + 13);
+  EXPECT_NE(value_end, std::string::npos);
+  body.erase(at, value_end - at + 1);
+  return Replaced(body, "{", "{\"shard_version\":1,");
+}
+
 // Asserts that parsing throws std::invalid_argument whose message contains
 // `needle` — the "precise errors" half of the protocol contract.
 template <typename Parse>
@@ -84,7 +117,7 @@ TEST(ShardProtocolTest, SpecRejectsMalformedAndTruncatedInput) {
   ExpectRejects(kParseSpec, "", "unexpected end of input");
   ExpectRejects(kParseSpec, "not json at all", "expected a value");
   ExpectRejects(kParseSpec, "\x01\x02\x03", "expected a value");
-  ExpectRejects(kParseSpec, valid + "x", "trailing characters");
+  ExpectRejects(kParseSpec, valid + "x", "not closed by '}'");
   ExpectRejects(kParseSpec, "[1,2,3]", "must be an object");
   // Truncation at any prefix must throw, not crash; probe a spread of cuts.
   for (const size_t fraction : {1u, 2u, 3u, 5u, 7u}) {
@@ -96,48 +129,109 @@ TEST(ShardProtocolTest, SpecRejectsMalformedAndTruncatedInput) {
 
 TEST(ShardProtocolTest, SpecRejectsProtocolVersionMismatch) {
   const std::string valid = ValidSpecJson();
-  ExpectRejects(kParseSpec, Replaced(valid, "\"shard_version\":1", "\"shard_version\":2"),
-                "unsupported shard_version 2");
+  // A foreign envelope version.
+  ExpectRejects(kParseSpec, Replaced(valid, "\"shard_version\":2", "\"shard_version\":3"),
+                "unsupported shard_version 3 in a checksummed envelope");
+  // A version-2 document outside the envelope is unverifiable and refused —
+  // otherwise the integrity layer would be optional exactly when it matters.
   ExpectRejects(kParseSpec,
-                Replaced(valid, "\"shard_version\":1", "\"shard_version\":1.5"),
-                "must be an integer");
+                Replaced(Body(valid), "{", "{\"shard_version\":2,"),
+                "must arrive in the checksummed envelope");
+  // A flat document claiming an unknown version.
+  ExpectRejects(kParseSpec,
+                Replaced(Body(valid), "{", "{\"shard_version\":7,"),
+                "unsupported shard_version 7");
+}
+
+TEST(ShardProtocolTest, EnvelopeDetectsCorruptionTruncationAndPadding) {
+  const std::string valid = ValidResultJson();
+  // One flipped byte deep in the body: the length is right, only the hash
+  // can know — and the error is the retryable IntegrityError subclass,
+  // naming the source document and both hashes.
+  std::string flipped = valid;
+  flipped[valid.size() * 2 / 3] ^= 0x20;
+  try {
+    ShardResult::FromJson(flipped, "unit3.result.json");
+    FAIL() << "accepted a corrupted document";
+  } catch (const json::IntegrityError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("body_fnv1a mismatch"), std::string::npos) << message;
+    EXPECT_NE(message.find("[unit3.result.json]"), std::string::npos) << message;
+  }
+  // A body_bytes that disagrees with the payload: truncation/padding tier.
+  const std::string body = Body(valid);
+  const std::string padded =
+      Replaced(valid, "\"body_bytes\":" + std::to_string(body.size()),
+               "\"body_bytes\":" + std::to_string(body.size() + 1));
+  try {
+    ShardResult::FromJson(padded);
+    FAIL() << "accepted a length-mismatched document";
+  } catch (const json::IntegrityError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated or padded"), std::string::npos)
+        << e.what();
+  }
+  // Specs are protected the same way.
+  std::string spec_flipped = ValidSpecJson();
+  spec_flipped[spec_flipped.size() * 2 / 3] ^= 0x20;
+  EXPECT_THROW(ShardSpec::FromJson(spec_flipped), json::IntegrityError);
+  // And surgery with a recomputed envelope still parses: the checksum
+  // protects transport, it is not a signature.
+  EXPECT_NO_THROW(ShardResult::FromJson(Rewrapped(body)));
+}
+
+TEST(ShardProtocolTest, AcceptsLegacyV1DocumentsUnchecksummed) {
+  // A pre-upgrade (version 1) document: flat, no envelope, no sweep_id.
+  // Accepted for one release so in-flight shard files survive the upgrade.
+  const ShardSpec spec = ShardSpec::FromJson(AsLegacyV1(ValidSpecJson()));
+  EXPECT_EQ(spec.sweep_id, 0u);
+  EXPECT_EQ(spec.cells.size(), 2u);
+
+  const ShardResult result = ShardResult::FromJson(AsLegacyV1(ValidResultJson()));
+  EXPECT_EQ(result.sweep_id, 0u);
+  // Legacy results merge under the legacy equal-shard-count rule.
+  ShardMerger merger;
+  merger.Add(result);
+  EXPECT_TRUE(merger.complete());
+  // And running the legacy spec produces the same cells as the v2 document.
+  const ShardResult rerun = RunShard(spec);
+  EXPECT_EQ(rerun.cells.size(), 2u);
 }
 
 TEST(ShardProtocolTest, SpecRejectsSchemaDrift) {
   const std::string valid = ValidSpecJson();
   // Missing key: drop the estimand entirely.
-  ExpectRejects(kParseSpec, Replaced(valid, "\"estimand\":\"mttdl\",", ""),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"estimand\":\"mttdl\",", ""),
                 "missing key \"estimand\"");
   // Unknown key.
   ExpectRejects(kParseSpec,
-                Replaced(valid, "\"shard_version\":1", "\"shard_version\":1,\"zzz\":0"),
+                Doctored(valid, "{\"shard_index\"", "{\"zzz\":0,\"shard_index\""),
                 "unknown key \"zzz\"");
   // Wrong type.
-  ExpectRejects(kParseSpec, Replaced(valid, "\"adaptive\":false", "\"adaptive\":0"),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"adaptive\":false", "\"adaptive\":0"),
                 "has the wrong type");
   // Unknown enum values.
-  ExpectRejects(kParseSpec, Replaced(valid, "\"estimand\":\"mttdl\"",
+  ExpectRejects(kParseSpec, Doctored(valid, "\"estimand\":\"mttdl\"",
                                      "\"estimand\":\"median\""),
                 "unknown estimand");
   ExpectRejects(kParseSpec,
-                Replaced(valid, "\"seed_mode\":\"per_cell_derived\"",
+                Doctored(valid, "\"seed_mode\":\"per_cell_derived\"",
                          "\"seed_mode\":\"vibes\""),
                 "unknown seed_mode");
   // Seeds must be exact hex strings (doubles cannot carry 64 bits).
-  ExpectRejects(kParseSpec, Replaced(valid, "\"seed\":\"0x63\"", "\"seed\":\"63\""),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"seed\":\"0x63\"", "\"seed\":\"63\""),
                 "hex string");
-  ExpectRejects(kParseSpec, Replaced(valid, "\"seed\":\"0x63\"", "\"seed\":99"),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"seed\":\"0x63\"", "\"seed\":99"),
                 "wrong type");
   // Fractional trial counts.
-  ExpectRejects(kParseSpec, Replaced(valid, "\"trials\":64", "\"trials\":64.5"),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"trials\":64", "\"trials\":64.5"),
                 "must be an integer");
   // An invalid scenario subtree fails with the Scenario parser's error.
-  ExpectRejects(kParseSpec, Replaced(valid, "\"convention\":\"physical\"",
+  ExpectRejects(kParseSpec, Doctored(valid, "\"convention\":\"physical\"",
                                      "\"convention\":\"quantum\""),
                 "unknown convention");
   // Duplicate keys are ambiguous and rejected at the parse layer.
   ExpectRejects(kParseSpec,
-                Replaced(valid, "\"adaptive\":false",
+                Doctored(valid, "\"adaptive\":false",
                          "\"adaptive\":false,\"adaptive\":false"),
                 "duplicate key");
 }
@@ -145,24 +239,24 @@ TEST(ShardProtocolTest, SpecRejectsSchemaDrift) {
 TEST(ShardProtocolTest, SpecRejectsBadCellGeometry) {
   const std::string valid = ValidSpecJson();
   // Duplicate cell index within one document.
-  ExpectRejects(kParseSpec, Replaced(valid, "\"index\":1", "\"index\":0"),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"index\":1", "\"index\":0"),
                 "duplicate cell index 0");
   // Cell index outside the grid.
-  ExpectRejects(kParseSpec, Replaced(valid, "\"index\":1", "\"index\":7"),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"index\":1", "\"index\":7"),
                 "outside [0, total_cells)");
-  ExpectRejects(kParseSpec, Replaced(valid, "\"index\":1", "\"index\":-1"),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"index\":1", "\"index\":-1"),
                 "outside [0, total_cells)");
   // total_cells / shard geometry nonsense.
-  ExpectRejects(kParseSpec, Replaced(valid, "\"total_cells\":2", "\"total_cells\":0"),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"total_cells\":2", "\"total_cells\":0"),
                 "total_cells must be >= 1");
-  ExpectRejects(kParseSpec, Replaced(valid, "\"shard_index\":0", "\"shard_index\":5"),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"shard_index\":0", "\"shard_index\":5"),
                 "outside [0, shard_count)");
-  ExpectRejects(kParseSpec, Replaced(valid, "\"shard_count\":1", "\"shard_count\":0"),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"shard_count\":1", "\"shard_count\":0"),
                 "shard_count must be >= 1");
   // Coordinates that do not mirror the axis list.
-  ExpectRejects(kParseSpec, Replaced(valid, "\"axis\":\"mv_hours\"", "\"axis\":\"other\""),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"axis\":\"mv_hours\"", "\"axis\":\"other\""),
                 "names axis \"other\"");
-  ExpectRejects(kParseSpec, Replaced(valid, "\"axes\":[\"mv_hours\"]", "\"axes\":[]"),
+  ExpectRejects(kParseSpec, Doctored(valid, "\"axes\":[\"mv_hours\"]", "\"axes\":[]"),
                 "coordinates for 0 axes");
 }
 
@@ -171,19 +265,19 @@ TEST(ShardProtocolTest, ResultRejectsMalformedDocuments) {
   ExpectRejects(kParseResult, "", "unexpected end of input");
   ExpectRejects(kParseResult, valid.substr(0, valid.size() / 2), "");
   ExpectRejects(kParseResult,
-                Replaced(valid, "\"shard_version\":1", "\"shard_version\":3"),
+                Replaced(valid, "\"shard_version\":2", "\"shard_version\":3"),
                 "unsupported shard_version 3");
-  ExpectRejects(kParseResult, Replaced(valid, "\"index\":1", "\"index\":0"),
+  ExpectRejects(kParseResult, Doctored(valid, "\"index\":1", "\"index\":0"),
                 "duplicate cell index 0");
-  ExpectRejects(kParseResult, Replaced(valid, "\"trials\":64", "\"trials\":-4"),
+  ExpectRejects(kParseResult, Doctored(valid, "\"trials\":64", "\"trials\":-4"),
                 "negative trial count");
   // Accumulator state is validated too: negative sample counts can't arise
   // from any real run and would poison downstream Welford merges.
-  ExpectRejects(kParseResult, Replaced(valid, "\"censored\":", "\"censored\":-1,\"x\":"),
+  ExpectRejects(kParseResult, Doctored(valid, "\"censored\":", "\"censored\":-1,\"x\":"),
                 "unknown key \"x\"");
   ExpectRejects(
       kParseResult,
-      Replaced(valid, "\"loss_years\":{\"count\":64", "\"loss_years\":{\"count\":-64"),
+      Doctored(valid, "\"loss_years\":{\"count\":64", "\"loss_years\":{\"count\":-64"),
       "negative sample count");
 }
 
@@ -193,7 +287,7 @@ TEST(ShardProtocolTest, ResultAcceptsNonFiniteHalfWidths) {
   // them back (emit/parse asymmetry here once made a worker produce output
   // its own protocol rejected).
   const std::string doctored =
-      Replaced(ValidResultJson(), "\"half_width_history\":[]",
+      Doctored(ValidResultJson(), "\"half_width_history\":[]",
                "\"half_width_history\":[\"inf\",0.5,\"nan\"]");
   const ShardResult result = ShardResult::FromJson(doctored);
   ASSERT_EQ(result.cells[0].half_width_history.size(), 3u);
@@ -276,6 +370,127 @@ TEST(ShardProtocolTest, MergerRejectsInconsistentAndIncompleteMerges) {
     EXPECT_TRUE(merger.complete());
     EXPECT_EQ(merger.Finish().cells.size(), 2u);
   }
+}
+
+TEST(ShardProtocolTest, MergerNamesShardAndSourceInEveryFailure) {
+  // Retry-log actionability: a supervisor reading a merge error must learn
+  // *which file* from *which shard* is at fault, without a debugger.
+  const ShardPlan plan = ValidPlan(2);
+  const ShardResult first = RunShard(plan.shards()[0]);
+  const ShardResult second = RunShard(plan.shards()[1]);
+  {
+    // A duplicated cell names both deliverers.
+    ShardMerger merger;
+    merger.Add(first, "a.result.json");
+    try {
+      merger.Add(first, "b.result.json");
+      FAIL() << "accepted a duplicate cell";
+    } catch (const std::invalid_argument& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("arrived twice"), std::string::npos) << message;
+      EXPECT_NE(message.find("a.result.json"), std::string::npos) << message;
+      EXPECT_NE(message.find("b.result.json"), std::string::npos) << message;
+    }
+  }
+  {
+    // Header mismatches name the offender and the first shard's source.
+    ShardMerger merger;
+    merger.Add(first, "a.result.json");
+    ShardResult wrong = second;
+    wrong.estimand = SweepOptions::Estimand::kLossProbability;
+    try {
+      merger.Add(wrong, "b.result.json");
+      FAIL() << "accepted an estimand mismatch";
+    } catch (const std::invalid_argument& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("shard 1 (b.result.json)"), std::string::npos)
+          << message;
+      EXPECT_NE(message.find("shard 0 (a.result.json)"), std::string::npos)
+          << message;
+    }
+  }
+  {
+    // AddJson threads the source through parse errors too.
+    ShardMerger merger;
+    try {
+      merger.AddJson("{broken", "c.result.json");
+      FAIL() << "parsed garbage";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("c.result.json"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ShardProtocolTest, MergerUsesSweepIdentityNotShardCount) {
+  const ShardPlan plan = ValidPlan(2);
+  const ShardResult first = RunShard(plan.shards()[0]);
+  const ShardResult second = RunShard(plan.shards()[1]);
+  ASSERT_NE(first.sweep_id, 0u);
+  {
+    // Version-2 documents from *re-partitioned* runs (a fleet driver split
+    // a failed shard) carry differing shard_counts but the same sweep_id —
+    // and they merge.
+    ShardMerger merger;
+    merger.Add(first);
+    ShardResult repartitioned = second;
+    repartitioned.shard_count = 7;
+    repartitioned.shard_index = 6;
+    merger.Add(repartitioned);
+    EXPECT_TRUE(merger.complete());
+  }
+  {
+    // A result from a *different* sweep is refused no matter how plausible
+    // its geometry looks.
+    ShardMerger merger;
+    merger.Add(first);
+    ShardResult foreign = second;
+    foreign.sweep_id ^= 1;
+    try {
+      merger.Add(foreign, "f.result.json");
+      FAIL() << "merged a foreign sweep";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("different sweep"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // Legacy documents (sweep_id 0) fall back to the equal-shard-count rule.
+    ShardMerger merger;
+    ShardResult legacy_first = first;
+    legacy_first.sweep_id = 0;
+    ShardResult legacy_second = second;
+    legacy_second.sweep_id = 0;
+    legacy_second.shard_count = 7;
+    legacy_second.shard_index = 6;
+    merger.Add(legacy_first);
+    EXPECT_THROW(merger.Add(legacy_second), std::invalid_argument);
+  }
+}
+
+TEST(ShardProtocolTest, FinishPartialKeepsTrueIndicesAndExactBytes) {
+  const ShardPlan plan = ValidPlan(2);
+  // Round-robin partition: shard 1 owns grid cell 1.
+  ShardMerger partial;
+  partial.Add(RunShard(plan.shards()[1]));
+  EXPECT_FALSE(partial.complete());
+  const SweepResult survivors = partial.FinishPartial();
+  ASSERT_EQ(survivors.cells.size(), 1u);
+  EXPECT_EQ(survivors.cells[0].index, 1u);  // the true grid index, not 0
+
+  // Each surviving cell finalizes to exactly the bytes it has in the
+  // complete merge — partiality never changes a number.
+  ShardMerger complete;
+  complete.Add(RunShard(plan.shards()[0]));
+  complete.Add(RunShard(plan.shards()[1]));
+  const SweepResult full = complete.Finish();
+  ASSERT_EQ(full.cells.size(), 2u);
+  EXPECT_EQ(survivors.cells[0].label, full.cells[1].label);
+  EXPECT_EQ(survivors.cells[0].mttdl->mean_years(), full.cells[1].mttdl->mean_years());
+
+  // An empty merger cannot finalize, even partially.
+  ShardMerger empty;
+  EXPECT_THROW(empty.FinishPartial(), std::invalid_argument);
 }
 
 TEST(ShardProtocolTest, RunShardValidatesSemanticsLikeTheRunner) {

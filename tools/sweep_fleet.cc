@@ -1,0 +1,316 @@
+// sweep_fleet: fault-tolerant driver for sharded sweeps — plans a sweep
+// into shards, supervises a fleet of sweep_worker processes through the
+// FleetSupervisor (src/fleet/), and prints the merged result.
+//
+//   sweep_fleet --worker=PATH (--cheetah | --scenario=FILE ...) [options]
+//
+// Sweep selection:
+//   --cheetah            the §5.4 Cheetah golden figure's Monte Carlo sweep
+//                        (3 configurations x 4000 trials, seed 33) — the
+//                        same cells bench_scrubbing_effect runs, so a fleet
+//                        run is diffable against the single-process golden
+//   --scenario=FILE      one cell per flag: the scenario JSON in FILE
+//   --trials/--seed/--estimand=mttdl|loss/--mission-years configure the
+//                        --scenario sweep (ignored with --cheetah)
+//
+// Execution:
+//   --single             run in-process (SweepRunner; the golden reference)
+//   --worker=PATH        sweep_worker binary for fleet runs
+//   --shards=K           initial shard count            (default 3)
+//   --max-parallel=N     concurrent workers             (default 2)
+//   --max-retries=N      retries per unit after first attempt (default 3)
+//   --timeout-s=T        per-attempt wall clock, 0 = none (default 120)
+//   --backoff-initial-s=T first retry delay             (default 0.1)
+//   --partial-ok         finalize survivors when cells exhaust retries;
+//                        missing cells are explicitly marked, exit code 2
+//   --threads=N          lanes per worker               (default 1)
+//   --tmp=DIR            scratch directory              (default: mkdtemp)
+//   --keep-files         keep shard/result/log files
+//   --fail-mode=crash|hang|corrupt|flaky --fail-prob=P --fail-seed=S
+//                        forwarded fault injection (CI chaos testing)
+//
+// Output: --format=table|csv|json (default table) on stdout; supervision
+// log and stats on stderr. A fleet run that completes is byte-identical on
+// stdout to the same sweep's --single run — that is the merge contract, and
+// the CI chaos job diffs exactly this. Exit 0 = complete, 2 = partial
+// (--partial-ok), 1 = error.
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet.h"
+#include "src/model/fault_params.h"
+#include "src/model/strategies.h"
+#include "src/scenario/scenario.h"
+#include "src/sweep/sweep.h"
+
+namespace longstore {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--cheetah | --scenario=FILE ...) [--single | "
+               "--worker=PATH]\n"
+               "  [--shards=K] [--max-parallel=N] [--max-retries=N] "
+               "[--timeout-s=T]\n"
+               "  [--backoff-initial-s=T] [--partial-ok] [--threads=N] "
+               "[--tmp=DIR]\n"
+               "  [--keep-files] [--format=table|csv|json]\n"
+               "  [--trials=N] [--seed=S] [--estimand=mttdl|loss] "
+               "[--mission-years=Y]\n"
+               "  [--fail-mode=MODE] [--fail-prob=P] [--fail-seed=S]\n",
+               argv0);
+  return 1;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open scenario file '" + path + "'");
+  }
+  std::string out;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out.append(buffer, n);
+  }
+  const bool bad = std::ferror(file) != 0;
+  std::fclose(file);
+  if (bad) {
+    throw std::runtime_error("failed to read scenario file '" + path + "'");
+  }
+  return out;
+}
+
+// The §5.4 running example's Monte Carlo sweep, cell-for-cell and
+// seed-for-seed identical to bench_scrubbing_effect's — which makes this
+// tool's --cheetah output a golden figure CI can regenerate through any
+// amount of injected chaos.
+void BuildCheetahSweep(SweepSpec* spec, SweepOptions* options) {
+  const FaultParams unscrubbed = FaultParams::PaperCheetahExample();
+  const FaultParams scrubbed =
+      ApplyScrubPolicy(unscrubbed, ScrubPolicy::PeriodicPerYear(3.0));
+  const FaultParams correlated = WithCorrelation(scrubbed, 0.1);
+  struct Case {
+    const char* name;
+    FaultParams params;
+  };
+  const Case cases[] = {
+      {"no scrubbing (MDL = inf)", unscrubbed},
+      {"scrub 3x/year (MDL = 1460 h)", scrubbed},
+      {"scrub 3x/year, alpha = 0.1", correlated},
+  };
+  spec->AddAxis("configuration");
+  for (const Case& c : cases) {
+    const FaultParams params = c.params;
+    spec->AddPoint(c.name, 0.0, [params](StorageSimConfig& config) {
+      config.replica_count = 2;
+      config.params = params;
+      config.scrub = params.mdl.is_infinite()
+                         ? ScrubPolicy::None()
+                         : ScrubPolicy::Exponential(params.mdl);
+    });
+  }
+  options->estimand = SweepOptions::Estimand::kMttdl;
+  options->mc.trials = 4000;
+  options->mc.seed = 33;
+  options->seed_mode = SweepOptions::SeedMode::kSharedRoot;
+}
+
+void PrintResult(const SweepResult& result, const std::string& format,
+                 bool complete, const std::vector<FleetLostCell>& lost,
+                 size_t total_cells) {
+  if (format == "json") {
+    std::string out = "{\"complete\":";
+    out += complete ? "true" : "false";
+    out += ",\"missing\":[";
+    for (size_t i = 0; i < lost.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += "{\"index\":" + std::to_string(lost[i].index) + ",\"label\":\"" +
+             lost[i].label + "\",\"reason\":\"" + lost[i].reason + "\"}";
+    }
+    out += "],\"cells\":";
+    out += result.ToJson();
+    out += "}";
+    std::printf("%s\n", out.c_str());
+    return;
+  }
+  if (format == "csv") {
+    std::printf("%s", result.ToCsv().c_str());
+  } else {
+    std::printf("%s", result.ToTable().Render().c_str());
+  }
+  if (!complete) {
+    std::printf("# INCOMPLETE SWEEP: %zu of %zu cells lost after retries "
+                "were exhausted\n",
+                lost.size(), total_cells);
+    for (const FleetLostCell& cell : lost) {
+      std::printf("#   cell %zu \"%s\": %s\n", cell.index, cell.label.c_str(),
+                  cell.reason.c_str());
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  bool cheetah = false;
+  bool single = false;
+  std::vector<std::string> scenario_files;
+  std::string format = "table";
+  std::string tmp_dir;
+  std::string estimand = "mttdl";
+  long trials = 2000;
+  unsigned long long seed = 1;
+  double mission_years = 50.0;
+
+  FleetOptions fleet;
+  fleet.shard_count = 3;
+  fleet.max_parallel = 2;
+  fleet.max_retries = 3;
+  fleet.timeout_seconds = 120.0;
+  fleet.log = stderr;
+
+  const auto long_arg = [](const char* arg, const char* name,
+                           const char** value) {
+    const size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      *value = arg + len + 1;
+      return true;
+    }
+    return false;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--cheetah") == 0) {
+      cheetah = true;
+    } else if (std::strcmp(arg, "--single") == 0) {
+      single = true;
+    } else if (std::strcmp(arg, "--partial-ok") == 0) {
+      fleet.partial_ok = true;
+    } else if (std::strcmp(arg, "--keep-files") == 0) {
+      fleet.keep_files = true;
+    } else if (long_arg(arg, "--scenario", &value)) {
+      scenario_files.push_back(value);
+    } else if (long_arg(arg, "--worker", &value)) {
+      fleet.worker_path = value;
+    } else if (long_arg(arg, "--shards", &value)) {
+      fleet.shard_count = std::atoi(value);
+    } else if (long_arg(arg, "--max-parallel", &value)) {
+      fleet.max_parallel = std::atoi(value);
+    } else if (long_arg(arg, "--max-retries", &value)) {
+      fleet.max_retries = std::atoi(value);
+    } else if (long_arg(arg, "--timeout-s", &value)) {
+      fleet.timeout_seconds = std::atof(value);
+    } else if (long_arg(arg, "--backoff-initial-s", &value)) {
+      fleet.backoff_initial_seconds = std::atof(value);
+    } else if (long_arg(arg, "--threads", &value)) {
+      fleet.worker_threads = std::atoi(value);
+    } else if (long_arg(arg, "--tmp", &value)) {
+      tmp_dir = value;
+    } else if (long_arg(arg, "--format", &value)) {
+      format = value;
+      if (format != "table" && format != "csv" && format != "json") {
+        return Usage(argv[0]);
+      }
+    } else if (long_arg(arg, "--trials", &value)) {
+      trials = std::atol(value);
+    } else if (long_arg(arg, "--seed", &value)) {
+      seed = std::strtoull(value, nullptr, 0);
+    } else if (long_arg(arg, "--estimand", &value)) {
+      estimand = value;
+      if (estimand != "mttdl" && estimand != "loss") {
+        return Usage(argv[0]);
+      }
+    } else if (long_arg(arg, "--mission-years", &value)) {
+      mission_years = std::atof(value);
+    } else if (long_arg(arg, "--fail-mode", &value)) {
+      fleet.fail_mode = value;
+    } else if (long_arg(arg, "--fail-prob", &value)) {
+      fleet.fail_prob = std::atof(value);
+    } else if (long_arg(arg, "--fail-seed", &value)) {
+      fleet.fail_seed = std::strtoull(value, nullptr, 0);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (cheetah == !scenario_files.empty()) {  // exactly one sweep source
+    return Usage(argv[0]);
+  }
+  if (!single && fleet.worker_path.empty()) {
+    std::fprintf(stderr, "%s: --worker=PATH is required (or pass --single)\n",
+                 argv[0]);
+    return 1;
+  }
+
+  SweepSpec spec;
+  SweepOptions options;
+  if (cheetah) {
+    BuildCheetahSweep(&spec, &options);
+  } else {
+    Scenario base = Scenario::FromJson(ReadWholeFile(scenario_files.front()));
+    spec = SweepSpec(base);
+    for (const std::string& path : scenario_files) {
+      spec.AddCell(path, Scenario::FromJson(ReadWholeFile(path)));
+    }
+    options.estimand = estimand == "loss"
+                           ? SweepOptions::Estimand::kLossProbability
+                           : SweepOptions::Estimand::kMttdl;
+    options.mission = Duration::Years(mission_years);
+    options.mc.trials = trials;
+    options.mc.seed = static_cast<uint64_t>(seed);
+    // Content-derived seeds: the estimate depends on the scenario alone,
+    // not on the file name or cell position.
+    options.seed_mode = SweepOptions::SeedMode::kScenarioDerived;
+  }
+
+  if (single) {
+    const SweepResult result = SweepRunner().Run(spec, options);
+    PrintResult(result, format, /*complete=*/true, {}, result.cells.size());
+    return 0;
+  }
+
+  char made_tmp[] = "/tmp/sweep_fleet.XXXXXX";
+  if (tmp_dir.empty()) {
+    if (::mkdtemp(made_tmp) == nullptr) {
+      std::fprintf(stderr, "%s: mkdtemp failed\n", argv[0]);
+      return 1;
+    }
+    tmp_dir = made_tmp;
+  }
+  fleet.temp_dir = tmp_dir;
+
+  const FleetReport report = FleetSupervisor(fleet).Run(spec, options);
+  if (tmp_dir == made_tmp && !fleet.keep_files) {
+    ::rmdir(made_tmp);
+  }
+  std::fprintf(stderr,
+               "[fleet] stats: %d spawned, %d succeeded, %d crashed, "
+               "%d timed out, %d corrupt, %d malformed, %d retries, %d splits\n",
+               report.stats.spawned, report.stats.succeeded, report.stats.crashed,
+               report.stats.timed_out, report.stats.corrupt,
+               report.stats.malformed, report.stats.retries, report.stats.splits);
+  PrintResult(report.result, format, report.complete, report.lost,
+              report.result.cells.size() + report.lost.size());
+  return report.complete ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace longstore
+
+int main(int argc, char** argv) {
+  try {
+    return longstore::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_fleet: %s\n", e.what());
+    return 1;
+  }
+}

@@ -3,6 +3,8 @@
 // (src/shard/README.md).
 //
 //   sweep_worker --shard=FILE [--out=FILE] [--threads=N]
+//                [--fail-mode=crash|hang|corrupt|flaky
+//                 --fail-prob=P --fail-seed=S --fail-nonce=N]
 //
 // Reads a ShardSpec JSON document (the file "-" means stdin), runs its cells
 // on this process's worker pool, and writes the ShardResult JSON to --out
@@ -11,9 +13,29 @@
 // produces the same bytes for the same shard. --threads only caps the lanes
 // used (wall clock, never results).
 //
+// --out is written atomically: the document goes to <out>.tmp, is fsynced,
+// and only then renamed into place — a worker killed mid-write leaves no
+// file at --out, never a plausible-but-truncated document for a merger to
+// read. (The envelope checksum would catch the truncation anyway; atomicity
+// keeps the failure at the cheaper "no output" tier.)
+//
+// The --fail-* flags are a deterministic fault-injection harness for
+// exercising fleet supervisors (src/fleet/): with probability P — decided by
+// hashing (S, shard_index, N), so a given attempt's fate is reproducible and
+// retries (fresh N) draw fresh fates — the worker
+//   crash:   dies dirty (SIGABRT) halfway through writing <out>.tmp,
+//   hang:    sleeps forever before running (exercises timeout + SIGKILL),
+//   corrupt: flips one byte of the finished document and exits 0 — silent
+//            corruption only the envelope checksum can catch,
+//   flaky:   exits 1 cleanly before running.
+// Compiled in but inert by default (no --fail-mode = no injection, zero
+// cost); never set in production drivers.
+//
 // Exit status: 0 on success, 1 on any error (malformed shard, invalid
 // scenario, I/O failure), with a one-line diagnostic on stderr — shard
 // drivers treat a non-zero worker as a failed shard and may reassign it.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,16 +46,23 @@
 
 #include "src/shard/shard.h"
 #include "src/sweep/worker_pool.h"
+#include "src/util/random.h"
 
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --shard=FILE [--out=FILE] [--threads=N]\n"
-               "  --shard=FILE   shard spec JSON (\"-\" = stdin)\n"
-               "  --out=FILE     write the shard result JSON here (default stdout)\n"
-               "  --threads=N    cap worker-pool lanes (never changes results)\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s --shard=FILE [--out=FILE] [--threads=N]\n"
+      "          [--fail-mode=crash|hang|corrupt|flaky] [--fail-prob=P]\n"
+      "          [--fail-seed=S] [--fail-nonce=N]\n"
+      "  --shard=FILE   shard spec JSON (\"-\" = stdin)\n"
+      "  --out=FILE     write the shard result JSON here, atomically\n"
+      "                 (default stdout)\n"
+      "  --threads=N    cap worker-pool lanes (never changes results)\n"
+      "  --fail-*       deterministic fault injection for supervisor tests;\n"
+      "                 the fault fires when hash(S, shard_index, N) < P\n",
+      argv0);
   return 1;
 }
 
@@ -50,12 +79,54 @@ std::string ReadAll(std::FILE* file) {
   return out;
 }
 
+// Writes <path>.tmp, fsyncs, renames into place. After a crash at any point
+// the path either holds the previous complete document or nothing — never a
+// torn write.
+void WriteFileAtomically(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open output file '" + tmp + "'");
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size() &&
+      std::fputc('\n', file) != EOF && std::fflush(file) == 0 &&
+      ::fsync(fileno(file)) == 0;
+  if (std::fclose(file) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("failed to write '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("failed to rename '" + tmp + "' into place");
+  }
+}
+
+struct FailPlan {
+  const char* mode = nullptr;  // nullptr = no injection
+  double prob = 1.0;
+  uint64_t seed = 0;
+  uint64_t nonce = 0;
+  bool armed = false;  // decided once the shard_index is known
+};
+
+// The injection decision: a pure function of (seed, shard_index, nonce), so
+// a test that fixes the seeds knows exactly which attempts fail and how.
+bool DecideFault(const FailPlan& plan, int shard_index) {
+  const uint64_t draw = longstore::DeriveSeed(
+      longstore::DeriveSeed(plan.seed, static_cast<uint64_t>(shard_index)),
+      plan.nonce);
+  const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  return u < plan.prob;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* shard_path = nullptr;
   const char* out_path = nullptr;
   long threads = 0;
+  FailPlan fail;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--shard=", 8) == 0) {
@@ -66,6 +137,31 @@ int main(int argc, char** argv) {
       char* end = nullptr;
       threads = std::strtol(arg + 10, &end, 10);
       if (end == arg + 10 || *end != '\0' || threads < 0) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--fail-mode=", 12) == 0) {
+      fail.mode = arg + 12;
+      if (std::strcmp(fail.mode, "crash") != 0 && std::strcmp(fail.mode, "hang") != 0 &&
+          std::strcmp(fail.mode, "corrupt") != 0 &&
+          std::strcmp(fail.mode, "flaky") != 0) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--fail-prob=", 12) == 0) {
+      char* end = nullptr;
+      fail.prob = std::strtod(arg + 12, &end);
+      if (end == arg + 12 || *end != '\0') {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--fail-seed=", 12) == 0) {
+      char* end = nullptr;
+      fail.seed = std::strtoull(arg + 12, &end, 0);
+      if (end == arg + 12 || *end != '\0') {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--fail-nonce=", 13) == 0) {
+      char* end = nullptr;
+      fail.nonce = std::strtoull(arg + 13, &end, 0);
+      if (end == arg + 13 || *end != '\0') {
         return Usage(argv[0]);
       }
     } else {
@@ -90,28 +186,60 @@ int main(int argc, char** argv) {
       std::fclose(file);
     }
 
-    longstore::ShardSpec shard = longstore::ShardSpec::FromJson(text);
+    longstore::ShardSpec shard = longstore::ShardSpec::FromJson(text, shard_path);
     shard.options.mc.threads = static_cast<int>(threads);
-    const longstore::ShardResult result = longstore::RunShard(shard);
-    const std::string json = result.ToJson();
+    fail.armed = fail.mode != nullptr && DecideFault(fail, shard.shard_index);
 
-    std::FILE* out = stdout;
-    if (out_path != nullptr) {
-      out = std::fopen(out_path, "wb");
-      if (out == nullptr) {
-        throw std::runtime_error(std::string("cannot open output file '") +
-                                 out_path + "'");
+    if (fail.armed && std::strcmp(fail.mode, "flaky") == 0) {
+      std::fprintf(stderr, "sweep_worker: injected flaky failure (shard %d)\n",
+                   shard.shard_index);
+      return 1;
+    }
+    if (fail.armed && std::strcmp(fail.mode, "hang") == 0) {
+      std::fprintf(stderr, "sweep_worker: injected hang (shard %d)\n",
+                   shard.shard_index);
+      for (;;) {
+        ::sleep(3600);
       }
     }
-    const bool wrote = std::fwrite(json.data(), 1, json.size(), out) == json.size() &&
-                       std::fputc('\n', out) != EOF;
-    const bool flushed = std::fflush(out) == 0;
-    if (out != stdout) {
-      std::fclose(out);
+
+    const longstore::ShardResult result = longstore::RunShard(shard);
+    std::string json = result.ToJson();
+
+    if (fail.armed && std::strcmp(fail.mode, "corrupt") == 0) {
+      // Flip one byte deep in the body (past the envelope prefix), write
+      // the document *atomically* and exit 0: a silent transport corruption
+      // that only the merge-side checksum can detect.
+      json[json.size() * 2 / 3] ^= 0x20;
+      std::fprintf(stderr, "sweep_worker: injected corruption (shard %d)\n",
+                   shard.shard_index);
     }
-    if (!wrote || !flushed) {
-      throw std::runtime_error("failed to write the shard result");
+
+    if (out_path == nullptr) {
+      const bool wrote =
+          std::fwrite(json.data(), 1, json.size(), stdout) == json.size() &&
+          std::fputc('\n', stdout) != EOF && std::fflush(stdout) == 0;
+      if (!wrote) {
+        throw std::runtime_error("failed to write the shard result");
+      }
+      return 0;
     }
+
+    if (fail.armed && std::strcmp(fail.mode, "crash") == 0) {
+      // Die dirty halfway through the temp file: the atomic-rename contract
+      // means --out never sees these bytes.
+      const std::string tmp = std::string(out_path) + ".tmp";
+      std::FILE* file = std::fopen(tmp.c_str(), "wb");
+      if (file != nullptr) {
+        std::fwrite(json.data(), 1, json.size() / 2, file);
+        std::fflush(file);
+      }
+      std::fprintf(stderr, "sweep_worker: injected crash mid-write (shard %d)\n",
+                   shard.shard_index);
+      std::abort();
+    }
+
+    WriteFileAtomically(out_path, json);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep_worker: %s\n", e.what());
     return 1;
