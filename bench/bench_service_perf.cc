@@ -1,0 +1,164 @@
+// Service cache economics: what a figure query costs against the resident
+// sweep service cold (full Monte Carlo campaign), warm (exact cache hit),
+// and near (adaptive resume from a looser stored run) — on the golden §5.4
+// Cheetah sweep, through the same HandleRequestBytes path the daemon serves.
+//
+// Gates (exit 1 on violation, so CI can hold the line):
+//   * warm bytes identical to cold bytes (the cache must never change a
+//     figure, only the wall clock);
+//   * warm latency >= 100x lower than cold;
+//   * the near-hit resume reaches the tighter CI target with strictly fewer
+//     newly simulated trials than the cold adaptive run.
+//
+// Writes BENCH_service.json (canonical JSON, locale-independent) into the
+// working directory for the perf trajectory record.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/service/service_protocol.h"
+#include "src/service/sweep_service.h"
+#include "src/shard/shard.h"
+#include "src/sweep/sweep.h"
+#include "src/util/json.h"
+#include "src/util/table.h"
+#include "tools/figure_sweeps.h"
+
+namespace longstore {
+namespace {
+
+constexpr int kWarmQueries = 1000;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string CheetahRequestBytes(bool adaptive, double precision) {
+  SweepSpec spec;
+  SweepOptions options;
+  BuildCheetahSweep(&spec, &options);
+  if (adaptive) {
+    options.adaptive = true;
+    options.relative_precision = precision;
+    options.max_trials = 20000;
+  }
+  ServiceRequest request;
+  request.kind = ServiceRequest::Kind::kSweep;
+  request.sweep_document =
+      ShardPlan(spec, options, /*shard_count=*/1).shards()[0].ToJson();
+  return request.ToJson();
+}
+
+}  // namespace
+}  // namespace longstore
+
+int main() {
+  using namespace longstore;
+  std::printf("%s", Heading("perf", "resident sweep service: cold vs warm vs "
+                                    "resumed Cheetah queries")
+                        .c_str());
+
+  SweepService service{ServiceOptions{}};
+  const std::string query = CheetahRequestBytes(/*adaptive=*/false, 0.0);
+
+  // Pool warm-up so the cold number measures the sweep, not thread creation.
+  {
+    SweepSpec spec;
+    SweepOptions options;
+    BuildCheetahSweep(&spec, &options);
+    options.mc.trials = 256;
+    (void)SweepRunner().Run(spec, options);
+  }
+
+  const auto cold_start = std::chrono::steady_clock::now();
+  const ServiceResponse cold =
+      ServiceResponse::FromJson(service.HandleRequestBytes(query));
+  const double cold_seconds = Seconds(cold_start);
+  if (!cold.ok || cold.source != "computed") {
+    std::fprintf(stderr, "cold query failed: %s\n", cold.message.c_str());
+    return 1;
+  }
+
+  bool identical = true;
+  const auto warm_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kWarmQueries; ++i) {
+    const ServiceResponse warm =
+        ServiceResponse::FromJson(service.HandleRequestBytes(query));
+    if (!warm.ok || warm.source != "cache" ||
+        warm.result_json != cold.result_json) {
+      identical = false;
+    }
+  }
+  const double warm_seconds = Seconds(warm_start) / kWarmQueries;
+  const double speedup = cold_seconds / warm_seconds;
+
+  // Near hit: a converged loose adaptive run, then the same sweep at a
+  // tighter precision — resumed from the stored accumulators.
+  const std::string loose = CheetahRequestBytes(/*adaptive=*/true, 0.1);
+  const std::string tight = CheetahRequestBytes(/*adaptive=*/true, 0.015);
+  const ServiceResponse loose_response =
+      ServiceResponse::FromJson(service.HandleRequestBytes(loose));
+  const auto resume_start = std::chrono::steady_clock::now();
+  const ServiceResponse resumed =
+      ServiceResponse::FromJson(service.HandleRequestBytes(tight));
+  const double resume_seconds = Seconds(resume_start);
+  const int64_t cold_tight_trials =
+      loose_response.new_trials + resumed.new_trials;
+  const bool resume_ok = loose_response.ok && resumed.ok &&
+                         resumed.source == "resumed" &&
+                         resumed.new_trials > 0 &&
+                         resumed.new_trials < cold_tight_trials;
+
+  Table table({"query", "wall clock", "new trials", "vs cold"});
+  table.AddRow({"cold (computed)", Table::Fmt(cold_seconds * 1e3, 3) + " ms",
+                std::to_string(cold.new_trials), "1.00x"});
+  char speedup_cell[64];
+  std::snprintf(speedup_cell, sizeof(speedup_cell), "%.0fx faster", speedup);
+  table.AddRow({"warm (cache hit)", Table::Fmt(warm_seconds * 1e3, 3) + " ms",
+                "0", speedup_cell});
+  char resume_cell[64];
+  std::snprintf(resume_cell, sizeof(resume_cell), "%.0f%% of cold trials",
+                100.0 * static_cast<double>(resumed.new_trials) /
+                    static_cast<double>(cold_tight_trials));
+  table.AddRow({"near (resumed, 0.1 -> 0.015)",
+                Table::Fmt(resume_seconds * 1e3, 3) + " ms",
+                std::to_string(resumed.new_trials), resume_cell});
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nwarm bytes identical to cold: %s\n",
+              identical ? "yes" : "NO — CACHE CHANGED A FIGURE");
+  std::printf("warm speedup: %.0fx (gate: >= 100x)\n", speedup);
+  std::printf("resume: %lld of %lld cold trials simulated (%s)\n",
+              static_cast<long long>(resumed.new_trials),
+              static_cast<long long>(cold_tight_trials),
+              resume_ok ? "ok" : "GATE VIOLATED");
+
+  std::string out = "{\"bench\":\"service_perf\",\"sweep\":\"cheetah\","
+                    "\"cold_seconds\":";
+  json::AppendDouble(out, cold_seconds);
+  out += ",\"warm_seconds\":";
+  json::AppendDouble(out, warm_seconds);
+  out += ",\"warm_queries\":";
+  json::AppendInt64(out, kWarmQueries);
+  out += ",\"speedup\":";
+  json::AppendDouble(out, speedup);
+  out += ",\"byte_identical\":";
+  out += identical ? "true" : "false";
+  out += ",\"resume_seconds\":";
+  json::AppendDouble(out, resume_seconds);
+  out += ",\"resume_new_trials\":";
+  json::AppendInt64(out, resumed.new_trials);
+  out += ",\"resume_cold_trials\":";
+  json::AppendInt64(out, cold_tight_trials);
+  out += '}';
+  std::FILE* file = std::fopen("BENCH_service.json", "wb");
+  if (file != nullptr) {
+    std::fprintf(file, "%s\n", out.c_str());
+    std::fclose(file);
+    std::printf("wrote BENCH_service.json\n");
+  }
+
+  const bool gates_pass = identical && speedup >= 100.0 && resume_ok;
+  return gates_pass ? 0 : 1;
+}

@@ -101,6 +101,12 @@ FleetSupervisor::FleetSupervisor(FleetOptions options) : options_(std::move(opti
 
 FleetReport FleetSupervisor::Run(const SweepSpec& spec,
                                  const SweepOptions& sweep_options) const {
+  return Run(spec.AxisNames(), sweep_options, spec.BuildCells());
+}
+
+FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
+                                 const SweepOptions& sweep_options,
+                                 std::vector<SweepSpec::Cell> cells) const {
   const FleetOptions& opt = options_;
   if (opt.worker_path.empty()) {
     throw FleetError("fleet: worker_path is required");
@@ -120,7 +126,8 @@ FleetReport FleetSupervisor::Run(const SweepSpec& spec,
 
   // Plan exactly as the in-process driver would; validation errors
   // propagate with SweepRunner::Run's own messages.
-  const ShardPlan plan(spec, sweep_options, opt.shard_count);
+  const ShardPlan plan(std::move(axis_names), sweep_options, std::move(cells),
+                       opt.shard_count);
   const size_t total_cells = plan.total_cells();
   // Every unit ever created gets a distinct id used as its shard_index;
   // splitting a unit of n cells creates n single-cell units and single-cell
@@ -299,6 +306,26 @@ FleetReport FleetSupervisor::Run(const SweepSpec& spec,
         if (unit.child.Poll()) {
           if (unit.child.exited_cleanly()) {
             harvest(unit);
+          } else if (unit.child.term_signal() == 0 &&
+                     unit.child.exit_code() == Subprocess::kExecFailedExit) {
+            // The worker binary never ran. Retrying (or splitting) cannot
+            // fix a bad --worker path, and burning the whole backoff budget
+            // per unit turns a typo into minutes of silence — fail the
+            // fleet immediately with the path that was attempted.
+            throw FleetError("fleet: worker binary '" + opt.worker_path +
+                             "' could not be executed (exit " +
+                             std::to_string(Subprocess::kExecFailedExit) +
+                             " — missing or non-executable --worker path?)");
+          } else if (unit.child.term_signal() == 0 &&
+                     unit.child.exit_code() == Subprocess::kLogOpenFailedExit) {
+            // Could not open the log file — an environment fault (full or
+            // read-only temp_dir) that a retry may outlive, so stay on the
+            // normal retry path but name the real problem instead of the
+            // generic "worker died".
+            ++stats.crashed;
+            fail(unit, "worker could not open its log file " + unit.log_path +
+                           " (exit " +
+                           std::to_string(Subprocess::kLogOpenFailedExit) + ")");
           } else {
             ++stats.crashed;
             fail(unit, "worker died: " + unit.child.DescribeExit());
@@ -347,6 +374,7 @@ FleetReport FleetSupervisor::Run(const SweepSpec& spec,
   if (merger.complete()) {
     report.result = merger.Finish();
     report.complete = true;
+    report.executions = merger.TakeExecutions();
     return report;
   }
 

@@ -129,6 +129,10 @@ struct FleetReport {
   bool complete = true;
   std::vector<FleetLostCell> lost;
   FleetStats stats;
+  // Complete runs only: the merged raw per-cell executions in grid order —
+  // the exact accumulator state a result cache can later seed adaptive
+  // continuation from (ResumeSweepCells). Empty on partial runs.
+  std::vector<SweepCellExecution> executions;
 };
 
 // Retries exhausted (without partial_ok), no usable results at all, or the
@@ -148,6 +152,14 @@ class FleetSupervisor {
   // specs/options (same messages as SweepRunner::Run), FleetError for
   // fleet-level failure.
   FleetReport Run(const SweepSpec& spec, const SweepOptions& sweep_options) const;
+
+  // Same supervision over already-materialized cells (a deserialized
+  // service/shard document, where no SweepSpec exists). Cells keep their
+  // grid indices and coordinates, so the merged result is identical to a
+  // run planned from the originating spec.
+  FleetReport Run(std::vector<std::string> axis_names,
+                  const SweepOptions& sweep_options,
+                  std::vector<SweepSpec::Cell> cells) const;
 
   const FleetOptions& options() const { return options_; }
 

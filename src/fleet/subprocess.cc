@@ -87,16 +87,20 @@ Subprocess Subprocess::Spawn(const std::vector<std::string>& argv,
     if (!output_path.empty()) {
       const int fd =
           ::open(output_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-      if (fd >= 0) {
-        ::dup2(fd, STDOUT_FILENO);
-        ::dup2(fd, STDERR_FILENO);
-        if (fd != STDOUT_FILENO && fd != STDERR_FILENO) {
-          ::close(fd);
-        }
+      if (fd < 0) {
+        // Running the worker anyway would silently discard its logs — the
+        // supervisor's only diagnostic channel. Exit with a code distinct
+        // from exec failure so the parent can name the real problem.
+        ::_exit(kLogOpenFailedExit);
+      }
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      if (fd != STDOUT_FILENO && fd != STDERR_FILENO) {
+        ::close(fd);
       }
     }
     ::execv(exec_argv[0], exec_argv.data());
-    ::_exit(127);  // exec failed; 127 is the shell's convention for it
+    ::_exit(kExecFailedExit);  // 127 is the shell's convention for exec failure
   }
   Subprocess child;
   child.pid_ = pid;

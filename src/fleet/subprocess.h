@@ -17,6 +17,14 @@ namespace longstore {
 
 class Subprocess {
  public:
+  // Exit codes the child reserves for its own pre-exec failures. 127 is the
+  // shell's convention for "command not found / exec failed"; 126 ("found
+  // but not runnable" in shells) is reused here for "could not open the
+  // output_path log file". Workers must not exit with these codes
+  // themselves, or the supervisor will misclassify the failure.
+  static constexpr int kLogOpenFailedExit = 126;
+  static constexpr int kExecFailedExit = 127;
+
   Subprocess() = default;
   // A still-running child is killed and reaped on destruction so a throwing
   // supervisor can never leak zombies or orphaned workers.
@@ -29,7 +37,9 @@ class Subprocess {
   // Forks and execs argv (argv[0] is the binary path; no PATH search, no
   // shell). The child's stdout and stderr are appended to `output_path`
   // (empty = inherit). Throws std::runtime_error if the fork itself fails;
-  // an exec failure surfaces as exit code 127 on Poll/Await.
+  // an exec failure surfaces as exit code kExecFailedExit (127) on
+  // Poll/Await, and a failure to open `output_path` as kLogOpenFailedExit
+  // (126) — the child refuses to run with its logs discarded.
   static Subprocess Spawn(const std::vector<std::string>& argv,
                           const std::string& output_path);
 

@@ -1,0 +1,227 @@
+#include "src/service/service_protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+#include "src/util/json.h"
+
+namespace longstore {
+namespace {
+
+constexpr char kRequestContext[] = "ServiceRequest::FromJson";
+constexpr char kResponseContext[] = "ServiceResponse::FromJson";
+
+const char* KindName(ServiceRequest::Kind kind) {
+  switch (kind) {
+    case ServiceRequest::Kind::kPing:
+      return "ping";
+    case ServiceRequest::Kind::kStats:
+      return "stats";
+    case ServiceRequest::Kind::kSweep:
+      return "sweep";
+  }
+  throw std::invalid_argument("ServiceRequest: unknown kind");
+}
+
+ServiceRequest::Kind ParseKind(const std::string& name,
+                               const std::string& context) {
+  if (name == "ping") {
+    return ServiceRequest::Kind::kPing;
+  }
+  if (name == "stats") {
+    return ServiceRequest::Kind::kStats;
+  }
+  if (name == "sweep") {
+    return ServiceRequest::Kind::kSweep;
+  }
+  json::Fail(context, "unknown request kind '" + name + "'");
+}
+
+// Opens the envelope and checks the protocol version; both request and
+// response documents share this prologue.
+json::ChecksummedDocument OpenServiceDocument(std::string_view text,
+                                              const std::string& context,
+                                              const std::string& source) {
+  const json::ChecksummedDocument doc =
+      json::OpenChecksummedDocument(text, kServiceVersionKey, context, source);
+  if (!doc.checksummed) {
+    json::Fail(context, "not a checksummed service document" +
+                            (source.empty() ? "" : " (" + source + ")"));
+  }
+  if (doc.version != kServiceProtocolVersion) {
+    json::Fail(context, "protocol version " + std::to_string(doc.version) +
+                            " is not the supported version " +
+                            std::to_string(kServiceProtocolVersion));
+  }
+  return doc;
+}
+
+}  // namespace
+
+std::string ServiceRequest::ToJson() const {
+  std::string body = "{\"request\":\"";
+  body += KindName(kind);
+  body += "\",\"sweep_document\":";
+  json::AppendEscaped(body, sweep_document);
+  body += '}';
+  return json::WrapChecksummedBody(kServiceVersionKey, kServiceProtocolVersion,
+                                   body);
+}
+
+ServiceRequest ServiceRequest::FromJson(std::string_view text,
+                                        const std::string& source) {
+  const json::ChecksummedDocument doc =
+      OpenServiceDocument(text, kRequestContext, source);
+  const json::Value root = json::Parse(doc.body, kRequestContext);
+  json::ObjectReader reader(root, "request", kRequestContext);
+  ServiceRequest request;
+  request.kind = ParseKind(reader.GetString("request"), kRequestContext);
+  request.sweep_document = reader.GetString("sweep_document");
+  reader.Finish();
+  if (request.kind == Kind::kSweep && request.sweep_document.empty()) {
+    json::Fail(kRequestContext, "sweep request carries no sweep_document");
+  }
+  return request;
+}
+
+std::string ServiceResponse::ToJson() const {
+  std::string body = "{\"status\":\"";
+  body += ok ? "ok" : "error";
+  body += "\",\"source\":";
+  json::AppendEscaped(body, source);
+  body += ",\"sweep_id\":";
+  json::AppendUint64Hex(body, sweep_id);
+  body += ",\"new_trials\":";
+  json::AppendInt64(body, new_trials);
+  body += ",\"result\":";
+  json::AppendEscaped(body, result_json);
+  body += ",\"retryable\":";
+  body += retryable ? "true" : "false";
+  body += ",\"message\":";
+  json::AppendEscaped(body, message);
+  body += '}';
+  return json::WrapChecksummedBody(kServiceVersionKey, kServiceProtocolVersion,
+                                   body);
+}
+
+ServiceResponse ServiceResponse::FromJson(std::string_view text,
+                                          const std::string& source) {
+  const json::ChecksummedDocument doc =
+      OpenServiceDocument(text, kResponseContext, source);
+  const json::Value root = json::Parse(doc.body, kResponseContext);
+  json::ObjectReader reader(root, "response", kResponseContext);
+  ServiceResponse response;
+  const std::string status = reader.GetString("status");
+  if (status != "ok" && status != "error") {
+    json::Fail(kResponseContext, "unknown status '" + status + "'");
+  }
+  response.ok = status == "ok";
+  response.source = reader.GetString("source");
+  response.sweep_id = reader.GetUint64Hex("sweep_id");
+  response.new_trials = reader.GetInt64("new_trials");
+  response.result_json = reader.GetString("result");
+  response.retryable = reader.GetBool("retryable");
+  response.message = reader.GetString("message");
+  reader.Finish();
+  return response;
+}
+
+// --- framing ---------------------------------------------------------------
+
+namespace {
+
+// Blocking read of exactly one byte; 1 on success, 0 on EOF, -1 on error.
+int ReadByte(int fd, char* out) {
+  while (true) {
+    const ssize_t n = ::read(fd, out, 1);
+    if (n >= 0) {
+      return static_cast<int>(n);
+    }
+    if (errno != EINTR) {
+      return -1;
+    }
+  }
+}
+
+}  // namespace
+
+FrameStatus ReadFrame(int fd, std::string* payload, std::string* error) {
+  // Length prefix: decimal digits then '\n'. 20 digits bound any uint64, so
+  // anything longer is garbage, not a long frame.
+  size_t length = 0;
+  int digits = 0;
+  while (true) {
+    char c = 0;
+    const int got = ReadByte(fd, &c);
+    if (got < 0) {
+      *error = "read failed while reading frame length";
+      return FrameStatus::kMalformed;
+    }
+    if (got == 0) {
+      if (digits == 0) {
+        return FrameStatus::kEof;
+      }
+      *error = "stream ended inside a frame length prefix";
+      return FrameStatus::kMalformed;
+    }
+    if (c == '\n') {
+      if (digits == 0) {
+        *error = "empty frame length prefix";
+        return FrameStatus::kMalformed;
+      }
+      break;
+    }
+    if (c < '0' || c > '9' || digits >= 20) {
+      *error = "malformed frame length prefix";
+      return FrameStatus::kMalformed;
+    }
+    length = length * 10 + static_cast<size_t>(c - '0');
+    ++digits;
+    if (length > kMaxFrameBytes) {
+      *error = "frame length " + std::to_string(length) +
+               " exceeds the maximum " + std::to_string(kMaxFrameBytes);
+      return FrameStatus::kMalformed;
+    }
+  }
+
+  payload->clear();
+  payload->resize(length);
+  size_t have = 0;
+  while (have < length) {
+    const ssize_t n = ::read(fd, payload->data() + have, length - have);
+    if (n > 0) {
+      have += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    *error = "stream ended after " + std::to_string(have) + " of " +
+             std::to_string(length) + " frame payload bytes";
+    return FrameStatus::kMalformed;
+  }
+  return FrameStatus::kOk;
+}
+
+bool WriteFrame(int fd, std::string_view payload) {
+  std::string frame = std::to_string(payload.size());
+  frame += '\n';
+  frame.append(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace longstore

@@ -1,0 +1,100 @@
+// Wire protocol of the resident sweep service (tools/sweep_serviced):
+// request/response documents plus the byte-stream framing they travel in.
+//
+// Framing: every message is one frame, "<decimal byte count>\n<payload>",
+// over a Unix-domain socket or a stdin/stdout pipe. The length prefix makes
+// message boundaries explicit (JSON documents are self-delimiting only to a
+// parser, and the reader must know how many bytes to trust *before* parsing
+// them); it is deliberately the same shape the shard files use for size
+// verification, just streamed.
+//
+// Documents: canonical JSON wrapped in the shared checksummed envelope
+// (src/util/json.h, version key "service_version") — the same end-to-end
+// integrity discipline as the shard protocol, so a transport that corrupts
+// silently produces a retryable structured error, never a wrong figure. A
+// sweep request embeds a complete single-shard document (ShardSpec::ToJson
+// bytes, shard_index 0 of 1) as an escaped string: the shard schema already
+// carries everything a sweep needs (options, axes, cells as canonical
+// scenarios) and reusing its exact bytes means the service's identity
+// hashes are computed over the same canonical form the shard fleet proves
+// byte-identical. Full schema: src/service/README.md.
+
+#ifndef LONGSTORE_SRC_SERVICE_SERVICE_PROTOCOL_H_
+#define LONGSTORE_SRC_SERVICE_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace longstore {
+
+// Bumped whenever the service schema changes shape or meaning; a server or
+// client speaking a different version rejects the document outright.
+inline constexpr int kServiceProtocolVersion = 1;
+inline constexpr char kServiceVersionKey[] = "service_version";
+
+struct ServiceRequest {
+  enum class Kind {
+    kPing,   // liveness probe; answered from the accept loop, no simulation
+    kStats,  // cache/uptime counters as a JSON object in `result`
+    kSweep,  // execute (or serve from cache) the embedded sweep document
+  };
+
+  Kind kind = Kind::kPing;
+  // kSweep only: a complete single-shard document (ShardSpec::ToJson bytes
+  // with shard_index 0, shard_count 1, all cells). Empty otherwise.
+  std::string sweep_document;
+
+  std::string ToJson() const;
+  // Verifies the envelope (json::IntegrityError on length/checksum
+  // mismatch — retryable), then parses strictly; `source` names the
+  // transport in errors.
+  static ServiceRequest FromJson(std::string_view json,
+                                 const std::string& source = "");
+};
+
+struct ServiceResponse {
+  bool ok = false;
+  // kOk responses: where the answer came from — "computed" (cold run),
+  // "cache" (exact hit, no simulation), "resumed" (near hit continued from
+  // stored accumulator state), "pong", or "stats".
+  std::string source;
+  uint64_t sweep_id = 0;    // identity of the executed sweep; 0 for ping
+  int64_t new_trials = 0;   // trials simulated to answer *this* request
+  std::string result_json;  // SweepResult::ToJson bytes ("" for ping; stats
+                            // object for kStats)
+  // Error responses: whether retrying the identical request can succeed
+  // (transport corruption) or not (schema/validation error), and a precise
+  // message.
+  bool retryable = false;
+  std::string message;
+
+  std::string ToJson() const;
+  static ServiceResponse FromJson(std::string_view json,
+                                  const std::string& source = "");
+};
+
+// --- framing ---------------------------------------------------------------
+
+enum class FrameStatus {
+  kOk,
+  kEof,        // clean end of stream before any byte of a frame
+  kMalformed,  // unparseable length, oversized frame, or truncated payload
+};
+
+// Frames larger than this are refused outright — a corrupted length prefix
+// must not convince the server to allocate gigabytes.
+inline constexpr size_t kMaxFrameBytes = size_t{256} << 20;
+
+// Reads one "<len>\n<payload>" frame from `fd` (blocking, EINTR-safe).
+// kMalformed fills `error` with the reason; the stream is unrecoverable
+// afterwards (the reader cannot resynchronize on a byte stream).
+FrameStatus ReadFrame(int fd, std::string* payload, std::string* error);
+
+// Writes one frame; false on any write error (EPIPE included — the caller
+// decides whether a vanished peer matters).
+bool WriteFrame(int fd, std::string_view payload);
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_SERVICE_SERVICE_PROTOCOL_H_

@@ -1,0 +1,95 @@
+#include "src/service/sweep_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace longstore {
+
+SweepCache::SweepCache(size_t capacity) : capacity_(capacity) {
+  if (capacity_ < 1) {
+    throw std::invalid_argument("SweepCache: capacity must be >= 1");
+  }
+}
+
+void SweepCache::Touch(Entry& entry) {
+  recency_.splice(recency_.begin(), recency_, entry.recency);
+}
+
+const CachedSweep* SweepCache::FindExact(uint64_t sweep_id) {
+  const auto it = entries_.find(sweep_id);
+  if (it == entries_.end()) {
+    return nullptr;
+  }
+  Touch(it->second);
+  ++stats_.exact_hits;
+  return &it->second.sweep;
+}
+
+const CachedSweep* SweepCache::FindResumable(uint64_t resume_key,
+                                             double requested_precision) {
+  const auto keyed = resume_index_.find(resume_key);
+  if (keyed == resume_index_.end()) {
+    return nullptr;
+  }
+  Entry* best = nullptr;
+  for (const uint64_t sweep_id : keyed->second) {
+    Entry& entry = entries_.at(sweep_id);
+    // Only a strictly looser stored run resumes byte-identically: the cold
+    // run at `requested_precision` passes through every round the stored
+    // run completed, then keeps going. (A tighter stored run overshoots the
+    // round where the cold looser run would have stopped.)
+    if (entry.sweep.relative_precision <= requested_precision) {
+      continue;
+    }
+    if (best == nullptr || entry.sweep.total_trials > best->sweep.total_trials) {
+      best = &entry;
+    }
+  }
+  if (best == nullptr) {
+    return nullptr;
+  }
+  Touch(*best);
+  ++stats_.resume_hits;
+  return &best->sweep;
+}
+
+void SweepCache::Erase(uint64_t sweep_id) {
+  const auto it = entries_.find(sweep_id);
+  if (it == entries_.end()) {
+    return;
+  }
+  const uint64_t resume_key = it->second.sweep.resume_key;
+  if (resume_key != 0) {
+    auto keyed = resume_index_.find(resume_key);
+    if (keyed != resume_index_.end()) {
+      auto& ids = keyed->second;
+      ids.erase(std::remove(ids.begin(), ids.end(), sweep_id), ids.end());
+      if (ids.empty()) {
+        resume_index_.erase(keyed);
+      }
+    }
+  }
+  recency_.erase(it->second.recency);
+  entries_.erase(it);
+}
+
+void SweepCache::Insert(CachedSweep entry) {
+  const uint64_t sweep_id = entry.sweep_id;
+  Erase(sweep_id);  // same request recomputed (e.g. after eviction races)
+  while (entries_.size() >= capacity_) {
+    ++stats_.evictions;
+    Erase(recency_.back());
+  }
+  recency_.push_front(sweep_id);
+  Entry stored;
+  stored.sweep = std::move(entry);
+  stored.recency = recency_.begin();
+  if (stored.sweep.resume_key != 0) {
+    resume_index_[stored.sweep.resume_key].push_back(sweep_id);
+  }
+  entries_.emplace(sweep_id, std::move(stored));
+  ++stats_.insertions;
+}
+
+}  // namespace longstore

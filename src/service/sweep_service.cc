@@ -1,0 +1,193 @@
+#include "src/service/sweep_service.h"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/shard/shard.h"
+#include "src/util/json.h"
+
+namespace longstore {
+namespace {
+
+ServiceResponse ErrorResponse(bool retryable, std::string message) {
+  ServiceResponse response;
+  response.ok = false;
+  response.retryable = retryable;
+  response.message = std::move(message);
+  return response;
+}
+
+int64_t TotalTrials(const std::vector<SweepCellExecution>& executions) {
+  int64_t total = 0;
+  for (const SweepCellExecution& cell : executions) {
+    total += cell.trials;
+  }
+  return total;
+}
+
+}  // namespace
+
+SweepService::SweepService(ServiceOptions options)
+    : options_(std::move(options)),
+      pool_(options_.pool != nullptr ? *options_.pool : WorkerPool::Shared()),
+      cache_(options_.cache_capacity) {
+  // An incomplete answer must never be cached or served as a figure; the
+  // service downgrades fleet partial runs to retryable errors instead.
+  options_.fleet.partial_ok = false;
+}
+
+std::string SweepService::HandleRequestBytes(std::string_view request_bytes,
+                                             const std::string& source) {
+  ServiceRequest request;
+  try {
+    request = ServiceRequest::FromJson(request_bytes, source);
+  } catch (const json::IntegrityError& e) {
+    return ErrorResponse(/*retryable=*/true, e.what()).ToJson();
+  } catch (const std::exception& e) {
+    return ErrorResponse(/*retryable=*/false, e.what()).ToJson();
+  }
+  return Handle(request).ToJson();
+}
+
+ServiceResponse SweepService::Handle(const ServiceRequest& request) {
+  ++requests_;
+  switch (request.kind) {
+    case ServiceRequest::Kind::kPing: {
+      ServiceResponse response;
+      response.ok = true;
+      response.source = "pong";
+      return response;
+    }
+    case ServiceRequest::Kind::kStats:
+      return HandleStats();
+    case ServiceRequest::Kind::kSweep:
+      try {
+        return HandleSweep(request);
+      } catch (const json::IntegrityError& e) {
+        // The embedded shard document failed its own envelope check: the
+        // outer frame arrived intact, but the client serialized from
+        // already-corrupted bytes — still worth a resend.
+        return ErrorResponse(/*retryable=*/true, e.what());
+      } catch (const std::exception& e) {
+        return ErrorResponse(/*retryable=*/false, e.what());
+      }
+  }
+  return ErrorResponse(/*retryable=*/false, "unknown request kind");
+}
+
+ServiceResponse SweepService::HandleSweep(const ServiceRequest& request) {
+  ShardSpec spec = ShardSpec::FromJson(request.sweep_document, "service request");
+  if (spec.shard_index != 0 || spec.shard_count != 1) {
+    throw std::invalid_argument(
+        "service request: the sweep document must be the whole sweep "
+        "(shard 0 of 1), got shard " + std::to_string(spec.shard_index) +
+        " of " + std::to_string(spec.shard_count));
+  }
+  if (spec.total_cells != spec.cells.size()) {
+    throw std::invalid_argument(
+        "service request: total_cells " + std::to_string(spec.total_cells) +
+        " does not match the " + std::to_string(spec.cells.size()) +
+        " cells present");
+  }
+  ValidateSweepOptions(spec.options);
+  ValidateSweepCells(spec.cells);
+
+  const uint64_t sweep_id =
+      ComputeSweepId(spec.axis_names, spec.options, spec.cells);
+  if (spec.sweep_id != 0 && spec.sweep_id != sweep_id) {
+    throw std::invalid_argument(
+        "service request: document sweep_id does not match its own content "
+        "(stale or hand-edited document?)");
+  }
+  // Entries sharing every field but relative_precision share this key.
+  // Precision 0 is impossible on a real request (validation requires > 0),
+  // so the pin can never collide with a genuine sweep_id input.
+  uint64_t resume_key = 0;
+  if (spec.options.adaptive) {
+    SweepOptions pinned = spec.options;
+    pinned.relative_precision = 0.0;
+    resume_key = ComputeSweepId(spec.axis_names, pinned, spec.cells);
+  }
+
+  ServiceResponse response;
+  response.ok = true;
+  response.sweep_id = sweep_id;
+
+  if (const CachedSweep* hit = cache_.FindExact(sweep_id)) {
+    response.source = "cache";
+    response.result_json = hit->result_json;
+    return response;
+  }
+
+  CachedSweep entry;
+  entry.sweep_id = sweep_id;
+  entry.resume_key = resume_key;
+  entry.relative_precision = spec.options.relative_precision;
+
+  const CachedSweep* seed =
+      resume_key != 0
+          ? cache_.FindResumable(resume_key, spec.options.relative_precision)
+          : nullptr;
+  if (seed != nullptr) {
+    // Continue from the stored accumulators on the warm pool. Byte-identity
+    // with the cold run holds because trial seeds and the round schedule
+    // are independent of where the stored run stopped (ResumeSweepCells'
+    // contract); the fleet cannot take this path — its workers start from
+    // empty accumulators by design.
+    const int64_t prior_trials = seed->total_trials;
+    entry.executions = ResumeSweepCells(pool_, std::move(spec.cells),
+                                        spec.options, seed->executions);
+    response.source = "resumed";
+    response.new_trials = TotalTrials(entry.executions) - prior_trials;
+  } else {
+    cache_.CountMiss();
+    response.source = "computed";
+    if (options_.backend == ServiceOptions::Backend::kFleet) {
+      FleetReport report = FleetSupervisor(options_.fleet).Run(
+          spec.axis_names, spec.options, std::move(spec.cells));
+      entry.executions = std::move(report.executions);
+    } else {
+      entry.executions =
+          RunSweepCells(pool_, std::move(spec.cells), spec.options);
+    }
+    response.new_trials = TotalTrials(entry.executions);
+  }
+
+  entry.total_trials = TotalTrials(entry.executions);
+  entry.result_json =
+      FinalizeSweepCells(entry.executions, spec.axis_names,
+                         spec.options.estimand, spec.options.mc.confidence)
+          .ToJson();
+  response.result_json = entry.result_json;
+  cache_.Insert(std::move(entry));
+  return response;
+}
+
+ServiceResponse SweepService::HandleStats() const {
+  const SweepCacheStats& stats = cache_.stats();
+  std::string body = "{\"requests\":";
+  json::AppendInt64(body, requests_);
+  body += ",\"cache_entries\":";
+  json::AppendInt64(body, static_cast<int64_t>(cache_.size()));
+  body += ",\"exact_hits\":";
+  json::AppendInt64(body, stats.exact_hits);
+  body += ",\"resume_hits\":";
+  json::AppendInt64(body, stats.resume_hits);
+  body += ",\"misses\":";
+  json::AppendInt64(body, stats.misses);
+  body += ",\"insertions\":";
+  json::AppendInt64(body, stats.insertions);
+  body += ",\"evictions\":";
+  json::AppendInt64(body, stats.evictions);
+  body += '}';
+
+  ServiceResponse response;
+  response.ok = true;
+  response.source = "stats";
+  response.result_json = std::move(body);
+  return response;
+}
+
+}  // namespace longstore

@@ -452,12 +452,16 @@ ShardSpec ShardSpec::FromJsonUntagged(std::string_view text,
 // --- ShardPlan -------------------------------------------------------------
 
 ShardPlan::ShardPlan(const SweepSpec& spec, const SweepOptions& options,
-                     int shard_count) {
+                     int shard_count)
+    : ShardPlan(spec.AxisNames(), options, spec.BuildCells(), shard_count) {}
+
+ShardPlan::ShardPlan(std::vector<std::string> axis_names,
+                     const SweepOptions& options,
+                     std::vector<SweepSpec::Cell> cells, int shard_count) {
   if (shard_count < 1) {
     throw std::invalid_argument("ShardPlan: shard_count must be >= 1");
   }
   ValidateSweepOptions(options);
-  std::vector<SweepSpec::Cell> cells = spec.BuildCells();
   if (cells.empty()) {
     throw std::invalid_argument("ShardPlan: the sweep has no cells");
   }
@@ -465,7 +469,7 @@ ShardPlan::ShardPlan(const SweepSpec& spec, const SweepOptions& options,
   // worker processes at once.
   ValidateSweepCells(cells);
 
-  axis_names_ = spec.AxisNames();
+  axis_names_ = std::move(axis_names);
   total_cells_ = cells.size();
   const uint64_t sweep_id = ComputeSweepId(axis_names_, options, cells);
   shards_.resize(static_cast<size_t>(shard_count));
@@ -767,6 +771,25 @@ SweepResult ShardMerger::FinishPartial() const {
   }
   return FinalizeSweepCells(std::move(executions), header_.axis_names,
                             header_.estimand, header_.confidence);
+}
+
+std::vector<SweepCellExecution> ShardMerger::TakeExecutions() {
+  if (!have_header_) {
+    throw std::invalid_argument("ShardMerger: no shard results were added");
+  }
+  if (!complete()) {
+    throw std::invalid_argument(
+        "ShardMerger: incomplete merge; cannot take executions, missing cells " +
+        ListIndices(MissingCells()));
+  }
+  std::vector<SweepCellExecution> executions;
+  executions.reserve(cells_.size());
+  for (std::optional<SweepCellExecution>& cell : cells_) {
+    executions.push_back(std::move(*cell));
+    cell.reset();
+  }
+  received_ = 0;
+  return executions;
 }
 
 }  // namespace longstore

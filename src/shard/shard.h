@@ -113,6 +113,12 @@ struct ShardSpec {
 class ShardPlan {
  public:
   ShardPlan(const SweepSpec& spec, const SweepOptions& options, int shard_count);
+  // Plans already-materialized cells (a deserialized shard/service document,
+  // where no SweepSpec exists to rebuild them from). Cells keep their grid
+  // indices and coordinates, so the plan is identical to one built from the
+  // originating spec.
+  ShardPlan(std::vector<std::string> axis_names, const SweepOptions& options,
+            std::vector<SweepSpec::Cell> cells, int shard_count);
 
   const std::vector<ShardSpec>& shards() const { return shards_; }
   size_t total_cells() const { return total_cells_; }
@@ -197,6 +203,12 @@ class ShardMerger {
   // present cell finalizes to exactly the bytes it would have in the
   // complete merge.
   SweepResult FinishPartial() const;
+
+  // Moves the merged raw executions out, in grid order — the exact Welford
+  // state a result cache needs to seed adaptive continuation
+  // (ResumeSweepCells) later. Only valid on a complete merge
+  // (std::invalid_argument otherwise); the merger is spent afterwards.
+  std::vector<SweepCellExecution> TakeExecutions();
 
  private:
   bool have_header_ = false;

@@ -349,9 +349,14 @@ void ValidateSweepCells(const std::vector<SweepSpec::Cell>& cells) {
   }
 }
 
-std::vector<SweepCellExecution> RunSweepCells(WorkerPool& pool,
-                                              std::vector<SweepSpec::Cell> cells,
-                                              const SweepOptions& options) {
+namespace {
+
+// Shared body of RunSweepCells and ResumeSweepCells: `prior` (may be null)
+// seeds each cell's folded accumulator and round bookkeeping from an earlier
+// adaptive run before the loop continues it.
+std::vector<SweepCellExecution> RunSweepCellsImpl(
+    WorkerPool& pool, std::vector<SweepSpec::Cell> cells,
+    const SweepOptions& options, std::vector<SweepCellExecution>* prior) {
   using Estimand = SweepOptions::Estimand;
   const McConfig& mc = options.mc;
   const int64_t cap = options.adaptive ? options.max_trials
@@ -372,6 +377,44 @@ std::vector<SweepCellExecution> RunSweepCells(WorkerPool& pool,
         break;
     }
     state.target = std::min<int64_t>(mc.trials, cap);
+  }
+
+  // The adaptive verdict on a cell whose trials are folded through
+  // `trials_done`: converge, or schedule the next geometric round. One body
+  // for the in-loop decision and the resume re-decision, so the two can
+  // never disagree on a boundary case.
+  const auto decide = [&](CellState& state, bool append_half_width) {
+    const MttdlEstimate estimate = FinalizeMttdl(state.acc, mc.confidence);
+    const double mean = estimate.mean_years();
+    const double half_width = (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0;
+    if (append_half_width) {
+      state.half_widths.push_back(half_width);
+    }
+    if ((mean > 0.0 && half_width / mean <= options.relative_precision) ||
+        state.trials_done >= options.max_trials) {
+      state.converged = true;
+    } else {
+      state.target = std::min(options.max_trials, state.trials_done * 4);
+    }
+  };
+
+  if (prior != nullptr) {
+    for (size_t i = 0; i < states.size(); ++i) {
+      CellState& state = states[i];
+      SweepCellExecution& from = (*prior)[i];
+      state.acc = std::move(from.acc);
+      state.trials_done = from.trials;
+      state.rounds = from.rounds;
+      state.half_widths = std::move(from.half_width_history);
+      // Re-judge the last completed round under *these* options. A prior
+      // non-adaptive run carries rounds but no half-width entry for them
+      // (history tracks adaptive rounds only), so the entry a cold adaptive
+      // run would have recorded is reconstructed from the accumulator —
+      // FinalizeMttdl of the same folded state yields the same bits.
+      decide(state, /*append_half_width=*/static_cast<int64_t>(
+                        state.half_widths.size()) < static_cast<int64_t>(
+                                                        state.rounds));
+    }
   }
 
   const int lanes = mc.threads > 0 ? mc.threads : pool.size();
@@ -457,16 +500,7 @@ std::vector<SweepCellExecution> RunSweepCells(WorkerPool& pool,
         state.converged = true;
         continue;
       }
-      const MttdlEstimate estimate = FinalizeMttdl(state.acc, mc.confidence);
-      const double mean = estimate.mean_years();
-      const double half_width = (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0;
-      state.half_widths.push_back(half_width);
-      if ((mean > 0.0 && half_width / mean <= options.relative_precision) ||
-          state.trials_done >= options.max_trials) {
-        state.converged = true;
-      } else {
-        state.target = std::min(options.max_trials, state.trials_done * 4);
-      }
+      decide(state, /*append_half_width=*/true);
     }
   }
 
@@ -484,6 +518,55 @@ std::vector<SweepCellExecution> RunSweepCells(WorkerPool& pool,
     executions.push_back(std::move(execution));
   }
   return executions;
+}
+
+}  // namespace
+
+std::vector<SweepCellExecution> RunSweepCells(WorkerPool& pool,
+                                              std::vector<SweepSpec::Cell> cells,
+                                              const SweepOptions& options) {
+  return RunSweepCellsImpl(pool, std::move(cells), options, nullptr);
+}
+
+std::vector<SweepCellExecution> ResumeSweepCells(
+    WorkerPool& pool, std::vector<SweepSpec::Cell> cells,
+    const SweepOptions& options, std::vector<SweepCellExecution> prior) {
+  if (!options.adaptive) {
+    // A non-adaptive request is an exact trial count; there is nothing to
+    // continue toward, and "topping up" would change the rounds/history
+    // metadata relative to the cold run it must match byte for byte.
+    throw std::invalid_argument(
+        "ResumeSweepCells: only adaptive (kMttdl) sweeps can be resumed");
+  }
+  if (prior.size() != cells.size()) {
+    throw std::invalid_argument(
+        "ResumeSweepCells: prior has " + std::to_string(prior.size()) +
+        " cells, request has " + std::to_string(cells.size()));
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const SweepCellExecution& from = prior[i];
+    if (from.label != cells[i].label) {
+      throw std::invalid_argument("ResumeSweepCells: cell " + std::to_string(i) +
+                                  " label mismatch: prior '" + from.label +
+                                  "' vs request '" + cells[i].label + "'");
+    }
+    if (from.trials <= 0 || from.rounds <= 0) {
+      throw std::invalid_argument("ResumeSweepCells: prior cell '" + from.label +
+                                  "' carries no completed trials");
+    }
+    const size_t history = from.half_width_history.size();
+    // A prior adaptive run records one half-width per round; a non-adaptive
+    // one records none and exactly one round (its history entry is
+    // reconstructed from the accumulator). Anything else lost state.
+    if (history != static_cast<size_t>(from.rounds) &&
+        !(from.rounds == 1 && history == 0)) {
+      throw std::invalid_argument(
+          "ResumeSweepCells: prior cell '" + from.label + "' has " +
+          std::to_string(history) + " half-width entries for " +
+          std::to_string(from.rounds) + " rounds");
+    }
+  }
+  return RunSweepCellsImpl(pool, std::move(cells), options, &prior);
 }
 
 SweepResult FinalizeSweepCells(std::vector<SweepCellExecution> executions,

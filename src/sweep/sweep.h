@@ -294,6 +294,25 @@ std::vector<SweepCellExecution> RunSweepCells(WorkerPool& pool,
                                               std::vector<SweepSpec::Cell> cells,
                                               const SweepOptions& options);
 
+// Continues an adaptive (kMttdl) sweep from the raw executions of an earlier
+// run instead of restarting: each cell's folded accumulator, trial count and
+// round history are restored, the last round's verdict is re-judged under
+// *these* options, and unconverged cells rejoin the geometric round
+// schedule. Because trial t of a cell is seeded DeriveSeed(cell_seed, t) —
+// independent of round boundaries — and the round-target schedule is
+// independent of relative_precision, resuming a converged looser-precision
+// run at a tighter relative_precision returns executions *byte-identical*
+// to a cold run at the tighter precision, while only simulating the trials
+// beyond `prior`. `prior` must line up with `cells` one-to-one (same order
+// and labels) and must come from the same cells/mc/seed-mode configuration,
+// or the continuation silently computes a different sweep; label and shape
+// mismatches throw std::invalid_argument. A non-adaptive single-round prior
+// is accepted (its round-1 half-width is reconstructed from the
+// accumulator); a non-adaptive *request* is not resumable.
+std::vector<SweepCellExecution> ResumeSweepCells(
+    WorkerPool& pool, std::vector<SweepSpec::Cell> cells,
+    const SweepOptions& options, std::vector<SweepCellExecution> prior);
+
 // Finalizes raw executions (already in result order) into a SweepResult.
 SweepResult FinalizeSweepCells(std::vector<SweepCellExecution> executions,
                                std::vector<std::string> axis_names,

@@ -1,12 +1,14 @@
 #include "src/util/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <system_error>
 
 namespace longstore::json {
 
@@ -53,9 +55,15 @@ void AppendDouble(std::string& out, double v) {
     out += "\"nan\"";
     return;
   }
+  // std::to_chars, not snprintf: %g obeys LC_NUMERIC, so an embedder that
+  // calls setlocale(LC_ALL, "") under a comma-decimal locale would silently
+  // change every canonical byte — and with it CanonicalHash, sweep_id, and
+  // the envelope checksums. to_chars is locale-independent and its
+  // general/17 output is byte-identical to C-locale %.17g.
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
+  const auto res =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 17);
+  out.append(buf, res.ptr);
 }
 
 void AppendInt64(std::string& out, int64_t v) {
@@ -408,9 +416,23 @@ class Parser {
       ParseFail("expected a value");
     }
     const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
+    // std::from_chars, not strtod: strtod obeys LC_NUMERIC, so under a
+    // comma-decimal locale it would stop at the '.' of a canonical number
+    // and reject (or worse, reinterpret) documents this library itself
+    // emitted. from_chars always parses the C-locale spelling. It does not
+    // accept a leading '+' (strtod did; the canonical emitters never write
+    // one), so consume it explicitly to keep accepting that spelling.
+    const char* first = token.c_str();
+    const char* last = first + token.size();
+    if (first != last && *first == '+') {
+      ++first;
+    }
+    double value = 0.0;
+    const auto res = std::from_chars(first, last, value);
+    if (res.ec == std::errc::result_out_of_range) {
+      ParseFail("number '" + token + "' is out of double range");
+    }
+    if (res.ec != std::errc() || res.ptr != last) {
       ParseFail("malformed number '" + token + "'");
     }
     Value out;

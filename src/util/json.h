@@ -3,11 +3,14 @@
 // the sweep shard protocol (src/shard/).
 //
 // Emission side: append-style helpers that produce *canonical* JSON — no
-// insignificant whitespace, round-trip-exact doubles (shortest %.17g form;
+// insignificant whitespace, round-trip-exact doubles (the C-locale %.17g
+// form, emitted via std::to_chars so the bytes cannot vary with LC_NUMERIC;
 // "inf"/"-inf"/"nan" as strings, since JSON has no literal for them).
 // Canonical strings double as identity (FNV-1a hashes over them are stable
-// across processes and platforms), so emitters must never change byte
-// output gratuitously.
+// across processes, platforms and locales), so emitters must never change
+// byte output gratuitously. Parsing is equally locale-independent
+// (std::from_chars): an embedder calling setlocale(LC_ALL, "") under a
+// comma-decimal locale changes neither emitted bytes nor parsed values.
 //
 // Parsing side: a strict value-tree parser plus ObjectReader, a schema view
 // that rejects duplicate, unknown and missing keys and type mismatches with

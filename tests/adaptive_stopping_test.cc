@@ -132,6 +132,108 @@ TEST(AdaptiveStoppingTest, PerCellStoppingIsIndependent) {
   }
 }
 
+// The resume contract behind the sweep service's near-hit cache path: a
+// converged looser-precision run, continued at a tighter precision via
+// ResumeSweepCells, must land on executions byte-identical to a cold run at
+// the tighter precision — same accumulator bits, trials, rounds, and
+// half-width history — while only simulating the trials past the prior run.
+TEST(AdaptiveStoppingTest, ResumeFromLooserPrecisionMatchesColdRunExactly) {
+  SweepSpec spec(FastConfig());
+  SweepOptions loose;
+  loose.estimand = SweepOptions::Estimand::kMttdl;
+  loose.adaptive = true;
+  loose.relative_precision = 0.2;
+  loose.max_trials = 100000;
+  loose.mc.trials = 100;
+  loose.mc.seed = 21;
+  loose.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  SweepOptions tight = loose;
+  tight.relative_precision = 0.03;
+
+  WorkerPool& pool = WorkerPool::Shared();
+  std::vector<SweepCellExecution> prior =
+      RunSweepCells(pool, spec.BuildCells(), loose);
+  const int64_t prior_trials = prior[0].trials;
+  std::vector<SweepCellExecution> cold =
+      RunSweepCells(pool, spec.BuildCells(), tight);
+  ASSERT_GT(cold[0].trials, prior_trials)
+      << "tight precision must need more trials or the resume is trivial";
+
+  std::vector<SweepCellExecution> resumed =
+      ResumeSweepCells(pool, spec.BuildCells(), tight, std::move(prior));
+  ASSERT_EQ(resumed.size(), cold.size());
+  EXPECT_EQ(resumed[0].trials, cold[0].trials);
+  EXPECT_EQ(resumed[0].rounds, cold[0].rounds);
+  EXPECT_EQ(resumed[0].half_width_history, cold[0].half_width_history);
+  // Byte-level: the finalized result (the service's response body) matches.
+  const auto finalize = [&](std::vector<SweepCellExecution> executions) {
+    return FinalizeSweepCells(std::move(executions), spec.AxisNames(),
+                              tight.estimand, tight.mc.confidence)
+        .ToJson();
+  };
+  EXPECT_EQ(finalize(std::move(resumed)), finalize(std::move(cold)));
+}
+
+// Resuming a run that is *already* converged at the requested precision must
+// return it unchanged without simulating anything.
+TEST(AdaptiveStoppingTest, ResumeAtSamePrecisionIsANoOp) {
+  SweepSpec spec(FastConfig());
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  options.adaptive = true;
+  options.relative_precision = 0.1;
+  options.max_trials = 100000;
+  options.mc.trials = 100;
+  options.mc.seed = 21;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  WorkerPool& pool = WorkerPool::Shared();
+  const std::vector<SweepCellExecution> first =
+      RunSweepCells(pool, spec.BuildCells(), options);
+  std::vector<SweepCellExecution> prior =
+      RunSweepCells(pool, spec.BuildCells(), options);
+  const std::vector<SweepCellExecution> resumed =
+      ResumeSweepCells(pool, spec.BuildCells(), options, std::move(prior));
+  EXPECT_EQ(resumed[0].trials, first[0].trials);
+  EXPECT_EQ(resumed[0].rounds, first[0].rounds);
+  EXPECT_EQ(resumed[0].half_width_history, first[0].half_width_history);
+}
+
+TEST(AdaptiveStoppingTest, ResumeRejectsMismatchedPriors) {
+  SweepSpec spec(FastConfig());
+  SweepOptions options;
+  options.estimand = SweepOptions::Estimand::kMttdl;
+  options.adaptive = true;
+  options.relative_precision = 0.1;
+  options.max_trials = 100000;
+  options.mc.trials = 100;
+  options.mc.seed = 21;
+  options.seed_mode = SweepOptions::SeedMode::kSharedRoot;
+  WorkerPool& pool = WorkerPool::Shared();
+  const std::vector<SweepCellExecution> prior =
+      RunSweepCells(pool, spec.BuildCells(), options);
+
+  // Wrong cardinality.
+  EXPECT_THROW(ResumeSweepCells(pool, spec.BuildCells(), options, {}),
+               std::invalid_argument);
+  // Wrong label.
+  {
+    std::vector<SweepCellExecution> bad = prior;
+    bad[0].label = "someone-else";
+    EXPECT_THROW(
+        ResumeSweepCells(pool, spec.BuildCells(), options, std::move(bad)),
+        std::invalid_argument);
+  }
+  // Non-adaptive requests are not resumable.
+  {
+    SweepOptions fixed = options;
+    fixed.adaptive = false;
+    std::vector<SweepCellExecution> copy = prior;
+    EXPECT_THROW(
+        ResumeSweepCells(pool, spec.BuildCells(), fixed, std::move(copy)),
+        std::invalid_argument);
+  }
+}
+
 TEST(AdaptiveStoppingTest, RejectsNonPositivePrecisionAndMaxTrials) {
   McConfig mc;
   mc.trials = 50;

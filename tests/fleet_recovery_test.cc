@@ -331,6 +331,71 @@ TEST(FleetRecoveryTest, CrashingWorkerNeverLeavesTornOutput) {
   EXPECT_NO_THROW(ShardResult::FromJson(ReadAll(out_path), out_path));
 }
 
+// A nonexistent worker binary is a configuration error, not a transient
+// fault: the fleet must fail immediately with the attempted path in the
+// message instead of burning the full retry/backoff budget on a typo.
+TEST(FleetRecoveryTest, NonexistentWorkerBinaryFailsFastNamingThePath) {
+  TempDir dir;
+  FleetOptions options = BaseOptions(dir);
+  options.worker_path = dir.path() + "/no_such_worker";
+  options.max_retries = 50;                 // fail-fast must not consume these
+  options.backoff_initial_seconds = 1000.0;  // a single backoff would hang us
+  try {
+    RunFleet(options);
+    FAIL() << "a fleet with an unrunnable worker must throw";
+  } catch (const FleetError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(options.worker_path), std::string::npos) << message;
+    EXPECT_NE(message.find("could not be executed"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("--worker"), std::string::npos) << message;
+  }
+}
+
+// Subprocess's reserved exit codes: exec failure is 127, and a child that
+// cannot open its log file refuses to run (126) instead of silently
+// discarding the worker's only diagnostic channel.
+TEST(FleetRecoveryTest, SubprocessReservedExitCodes) {
+  TempDir dir;
+  Subprocess no_exec = Subprocess::Spawn({dir.path() + "/missing_binary"},
+                                         dir.path() + "/log.txt");
+  no_exec.Await();
+  EXPECT_EQ(no_exec.term_signal(), 0);
+  EXPECT_EQ(no_exec.exit_code(), Subprocess::kExecFailedExit);
+
+  // A directory at the log path makes open(O_WRONLY) fail (EISDIR) even for
+  // root, so this exercises the log-open branch portably.
+  const std::string dir_as_log = dir.path() + "/log_is_a_dir";
+  ASSERT_EQ(::mkdir(dir_as_log.c_str(), 0755), 0);
+  Subprocess no_log = Subprocess::Spawn({"/bin/true"}, dir_as_log);
+  no_log.Await();
+  EXPECT_EQ(no_log.term_signal(), 0);
+  EXPECT_EQ(no_log.exit_code(), Subprocess::kLogOpenFailedExit);
+}
+
+// The supervisor names the log-open failure precisely (it is an environment
+// fault worth retrying — e.g. a momentarily full disk — unlike exec failure)
+// rather than reporting a generic "worker died: exit status 126".
+TEST(FleetRecoveryTest, LogOpenFailureIsNamedInTheLossReason) {
+  TempDir dir;
+  FleetOptions options = BaseOptions(dir);
+  options.max_retries = 0;
+  options.split_exhausted = false;
+  // The supervisor logs each unit to <tmp>/unitN.log; planting directories
+  // there forces every attempt's child into the log-open failure path.
+  ASSERT_EQ(::mkdir((dir.path() + "/unit0.log").c_str(), 0755), 0);
+  ASSERT_EQ(::mkdir((dir.path() + "/unit1.log").c_str(), 0755), 0);
+  try {
+    RunFleet(options);
+    FAIL() << "a fleet whose workers cannot log must exhaust and throw";
+  } catch (const FleetError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("could not open its log file"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("unit0.log"), std::string::npos) << message;
+  }
+}
+
 // End-to-end through the sweep_fleet binary: a chaos run must print the same
 // bytes as --single and exit 0; an exhausted run with --partial-ok must mark
 // the loss on stdout and exit 2.

@@ -1,0 +1,205 @@
+// Locale-independence regression for the canonical JSON layer.
+//
+// Canonical JSON bytes are identity: CanonicalHash, kScenarioDerived trial
+// seeds, sweep_id, and the envelope checksums all hash them. Before this
+// test existed, AppendDouble went through snprintf("%.17g") and ParseNumber
+// through strtod — both of which obey LC_NUMERIC — so any embedder calling
+// setlocale(LC_ALL, "") under e.g. de_DE.UTF-8 (comma decimal separator)
+// silently changed every canonical byte and broke round-trips of documents
+// the library itself had emitted. The fix routes both through
+// std::to_chars/std::from_chars; this test pins the property by capturing
+// canonical bytes and hashes in the C locale, switching the process to a
+// comma-decimal locale, and asserting nothing moves.
+//
+// Finding a comma-decimal locale: the test tries the usual installed names
+// first, then (glibc) compiles de_DE.UTF-8 into a temp directory with
+// localedef and points LOCPATH at it. If no comma-decimal locale can be
+// arranged, the locale-dependent assertions are skipped — unless
+// LONGSTORE_REQUIRE_COMMA_LOCALE is set (the CI locale job sets it, so CI
+// can never silently skip the regression).
+
+#include <clocale>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/scenario/scenario.h"
+#include "src/shard/shard.h"
+#include "src/sweep/sweep.h"
+#include "src/util/json.h"
+
+namespace longstore {
+namespace {
+
+// Restores the C locale after every test so a comma locale can never leak
+// into other assertions (or other test binaries' expectations).
+class LocaleJsonTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::setlocale(LC_ALL, "C"); }
+};
+
+// Tries to switch the process to a locale whose decimal separator is ','.
+// Returns the locale name that took effect, or "" if none could be arranged.
+std::string ActivateCommaDecimalLocale() {
+  const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                              "fr_FR.utf8",  "es_ES.UTF-8", "it_IT.UTF-8"};
+  const auto comma_active = [] {
+    const struct lconv* conv = std::localeconv();
+    return conv != nullptr && conv->decimal_point != nullptr &&
+           conv->decimal_point[0] == ',';
+  };
+  for (const char* name : candidates) {
+    if (std::setlocale(LC_ALL, name) != nullptr && comma_active()) {
+      return name;
+    }
+  }
+  // glibc fallback: compile de_DE.UTF-8 into a scratch directory and load it
+  // via LOCPATH. localedef only writes under the -o path, so this leaves the
+  // system's locale archive untouched.
+  char dir_template[] = "/tmp/longstore_locale.XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    return "";
+  }
+  const std::string dir = dir_template;
+  const std::string command =
+      "localedef -i de_DE -f UTF-8 '" + dir + "/de_DE.UTF-8' >/dev/null 2>&1";
+  if (std::system(command.c_str()) != 0) {
+    return "";
+  }
+  ::setenv("LOCPATH", dir.c_str(), 1);
+  if (std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr && comma_active()) {
+    return "de_DE.UTF-8 (LOCPATH " + dir + ")";
+  }
+  return "";
+}
+
+// Skips (or fails, under LONGSTORE_REQUIRE_COMMA_LOCALE) when the machine
+// cannot produce a comma-decimal locale.
+#define REQUIRE_COMMA_LOCALE()                                               \
+  const std::string active_locale = ActivateCommaDecimalLocale();            \
+  if (active_locale.empty()) {                                               \
+    if (std::getenv("LONGSTORE_REQUIRE_COMMA_LOCALE") != nullptr) {          \
+      FAIL() << "LONGSTORE_REQUIRE_COMMA_LOCALE is set but no comma-decimal" \
+                " locale could be activated";                                \
+    }                                                                        \
+    GTEST_SKIP() << "no comma-decimal locale available on this machine";     \
+  }                                                                          \
+  SCOPED_TRACE("active locale: " + active_locale)
+
+// Doubles that exercise every formatting shape: fractions, exponents both
+// ways, exact integers, subnormals, negative zero, and the non-finite
+// string spellings.
+const double kProbes[] = {0.1,    1.5,       -2.75,     1460.0, 3.0,
+                          1e300,  1e-300,    2.5e-7,    1e5,    100000.0,
+                          0.0,    -0.0,      1.0 / 3.0, 5e-324, 1.7976931348623157e308,
+                          123456789.123456789};
+
+Scenario CheetahLikeScenario() {
+  return ScenarioBuilder()
+      .Replicas(2, ReplicaSpec()
+                       .Media("disk")
+                       .FaultTimes(Duration::Hours(2000.0), Duration::Hours(400.0))
+                       .RepairTimes(Duration::Hours(8.0), Duration::Hours(8.0))
+                       .ScrubWith(ScrubPolicy::Exponential(Duration::Hours(1460.0))))
+      .Correlation(0.1)
+      .Build();
+}
+
+TEST_F(LocaleJsonTest, AppendDoubleBytesAreLocaleIndependent) {
+  std::setlocale(LC_ALL, "C");
+  std::vector<std::string> c_locale_bytes;
+  for (const double v : kProbes) {
+    std::string out;
+    json::AppendDouble(out, v);
+    c_locale_bytes.push_back(out);
+    // The canonical form must never contain a comma in any locale; a comma
+    // would also collide with JSON's own separator.
+    EXPECT_EQ(out.find(','), std::string::npos) << out;
+  }
+
+  REQUIRE_COMMA_LOCALE();
+  // Prove the locale actually changed printf's behavior — otherwise this
+  // test could silently pass against a broken locale setup.
+  char printf_probe[32];
+  std::snprintf(printf_probe, sizeof(printf_probe), "%.1f", 1.5);
+  ASSERT_STREQ(printf_probe, "1,5") << "locale did not take effect";
+
+  for (size_t i = 0; i < std::size(kProbes); ++i) {
+    std::string out;
+    json::AppendDouble(out, kProbes[i]);
+    EXPECT_EQ(out, c_locale_bytes[i])
+        << "AppendDouble changed bytes under a comma-decimal locale";
+  }
+}
+
+TEST_F(LocaleJsonTest, ParseNumberIsLocaleIndependent) {
+  std::setlocale(LC_ALL, "C");
+  // Canonical spellings emitted in the C locale...
+  std::vector<std::string> spellings;
+  for (const double v : kProbes) {
+    std::string out;
+    json::AppendDouble(out, v);
+    spellings.push_back(out);
+  }
+
+  REQUIRE_COMMA_LOCALE();
+  // ...must parse to the same bits under the comma locale (strtod would
+  // stop at the '.' and reject the tail).
+  for (size_t i = 0; i < std::size(kProbes); ++i) {
+    const json::Value value =
+        json::Parse(spellings[i], "LocaleJsonTest");
+    ASSERT_EQ(value.kind, json::Value::Kind::kNumber) << spellings[i];
+    const double parsed = value.number;
+    EXPECT_EQ(std::memcmp(&parsed, &kProbes[i], sizeof(double)), 0)
+        << spellings[i] << " reparsed to different bits";
+  }
+  // A comma is never a valid number byte, in any locale.
+  EXPECT_THROW(json::Parse("1,5", "LocaleJsonTest"), std::invalid_argument);
+}
+
+TEST_F(LocaleJsonTest, ScenarioHashAndRoundTripSurviveCommaLocale) {
+  std::setlocale(LC_ALL, "C");
+  const Scenario scenario = CheetahLikeScenario();
+  const std::string c_json = scenario.ToJson();
+  const uint64_t c_hash = scenario.CanonicalHash();
+
+  REQUIRE_COMMA_LOCALE();
+  EXPECT_EQ(scenario.ToJson(), c_json)
+      << "canonical scenario JSON changed under a comma-decimal locale";
+  EXPECT_EQ(scenario.CanonicalHash(), c_hash);
+  // Round-trip documents emitted in either locale, parsed in this one.
+  const Scenario reparsed = Scenario::FromJson(c_json);
+  EXPECT_EQ(reparsed.CanonicalHash(), c_hash);
+  EXPECT_EQ(reparsed.ToJson(), c_json);
+}
+
+TEST_F(LocaleJsonTest, SweepIdAndShardDocumentsSurviveCommaLocale) {
+  std::setlocale(LC_ALL, "C");
+  SweepSpec spec{CheetahLikeScenario()};
+  SweepOptions options;
+  options.mc.trials = 8;
+  options.mc.seed = 33;
+  options.seed_mode = SweepOptions::SeedMode::kScenarioDerived;
+  const std::vector<SweepSpec::Cell> cells = spec.BuildCells();
+  const uint64_t c_sweep_id = ComputeSweepId(spec.AxisNames(), options, cells);
+  const ShardPlan c_plan(spec, options, 1);
+  const std::string c_shard_json = c_plan.shards()[0].ToJson();
+
+  REQUIRE_COMMA_LOCALE();
+  EXPECT_EQ(ComputeSweepId(spec.AxisNames(), options, spec.BuildCells()),
+            c_sweep_id)
+      << "sweep_id changed under a comma-decimal locale";
+  const ShardPlan plan(spec, options, 1);
+  EXPECT_EQ(plan.shards()[0].ToJson(), c_shard_json);
+  // The checksummed envelope must verify and the document must parse under
+  // the comma locale — this is exactly the resident-service serving path.
+  const ShardSpec reparsed = ShardSpec::FromJson(c_shard_json);
+  EXPECT_EQ(reparsed.ToJson(), c_shard_json);
+}
+
+}  // namespace
+}  // namespace longstore

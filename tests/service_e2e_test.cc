@@ -1,0 +1,234 @@
+// End-to-end: the real sweep_serviced daemon over a real Unix-domain
+// socket — cold query computed, warm query answered from cache with bytes
+// identical to the in-process golden run, the real sweep_client binary
+// agreeing via its --expect-source exit codes, the fleet backend producing
+// the same bytes through worker subprocesses, and SIGTERM shutting the
+// daemon down cleanly.
+
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/subprocess.h"
+#include "src/service/service_protocol.h"
+#include "src/shard/shard.h"
+#include "src/sweep/sweep.h"
+#include "tools/figure_sweeps.h"
+
+#ifndef LONGSTORE_SWEEP_SERVICED
+#error "build must define LONGSTORE_SWEEP_SERVICED"
+#endif
+#ifndef LONGSTORE_SWEEP_CLIENT
+#error "build must define LONGSTORE_SWEEP_CLIENT"
+#endif
+#ifndef LONGSTORE_SWEEP_WORKER
+#error "build must define LONGSTORE_SWEEP_WORKER"
+#endif
+
+namespace longstore {
+namespace {
+
+class ServiceE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/service_e2e.XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    socket_path_ = dir_ + "/svc.sock";
+  }
+
+  void TearDown() override {
+    daemon_.Kill();
+    if (daemon_.started()) {
+      daemon_.Await();
+    }
+    // Best-effort scrub of the handful of files the daemon/client leave.
+    for (const char* name : {"/svc.sock", "/serviced.log", "/client.log"}) {
+      ::unlink((dir_ + name).c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  void StartDaemon(std::vector<std::string> extra_args = {}) {
+    std::vector<std::string> argv = {LONGSTORE_SWEEP_SERVICED,
+                                     "--socket=" + socket_path_};
+    argv.insert(argv.end(), extra_args.begin(), extra_args.end());
+    daemon_ = Subprocess::Spawn(argv, dir_ + "/serviced.log");
+    ASSERT_TRUE(daemon_.started());
+  }
+
+  // Polls until the daemon accepts connections (it unlinks and rebinds the
+  // socket during startup, so existence of the path is not enough).
+  int Connect() {
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path_.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd >= 0 &&
+          ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        return fd;
+      }
+      if (fd >= 0) {
+        ::close(fd);
+      }
+      ::usleep(50 * 1000);
+    }
+    return -1;
+  }
+
+  ServiceResponse Roundtrip(const ServiceRequest& request) {
+    const int fd = Connect();
+    EXPECT_GE(fd, 0) << "daemon never started accepting";
+    std::string payload;
+    std::string frame_error;
+    EXPECT_TRUE(WriteFrame(fd, request.ToJson()));
+    EXPECT_EQ(ReadFrame(fd, &payload, &frame_error), FrameStatus::kOk)
+        << frame_error;
+    ::close(fd);
+    return ServiceResponse::FromJson(payload, "e2e socket");
+  }
+
+  static ServiceRequest CheetahRequest() {
+    SweepSpec spec;
+    SweepOptions options;
+    BuildCheetahSweep(&spec, &options);
+    ServiceRequest request;
+    request.kind = ServiceRequest::Kind::kSweep;
+    request.sweep_document =
+        ShardPlan(spec, options, /*shard_count=*/1).shards()[0].ToJson();
+    return request;
+  }
+
+  static std::string CheetahGolden() {
+    SweepSpec spec;
+    SweepOptions options;
+    BuildCheetahSweep(&spec, &options);
+    return SweepRunner().Run(spec, options).ToJson();
+  }
+
+  int RunClient(const std::vector<std::string>& args) {
+    std::vector<std::string> argv = {LONGSTORE_SWEEP_CLIENT,
+                                     "--socket=" + socket_path_};
+    argv.insert(argv.end(), args.begin(), args.end());
+    Subprocess client = Subprocess::Spawn(argv, dir_ + "/client.log");
+    client.Await();
+    return client.exit_code();
+  }
+
+  std::string dir_;
+  std::string socket_path_;
+  Subprocess daemon_;
+};
+
+TEST_F(ServiceE2eTest, ColdThenWarmCheetahMatchesTheGoldenByteForByte) {
+  StartDaemon();
+  const std::string golden = CheetahGolden();
+
+  const ServiceResponse cold = Roundtrip(CheetahRequest());
+  ASSERT_TRUE(cold.ok) << cold.message;
+  EXPECT_EQ(cold.source, "computed");
+  EXPECT_EQ(cold.new_trials, 3 * 4000);
+  EXPECT_EQ(cold.result_json, golden);
+
+  const ServiceResponse warm = Roundtrip(CheetahRequest());
+  ASSERT_TRUE(warm.ok) << warm.message;
+  EXPECT_EQ(warm.source, "cache");
+  EXPECT_EQ(warm.new_trials, 0);
+  EXPECT_EQ(warm.result_json, golden);
+
+  // Clean SIGTERM shutdown: the accept loop notices the signal and exits 0.
+  ASSERT_EQ(::kill(daemon_.pid(), SIGTERM), 0);
+  daemon_.Await();
+  EXPECT_TRUE(daemon_.exited_cleanly()) << daemon_.DescribeExit();
+}
+
+TEST_F(ServiceE2eTest, RealClientObservesComputedThenCache) {
+  StartDaemon();
+  // Wait for readiness, then release the probe connection — the daemon
+  // serves one connection at a time, and a held-open idle probe would park
+  // every later client in the listen backlog.
+  const int probe = Connect();
+  ASSERT_GE(probe, 0);
+  ::close(probe);
+  EXPECT_EQ(RunClient({"--ping"}), 0);
+  EXPECT_EQ(RunClient({"--cheetah", "--expect-source=computed"}), 0);
+  EXPECT_EQ(RunClient({"--cheetah", "--expect-source=cache"}), 0);
+  // The provenance claim is enforced, not decorative: expecting the wrong
+  // source is a distinct failure exit.
+  EXPECT_EQ(RunClient({"--cheetah", "--expect-source=computed"}), 4);
+}
+
+TEST_F(ServiceE2eTest, FleetBackendProducesTheSameBytesAndStillCaches) {
+  StartDaemon({"--backend=fleet", "--worker=" LONGSTORE_SWEEP_WORKER,
+               "--tmp=" + dir_, "--shards=3", "--max-parallel=2",
+               "--timeout-s=120"});
+  const std::string golden = CheetahGolden();
+
+  const ServiceResponse cold = Roundtrip(CheetahRequest());
+  ASSERT_TRUE(cold.ok) << cold.message;
+  EXPECT_EQ(cold.source, "computed");
+  EXPECT_EQ(cold.result_json, golden)
+      << "fleet-backed service must keep the shard merge contract";
+
+  const ServiceResponse warm = Roundtrip(CheetahRequest());
+  ASSERT_TRUE(warm.ok) << warm.message;
+  EXPECT_EQ(warm.source, "cache");
+  EXPECT_EQ(warm.result_json, golden);
+}
+
+TEST_F(ServiceE2eTest, AdaptiveResumeWorksAcrossTheWire) {
+  StartDaemon();
+  SweepSpec spec;
+  SweepOptions options;
+  BuildCheetahSweep(&spec, &options);
+  options.adaptive = true;
+  options.max_trials = 20000;
+
+  const auto request_at = [&](double precision) {
+    SweepOptions at = options;
+    at.relative_precision = precision;
+    ServiceRequest request;
+    request.kind = ServiceRequest::Kind::kSweep;
+    request.sweep_document =
+        ShardPlan(spec, at, /*shard_count=*/1).shards()[0].ToJson();
+    return request;
+  };
+
+  // At 4000 initial trials the CI is already ~3% relative: 0.1 converges in
+  // round one, 0.015 forces at least one more adaptive round — so the
+  // second query genuinely continues the first instead of aliasing it.
+  const ServiceResponse loose = Roundtrip(request_at(0.1));
+  ASSERT_TRUE(loose.ok) << loose.message;
+  EXPECT_EQ(loose.source, "computed");
+
+  const ServiceResponse tight = Roundtrip(request_at(0.015));
+  ASSERT_TRUE(tight.ok) << tight.message;
+  EXPECT_EQ(tight.source, "resumed");
+  EXPECT_GT(tight.new_trials, 0);
+
+  // Byte-identity of the resumed answer against the cold in-process run.
+  SweepOptions cold_options = options;
+  cold_options.relative_precision = 0.015;
+  const SweepResult cold = SweepRunner().Run(spec, cold_options);
+  EXPECT_EQ(tight.result_json, cold.ToJson());
+  int64_t cold_trials = 0;
+  for (const SweepCellResult& cell : cold.cells) {
+    cold_trials += cell.trials;
+  }
+  EXPECT_LT(tight.new_trials, cold_trials);
+  EXPECT_EQ(loose.new_trials + tight.new_trials, cold_trials);
+}
+
+}  // namespace
+}  // namespace longstore

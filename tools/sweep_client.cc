@@ -1,0 +1,212 @@
+// sweep_client: query a running sweep_serviced daemon.
+//
+//   sweep_client --socket=PATH (--cheetah | --shard=FILE | --ping | --stats)
+//                [--precision=P] [--max-trials=N] [--expect-source=S]
+//
+// Sweep selection:
+//   --cheetah            the §5.4 Cheetah golden sweep (tools/figure_sweeps.h)
+//                        — byte-diffable against `sweep_fleet --single
+//                        --cheetah --format=json`'s cells
+//   --shard=FILE         send FILE's bytes verbatim as the sweep document (a
+//                        single-shard document, e.g. written by a driver);
+//                        verbatim matters — the service hashes the canonical
+//                        bytes, so the client must not re-serialize them
+//   --precision=P        ask for adaptive stopping at relative precision P
+//                        (with --cheetah; turns the golden sweep adaptive)
+//   --max-trials=N       adaptive trial cap            (default 1000000)
+//
+// Probes:
+//   --ping / --stats     liveness / cache counters (JSON on stdout)
+//
+// Output: the sweep result JSON on stdout; provenance on stderr
+// ("source=cache sweep_id=0x... new_trials=0"). --expect-source=S exits 4
+// when the service answered from somewhere else — the CI smoke test asserts
+// cache hits this way. Exit 0 = ok, 1 = usage/transport, 2 = service error
+// (3 = retryable service error), 4 = source mismatch.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "src/service/service_protocol.h"
+#include "src/shard/shard.h"
+#include "src/sweep/sweep.h"
+#include "tools/figure_sweeps.h"
+
+namespace longstore {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH (--cheetah | --shard=FILE | --ping | "
+               "--stats)\n"
+               "  [--precision=P] [--max-trials=N] [--expect-source=S]\n",
+               argv0);
+  return 1;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open shard file '" + path + "'");
+  }
+  std::string out;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out.append(buffer, n);
+  }
+  const bool bad = std::ferror(file) != 0;
+  std::fclose(file);
+  if (bad) {
+    throw std::runtime_error("failed to read shard file '" + path + "'");
+  }
+  return out;
+}
+
+int Connect(const std::string& socket_path) {
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("socket() failed");
+  }
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("cannot connect to '" + socket_path +
+                             "' (is sweep_serviced running?)");
+  }
+  return fd;
+}
+
+int Main(int argc, char** argv) {
+  std::string socket_path;
+  std::string shard_file;
+  std::string expect_source;
+  bool cheetah = false;
+  bool ping = false;
+  bool stats = false;
+  double precision = 0.0;
+  long max_trials = 1000000;
+
+  const auto long_arg = [](const char* arg, const char* name,
+                           const char** value) {
+    const size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      *value = arg + len + 1;
+      return true;
+    }
+    return false;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--cheetah") == 0) {
+      cheetah = true;
+    } else if (std::strcmp(arg, "--ping") == 0) {
+      ping = true;
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      stats = true;
+    } else if (long_arg(arg, "--socket", &value)) {
+      socket_path = value;
+    } else if (long_arg(arg, "--shard", &value)) {
+      shard_file = value;
+    } else if (long_arg(arg, "--precision", &value)) {
+      precision = std::atof(value);
+    } else if (long_arg(arg, "--max-trials", &value)) {
+      max_trials = std::atol(value);
+    } else if (long_arg(arg, "--expect-source", &value)) {
+      expect_source = value;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  const int selections = static_cast<int>(cheetah) +
+                         static_cast<int>(!shard_file.empty()) +
+                         static_cast<int>(ping) + static_cast<int>(stats);
+  if (socket_path.empty() || selections != 1) {
+    return Usage(argv[0]);
+  }
+
+  ServiceRequest request;
+  if (ping) {
+    request.kind = ServiceRequest::Kind::kPing;
+  } else if (stats) {
+    request.kind = ServiceRequest::Kind::kStats;
+  } else {
+    request.kind = ServiceRequest::Kind::kSweep;
+    if (!shard_file.empty()) {
+      request.sweep_document = ReadWholeFile(shard_file);
+    } else {
+      SweepSpec spec;
+      SweepOptions options;
+      BuildCheetahSweep(&spec, &options);
+      if (precision > 0.0) {
+        options.adaptive = true;
+        options.relative_precision = precision;
+        options.max_trials = max_trials;
+      }
+      // A 1-shard plan *is* the whole-sweep document the service expects.
+      request.sweep_document =
+          ShardPlan(spec, options, /*shard_count=*/1).shards()[0].ToJson();
+    }
+  }
+
+  const int fd = Connect(socket_path);
+  std::string response_bytes;
+  std::string frame_error;
+  if (!WriteFrame(fd, request.ToJson()) ||
+      ReadFrame(fd, &response_bytes, &frame_error) != FrameStatus::kOk) {
+    ::close(fd);
+    std::fprintf(stderr, "sweep_client: transport failed: %s\n",
+                 frame_error.empty() ? "write error" : frame_error.c_str());
+    return 1;
+  }
+  ::close(fd);
+
+  const ServiceResponse response =
+      ServiceResponse::FromJson(response_bytes, socket_path);
+  if (!response.ok) {
+    std::fprintf(stderr, "sweep_client: service error (%s): %s\n",
+                 response.retryable ? "retryable" : "permanent",
+                 response.message.c_str());
+    return response.retryable ? 3 : 2;
+  }
+  std::fprintf(stderr, "source=%s sweep_id=0x%016llx new_trials=%lld\n",
+               response.source.c_str(),
+               static_cast<unsigned long long>(response.sweep_id),
+               static_cast<long long>(response.new_trials));
+  if (!response.result_json.empty()) {
+    std::printf("%s\n", response.result_json.c_str());
+  }
+  if (!expect_source.empty() && response.source != expect_source) {
+    std::fprintf(stderr, "sweep_client: expected source=%s, got %s\n",
+                 expect_source.c_str(), response.source.c_str());
+    return 4;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace longstore
+
+int main(int argc, char** argv) {
+  try {
+    return longstore::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -45,10 +45,9 @@
 #include <vector>
 
 #include "src/fleet/fleet.h"
-#include "src/model/fault_params.h"
-#include "src/model/strategies.h"
 #include "src/scenario/scenario.h"
 #include "src/sweep/sweep.h"
+#include "tools/figure_sweeps.h"
 
 namespace longstore {
 namespace {
@@ -86,41 +85,6 @@ std::string ReadWholeFile(const std::string& path) {
     throw std::runtime_error("failed to read scenario file '" + path + "'");
   }
   return out;
-}
-
-// The §5.4 running example's Monte Carlo sweep, cell-for-cell and
-// seed-for-seed identical to bench_scrubbing_effect's — which makes this
-// tool's --cheetah output a golden figure CI can regenerate through any
-// amount of injected chaos.
-void BuildCheetahSweep(SweepSpec* spec, SweepOptions* options) {
-  const FaultParams unscrubbed = FaultParams::PaperCheetahExample();
-  const FaultParams scrubbed =
-      ApplyScrubPolicy(unscrubbed, ScrubPolicy::PeriodicPerYear(3.0));
-  const FaultParams correlated = WithCorrelation(scrubbed, 0.1);
-  struct Case {
-    const char* name;
-    FaultParams params;
-  };
-  const Case cases[] = {
-      {"no scrubbing (MDL = inf)", unscrubbed},
-      {"scrub 3x/year (MDL = 1460 h)", scrubbed},
-      {"scrub 3x/year, alpha = 0.1", correlated},
-  };
-  spec->AddAxis("configuration");
-  for (const Case& c : cases) {
-    const FaultParams params = c.params;
-    spec->AddPoint(c.name, 0.0, [params](StorageSimConfig& config) {
-      config.replica_count = 2;
-      config.params = params;
-      config.scrub = params.mdl.is_infinite()
-                         ? ScrubPolicy::None()
-                         : ScrubPolicy::Exponential(params.mdl);
-    });
-  }
-  options->estimand = SweepOptions::Estimand::kMttdl;
-  options->mc.trials = 4000;
-  options->mc.seed = 33;
-  options->seed_mode = SweepOptions::SeedMode::kSharedRoot;
 }
 
 void PrintResult(const SweepResult& result, const std::string& format,

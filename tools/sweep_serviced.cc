@@ -1,0 +1,243 @@
+// sweep_serviced: the resident sweep service daemon. Holds a warm worker
+// pool (or a supervised sweep_worker fleet) and a CanonicalHash-keyed result
+// cache across requests, so repeated figure queries cost one cache lookup
+// instead of one Monte Carlo campaign — and near-miss queries (same sweep,
+// tighter precision) resume from stored accumulator state instead of
+// restarting.
+//
+//   sweep_serviced (--socket=PATH | --stdio) [options]
+//
+// Transport:
+//   --socket=PATH        listen on a Unix-domain stream socket (unlinks a
+//                        stale PATH first); one connection served at a time,
+//                        frames answered in order
+//   --stdio              serve frames on stdin/stdout (single supervised
+//                        instance, e.g. under a test harness)
+//
+// Execution backend:
+//   --backend=pool|fleet pool (default): every sweep runs on this process's
+//                        warm WorkerPool. fleet: cold sweeps run on a
+//                        supervised sweep_worker fleet (resumes still run
+//                        in-process — accumulator state cannot be shipped
+//                        into a fresh worker)
+//   --worker=PATH        sweep_worker binary          (fleet backend)
+//   --tmp=DIR            fleet scratch directory      (fleet backend)
+//   --shards=K --max-parallel=N --threads=N --timeout-s=T
+//                        forwarded to the fleet supervisor
+//
+// Service:
+//   --cache-capacity=N   LRU entries held             (default 64)
+//   --max-requests=N     exit cleanly after N requests (tests; 0 = forever)
+//
+// Protocol: length-prefixed frames ("<len>\n<payload>") carrying checksummed
+// service documents — src/service/README.md. Every malformed request gets a
+// structured error response; a malformed *frame* ends that connection (the
+// byte stream cannot be resynchronized). SIGINT/SIGTERM exit the accept
+// loop cleanly. Exit 0 = clean shutdown, 1 = startup/transport error.
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "src/service/service_protocol.h"
+#include "src/service/sweep_service.h"
+
+namespace longstore {
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket=PATH | --stdio) [--backend=pool|fleet]\n"
+               "  [--worker=PATH] [--tmp=DIR] [--shards=K] [--max-parallel=N]\n"
+               "  [--threads=N] [--timeout-s=T] [--cache-capacity=N]\n"
+               "  [--max-requests=N]\n",
+               argv0);
+  return 1;
+}
+
+// Serves every frame arriving on `fd` (responses to `out_fd`) until EOF, a
+// malformed frame, or the request budget runs out. Returns false when the
+// daemon should stop accepting.
+bool ServeStream(SweepService& service, int fd, int out_fd,
+                 long max_requests, long* served) {
+  std::string payload;
+  std::string frame_error;
+  while (g_stop == 0) {
+    const FrameStatus status = ReadFrame(fd, &payload, &frame_error);
+    if (status == FrameStatus::kEof) {
+      return true;
+    }
+    if (status == FrameStatus::kMalformed) {
+      std::fprintf(stderr, "[serviced] dropping connection: %s\n",
+                   frame_error.c_str());
+      return true;
+    }
+    const std::string response =
+        service.HandleRequestBytes(payload, "service connection");
+    if (!WriteFrame(out_fd, response)) {
+      std::fprintf(stderr, "[serviced] peer vanished mid-response\n");
+      return true;
+    }
+    ++*served;
+    if (max_requests > 0 && *served >= max_requests) {
+      std::fprintf(stderr, "[serviced] request budget reached, exiting\n");
+      return false;
+    }
+  }
+  return false;
+}
+
+int Main(int argc, char** argv) {
+  std::string socket_path;
+  bool stdio = false;
+  std::string backend = "pool";
+  long cache_capacity = 64;
+  long max_requests = 0;
+
+  ServiceOptions options;
+  options.fleet.shard_count = 3;
+  options.fleet.max_parallel = 2;
+  options.fleet.timeout_seconds = 120.0;
+  options.fleet.log = stderr;
+
+  const auto long_arg = [](const char* arg, const char* name,
+                           const char** value) {
+    const size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      *value = arg + len + 1;
+      return true;
+    }
+    return false;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--stdio") == 0) {
+      stdio = true;
+    } else if (long_arg(arg, "--socket", &value)) {
+      socket_path = value;
+    } else if (long_arg(arg, "--backend", &value)) {
+      backend = value;
+      if (backend != "pool" && backend != "fleet") {
+        return Usage(argv[0]);
+      }
+    } else if (long_arg(arg, "--worker", &value)) {
+      options.fleet.worker_path = value;
+    } else if (long_arg(arg, "--tmp", &value)) {
+      options.fleet.temp_dir = value;
+    } else if (long_arg(arg, "--shards", &value)) {
+      options.fleet.shard_count = std::atoi(value);
+    } else if (long_arg(arg, "--max-parallel", &value)) {
+      options.fleet.max_parallel = std::atoi(value);
+    } else if (long_arg(arg, "--threads", &value)) {
+      options.fleet.worker_threads = std::atoi(value);
+    } else if (long_arg(arg, "--timeout-s", &value)) {
+      options.fleet.timeout_seconds = std::atof(value);
+    } else if (long_arg(arg, "--cache-capacity", &value)) {
+      cache_capacity = std::atol(value);
+    } else if (long_arg(arg, "--max-requests", &value)) {
+      max_requests = std::atol(value);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (stdio == !socket_path.empty()) {  // exactly one transport
+    return Usage(argv[0]);
+  }
+  if (backend == "fleet" &&
+      (options.fleet.worker_path.empty() || options.fleet.temp_dir.empty())) {
+    std::fprintf(stderr,
+                 "%s: --backend=fleet requires --worker=PATH and --tmp=DIR\n",
+                 argv[0]);
+    return 1;
+  }
+  if (cache_capacity < 1) {
+    std::fprintf(stderr, "%s: --cache-capacity must be >= 1\n", argv[0]);
+    return 1;
+  }
+  options.backend = backend == "fleet" ? ServiceOptions::Backend::kFleet
+                                       : ServiceOptions::Backend::kPool;
+  options.cache_capacity = static_cast<size_t>(cache_capacity);
+
+  struct sigaction action = {};
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a vanished peer is a log line, not a death
+
+  SweepService service(options);
+  long served = 0;
+
+  if (stdio) {
+    ServeStream(service, STDIN_FILENO, STDOUT_FILENO, max_requests, &served);
+    return 0;
+  }
+
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "%s: socket path too long: %s\n", argv[0],
+                 socket_path.c_str());
+    return 1;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  ::unlink(socket_path.c_str());  // a stale socket from a dead daemon
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::perror(socket_path.c_str());
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "[serviced] listening on %s (backend=%s)\n",
+               socket_path.c_str(), backend.c_str());
+
+  bool keep_going = true;
+  while (keep_going && g_stop == 0) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) {
+        continue;  // g_stop decides
+      }
+      std::perror("accept");
+      break;
+    }
+    keep_going = ServeStream(service, conn, conn, max_requests, &served);
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(socket_path.c_str());
+  std::fprintf(stderr, "[serviced] served %ld request(s), shutting down\n",
+               served);
+  return 0;
+}
+
+}  // namespace
+}  // namespace longstore
+
+int main(int argc, char** argv) {
+  try {
+    return longstore::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_serviced: %s\n", e.what());
+    return 1;
+  }
+}
