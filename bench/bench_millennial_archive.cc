@@ -26,6 +26,7 @@
 #include "src/model/replica_ctmc.h"
 #include "src/rare/rare_event.h"
 #include "src/sweep/sweep.h"
+#include "src/util/json.h"
 #include "src/util/table.h"
 
 namespace longstore {
@@ -121,6 +122,16 @@ int main() {
   Table table({"scrub", "exact P(1000 y)", "censored MTTDL (y)", "implied P",
                "IS P(1000 y)", "cens trials->10%", "IS trials->10%",
                "naive trials->10%"});
+  // The standing record for the rare-event trajectory (BENCH_rare.json,
+  // next to BENCH_engine/BENCH_service): the same trials-to-CI table as
+  // canonical JSON, one object per grid cell.
+  std::string record = "{\"bench\":\"millennial_archive\",\"mission_years\":";
+  json::AppendDouble(record, kMissionYears);
+  record += ",\"censor_window_years\":";
+  json::AppendDouble(record, kCensorWindowYears);
+  record += ",\"trials\":";
+  json::AppendInt64(record, kTrials);
+  record += ",\"cells\":[";
   for (size_t i = 0; i < cells.size(); ++i) {
     const CensoredMttdlEstimate& ce = *censored.cells[i].censored;
     const WeightedLossProbabilityEstimate& we = *weighted.cells[i].weighted;
@@ -140,8 +151,42 @@ int main() {
                   FmtTrials(TrialsToTenPercentCi(censored_relerr, kTrials)),
                   FmtTrials(TrialsToTenPercentCi(we.relative_error, kTrials)),
                   Table::FmtSci(naive_trials, 2)});
+
+    // Infinite trials-to-CI (no losses observed) serializes as -1: JSON has
+    // no Infinity, and -1 is unambiguous for a trial count.
+    const auto finite_or_minus_one = [](double trials) {
+      return std::isinf(trials) ? -1.0 : trials;
+    };
+    if (i > 0) {
+      record += ',';
+    }
+    record += "{\"scrub\":";
+    json::AppendEscaped(record, censored.cells[i].coordinates[0].label);
+    record += ",\"exact_p\":";
+    json::AppendDouble(record, p);
+    record += ",\"implied_p\":";
+    json::AppendDouble(record, implied_p);
+    record += ",\"is_p\":";
+    json::AppendDouble(record, we.probability());
+    record += ",\"censored_trials_to_ci\":";
+    json::AppendDouble(record,
+                       finite_or_minus_one(TrialsToTenPercentCi(censored_relerr, kTrials)));
+    record += ",\"is_trials_to_ci\":";
+    json::AppendDouble(record,
+                       finite_or_minus_one(TrialsToTenPercentCi(we.relative_error, kTrials)));
+    record += ",\"naive_trials_to_ci\":";
+    json::AppendDouble(record, naive_trials);
+    record += '}';
   }
+  record += "]}";
   std::printf("%s", table.Render().c_str());
+
+  std::FILE* record_file = std::fopen("BENCH_rare.json", "wb");
+  if (record_file != nullptr) {
+    std::fprintf(record_file, "%s\n", record.c_str());
+    std::fclose(record_file);
+    std::printf("\nwrote BENCH_rare.json\n");
+  }
 
   std::printf(
       "\nReading the table: a censored trial simulates %g years against the\n"

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "src/fleet/subprocess.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/shard/shard.h"
 #include "src/util/json.h"
 #include "src/util/random.h"
@@ -154,10 +156,48 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
   // Units are appended while iterating (splits), so store stable pointers.
   std::vector<std::unique_ptr<Unit>> units;
 
-  const auto log = [&](const char* fmt, auto... args) {
+  // Fleet execution metrics (telemetry only; registered once, recorded
+  // lock-free at attempt granularity).
+  static obs::Counter& m_attempts =
+      obs::Registry::Global().counter("fleet.attempts");
+  static obs::Counter& m_succeeded =
+      obs::Registry::Global().counter("fleet.succeeded");
+  static obs::Counter& m_timeouts =
+      obs::Registry::Global().counter("fleet.timeouts");
+  static obs::Counter& m_sigkills =
+      obs::Registry::Global().counter("fleet.sigkills");
+  static obs::Counter& m_splits =
+      obs::Registry::Global().counter("fleet.splits");
+  static obs::Counter& m_checksum_rejects =
+      obs::Registry::Global().counter("fleet.checksum_rejects");
+  static obs::Counter& m_backoff_ns =
+      obs::Registry::Global().counter("fleet.backoff_ns");
+  static obs::Histogram& m_attempt_wall =
+      obs::Registry::Global().histogram("fleet.attempt_wall_ns");
+
+  // The single formatting path for supervision output: one rendered message
+  // per transition, prefixed with the run's content-derived sweep_id on the
+  // text log and attached as "msg" to the structured event in the trace
+  // journal. Neither sink can drift from the other.
+  const uint64_t sweep_id =
+      plan.shards().empty() ? 0 : plan.shards().front().sweep_id;
+  if (opt.journal != nullptr) {
+    opt.journal->SetTraceId(sweep_id);
+  }
+  char sweep_tag[24];
+  std::snprintf(sweep_tag, sizeof(sweep_tag), "0x%016llx",
+                static_cast<unsigned long long>(sweep_id));
+  const auto emit = [&](obs::TraceEvent event, const char* fmt,
+                        auto... args) {
+    char msg[512];
+    std::snprintf(msg, sizeof(msg), fmt, args...);
     if (opt.log != nullptr) {
-      std::fprintf(opt.log, fmt, args...);
+      std::fprintf(opt.log, "[fleet %s] %s\n", sweep_tag, msg);
       std::fflush(opt.log);
+    }
+    if (opt.journal != nullptr) {
+      event.Str("msg", msg);
+      opt.journal->Emit(event);
     }
   };
 
@@ -186,6 +226,10 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
   for (const ShardSpec& shard : plan.shards()) {
     make_unit(shard);
   }
+  emit(obs::TraceEvent("fleet_plan")
+           .Int("units", static_cast<int64_t>(units.size()))
+           .Int("cells", static_cast<int64_t>(total_cells)),
+       "planned %zu units over %zu cells", units.size(), total_cells);
 
   FleetStats stats;
   ShardMerger merger;
@@ -194,6 +238,7 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
   const auto spawn = [&](Unit& unit) {
     ++unit.attempt;
     ++stats.spawned;
+    m_attempts.Add(1);
     unit.out_path = opt.temp_dir + "/unit" + std::to_string(unit.id) +
                     ".attempt" + std::to_string(unit.attempt) + ".result.json";
     created_files.push_back(unit.out_path);
@@ -216,31 +261,61 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
     unit.child = Subprocess::Spawn(argv, unit.log_path);
     unit.state = Unit::State::kRunning;
     unit.started_at = MonotonicSeconds();
-    log("[fleet] unit %d attempt %d/%d: spawned pid %d (%zu cells)\n", unit.id,
-        unit.attempt, 1 + opt.max_retries, static_cast<int>(unit.child.pid()),
-        unit.spec.cells.size());
+    emit(obs::TraceEvent("unit_spawn")
+             .Int("unit", unit.id)
+             .Int("attempt", unit.attempt)
+             .Int("pid", static_cast<int>(unit.child.pid()))
+             .Int("cells", static_cast<int64_t>(unit.spec.cells.size())),
+         "unit %d attempt %d/%d: spawned pid %d (%zu cells)", unit.id,
+         unit.attempt, 1 + opt.max_retries, static_cast<int>(unit.child.pid()),
+         unit.spec.cells.size());
   };
 
   // A failed attempt: retry with backoff while budget remains; then split a
   // multi-cell unit into per-cell units with fresh budgets (poison-cell
-  // isolation); then declare the cells lost.
-  const auto fail = [&](Unit& unit, const std::string& reason) {
+  // isolation); then declare the cells lost. `kind` is the stable failure
+  // category (crashed/timed_out/corrupt/malformed/no_output/log_open) keyed
+  // into the trace events and the per-reason retry counters; `reason` is the
+  // human detail.
+  const auto fail = [&](Unit& unit, const char* kind,
+                        const std::string& reason) {
     unit.last_error = reason;
+    m_attempt_wall.Record(static_cast<int64_t>(
+        (MonotonicSeconds() - unit.started_at) * 1e9));
     if (unit.attempt <= opt.max_retries) {
       const double delay = JitteredDelay(opt, unit.id, unit.attempt);
       unit.state = Unit::State::kBackoff;
       unit.ready_at = MonotonicSeconds() + delay;
       ++stats.retries;
-      log("[fleet] unit %d attempt %d/%d failed: %s; retrying in %.2fs\n",
-          unit.id, unit.attempt, 1 + opt.max_retries, reason.c_str(), delay);
+      if (obs::Enabled()) {
+        obs::Registry::Global()
+            .counter(std::string("fleet.retries.") + kind)
+            .Add(1);
+        m_backoff_ns.Add(static_cast<int64_t>(delay * 1e9));
+      }
+      emit(obs::TraceEvent("unit_backoff")
+               .Int("unit", unit.id)
+               .Int("attempt", unit.attempt)
+               .Str("kind", kind)
+               .Str("reason", reason)
+               .Dbl("backoff_s", delay),
+           "unit %d attempt %d/%d failed: %s; retrying in %.2fs", unit.id,
+           unit.attempt, 1 + opt.max_retries, reason.c_str(), delay);
       return;
     }
     if (opt.split_exhausted && unit.spec.cells.size() > 1) {
       unit.state = Unit::State::kSplit;
       ++stats.splits;
-      log("[fleet] unit %d exhausted its %d attempts (%s); splitting %zu "
-          "cells into single-cell units\n",
-          unit.id, 1 + opt.max_retries, reason.c_str(), unit.spec.cells.size());
+      m_splits.Add(1);
+      emit(obs::TraceEvent("unit_split")
+               .Int("unit", unit.id)
+               .Int("attempt", unit.attempt)
+               .Str("kind", kind)
+               .Str("reason", reason)
+               .Int("cells", static_cast<int64_t>(unit.spec.cells.size())),
+           "unit %d exhausted its %d attempts (%s); splitting %zu cells into "
+           "single-cell units",
+           unit.id, 1 + opt.max_retries, reason.c_str(), unit.spec.cells.size());
       ShardSpec base = unit.spec;
       std::vector<SweepSpec::Cell> cells = std::move(base.cells);
       base.cells.clear();
@@ -256,8 +331,14 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
       cell_errors[cell.index] = reason + " after " + std::to_string(unit.attempt) +
                                 " attempts";
     }
-    log("[fleet] unit %d lost after %d attempts: %s (%zu cells)\n", unit.id,
-        unit.attempt, reason.c_str(), unit.spec.cells.size());
+    emit(obs::TraceEvent("unit_lost")
+             .Int("unit", unit.id)
+             .Int("attempt", unit.attempt)
+             .Str("kind", kind)
+             .Str("reason", reason)
+             .Int("cells", static_cast<int64_t>(unit.spec.cells.size())),
+         "unit %d lost after %d attempts: %s (%zu cells)", unit.id,
+         unit.attempt, reason.c_str(), unit.spec.cells.size());
   };
 
   // A clean exit: the document must exist, verify (envelope length +
@@ -267,7 +348,7 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
     std::string text;
     if (!ReadFile(unit.out_path, &text)) {
       ++stats.malformed;
-      fail(unit, "exited cleanly but wrote no result document");
+      fail(unit, "no_output", "exited cleanly but wrote no result document");
       return;
     }
     ShardResult result;
@@ -275,11 +356,13 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
       result = ShardResult::FromJson(text, unit.out_path);
     } catch (const json::IntegrityError& e) {
       ++stats.corrupt;
-      fail(unit, std::string("corrupt result document: ") + e.what());
+      m_checksum_rejects.Add(1);
+      fail(unit, "corrupt", std::string("corrupt result document: ") + e.what());
       return;
     } catch (const std::exception& e) {
       ++stats.malformed;
-      fail(unit, std::string("unreadable result document: ") + e.what());
+      fail(unit, "malformed",
+           std::string("unreadable result document: ") + e.what());
       return;
     }
     try {
@@ -291,8 +374,15 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
     }
     unit.state = Unit::State::kDone;
     ++stats.succeeded;
-    log("[fleet] unit %d done after %d attempt%s (%zu cells merged)\n", unit.id,
-        unit.attempt, unit.attempt == 1 ? "" : "s", unit.spec.cells.size());
+    m_succeeded.Add(1);
+    m_attempt_wall.Record(static_cast<int64_t>(
+        (MonotonicSeconds() - unit.started_at) * 1e9));
+    emit(obs::TraceEvent("unit_done")
+             .Int("unit", unit.id)
+             .Int("attempt", unit.attempt)
+             .Int("cells", static_cast<int64_t>(unit.spec.cells.size())),
+         "unit %d done after %d attempt%s (%zu cells merged)", unit.id,
+         unit.attempt, unit.attempt == 1 ? "" : "s", unit.spec.cells.size());
   };
 
   // Single-threaded supervision loop; subprocesses provide the only real
@@ -323,22 +413,25 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
             // normal retry path but name the real problem instead of the
             // generic "worker died".
             ++stats.crashed;
-            fail(unit, "worker could not open its log file " + unit.log_path +
-                           " (exit " +
-                           std::to_string(Subprocess::kLogOpenFailedExit) + ")");
+            fail(unit, "log_open",
+                 "worker could not open its log file " + unit.log_path +
+                     " (exit " +
+                     std::to_string(Subprocess::kLogOpenFailedExit) + ")");
           } else {
             ++stats.crashed;
-            fail(unit, "worker died: " + unit.child.DescribeExit());
+            fail(unit, "crashed", "worker died: " + unit.child.DescribeExit());
           }
         } else if (opt.timeout_seconds > 0.0 &&
                    MonotonicSeconds() - unit.started_at > opt.timeout_seconds) {
           unit.child.Kill();
           unit.child.Await();
           ++stats.timed_out;
+          m_timeouts.Add(1);
+          m_sigkills.Add(1);
           char reason[96];
           std::snprintf(reason, sizeof(reason),
                         "timed out after %.1fs; sent SIGKILL", opt.timeout_seconds);
-          fail(unit, reason);
+          fail(unit, "timed_out", reason);
         }
       }
       if (unit.state == Unit::State::kBackoff &&
@@ -372,6 +465,13 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
   FleetReport report;
   report.stats = stats;
   if (merger.complete()) {
+    emit(obs::TraceEvent("fleet_done")
+             .Int("spawned", stats.spawned)
+             .Int("succeeded", stats.succeeded)
+             .Int("retries", stats.retries)
+             .Int("splits", stats.splits),
+         "complete: %d spawned, %d succeeded, %d retries, %d splits",
+         stats.spawned, stats.succeeded, stats.retries, stats.splits);
     report.result = merger.Finish();
     report.complete = true;
     report.executions = merger.TakeExecutions();
@@ -416,7 +516,10 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
     throw FleetError("fleet: every attempt failed; no cells to finalize (" +
                      summary + ")");
   }
-  log("[fleet] partial result: %s\n", summary.c_str());
+  emit(obs::TraceEvent("fleet_partial")
+           .Int("lost", static_cast<int64_t>(lost.size()))
+           .Int("cells", static_cast<int64_t>(total_cells)),
+       "partial result: %s", summary.c_str());
   report.result = merger.FinishPartial();
   report.complete = false;
   report.lost = std::move(lost);

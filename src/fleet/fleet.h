@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sweep/sweep.h"
 
 namespace longstore {
@@ -98,8 +99,15 @@ struct FleetOptions {
   uint64_t fail_seed = 0;
 
   // Supervision log (retries, timeouts, splits), e.g. stderr; nullptr =
-  // silent.
+  // silent. Every line carries the run's sweep_id prefix; the same rendered
+  // message rides the structured event into `journal`, so the two sinks can
+  // never disagree (single formatting path).
   std::FILE* log = nullptr;
+  // Structured trace journal for unit state-machine transitions
+  // (ready→running→backoff→done/split/lost); nullptr or an unopened journal
+  // records nothing. Telemetry only — never consulted for results. Not
+  // owned; must outlive Run.
+  obs::TraceJournal* journal = nullptr;
 };
 
 struct FleetStats {

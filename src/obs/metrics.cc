@@ -1,0 +1,165 @@
+#include "src/obs/metrics.h"
+
+#include <time.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/util/json.h"
+
+namespace longstore::obs {
+namespace {
+
+std::atomic<bool>& RuntimeFlag() {
+  // Read the environment exactly once, before any record path sees the flag.
+  static std::atomic<bool> enabled{[] {
+    const char* off = std::getenv("LONGSTORE_TELEMETRY_OFF");
+    return off == nullptr || off[0] == '\0' || off[0] == '0';
+  }()};
+  return enabled;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool RuntimeEnabled() { return RuntimeFlag().load(std::memory_order_relaxed); }
+
+}  // namespace detail
+
+void SetEnabled(bool on) {
+  RuntimeFlag().store(on, std::memory_order_relaxed);
+}
+
+int64_t MonotonicNanos() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 +
+         static_cast<int64_t>(ts.tv_nsec);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  const int64_t other_count = other.count_.load(std::memory_order_relaxed);
+  if (other_count == 0) {
+    return;
+  }
+  for (int i = 0; i < kBuckets; ++i) {
+    const int64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other_count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const int64_t other_min = other.min_.load(std::memory_order_relaxed);
+  int64_t seen = min_.load(std::memory_order_relaxed);
+  while (other_min < seen && !min_.compare_exchange_weak(
+                                 seen, other_min, std::memory_order_relaxed)) {
+  }
+  const int64_t other_max = other.max_.load(std::memory_order_relaxed);
+  seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: record
+                                               // sites may outlive main
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return *it->second;
+  }
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return *it->second;
+  }
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+std::string Registry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"obs_version\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    json::AppendEscaped(out, name);
+    out += ':';
+    json::AppendInt64(out, counter->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    json::AppendEscaped(out, name);
+    out += ":{\"count\":";
+    json::AppendInt64(out, histogram->count());
+    out += ",\"sum\":";
+    json::AppendInt64(out, histogram->sum());
+    out += ",\"min\":";
+    json::AppendInt64(out, histogram->min());
+    out += ",\"max\":";
+    json::AppendInt64(out, histogram->max());
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const int64_t n = histogram->bucket(i);
+      if (n == 0) {
+        continue;
+      }
+      if (!first_bucket) {
+        out += ',';
+      }
+      first_bucket = false;
+      out += '[';
+      json::AppendInt64(out, i);
+      out += ',';
+      json::AppendInt64(out, n);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace longstore::obs

@@ -21,6 +21,8 @@ const char* KindName(ServiceRequest::Kind kind) {
       return "stats";
     case ServiceRequest::Kind::kSweep:
       return "sweep";
+    case ServiceRequest::Kind::kMetrics:
+      return "metrics";
   }
   throw std::invalid_argument("ServiceRequest: unknown kind");
 }
@@ -35,6 +37,9 @@ ServiceRequest::Kind ParseKind(const std::string& name,
   }
   if (name == "sweep") {
     return ServiceRequest::Kind::kSweep;
+  }
+  if (name == "metrics") {
+    return ServiceRequest::Kind::kMetrics;
   }
   json::Fail(context, "unknown request kind '" + name + "'");
 }

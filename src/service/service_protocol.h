@@ -35,9 +35,13 @@ inline constexpr char kServiceVersionKey[] = "service_version";
 
 struct ServiceRequest {
   enum class Kind {
-    kPing,   // liveness probe; answered from the accept loop, no simulation
-    kStats,  // cache/uptime counters as a JSON object in `result`
-    kSweep,  // execute (or serve from cache) the embedded sweep document
+    kPing,     // liveness probe; answered from the accept loop, no simulation
+    kStats,    // cache/uptime counters as a JSON object in `result`
+    kSweep,    // execute (or serve from cache) the embedded sweep document
+    kMetrics,  // the canonical MetricsSnapshot (obs::Registry::SnapshotJson)
+               // in `result`. Added without a protocol version bump: new
+               // request kinds are additive — an old server rejects the
+               // *request* with a non-retryable error, never misreads it.
   };
 
   Kind kind = Kind::kPing;

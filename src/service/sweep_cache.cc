@@ -4,7 +4,40 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace longstore {
+namespace {
+
+// Telemetry mirrors of SweepCacheStats (registered once; see
+// src/obs/README.md for the catalog).
+obs::Counter& ExactHitMetric() {
+  static obs::Counter& c =
+      obs::Registry::Global().counter("service.cache.exact_hits");
+  return c;
+}
+obs::Counter& ResumeHitMetric() {
+  static obs::Counter& c =
+      obs::Registry::Global().counter("service.cache.resume_hits");
+  return c;
+}
+obs::Counter& MissMetric() {
+  static obs::Counter& c =
+      obs::Registry::Global().counter("service.cache.misses");
+  return c;
+}
+obs::Counter& InsertionMetric() {
+  static obs::Counter& c =
+      obs::Registry::Global().counter("service.cache.insertions");
+  return c;
+}
+obs::Counter& EvictionMetric() {
+  static obs::Counter& c =
+      obs::Registry::Global().counter("service.cache.evictions");
+  return c;
+}
+
+}  // namespace
 
 SweepCache::SweepCache(size_t capacity) : capacity_(capacity) {
   if (capacity_ < 1) {
@@ -16,13 +49,37 @@ void SweepCache::Touch(Entry& entry) {
   recency_.splice(recency_.begin(), recency_, entry.recency);
 }
 
+SweepCacheLookup SweepCache::Lookup(uint64_t sweep_id, uint64_t resume_key,
+                                    double requested_precision) {
+  SweepCacheLookup outcome;
+  if (const CachedSweep* exact = FindExact(sweep_id)) {
+    ++stats_.exact_hits;
+    ExactHitMetric().Add(1);
+    outcome.kind = SweepCacheLookup::Kind::kExactHit;
+    outcome.entry = exact;
+    return outcome;
+  }
+  if (resume_key != 0) {
+    if (const CachedSweep* near = FindResumable(resume_key,
+                                                requested_precision)) {
+      ++stats_.resume_hits;
+      ResumeHitMetric().Add(1);
+      outcome.kind = SweepCacheLookup::Kind::kResumeHit;
+      outcome.entry = near;
+      return outcome;
+    }
+  }
+  ++stats_.misses;
+  MissMetric().Add(1);
+  return outcome;
+}
+
 const CachedSweep* SweepCache::FindExact(uint64_t sweep_id) {
   const auto it = entries_.find(sweep_id);
   if (it == entries_.end()) {
     return nullptr;
   }
   Touch(it->second);
-  ++stats_.exact_hits;
   return &it->second.sweep;
 }
 
@@ -50,7 +107,6 @@ const CachedSweep* SweepCache::FindResumable(uint64_t resume_key,
     return nullptr;
   }
   Touch(*best);
-  ++stats_.resume_hits;
   return &best->sweep;
 }
 
@@ -79,6 +135,7 @@ void SweepCache::Insert(CachedSweep entry) {
   Erase(sweep_id);  // same request recomputed (e.g. after eviction races)
   while (entries_.size() >= capacity_) {
     ++stats_.evictions;
+    EvictionMetric().Add(1);
     Erase(recency_.back());
   }
   recency_.push_front(sweep_id);
@@ -90,6 +147,7 @@ void SweepCache::Insert(CachedSweep entry) {
   }
   entries_.emplace(sweep_id, std::move(stored));
   ++stats_.insertions;
+  InsertionMetric().Add(1);
 }
 
 }  // namespace longstore

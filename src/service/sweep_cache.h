@@ -58,32 +58,39 @@ struct CachedSweep {
   std::vector<SweepCellExecution> executions;  // raw Welford state, grid order
 };
 
+// The outcome of one SweepCache::Lookup: exactly one of the three
+// categories, with the entry when there is one.
+struct SweepCacheLookup {
+  enum class Kind { kExactHit, kResumeHit, kMiss };
+  Kind kind = Kind::kMiss;
+  // Non-null for kExactHit/kResumeHit; valid until the next Insert.
+  const CachedSweep* entry = nullptr;
+};
+
 class SweepCache {
  public:
   // capacity = maximum entries held; at least 1.
   explicit SweepCache(size_t capacity);
 
-  // Exact hit: the stored entry for this sweep_id, or nullptr. A hit
-  // refreshes recency and counts toward stats().exact_hits. The pointer is
-  // valid until the next Insert.
-  const CachedSweep* FindExact(uint64_t sweep_id);
-
-  // Near hit: the best stored entry sharing `resume_key` whose precision is
-  // strictly looser than (greater than) `requested_precision` — among
-  // those, the one with the most trials, i.e. the latest point on the
-  // shared adaptive round trajectory, so the fewest new trials remain.
-  // Returns nullptr when nothing is resumable. Counts resume_hits on
-  // success; never counts a miss (callers record the overall request
-  // outcome via CountMiss).
-  const CachedSweep* FindResumable(uint64_t resume_key,
-                                   double requested_precision);
+  // The single counted lookup path: tries an exact hit on `sweep_id`, then
+  // (when resume_key != 0) a near hit — the best stored entry sharing
+  // `resume_key` whose precision is strictly looser than (greater than)
+  // `requested_precision`; among those, the one with the most trials, i.e.
+  // the latest point on the shared adaptive round trajectory, so the fewest
+  // new trials remain. (A tighter stored run is never served: the cold
+  // looser run stops at an earlier round, so its bytes differ, and
+  // byte-identity outranks saved trials.)
+  //
+  // Every call counts exactly one of exact_hits / resume_hits / misses —
+  // accounting lives entirely inside the cache, so callers cannot skew the
+  // hit ratio by forgetting (or double-counting) an outcome. A hit
+  // refreshes recency.
+  SweepCacheLookup Lookup(uint64_t sweep_id, uint64_t resume_key,
+                          double requested_precision);
 
   // Records a finished sweep; replaces any entry with the same sweep_id and
   // evicts the least recently used entry past capacity.
   void Insert(CachedSweep entry);
-
-  // Records that a request found no usable entry and was computed cold.
-  void CountMiss() { ++stats_.misses; }
 
   size_t size() const { return entries_.size(); }
   const SweepCacheStats& stats() const { return stats_; }
@@ -93,6 +100,11 @@ class SweepCache {
     CachedSweep sweep;
     std::list<uint64_t>::iterator recency;  // position in recency_
   };
+
+  // Uncounted probes behind Lookup.
+  const CachedSweep* FindExact(uint64_t sweep_id);
+  const CachedSweep* FindResumable(uint64_t resume_key,
+                                   double requested_precision);
 
   void Touch(Entry& entry);
   void Erase(uint64_t sweep_id);

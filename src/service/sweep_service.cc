@@ -5,11 +5,28 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/shard/shard.h"
 #include "src/util/json.h"
 
 namespace longstore {
 namespace {
+
+// Stable kind label for telemetry keys and trace events (the wire name).
+const char* RequestKindName(ServiceRequest::Kind kind) {
+  switch (kind) {
+    case ServiceRequest::Kind::kPing:
+      return "ping";
+    case ServiceRequest::Kind::kStats:
+      return "stats";
+    case ServiceRequest::Kind::kSweep:
+      return "sweep";
+    case ServiceRequest::Kind::kMetrics:
+      return "metrics";
+  }
+  return "unknown";
+}
 
 ServiceResponse ErrorResponse(bool retryable, std::string message) {
   ServiceResponse response;
@@ -41,17 +58,50 @@ SweepService::SweepService(ServiceOptions options)
 std::string SweepService::HandleRequestBytes(std::string_view request_bytes,
                                              const std::string& source) {
   ServiceRequest request;
+  std::string response_bytes;
   try {
     request = ServiceRequest::FromJson(request_bytes, source);
+    response_bytes = Handle(request).ToJson();
   } catch (const json::IntegrityError& e) {
-    return ErrorResponse(/*retryable=*/true, e.what()).ToJson();
+    response_bytes = ErrorResponse(/*retryable=*/true, e.what()).ToJson();
   } catch (const std::exception& e) {
-    return ErrorResponse(/*retryable=*/false, e.what()).ToJson();
+    response_bytes = ErrorResponse(/*retryable=*/false, e.what()).ToJson();
   }
-  return Handle(request).ToJson();
+  if (obs::Enabled()) {
+    static obs::Histogram& h_in =
+        obs::Registry::Global().histogram("service.frame_bytes_in");
+    static obs::Histogram& h_out =
+        obs::Registry::Global().histogram("service.frame_bytes_out");
+    h_in.Record(static_cast<int64_t>(request_bytes.size()));
+    h_out.Record(static_cast<int64_t>(response_bytes.size()));
+  }
+  return response_bytes;
 }
 
 ServiceResponse SweepService::Handle(const ServiceRequest& request) {
+  const bool telemetry = obs::Enabled();
+  const int64_t t0 = telemetry ? obs::MonotonicNanos() : 0;
+  ServiceResponse response = Dispatch(request);
+  if (telemetry) {
+    const char* kind = RequestKindName(request.kind);
+    const int64_t latency_ns = obs::MonotonicNanos() - t0;
+    obs::Registry::Global()
+        .histogram(std::string("service.latency_ns.") + kind)
+        .Record(latency_ns);
+    if (options_.journal != nullptr) {
+      options_.journal->Emit(obs::TraceEvent("service_request")
+                                 .Str("kind", kind)
+                                 .Str("source", response.source)
+                                 .Int("ok", response.ok ? 1 : 0)
+                                 .Hex("sweep_id", response.sweep_id)
+                                 .Int("new_trials", response.new_trials)
+                                 .Int("latency_ns", latency_ns));
+    }
+  }
+  return response;
+}
+
+ServiceResponse SweepService::Dispatch(const ServiceRequest& request) {
   ++requests_;
   switch (request.kind) {
     case ServiceRequest::Kind::kPing: {
@@ -62,6 +112,8 @@ ServiceResponse SweepService::Handle(const ServiceRequest& request) {
     }
     case ServiceRequest::Kind::kStats:
       return HandleStats();
+    case ServiceRequest::Kind::kMetrics:
+      return HandleMetrics();
     case ServiceRequest::Kind::kSweep:
       try {
         return HandleSweep(request);
@@ -115,9 +167,13 @@ ServiceResponse SweepService::HandleSweep(const ServiceRequest& request) {
   response.ok = true;
   response.sweep_id = sweep_id;
 
-  if (const CachedSweep* hit = cache_.FindExact(sweep_id)) {
+  // One counted lookup: the cache itself classifies the request as exact
+  // hit, near hit, or miss (and keeps the stats books — see SweepCache).
+  const SweepCacheLookup lookup =
+      cache_.Lookup(sweep_id, resume_key, spec.options.relative_precision);
+  if (lookup.kind == SweepCacheLookup::Kind::kExactHit) {
     response.source = "cache";
-    response.result_json = hit->result_json;
+    response.result_json = lookup.entry->result_json;
     return response;
   }
 
@@ -126,23 +182,19 @@ ServiceResponse SweepService::HandleSweep(const ServiceRequest& request) {
   entry.resume_key = resume_key;
   entry.relative_precision = spec.options.relative_precision;
 
-  const CachedSweep* seed =
-      resume_key != 0
-          ? cache_.FindResumable(resume_key, spec.options.relative_precision)
-          : nullptr;
-  if (seed != nullptr) {
+  if (lookup.kind == SweepCacheLookup::Kind::kResumeHit) {
     // Continue from the stored accumulators on the warm pool. Byte-identity
     // with the cold run holds because trial seeds and the round schedule
     // are independent of where the stored run stopped (ResumeSweepCells'
     // contract); the fleet cannot take this path — its workers start from
     // empty accumulators by design.
+    const CachedSweep* seed = lookup.entry;
     const int64_t prior_trials = seed->total_trials;
     entry.executions = ResumeSweepCells(pool_, std::move(spec.cells),
                                         spec.options, seed->executions);
     response.source = "resumed";
     response.new_trials = TotalTrials(entry.executions) - prior_trials;
   } else {
-    cache_.CountMiss();
     response.source = "computed";
     if (options_.backend == ServiceOptions::Backend::kFleet) {
       FleetReport report = FleetSupervisor(options_.fleet).Run(
@@ -187,6 +239,17 @@ ServiceResponse SweepService::HandleStats() const {
   response.ok = true;
   response.source = "stats";
   response.result_json = std::move(body);
+  return response;
+}
+
+ServiceResponse SweepService::HandleMetrics() const {
+  ServiceResponse response;
+  response.ok = true;
+  response.source = "metrics";
+  // The canonical MetricsSnapshot: process-wide, byte-stable given equal
+  // counter values. With telemetry disabled the shape survives with zeros,
+  // so clients can always parse it.
+  response.result_json = obs::Registry::Global().SnapshotJson();
   return response;
 }
 

@@ -56,6 +56,10 @@ struct ServiceOptions {
   // results, so an incomplete fleet run is answered as a retryable error.
   FleetOptions fleet;
   size_t cache_capacity = 64;
+  // Structured trace journal for request lifecycles (one event per request:
+  // kind, source, ok, latency). Telemetry only; nullptr or an unopened
+  // journal records nothing. Not owned; must outlive the service.
+  obs::TraceJournal* journal = nullptr;
 };
 
 class SweepService {
@@ -75,8 +79,11 @@ class SweepService {
   const SweepCacheStats& cache_stats() const { return cache_.stats(); }
 
  private:
+  // Handle minus the telemetry wrapper (latency histogram + journal event).
+  ServiceResponse Dispatch(const ServiceRequest& request);
   ServiceResponse HandleSweep(const ServiceRequest& request);
   ServiceResponse HandleStats() const;
+  ServiceResponse HandleMetrics() const;
 
   ServiceOptions options_;
   WorkerPool& pool_;

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/storage/replicated_system.h"
 #include "src/sweep/worker_pool.h"
 
@@ -47,6 +48,11 @@ struct TrialBatchJob {
   int64_t begin_trial = 0;                   // inclusive, absolute index
   int64_t end_trial = 0;                     // exclusive
   std::vector<Accumulator> blocks;
+  // Telemetry-only: when non-null, lanes accumulate the wall-clock
+  // nanoseconds spent executing this job's blocks (two clock reads per
+  // 256-trial block, never per trial). Summed across lanes, so this is busy
+  // time, not elapsed time. Never feeds back into results.
+  std::atomic<int64_t>* busy_ns = nullptr;
 };
 
 // Runs body(runner, job_index, trial_index, block_accumulator) for every
@@ -99,8 +105,14 @@ void RunTrialBlocks(WorkerPool& pool, int lanes,
                                                      ConfigValidation::kPreValidated);
       }
       Accumulator& acc = job.blocks[unit.slot];
+      const int64_t t0 =
+          job.busy_ns != nullptr ? obs::MonotonicNanos() : 0;
       for (int64_t t = unit.begin; t < unit.end; ++t) {
         body(*runner, unit.job, t, acc);
+      }
+      if (job.busy_ns != nullptr) {
+        job.busy_ns->fetch_add(obs::MonotonicNanos() - t0,
+                               std::memory_order_relaxed);
       }
     }
   });

@@ -1,12 +1,15 @@
 #include "src/sweep/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
 #include "src/sweep/batch_exec.h"
 #include "src/util/json.h"
 #include "src/util/random.h"
@@ -36,6 +39,7 @@ struct CellState {
   bool converged = false;
   int rounds = 0;
   std::vector<double> half_widths;
+  int64_t resumed_from_trials = 0;  // telemetry only: prior trials on resume
 };
 
 // Thin string-returning shims over the shared canonical emitters
@@ -379,6 +383,15 @@ std::vector<SweepCellExecution> RunSweepCellsImpl(
     state.target = std::min<int64_t>(mc.trials, cap);
   }
 
+  // Telemetry: per-cell busy-time accumulators handed to the batch executor.
+  // Allocated once per sweep call (cell granularity, outside the zero-alloc
+  // steady state) and only when telemetry is live; results never read them.
+  const bool telemetry = obs::Enabled();
+  std::unique_ptr<std::atomic<int64_t>[]> busy_ns;
+  if (telemetry) {
+    busy_ns = std::make_unique<std::atomic<int64_t>[]>(states.size());
+  }
+
   // The adaptive verdict on a cell whose trials are folded through
   // `trials_done`: converge, or schedule the next geometric round. One body
   // for the in-loop decision and the resume re-decision, so the two can
@@ -404,6 +417,7 @@ std::vector<SweepCellExecution> RunSweepCellsImpl(
       SweepCellExecution& from = (*prior)[i];
       state.acc = std::move(from.acc);
       state.trials_done = from.trials;
+      state.resumed_from_trials = from.trials;
       state.rounds = from.rounds;
       state.half_widths = std::move(from.half_width_history);
       // Re-judge the last completed round under *these* options. A prior
@@ -441,6 +455,9 @@ std::vector<SweepCellExecution> RunSweepCellsImpl(
       job.bias = bias;
       job.begin_trial = state.trials_done;
       job.end_trial = state.target;
+      if (busy_ns != nullptr) {
+        job.busy_ns = &busy_ns[i];
+      }
       jobs.push_back(std::move(job));
       job_cells.push_back(i);
     }
@@ -501,6 +518,39 @@ std::vector<SweepCellExecution> RunSweepCellsImpl(
         continue;
       }
       decide(state, /*append_half_width=*/true);
+    }
+  }
+
+  if (telemetry) {
+    // Registered once; recording is lock-free on the kept references.
+    static obs::Counter& m_cells =
+        obs::Registry::Global().counter("sweep.cells");
+    static obs::Counter& m_trials =
+        obs::Registry::Global().counter("sweep.trials");
+    static obs::Counter& m_rounds =
+        obs::Registry::Global().counter("sweep.rounds");
+    static obs::Counter& m_resume_cells =
+        obs::Registry::Global().counter("sweep.resume_cells");
+    static obs::Counter& m_resume_delta =
+        obs::Registry::Global().counter("sweep.resume_delta_trials");
+    static obs::Histogram& h_trials =
+        obs::Registry::Global().histogram("sweep.cell_trials");
+    static obs::Histogram& h_rounds =
+        obs::Registry::Global().histogram("sweep.cell_rounds");
+    static obs::Histogram& h_wall =
+        obs::Registry::Global().histogram("sweep.cell_wall_ns");
+    for (size_t i = 0; i < states.size(); ++i) {
+      const CellState& state = states[i];
+      m_cells.Add(1);
+      m_trials.Add(state.trials_done);
+      m_rounds.Add(state.rounds);
+      if (prior != nullptr) {
+        m_resume_cells.Add(1);
+        m_resume_delta.Add(state.trials_done - state.resumed_from_trials);
+      }
+      h_trials.Record(state.trials_done);
+      h_rounds.Record(state.rounds);
+      h_wall.Record(busy_ns[i].load(std::memory_order_relaxed));
     }
   }
 

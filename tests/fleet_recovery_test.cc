@@ -21,7 +21,9 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <dirent.h>
@@ -32,9 +34,12 @@
 
 #include "src/fleet/fleet.h"
 #include "src/fleet/subprocess.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/scenario/scenario.h"
 #include "src/shard/shard.h"
 #include "src/sweep/sweep.h"
+#include "src/util/json.h"
 
 #ifndef LONGSTORE_SWEEP_WORKER
 #error "CMake must define LONGSTORE_SWEEP_WORKER (path to the worker binary)"
@@ -394,6 +399,81 @@ TEST(FleetRecoveryTest, LogOpenFailureIsNamedInTheLossReason) {
         << message;
     EXPECT_NE(message.find("unit0.log"), std::string::npos) << message;
   }
+}
+
+// The trace journal must record the *exact* injected fault sequence: with
+// seed 1 the schedule is pinned (unit0 fails attempt 1; unit1 fails attempts
+// 1 and 2), so the per-unit event chains are fully determined — any drift in
+// the journal (missed transition, wrong attempt number, wrong failure kind)
+// breaks this test even though the merged figure still comes out right.
+TEST(FleetRecoveryTest, JournalRecordsTheInjectedFaultSequence) {
+  if (!obs::Enabled()) {
+    GTEST_SKIP() << "telemetry disabled; no journal to inspect";
+  }
+  TempDir dir;
+  const std::string journal_path = dir.path() + "/trace.jsonl";
+  obs::TraceJournal journal;
+  journal.Open(journal_path);
+
+  FleetOptions options = BaseOptions(dir);
+  options.fail_mode = "crash";
+  options.fail_prob = 0.5;
+  options.fail_seed = 1;
+  options.journal = &journal;
+  options.log = nullptr;  // journal only; stderr stays quiet
+  const FleetReport report = RunFleet(options);
+  EXPECT_TRUE(report.complete);
+  std::string flush_error;
+  ASSERT_TRUE(journal.Flush(&flush_error)) << flush_error;
+
+  // One readable line per unit event: "spawn:1", "backoff:1:crashed", ...
+  struct UnitEvents {
+    std::vector<std::string> chain;
+  };
+  std::map<int64_t, UnitEvents> units;
+  const std::string text = ReadAll(journal_path);
+  size_t begin = 0;
+  size_t journal_opens = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    const json::Value event = json::Parse(line, "trace.jsonl");
+    const json::Value* name = event.Find("event");
+    ASSERT_NE(name, nullptr);
+    if (name->string == "journal_open") {
+      ++journal_opens;
+      continue;
+    }
+    const json::Value* unit = event.Find("unit");
+    if (unit == nullptr) continue;  // fleet_plan / fleet_done
+    const json::Value* attempt = event.Find("attempt");
+    ASSERT_NE(attempt, nullptr) << name->string;
+    std::string entry = name->string.substr(std::string("unit_").size()) + ":" +
+                        std::to_string(static_cast<int64_t>(attempt->number));
+    if (name->string == "unit_backoff") {
+      const json::Value* kind = event.Find("kind");
+      const json::Value* reason = event.Find("reason");
+      ASSERT_NE(kind, nullptr);
+      ASSERT_NE(reason, nullptr);
+      EXPECT_NE(reason->string.find("worker died"), std::string::npos)
+          << reason->string;
+      entry += ":" + kind->string;
+    }
+    units[static_cast<int64_t>(unit->number)].chain.push_back(entry);
+  }
+  EXPECT_EQ(journal_opens, 1u);
+
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].chain,
+            (std::vector<std::string>{"spawn:1", "backoff:1:crashed", "spawn:2",
+                                      "done:2"}));
+  EXPECT_EQ(units[1].chain,
+            (std::vector<std::string>{"spawn:1", "backoff:1:crashed", "spawn:2",
+                                      "backoff:2:crashed", "spawn:3",
+                                      "done:3"}));
 }
 
 // End-to-end through the sweep_fleet binary: a chaos run must print the same

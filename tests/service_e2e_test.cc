@@ -18,9 +18,11 @@
 #include <gtest/gtest.h>
 
 #include "src/fleet/subprocess.h"
+#include "src/obs/metrics.h"
 #include "src/service/service_protocol.h"
 #include "src/shard/shard.h"
 #include "src/sweep/sweep.h"
+#include "src/util/json.h"
 #include "tools/figure_sweeps.h"
 
 #ifndef LONGSTORE_SWEEP_SERVICED
@@ -185,6 +187,67 @@ TEST_F(ServiceE2eTest, FleetBackendProducesTheSameBytesAndStillCaches) {
   ASSERT_TRUE(warm.ok) << warm.message;
   EXPECT_EQ(warm.source, "cache");
   EXPECT_EQ(warm.result_json, golden);
+}
+
+// The canonical MetricsSnapshot over the real socket: after a scripted
+// cold-then-warm sequence the daemon's own counters must read exactly
+// misses=1, exact_hits=1 — the cache accounts for itself (satellite: the
+// single Lookup path), and the `metrics` request kind ships the snapshot
+// without touching any result bytes.
+TEST_F(ServiceE2eTest, MetricsRequestReportsTheScriptedCacheSequence) {
+  if (!obs::Enabled()) {
+    GTEST_SKIP() << "telemetry disabled; the snapshot would read all zeros";
+  }
+  StartDaemon();
+  const ServiceResponse cold = Roundtrip(CheetahRequest());
+  ASSERT_TRUE(cold.ok) << cold.message;
+  EXPECT_EQ(cold.source, "computed");
+  const ServiceResponse warm = Roundtrip(CheetahRequest());
+  ASSERT_TRUE(warm.ok) << warm.message;
+  EXPECT_EQ(warm.source, "cache");
+
+  ServiceRequest metrics_request;
+  metrics_request.kind = ServiceRequest::Kind::kMetrics;
+  const ServiceResponse metrics = Roundtrip(metrics_request);
+  ASSERT_TRUE(metrics.ok) << metrics.message;
+  EXPECT_EQ(metrics.source, "metrics");
+  ASSERT_FALSE(metrics.result_json.empty());
+
+  const json::Value snapshot =
+      json::Parse(metrics.result_json, "metrics snapshot");
+  const json::Value* counters = snapshot.Find("counters");
+  ASSERT_NE(counters, nullptr) << metrics.result_json;
+  const auto counter = [&](const char* name) -> int64_t {
+    const json::Value* value = counters->Find(name);
+    EXPECT_NE(value, nullptr) << name;
+    return value == nullptr ? -1 : static_cast<int64_t>(value->number);
+  };
+  EXPECT_EQ(counter("service.cache.misses"), 1);
+  EXPECT_EQ(counter("service.cache.exact_hits"), 1);
+  EXPECT_EQ(counter("service.cache.insertions"), 1);
+  // Metrics register at their record site on first use: paths this sequence
+  // never took (resume, eviction) leave no name in the snapshot at all.
+  EXPECT_EQ(counters->Find("service.cache.resume_hits"), nullptr);
+  EXPECT_EQ(counters->Find("service.cache.evictions"), nullptr);
+
+  // Both sweep requests left a latency sample. The frame-size histograms
+  // read exactly 2: the snapshot is taken while *this* request is still in
+  // flight, and its frame is recorded only after the response is built.
+  const json::Value* histograms = snapshot.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* sweep_latency = histograms->Find("service.latency_ns.sweep");
+  ASSERT_NE(sweep_latency, nullptr) << metrics.result_json;
+  const json::Value* latency_count = sweep_latency->Find("count");
+  ASSERT_NE(latency_count, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(latency_count->number), 2);
+  const json::Value* frames_in = histograms->Find("service.frame_bytes_in");
+  ASSERT_NE(frames_in, nullptr);
+  const json::Value* frames_count = frames_in->Find("count");
+  ASSERT_NE(frames_count, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(frames_count->number), 2);
+
+  // The real client fetches the same snapshot (exit 0, JSON on stdout).
+  EXPECT_EQ(RunClient({"--metrics"}), 0);
 }
 
 TEST_F(ServiceE2eTest, AdaptiveResumeWorksAcrossTheWire) {

@@ -1,6 +1,7 @@
 // sweep_client: query a running sweep_serviced daemon.
 //
-//   sweep_client --socket=PATH (--cheetah | --shard=FILE | --ping | --stats)
+//   sweep_client --socket=PATH (--cheetah | --shard=FILE | --ping | --stats
+//                | --metrics)
 //                [--precision=P] [--max-trials=N] [--expect-source=S]
 //
 // Sweep selection:
@@ -17,6 +18,8 @@
 //
 // Probes:
 //   --ping / --stats     liveness / cache counters (JSON on stdout)
+//   --metrics            the daemon's canonical MetricsSnapshot (JSON on
+//                        stdout; see src/obs/README.md for the catalog)
 //
 // Output: the sweep result JSON on stdout; provenance on stderr
 // ("source=cache sweep_id=0x... new_trials=0"). --expect-source=S exits 4
@@ -45,7 +48,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH (--cheetah | --shard=FILE | --ping | "
-               "--stats)\n"
+               "--stats | --metrics)\n"
                "  [--precision=P] [--max-trials=N] [--expect-source=S]\n",
                argv0);
   return 1;
@@ -97,6 +100,7 @@ int Main(int argc, char** argv) {
   bool cheetah = false;
   bool ping = false;
   bool stats = false;
+  bool metrics = false;
   double precision = 0.0;
   long max_trials = 1000000;
 
@@ -119,6 +123,8 @@ int Main(int argc, char** argv) {
       ping = true;
     } else if (std::strcmp(arg, "--stats") == 0) {
       stats = true;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics = true;
     } else if (long_arg(arg, "--socket", &value)) {
       socket_path = value;
     } else if (long_arg(arg, "--shard", &value)) {
@@ -135,7 +141,8 @@ int Main(int argc, char** argv) {
   }
   const int selections = static_cast<int>(cheetah) +
                          static_cast<int>(!shard_file.empty()) +
-                         static_cast<int>(ping) + static_cast<int>(stats);
+                         static_cast<int>(ping) + static_cast<int>(stats) +
+                         static_cast<int>(metrics);
   if (socket_path.empty() || selections != 1) {
     return Usage(argv[0]);
   }
@@ -145,6 +152,8 @@ int Main(int argc, char** argv) {
     request.kind = ServiceRequest::Kind::kPing;
   } else if (stats) {
     request.kind = ServiceRequest::Kind::kStats;
+  } else if (metrics) {
+    request.kind = ServiceRequest::Kind::kMetrics;
   } else {
     request.kind = ServiceRequest::Kind::kSweep;
     if (!shard_file.empty()) {

@@ -29,11 +29,17 @@
 //   --fail-mode=crash|hang|corrupt|flaky --fail-prob=P --fail-seed=S
 //                        forwarded fault injection (CI chaos testing)
 //
+// Telemetry (out-of-band; never changes a result byte):
+//   --metrics-out=FILE   write the canonical MetricsSnapshot JSON after the
+//                        run (atomic tmp/fsync/rename)
+//   --trace-out=FILE     write the fleet supervision trace journal (JSONL;
+//                        see src/obs/README.md, tools/trace_dump)
+//
 // Output: --format=table|csv|json (default table) on stdout; supervision
 // log and stats on stderr. A fleet run that completes is byte-identical on
 // stdout to the same sweep's --single run — that is the merge contract, and
-// the CI chaos job diffs exactly this. Exit 0 = complete, 2 = partial
-// (--partial-ok), 1 = error.
+// the CI chaos and telemetry-identity jobs diff exactly this. Exit 0 =
+// complete, 2 = partial (--partial-ok), 1 = error.
 
 #include <stdlib.h>
 #include <unistd.h>
@@ -45,6 +51,8 @@
 #include <vector>
 
 #include "src/fleet/fleet.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/scenario/scenario.h"
 #include "src/sweep/sweep.h"
 #include "tools/figure_sweeps.h"
@@ -63,9 +71,24 @@ int Usage(const char* argv0) {
                "  [--keep-files] [--format=table|csv|json]\n"
                "  [--trials=N] [--seed=S] [--estimand=mttdl|loss] "
                "[--mission-years=Y]\n"
-               "  [--fail-mode=MODE] [--fail-prob=P] [--fail-seed=S]\n",
+               "  [--fail-mode=MODE] [--fail-prob=P] [--fail-seed=S]\n"
+               "  [--metrics-out=FILE] [--trace-out=FILE]\n",
                argv0);
   return 1;
+}
+
+// Best-effort telemetry sinks: a failed write warns on stderr but never
+// fails the run — the figure is the product, telemetry is commentary.
+void WriteTelemetry(const std::string& metrics_out, obs::TraceJournal& journal) {
+  std::string error;
+  if (!journal.Flush(&error)) {
+    std::fprintf(stderr, "sweep_fleet: trace journal: %s\n", error.c_str());
+  }
+  if (!metrics_out.empty() &&
+      !obs::WriteFileAtomic(metrics_out,
+                            obs::Registry::Global().SnapshotJson(), &error)) {
+    std::fprintf(stderr, "sweep_fleet: metrics snapshot: %s\n", error.c_str());
+  }
 }
 
 std::string ReadWholeFile(const std::string& path) {
@@ -129,6 +152,8 @@ int Main(int argc, char** argv) {
   std::vector<std::string> scenario_files;
   std::string format = "table";
   std::string tmp_dir;
+  std::string metrics_out;
+  std::string trace_out;
   std::string estimand = "mttdl";
   long trials = 2000;
   unsigned long long seed = 1;
@@ -202,6 +227,10 @@ int Main(int argc, char** argv) {
       fleet.fail_prob = std::atof(value);
     } else if (long_arg(arg, "--fail-seed", &value)) {
       fleet.fail_seed = std::strtoull(value, nullptr, 0);
+    } else if (long_arg(arg, "--metrics-out", &value)) {
+      metrics_out = value;
+    } else if (long_arg(arg, "--trace-out", &value)) {
+      trace_out = value;
     } else {
       return Usage(argv[0]);
     }
@@ -236,8 +265,12 @@ int Main(int argc, char** argv) {
     options.seed_mode = SweepOptions::SeedMode::kScenarioDerived;
   }
 
+  obs::TraceJournal journal;
+  journal.Open(trace_out);
+
   if (single) {
     const SweepResult result = SweepRunner().Run(spec, options);
+    WriteTelemetry(metrics_out, journal);
     PrintResult(result, format, /*complete=*/true, {}, result.cells.size());
     return 0;
   }
@@ -251,11 +284,13 @@ int Main(int argc, char** argv) {
     tmp_dir = made_tmp;
   }
   fleet.temp_dir = tmp_dir;
+  fleet.journal = &journal;
 
   const FleetReport report = FleetSupervisor(fleet).Run(spec, options);
   if (tmp_dir == made_tmp && !fleet.keep_files) {
     ::rmdir(made_tmp);
   }
+  WriteTelemetry(metrics_out, journal);
   std::fprintf(stderr,
                "[fleet] stats: %d spawned, %d succeeded, %d crashed, "
                "%d timed out, %d corrupt, %d malformed, %d retries, %d splits\n",

@@ -29,6 +29,12 @@
 //   --cache-capacity=N   LRU entries held             (default 64)
 //   --max-requests=N     exit cleanly after N requests (tests; 0 = forever)
 //
+// Telemetry (out-of-band; never changes a response byte):
+//   --metrics-out=FILE   write the canonical MetricsSnapshot JSON at
+//                        shutdown (atomic tmp/fsync/rename); live clients
+//                        fetch the same snapshot with a `metrics` request
+//   --trace-out=FILE     write the request/fleet trace journal (JSONL)
+//
 // Protocol: length-prefixed frames ("<len>\n<payload>") carrying checksummed
 // service documents — src/service/README.md. Every malformed request gets a
 // structured error response; a malformed *frame* ends that connection (the
@@ -47,6 +53,8 @@
 #include <exception>
 #include <string>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/service/service_protocol.h"
 #include "src/service/sweep_service.h"
 
@@ -62,9 +70,23 @@ int Usage(const char* argv0) {
                "usage: %s (--socket=PATH | --stdio) [--backend=pool|fleet]\n"
                "  [--worker=PATH] [--tmp=DIR] [--shards=K] [--max-parallel=N]\n"
                "  [--threads=N] [--timeout-s=T] [--cache-capacity=N]\n"
-               "  [--max-requests=N]\n",
+               "  [--max-requests=N] [--metrics-out=FILE] [--trace-out=FILE]\n",
                argv0);
   return 1;
+}
+
+// Best-effort telemetry sinks at shutdown; failures warn, never fail the
+// daemon's exit status.
+void WriteTelemetry(const std::string& metrics_out, obs::TraceJournal& journal) {
+  std::string error;
+  if (!journal.Flush(&error)) {
+    std::fprintf(stderr, "[serviced] trace journal: %s\n", error.c_str());
+  }
+  if (!metrics_out.empty() &&
+      !obs::WriteFileAtomic(metrics_out,
+                            obs::Registry::Global().SnapshotJson(), &error)) {
+    std::fprintf(stderr, "[serviced] metrics snapshot: %s\n", error.c_str());
+  }
 }
 
 // Serves every frame arriving on `fd` (responses to `out_fd`) until EOF, a
@@ -105,6 +127,8 @@ int Main(int argc, char** argv) {
   std::string backend = "pool";
   long cache_capacity = 64;
   long max_requests = 0;
+  std::string metrics_out;
+  std::string trace_out;
 
   ServiceOptions options;
   options.fleet.shard_count = 3;
@@ -150,6 +174,10 @@ int Main(int argc, char** argv) {
       cache_capacity = std::atol(value);
     } else if (long_arg(arg, "--max-requests", &value)) {
       max_requests = std::atol(value);
+    } else if (long_arg(arg, "--metrics-out", &value)) {
+      metrics_out = value;
+    } else if (long_arg(arg, "--trace-out", &value)) {
+      trace_out = value;
     } else {
       return Usage(argv[0]);
     }
@@ -178,11 +206,19 @@ int Main(int argc, char** argv) {
   ::sigaction(SIGTERM, &action, nullptr);
   ::signal(SIGPIPE, SIG_IGN);  // a vanished peer is a log line, not a death
 
+  // One journal carries both the request lifecycle events (service) and the
+  // fleet backend's unit transitions, in emission order.
+  obs::TraceJournal journal;
+  journal.Open(trace_out);
+  options.journal = &journal;
+  options.fleet.journal = &journal;
+
   SweepService service(options);
   long served = 0;
 
   if (stdio) {
     ServeStream(service, STDIN_FILENO, STDOUT_FILENO, max_requests, &served);
+    WriteTelemetry(metrics_out, journal);
     return 0;
   }
 
@@ -225,6 +261,7 @@ int Main(int argc, char** argv) {
   }
   ::close(listener);
   ::unlink(socket_path.c_str());
+  WriteTelemetry(metrics_out, journal);
   std::fprintf(stderr, "[serviced] served %ld request(s), shutting down\n",
                served);
   return 0;

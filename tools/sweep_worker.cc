@@ -44,6 +44,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/shard/shard.h"
 #include "src/sweep/worker_pool.h"
 #include "src/util/random.h"
@@ -60,6 +62,8 @@ int Usage(const char* argv0) {
       "  --out=FILE     write the shard result JSON here, atomically\n"
       "                 (default stdout)\n"
       "  --threads=N    cap worker-pool lanes (never changes results)\n"
+      "  --metrics-out=FILE  write this process's MetricsSnapshot JSON after\n"
+      "                 the shard completes (telemetry; never affects results)\n"
       "  --fail-*       deterministic fault injection for supervisor tests;\n"
       "                 the fault fires when hash(S, shard_index, N) < P\n",
       argv0);
@@ -79,26 +83,26 @@ std::string ReadAll(std::FILE* file) {
   return out;
 }
 
-// Writes <path>.tmp, fsyncs, renames into place. After a crash at any point
-// the path either holds the previous complete document or nothing — never a
-// torn write.
+// Thin throwing shim over the shared atomic-write path (obs::WriteFileAtomic:
+// <path>.tmp, fsync, rename). Documents carry a trailing newline on disk.
 void WriteFileAtomically(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (file == nullptr) {
-    throw std::runtime_error("cannot open output file '" + tmp + "'");
+  std::string error;
+  if (!longstore::obs::WriteFileAtomic(path, bytes + '\n', &error)) {
+    throw std::runtime_error(error);
   }
-  const bool wrote =
-      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size() &&
-      std::fputc('\n', file) != EOF && std::fflush(file) == 0 &&
-      ::fsync(fileno(file)) == 0;
-  if (std::fclose(file) != 0 || !wrote) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("failed to write '" + tmp + "'");
+}
+
+// Best-effort telemetry sink: a failed snapshot write warns but never fails
+// the shard — the result document is the product.
+void WriteWorkerMetrics(const char* metrics_out) {
+  if (metrics_out == nullptr) {
+    return;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("failed to rename '" + tmp + "' into place");
+  std::string error;
+  if (!longstore::obs::WriteFileAtomic(
+          metrics_out, longstore::obs::Registry::Global().SnapshotJson(),
+          &error)) {
+    std::fprintf(stderr, "sweep_worker: metrics snapshot: %s\n", error.c_str());
   }
 }
 
@@ -125,6 +129,7 @@ bool DecideFault(const FailPlan& plan, int shard_index) {
 int main(int argc, char** argv) {
   const char* shard_path = nullptr;
   const char* out_path = nullptr;
+  const char* metrics_out = nullptr;
   long threads = 0;
   FailPlan fail;
   for (int i = 1; i < argc; ++i) {
@@ -133,6 +138,8 @@ int main(int argc, char** argv) {
       shard_path = arg + 8;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       char* end = nullptr;
       threads = std::strtol(arg + 10, &end, 10);
@@ -222,6 +229,7 @@ int main(int argc, char** argv) {
       if (!wrote) {
         throw std::runtime_error("failed to write the shard result");
       }
+      WriteWorkerMetrics(metrics_out);
       return 0;
     }
 
@@ -240,6 +248,7 @@ int main(int argc, char** argv) {
     }
 
     WriteFileAtomically(out_path, json);
+    WriteWorkerMetrics(metrics_out);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep_worker: %s\n", e.what());
     return 1;

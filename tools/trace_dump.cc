@@ -1,0 +1,301 @@
+// trace_dump: reconstructs human-readable timelines from a trace journal
+// (the JSONL event log sweep_fleet/sweep_serviced write with --trace-out;
+// schema in src/obs/trace.h and src/obs/README.md).
+//
+//   trace_dump --journal=FILE
+//
+// Output, per fleet unit, the attempt timeline in event order with
+// timestamps relative to the journal's first event:
+//
+//   unit 1:
+//     +0.000s attempt 1: spawned pid 4242 (2 cells)
+//     +0.031s attempt 1: failed (crashed): worker died: ...; backoff 0.02s
+//     +0.055s attempt 2: spawned pid 4250 (2 cells)
+//     +0.301s attempt 2: done (2 cells merged)
+//
+// followed by service request lines (when the journal came from
+// sweep_serviced) and a final anomaly section flagging
+//   * retry storms  — units that burned 3+ backoffs,
+//   * poison cells  — units that split or were lost outright,
+//   * cache thrash  — the same sweep_id computed cold more than once (it
+//     was cached, evicted, and recomputed).
+//
+// The dump is diagnostic tooling over telemetry: it never reads or affects
+// result documents. Exit 0 = dumped; 1 = unreadable/unparseable journal.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace longstore {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s --journal=FILE\n", argv0);
+  return 1;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open journal '" + path + "'");
+  }
+  std::string out;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out.append(buffer, n);
+  }
+  const bool bad = std::ferror(file) != 0;
+  std::fclose(file);
+  if (bad) {
+    throw std::runtime_error("failed to read journal '" + path + "'");
+  }
+  return out;
+}
+
+// Tolerant field access: trace events grow fields without a schema bump, so
+// the dump reads what it knows and ignores the rest (never ObjectReader,
+// which would reject additive fields).
+int64_t IntField(const json::Value& event, const char* key, int64_t fallback) {
+  const json::Value* value = event.Find(key);
+  if (value == nullptr || value->kind != json::Value::Kind::kNumber) {
+    return fallback;
+  }
+  return static_cast<int64_t>(value->number);
+}
+
+double DblField(const json::Value& event, const char* key, double fallback) {
+  const json::Value* value = event.Find(key);
+  if (value == nullptr || value->kind != json::Value::Kind::kNumber) {
+    return fallback;
+  }
+  return value->number;
+}
+
+std::string StrField(const json::Value& event, const char* key) {
+  const json::Value* value = event.Find(key);
+  if (value == nullptr || value->kind != json::Value::Kind::kString) {
+    return "";
+  }
+  return value->string;
+}
+
+struct UnitTimeline {
+  std::vector<std::string> lines;
+  int backoffs = 0;
+  bool split = false;
+  bool lost = false;
+};
+
+int Main(int argc, char** argv) {
+  std::string journal_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--journal=", 10) == 0) {
+      journal_path = arg + 10;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (journal_path.empty()) {
+    return Usage(argv[0]);
+  }
+
+  const std::string text = ReadWholeFile(journal_path);
+
+  std::map<int64_t, UnitTimeline> units;
+  std::vector<std::string> fleet_lines;    // plan/done/partial
+  std::vector<std::string> service_lines;  // request lifecycles
+  std::map<std::string, int> computed_by_sweep;  // sweep_id -> cold runs
+  int64_t first_ts = -1;
+  size_t events = 0;
+  size_t line_number = 0;
+  std::string trace_id;
+
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string_view line(text.data() + begin, end - begin);
+    begin = end + 1;
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    json::Value event;
+    try {
+      event = json::Parse(line, "trace_dump");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace_dump: %s line %zu: %s\n",
+                   journal_path.c_str(), line_number, e.what());
+      return 1;
+    }
+    ++events;
+
+    const int64_t ts = IntField(event, "ts_ns", 0);
+    if (first_ts < 0) {
+      first_ts = ts;
+    }
+    const double rel_s = static_cast<double>(ts - first_ts) * 1e-9;
+    if (trace_id.empty() || trace_id == "0x0") {
+      // journal_open predates SetTraceId; prefer the first stamped event.
+      trace_id = StrField(event, "trace_id");
+    }
+    const std::string name = StrField(event, "event");
+    char prefix[48];
+    std::snprintf(prefix, sizeof(prefix), "  %+9.3fs ", rel_s);
+
+    const auto render = [&](const char* detail_fmt, auto... args) {
+      char detail[512];
+      std::snprintf(detail, sizeof(detail), detail_fmt, args...);
+      return std::string(prefix) + detail;
+    };
+
+    if (name == "journal_open") {
+      continue;
+    }
+    if (name == "unit_spawn" || name == "unit_backoff" || name == "unit_done" ||
+        name == "unit_split" || name == "unit_lost") {
+      const int64_t unit = IntField(event, "unit", -1);
+      const int64_t attempt = IntField(event, "attempt", 0);
+      UnitTimeline& timeline = units[unit];
+      if (name == "unit_spawn") {
+        timeline.lines.push_back(
+            render("attempt %" PRId64 ": spawned pid %" PRId64 " (%" PRId64
+                   " cells)",
+                   attempt, IntField(event, "pid", 0),
+                   IntField(event, "cells", 0)));
+      } else if (name == "unit_backoff") {
+        ++timeline.backoffs;
+        timeline.lines.push_back(
+            render("attempt %" PRId64 ": failed (%s): %s; backoff %.2fs",
+                   attempt, StrField(event, "kind").c_str(),
+                   StrField(event, "reason").c_str(),
+                   DblField(event, "backoff_s", 0.0)));
+      } else if (name == "unit_done") {
+        timeline.lines.push_back(render("attempt %" PRId64 ": done (%" PRId64
+                                        " cells merged)",
+                                        attempt, IntField(event, "cells", 0)));
+      } else if (name == "unit_split") {
+        timeline.split = true;
+        timeline.lines.push_back(
+            render("attempt %" PRId64 ": exhausted (%s): %s; split %" PRId64
+                   " cells",
+                   attempt, StrField(event, "kind").c_str(),
+                   StrField(event, "reason").c_str(),
+                   IntField(event, "cells", 0)));
+      } else {
+        timeline.lost = true;
+        timeline.lines.push_back(
+            render("attempt %" PRId64 ": LOST (%s): %s (%" PRId64 " cells)",
+                   attempt, StrField(event, "kind").c_str(),
+                   StrField(event, "reason").c_str(),
+                   IntField(event, "cells", 0)));
+      }
+      continue;
+    }
+    if (name == "service_request") {
+      const std::string kind = StrField(event, "kind");
+      const std::string source = StrField(event, "source");
+      service_lines.push_back(render(
+          "%s -> %s (ok=%" PRId64 ", %.3fms, %" PRId64 " new trials)",
+          kind.c_str(), source.c_str(), IntField(event, "ok", 0),
+          static_cast<double>(IntField(event, "latency_ns", 0)) * 1e-6,
+          IntField(event, "new_trials", 0)));
+      if (kind == "sweep" && source == "computed") {
+        const json::Value* id = event.Find("sweep_id");
+        if (id != nullptr && id->kind == json::Value::Kind::kString) {
+          ++computed_by_sweep[id->string];
+        }
+      }
+      continue;
+    }
+    // fleet_plan / fleet_done / fleet_partial and any future event: the msg
+    // field is the readable form.
+    const std::string msg = StrField(event, "msg");
+    fleet_lines.push_back(render("%s%s%s", name.c_str(),
+                                 msg.empty() ? "" : ": ",
+                                 msg.c_str()));
+  }
+
+  if (events == 0) {
+    std::fprintf(stderr, "trace_dump: %s holds no events\n",
+                 journal_path.c_str());
+    return 1;
+  }
+
+  std::printf("journal %s: %zu events, trace_id %s\n", journal_path.c_str(),
+              events, trace_id.empty() ? "(none)" : trace_id.c_str());
+  for (const std::string& line : fleet_lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  for (const auto& [unit, timeline] : units) {
+    std::printf("unit %" PRId64 ":\n", unit);
+    for (const std::string& line : timeline.lines) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  if (!service_lines.empty()) {
+    std::printf("service requests:\n");
+    for (const std::string& line : service_lines) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+
+  // Anomaly sweep: patterns worth a human's attention, each named with the
+  // evidence that triggered it.
+  std::vector<std::string> anomalies;
+  for (const auto& [unit, timeline] : units) {
+    if (timeline.backoffs >= 3) {
+      anomalies.push_back("retry storm: unit " + std::to_string(unit) +
+                          " burned " + std::to_string(timeline.backoffs) +
+                          " backoffs");
+    }
+    if (timeline.split) {
+      anomalies.push_back("poison cell suspected: unit " +
+                          std::to_string(unit) +
+                          " exhausted retries and was split");
+    }
+    if (timeline.lost) {
+      anomalies.push_back("lost cells: unit " + std::to_string(unit) +
+                          " exhausted every attempt");
+    }
+  }
+  for (const auto& [sweep, cold_runs] : computed_by_sweep) {
+    if (cold_runs > 1) {
+      anomalies.push_back("cache thrash: sweep " + sweep + " computed cold " +
+                          std::to_string(cold_runs) +
+                          " times (evicted between requests?)");
+    }
+  }
+  if (anomalies.empty()) {
+    std::printf("no anomalies detected\n");
+  } else {
+    std::printf("anomalies:\n");
+    for (const std::string& anomaly : anomalies) {
+      std::printf("  ! %s\n", anomaly.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace longstore
+
+int main(int argc, char** argv) {
+  try {
+    return longstore::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_dump: %s\n", e.what());
+    return 1;
+  }
+}
