@@ -110,7 +110,7 @@ int main() {
 
   SweepSpec media_spec;
   for (const MediaCase& entry : media_cases) {
-    const bool offline = entry.drive.media == MediaClass::kTapeCartridge;
+    const bool offline = IsOfflineMedia(entry.drive.media);
     const ReplicaSpec replica =
         offline ? TapeSpec(entry.drive, entry.audits, handling, 5.0)
                 : DiskSpec(entry.drive,

@@ -1,0 +1,130 @@
+// Frontier search economics: what a design-space search costs cold versus
+// memoized. The cold search force-simulates every golden-small candidate
+// through an in-process sweep service; the warm search repeats it with a
+// fresh evaluator against the now-primed service (every evaluation answered
+// from the content-keyed result cache), and the memo re-search repeats it on
+// the original evaluator (no backend traffic at all).
+//
+// Gates (exit 1 on violation, so CI can hold the line):
+//   * warm and memo frontier bytes identical to cold (provenance must never
+//     move a frontier byte);
+//   * the warm re-search pays >= 10x fewer newly simulated trials than the
+//     cold search (the ISSUE's memoization gate; in practice it pays zero);
+//   * the memo re-search pays zero backend evaluations.
+//
+// Writes BENCH_planner.json (canonical JSON, locale-independent) into the
+// working directory for the perf trajectory record.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/frontier/eval_backend.h"
+#include "src/frontier/frontier.h"
+#include "src/service/sweep_service.h"
+#include "src/util/json.h"
+#include "src/util/table.h"
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace longstore;
+  std::printf("%s", Heading("perf", "frontier search: cold vs cache-served vs "
+                                    "memoized golden-small re-search")
+                        .c_str());
+
+  const FrontierTarget target = GoldenSmallTarget();
+  const FrontierSpace space = GoldenSmallSpace();
+  FrontierOptions options = GoldenSmallOptions();
+  // Force-simulate even CTMC-compatible candidates so the trial ledger
+  // reflects the whole search, not just the heterogeneous fleets.
+  options.force_simulation = true;
+
+  SweepService service{ServiceOptions{}};
+  ServiceEvalBackend backend(service);
+
+  FrontierEvaluator cold_evaluator(options, &backend);
+  const auto cold_start = std::chrono::steady_clock::now();
+  const FrontierResult cold = RunFrontierSearch(target, space, cold_evaluator);
+  const double cold_seconds = Seconds(cold_start);
+  const int64_t cold_trials = cold_evaluator.stats().simulated_trials;
+
+  // Warm: a fresh evaluator (empty memo) against the primed service — every
+  // candidate answered from the ComputeSweepId result cache.
+  FrontierEvaluator warm_evaluator(options, &backend);
+  const auto warm_start = std::chrono::steady_clock::now();
+  const FrontierResult warm = RunFrontierSearch(target, space, warm_evaluator);
+  const double warm_seconds = Seconds(warm_start);
+  const int64_t warm_trials = warm_evaluator.stats().simulated_trials;
+  const int64_t warm_cache_served = warm_evaluator.stats().cache_served;
+
+  // Memo: the cold evaluator again — answered entirely from its own memo.
+  const int64_t backend_evals_before =
+      cold_evaluator.stats().simulated_evals + cold_evaluator.stats().ctmc_evals;
+  const auto memo_start = std::chrono::steady_clock::now();
+  const FrontierResult memo = RunFrontierSearch(target, space, cold_evaluator);
+  const double memo_seconds = Seconds(memo_start);
+  const int64_t memo_backend_evals = cold_evaluator.stats().simulated_evals +
+                                     cold_evaluator.stats().ctmc_evals -
+                                     backend_evals_before;
+
+  const std::string cold_json = cold.ToJson();
+  const bool identical =
+      warm.ToJson() == cold_json && memo.ToJson() == cold_json;
+  // The ISSUE gate: memoized re-search >= 10x cheaper in simulated trials.
+  const bool trials_gate = cold_trials > 0 && warm_trials * 10 <= cold_trials;
+  const bool memo_gate = memo_backend_evals == 0;
+
+  Table table({"search", "wall clock", "new trials", "notes"});
+  table.AddRow({"cold (computed)", Table::Fmt(cold_seconds * 1e3, 3) + " ms",
+                std::to_string(cold_trials),
+                std::to_string(cold.points.size()) + " points"});
+  table.AddRow({"warm (service cache)", Table::Fmt(warm_seconds * 1e3, 3) + " ms",
+                std::to_string(warm_trials),
+                std::to_string(warm_cache_served) + " evals cache-served"});
+  table.AddRow({"memo (evaluator reuse)",
+                Table::Fmt(memo_seconds * 1e3, 3) + " ms", "0",
+                std::to_string(memo_backend_evals) + " backend evals"});
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nfrontier bytes identical across cold/warm/memo: %s\n",
+              identical ? "yes" : "NO — PROVENANCE MOVED A FRONTIER BYTE");
+  std::printf("trial economy: %lld cold vs %lld warm (gate: >= 10x cheaper)\n",
+              static_cast<long long>(cold_trials),
+              static_cast<long long>(warm_trials));
+  std::printf("memo re-search backend evaluations: %lld (gate: 0)\n",
+              static_cast<long long>(memo_backend_evals));
+
+  std::string out = "{\"bench\":\"frontier_perf\",\"search\":\"golden_small\","
+                    "\"points\":";
+  json::AppendInt64(out, static_cast<int64_t>(cold.points.size()));
+  out += ",\"cold_seconds\":";
+  json::AppendDouble(out, cold_seconds);
+  out += ",\"warm_seconds\":";
+  json::AppendDouble(out, warm_seconds);
+  out += ",\"memo_seconds\":";
+  json::AppendDouble(out, memo_seconds);
+  out += ",\"cold_trials\":";
+  json::AppendInt64(out, cold_trials);
+  out += ",\"warm_trials\":";
+  json::AppendInt64(out, warm_trials);
+  out += ",\"memo_backend_evals\":";
+  json::AppendInt64(out, memo_backend_evals);
+  out += ",\"byte_identical\":";
+  out += identical ? "true" : "false";
+  out += '}';
+  std::FILE* file = std::fopen("BENCH_planner.json", "wb");
+  if (file != nullptr) {
+    std::fprintf(file, "%s\n", out.c_str());
+    std::fclose(file);
+    std::printf("wrote BENCH_planner.json\n");
+  }
+
+  return (identical && trials_gate && memo_gate) ? 0 : 1;
+}

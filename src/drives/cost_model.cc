@@ -28,7 +28,7 @@ ReplicaCostBreakdown AnnualReplicaCost(const DriveSpec& drive, double archive_gb
   cost.capex_per_year =
       unit_count * drive.price_usd / assumptions.replacement_cycle.years();
 
-  if (drive.media == MediaClass::kTapeCartridge) {
+  if (IsOfflineMedia(drive.media)) {
     cost.power_per_year = 0.0;
     cost.admin_per_year = 0.0;
     cost.space_per_year = unit_count * assumptions.offline_storage_usd_per_cartridge_year;

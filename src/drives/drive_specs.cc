@@ -13,8 +13,15 @@ std::string_view MediaClassName(MediaClass klass) {
       return "enterprise disk";
     case MediaClass::kTapeCartridge:
       return "tape cartridge";
+    case MediaClass::kEtchedMedium:
+      return "etched medium";
   }
   return "?";
+}
+
+bool IsOfflineMedia(MediaClass klass) {
+  return klass == MediaClass::kTapeCartridge ||
+         klass == MediaClass::kEtchedMedium;
 }
 
 Duration DriveSpec::Mttf() const {
@@ -77,11 +84,31 @@ DriveSpec Lto3TapeCartridge() {
   return d;
 }
 
+DriveSpec GigayearEtchedDisc() {
+  DriveSpec d;
+  d.model = "SiN-W gigayear disc";
+  d.media = MediaClass::kEtchedMedium;
+  d.capacity_gb = 100.0;
+  // Optical readout of etched QR patterns: bench-instrument rates, not a
+  // drive interface.
+  d.bandwidth_mb_per_s = 10.0;
+  // Accelerated aging puts media wear beyond 1e6 years; what remains over a
+  // service interval is encapsulation/handling defects. 0.01% over five
+  // years keeps the MTTF finite (the loss-probability math stays nonzero via
+  // expm1) while sitting orders of magnitude below every 2005 part.
+  d.five_year_fault_probability = 1e-4;
+  d.uber = 1e-19;  // per-bit readout errors bounded by the etched geometry
+  d.price_usd = 2000.0;  // $20/GB wafer-scale fabrication
+  d.catalog_year = 2013;
+  return d;
+}
+
 const std::vector<DriveSpec>& DriveCatalog() {
   static const std::vector<DriveSpec> catalog = {
       SeagateBarracuda200Gb(),
       SeagateCheetah146Gb(),
       Lto3TapeCartridge(),
+      GigayearEtchedDisc(),
   };
   return catalog;
 }

@@ -20,9 +20,18 @@ enum class MediaClass {
   kConsumerDisk,
   kEnterpriseDisk,
   kTapeCartridge,
+  // Write-once etched media rated for geological retention (the
+  // silicon-nitride/tungsten "gigayear" disc, arXiv:1310.2961): vaulted like
+  // tape, read via a lab instrument, media faults dominated by handling.
+  kEtchedMedium,
 };
 
 std::string_view MediaClassName(MediaClass klass);
+
+// Off-line (vaulted) media: no power or per-drive admin while shelved; pay
+// per-cartridge vault storage and per-audit retrieval/handling instead. The
+// cost model and the planner's parameter derivation branch on this.
+bool IsOfflineMedia(MediaClass klass);
 
 struct DriveSpec {
   std::string model;
@@ -68,6 +77,14 @@ DriveSpec SeagateCheetah146Gb();
 // probability reflects the CD-ROM/tape shelf-degradation evidence the paper
 // cites (media rated for decades often failing within 2-5 years).
 DriveSpec Lto3TapeCartridge();
+
+// A QR-coded silicon-nitride/tungsten sample disc per de Vries et al.
+// (arXiv:1310.2961): accelerated aging projects media lifetimes beyond a
+// million years, so the five-year fault probability models handling and
+// encapsulation defects rather than media wear. Write-once, low capacity,
+// high per-GB capex, read on a lab bench — an endpoint for the frontier's
+// media-mix search, not a 2005 catalog part.
+DriveSpec GigayearEtchedDisc();
 
 const std::vector<DriveSpec>& DriveCatalog();
 

@@ -87,7 +87,8 @@ struct Unit {
   double started_at = 0.0;
   Subprocess child;
   std::string spec_path;
-  std::string out_path;  // current attempt's output
+  std::string out_path;      // current attempt's output
+  std::string metrics_path;  // current attempt's telemetry snapshot
   std::string log_path;
   std::string last_error;
 };
@@ -233,6 +234,7 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
 
   FleetStats stats;
   ShardMerger merger;
+  obs::MetricsSnapshot worker_metrics;
   std::map<size_t, std::string> cell_errors;  // grid index -> last failure
 
   const auto spawn = [&](Unit& unit) {
@@ -242,9 +244,14 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
     unit.out_path = opt.temp_dir + "/unit" + std::to_string(unit.id) +
                     ".attempt" + std::to_string(unit.attempt) + ".result.json";
     created_files.push_back(unit.out_path);
+    unit.metrics_path = opt.temp_dir + "/unit" + std::to_string(unit.id) +
+                        ".attempt" + std::to_string(unit.attempt) +
+                        ".metrics.json";
+    created_files.push_back(unit.metrics_path);
     std::vector<std::string> argv = {opt.worker_path,
                                      "--shard=" + unit.spec_path,
-                                     "--out=" + unit.out_path};
+                                     "--out=" + unit.out_path,
+                                     "--metrics-out=" + unit.metrics_path};
     if (opt.worker_threads > 0) {
       argv.push_back("--threads=" + std::to_string(opt.worker_threads));
     }
@@ -372,6 +379,19 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
       // sweep, duplicate cells), which a retry cannot fix.
       throw FleetError(std::string("fleet: merge failed: ") + e.what());
     }
+    // Fold the worker's own telemetry into the fleet view. Best effort by
+    // design: the result document is the contract, the snapshot is
+    // observability — a worker built or run with telemetry off writes
+    // nothing (or zeros), and that must not fail the unit.
+    std::string metrics_text;
+    if (ReadFile(unit.metrics_path, &metrics_text)) {
+      try {
+        worker_metrics.MergeFrom(
+            obs::MetricsSnapshot::FromJson(metrics_text, unit.metrics_path));
+      } catch (const std::exception&) {
+        // Unreadable snapshot: keep the harvested result.
+      }
+    }
     unit.state = Unit::State::kDone;
     ++stats.succeeded;
     m_succeeded.Add(1);
@@ -464,6 +484,7 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
   // sweep.
   FleetReport report;
   report.stats = stats;
+  report.worker_metrics = std::move(worker_metrics);
   if (merger.complete()) {
     emit(obs::TraceEvent("fleet_done")
              .Int("spawned", stats.spawned)

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sweep/sweep.h"
 
@@ -141,6 +142,12 @@ struct FleetReport {
   // the exact accumulator state a result cache can later seed adaptive
   // continuation from (ResumeSweepCells). Empty on partial runs.
   std::vector<SweepCellExecution> executions;
+  // The merged telemetry of every harvested worker process (each worker
+  // writes its own Registry snapshot next to its result document; the
+  // supervisor folds them with MetricsSnapshot::MergeFrom). Collection is
+  // best-effort: a worker whose snapshot is missing or unreadable still
+  // merges its result. Empty when workers run with telemetry off.
+  obs::MetricsSnapshot worker_metrics;
 };
 
 // Retries exhausted (without partial_ok), no usable results at all, or the

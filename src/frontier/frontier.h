@@ -1,0 +1,227 @@
+// The cost/reliability design frontier (§6 of the paper, end to end).
+//
+// Given a durability target (mission loss probability) and an annual budget,
+// the frontier search enumerates storage designs — replica count, media mix
+// from the drive catalog (disk, tape, and the gigayear etched medium of
+// arXiv:1310.2961), audit cadence, deployment independence, and two-phase
+// procurement/migration schedules — prices each with src/drives/cost_model,
+// scores each with the exact CTMC where compatible and the importance-
+// sampled sweep engine otherwise, and returns the Pareto frontier.
+//
+// Determinism contract (tested in tests/frontier_test.cc):
+//   FrontierResult::ToJson() is byte-identical across worker thread counts,
+//   candidate enumeration order, and evaluation backends (in-process pool,
+//   in-process service, resident sweep_serviced over its socket).
+// The contract holds because (a) candidates are identified by content hash
+// and visited in hash order, (b) each candidate's sweep document never
+// contains the thread count, (c) every backend runs the identical
+// execute/finalize path and the frontier copies the estimate doubles out of
+// those canonical result bytes, and (d) provenance ("cache" vs "computed")
+// is reported through metrics and the trace journal, never through the
+// frontier JSON. See src/frontier/README.md.
+
+#ifndef LONGSTORE_SRC_FRONTIER_FRONTIER_H_
+#define LONGSTORE_SRC_FRONTIER_FRONTIER_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/drives/cost_model.h"
+#include "src/drives/drive_specs.h"
+#include "src/frontier/eval_backend.h"
+#include "src/obs/trace.h"
+#include "src/planner/planner.h"
+#include "src/rare/biased_sampler.h"
+#include "src/scenario/scenario.h"
+#include "src/threats/independence.h"
+#include "src/util/units.h"
+
+namespace longstore {
+
+// What the archive must achieve, and what it may spend.
+struct FrontierTarget {
+  Duration mission = Duration::Years(50.0);
+  // Acceptable probability of losing the archive over the mission.
+  double target_loss_probability = 1e-6;
+  // Candidates whose (time-weighted) annual cost exceeds this are discarded
+  // before evaluation. Infinite = unconstrained.
+  double max_annual_cost_usd = std::numeric_limits<double>::infinity();
+};
+
+// The design space the search enumerates (cross product, plus mixed-media
+// multisets and two-phase migration schedules when enabled).
+struct FrontierSpace {
+  std::vector<DriveSpec> media = DriveCatalog();
+  std::vector<int> replica_choices = {2, 3, 4};
+  std::vector<double> audit_choices = {1.0, 12.0};
+  std::vector<DeploymentStyle> deployment_choices = {
+      DeploymentStyle::kFullyDiverse};
+  // Also enumerate heterogeneous fleets: every multiset of `media` of each
+  // replica count (e.g. two disks + one tape). Heterogeneous fleets are
+  // outside the exact CTMC's state space, so they are simulated.
+  bool mixed_media = false;
+  // For each T (years, 0 < T < mission), add two-phase schedules: run on
+  // medium A for T years, migrate everything to medium B for the remainder.
+  // Homogeneous phases only, A != B.
+  std::vector<double> migration_years = {};
+
+  double archive_gb = 1000.0;
+  double latent_to_visible_ratio = 5.0;  // Schwarz et al.'s factor
+  CostAssumptions costs = CostAssumptions::Defaults();
+  CorrelationFactors correlation = CorrelationFactors::Defaults();
+};
+
+// One procurement phase of a candidate: `drives.size()` replicas (one entry
+// per replica; equal entries = homogeneous fleet) operated for `years` with
+// the given audit cadence. Canonical form keeps `drives` sorted by model so
+// the same multiset always hashes identically.
+struct FrontierPhase {
+  double years = 0.0;
+  std::vector<DriveSpec> drives;
+  double audits_per_year = 0.0;
+};
+
+// A candidate design: one or more phases (sum of years = mission) under one
+// deployment style. Single-phase candidates are steady-state designs;
+// multi-phase candidates encode migration schedules.
+struct FrontierCandidate {
+  std::vector<FrontierPhase> phases;
+  DeploymentStyle deployment = DeploymentStyle::kFullyDiverse;
+
+  // "Barracuda 7200.7 x3, 12 audits/y, fully diverse" or, with phases,
+  // "10 y: LTO-3 x3 -> 40 y: SiN-W gigayear disc x3, 1 audits/y, ...".
+  std::string Describe() const;
+};
+
+// Simulation knobs for candidates the exact CTMC cannot score.
+struct FrontierOptions {
+  int64_t trials = 2000;
+  uint64_t seed = 33;
+  double confidence = 0.95;
+  // Change of measure for the weighted loss-probability estimand. The
+  // default is the identity measure (plain Monte Carlo): frontier searches
+  // score many heterogeneous designs at modest trial budgets, and at those
+  // budgets a tilted estimator's weight distribution is skewed enough that
+  // the point estimate sits far below the truth with a CI that excludes it
+  // (measured against the exact CTMC: x10 tilt on both hazards reported
+  // 0.0016 for a 0.0258 scenario; even a pilot-tuned x64 latent tilt was
+  // 300x low). Plain MC keeps the reported CI honest — designs rarer than
+  // ~1/trials resolve to probability 0, which ties them on the frontier and
+  // keeps the cheapest. Set an explicit tilt (see TuneFaultBias in
+  // src/rare/rare_event.h) only for single-design deep dives where the
+  // pilot can be afforded and its diagnostics inspected.
+  FaultBias bias;
+  // Score every candidate through the sweep engine, even CTMC-compatible
+  // ones. Used by the CTMC-agreement test and the memoization bench.
+  bool force_simulation = false;
+  // Optional lifecycle journal: frontier_candidate / frontier_point /
+  // frontier_search events (see tools/trace_dump --help).
+  obs::TraceJournal* journal = nullptr;
+};
+
+// Scores scenarios for the frontier search, cheapest path first: an exact
+// CTMC answer when the scenario is compatible, otherwise a single-cell
+// importance-sampled sweep through the configured backend. Results are
+// memoized by (scenario content hash, mission), so a search that revisits a
+// scenario — and any later search through the same evaluator — pays nothing.
+class FrontierEvaluator {
+ public:
+  struct ScenarioEval {
+    double probability = 0.0;
+    double ci_lo = 0.0;
+    double ci_hi = 0.0;
+    bool exact = false;   // scored by the exact CTMC
+    int64_t trials = 0;   // trials recorded in the result (0 when exact)
+    // Provenance: "ctmc", "computed", "cache", "resumed", or "memo".
+    // Deterministic inputs produce deterministic estimates regardless of
+    // source; provenance is surfaced only via metrics and traces.
+    std::string source;
+  };
+
+  struct Stats {
+    int64_t ctmc_evals = 0;
+    int64_t simulated_evals = 0;
+    int64_t simulated_trials = 0;  // new trials paid to the backend
+    int64_t memo_hits = 0;
+    int64_t cache_served = 0;  // backend answered "cache" / "resumed"
+  };
+
+  // `backend` must outlive the evaluator.
+  FrontierEvaluator(FrontierOptions options, FrontierEvalBackend* backend);
+
+  // Loss probability of `scenario` over `mission`, with its CI.
+  ScenarioEval EvaluateScenario(const Scenario& scenario, Duration mission);
+
+  const Stats& stats() const { return stats_; }
+  const FrontierOptions& options() const { return options_; }
+  size_t memo_size() const { return memo_.size(); }
+
+ private:
+  FrontierOptions options_;
+  FrontierEvalBackend* backend_;
+  std::map<std::string, ScenarioEval> memo_;
+  Stats stats_;
+};
+
+// A scored candidate. Mission loss probability composes across phases as
+// 1 - prod(1 - p_i) (independent survival per phase); annual cost is the
+// time-weighted average of the phases' fleet costs.
+struct FrontierPoint {
+  FrontierCandidate candidate;
+  uint64_t id = 0;  // content hash: dedup identity and canonical sort key
+  double annual_cost_usd = 0.0;
+  // Per phase: the fleet's cost components (summed over replicas).
+  std::vector<ReplicaCostBreakdown> phase_costs;
+  double loss_probability = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  // "ctmc" (every phase exact), "simulated" (none), or "mixed".
+  std::string method;
+  int64_t trials = 0;
+  bool meets_target = false;
+  bool on_frontier = false;
+};
+
+struct FrontierResult {
+  FrontierTarget target;
+  // Sorted by (annual cost asc, loss probability asc, id asc); `on_frontier`
+  // marks the strictly-improving-reliability walk over that order.
+  std::vector<FrontierPoint> points;
+
+  // Canonical bytes — the determinism contract's unit of comparison.
+  std::string ToJson() const;
+  // "cost,loss" rows; `explain` appends the per-point cost breakdown.
+  std::string ToCsv(bool explain = false) const;
+  std::string ToTable(bool explain = false) const;
+};
+
+// Enumerates the space, dedups candidates by content hash, discards
+// over-budget candidates, scores the rest through `evaluator` in hash order,
+// and marks the Pareto frontier. Reusing one evaluator across calls makes
+// repeated searches hit its memo (and, with a service backend, the
+// daemon's result cache).
+FrontierResult RunFrontierSearch(const FrontierTarget& target,
+                                 const FrontierSpace& space,
+                                 FrontierEvaluator& evaluator);
+
+// Scores a planner option the exact CTMC refused (PlannerReport::dropped)
+// through the simulation pipeline: loss probability from the evaluator,
+// MTTDL back-derived via MttfForLossProbability, cost from the cost model.
+EvaluatedOption EvaluateDroppedOption(const DroppedOption& dropped,
+                                      const PlannerConfig& config,
+                                      FrontierEvaluator& evaluator);
+
+// The pinned small search shared by tests/frontier_golden_test.cc, the CI
+// frontier-smoke job, and `frontier_plan --golden-small`: 3 media x
+// replicas {2,3,4} x audits {1,12}, fully diverse, mixed media on (so the
+// search exercises both the CTMC screen and the simulated path).
+FrontierTarget GoldenSmallTarget();
+FrontierSpace GoldenSmallSpace();
+FrontierOptions GoldenSmallOptions();
+
+}  // namespace longstore
+
+#endif  // LONGSTORE_SRC_FRONTIER_FRONTIER_H_

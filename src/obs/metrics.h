@@ -163,6 +163,46 @@ class Histogram {
   std::atomic<int64_t> max_{INT64_MIN};
 };
 
+// The frozen value of one histogram inside a MetricsSnapshot. Plain data
+// (no atomics), mirroring Histogram's accessors: min/max are 0 when empty.
+struct HistogramState {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  int64_t buckets[Histogram::kBuckets] = {};
+};
+
+// A frozen, mergeable copy of a registry's values — the cross-process
+// aggregation vehicle. A driver parses each worker process's snapshot file
+// (Registry::SnapshotJson bytes shipped back over the shard protocol's file
+// convention), MergeFrom-sums them into its own snapshot, and emits one
+// document covering the whole distributed run. Compiled in even with
+// telemetry off, so shapes and tooling survive every build mode.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, HistogramState> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+
+  // Parses a SnapshotJson / ToJson document. Strict schema (obs_version 1,
+  // no unknown keys); throws std::invalid_argument prefixed with `source`.
+  static MetricsSnapshot FromJson(std::string_view text,
+                                  const std::string& source = "MetricsSnapshot");
+
+  // Element-wise accumulation: counters and histogram counts/sums/buckets
+  // add, min/max combine; names union. Empty histograms still contribute
+  // their name so the merged document keeps every worker's shape.
+  void MergeFrom(const MetricsSnapshot& other);
+
+  // The canonical snapshot document:
+  //   {"obs_version":1,"counters":{...},"histograms":{...}}
+  // with names in lexicographic order and only non-empty buckets emitted (as
+  // [index,count] pairs) — byte-stable given equal values, and byte-identical
+  // to Registry::SnapshotJson for a snapshot taken from a registry.
+  std::string ToJson() const;
+};
+
 // Name -> metric, with pointer-stable entries: registration locks and may
 // allocate, every later Add/Record through the returned reference is
 // lock-free. Separate instances exist only for tests; production code uses
@@ -178,10 +218,10 @@ class Registry {
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
 
-  // The canonical MetricsSnapshot document:
-  //   {"obs_version":1,"counters":{...},"histograms":{...}}
-  // with names in lexicographic order and only non-empty buckets emitted (as
-  // [index,count] pairs) — byte-stable given equal counter values.
+  // Freezes every registered metric's current value.
+  MetricsSnapshot Snapshot() const;
+
+  // Snapshot().ToJson(): the canonical MetricsSnapshot document.
   std::string SnapshotJson() const;
 
   // Zeroes every registered metric (tests; registration is kept).

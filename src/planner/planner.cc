@@ -50,7 +50,7 @@ std::vector<ReplicaProfile> ProfilesFor(DeploymentStyle style, int replicas) {
 
 FaultParams DeriveParams(const StrategyOption& option, const PlannerConfig& config) {
   FaultParams params;
-  if (option.drive.media == MediaClass::kTapeCartridge) {
+  if (IsOfflineMedia(option.drive.media)) {
     params = OfflineReplicaParams(option.drive, option.audits_per_year,
                                   OfflineHandlingModel::Defaults(),
                                   config.latent_to_visible_ratio);
@@ -71,9 +71,17 @@ FaultParams DeriveParams(const StrategyOption& option, const PlannerConfig& conf
 namespace {
 
 Scenario ScenarioFromDerivedParams(const FaultParams& params,
-                                   const StrategyOption& option) {
+                                   const StrategyOption& option,
+                                   ScrubRealization realization) {
+  ReplicaSpec spec = SpecFromParams(params, option.drive.model);
+  if (realization == ScrubRealization::kPeriodic && !params.mdl.is_infinite()) {
+    // Same mean detection latency, deterministic process: a periodic scrub
+    // at interval 2*MDL (MeanDetectionLatency = interval/2). This is what
+    // puts the option outside the CTMC's state space.
+    spec.ScrubWith(ScrubPolicy::Periodic(Duration::Hours(2.0 * params.mdl.hours())));
+  }
   return ScenarioBuilder()
-      .Replicas(option.replicas, SpecFromParams(params, option.drive.model))
+      .Replicas(option.replicas, std::move(spec))
       .Correlation(params.alpha)
       .Build();
 }
@@ -84,7 +92,8 @@ Scenario PlannerScenario(const StrategyOption& option, const PlannerConfig& conf
   if (option.replicas < 1) {
     throw std::invalid_argument("PlannerScenario: replicas must be >= 1");
   }
-  return ScenarioFromDerivedParams(DeriveParams(option, config), option);
+  return ScenarioFromDerivedParams(DeriveParams(option, config), option,
+                                   config.scrub_realization);
 }
 
 EvaluatedOption EvaluateOption(const StrategyOption& option, const PlannerConfig& config) {
@@ -99,8 +108,10 @@ EvaluatedOption EvaluateOption(const StrategyOption& option, const PlannerConfig
   // these FaultParams (exponential scrub at MDL is the memoryless detection
   // process the chain models), so the numbers match the direct chain build
   // while the scenario itself stays available for simulation cross-checks.
-  const auto mttdl =
-      ScenarioCtmcMttdl(ScenarioFromDerivedParams(evaluated.params, option));
+  // With a non-default scrub realization this throws the CtmcIncompatibility
+  // reason — EvaluateAllOptionsWithReport is the non-throwing path.
+  const auto mttdl = ScenarioCtmcMttdl(ScenarioFromDerivedParams(
+      evaluated.params, option, config.scrub_realization));
   evaluated.mttdl = mttdl.value_or(Duration::Infinite());
   // The exponential approximation on the exact MTTDL is accurate in the
   // rare-loss regime every sane configuration lives in, and avoids a matrix
@@ -113,8 +124,10 @@ EvaluatedOption EvaluateOption(const StrategyOption& option, const PlannerConfig
   return evaluated;
 }
 
-std::vector<EvaluatedOption> EvaluateAllOptions(const PlannerConfig& config) {
-  std::vector<EvaluatedOption> results;
+namespace {
+
+template <typename Fn>
+void ForEachOption(const PlannerConfig& config, Fn&& fn) {
   for (const DriveSpec& drive : config.drive_choices) {
     for (int replicas : config.replica_choices) {
       for (double audits : config.audit_choices) {
@@ -124,12 +137,39 @@ std::vector<EvaluatedOption> EvaluateAllOptions(const PlannerConfig& config) {
           option.replicas = replicas;
           option.audits_per_year = audits;
           option.deployment = deployment;
-          results.push_back(EvaluateOption(option, config));
+          fn(option);
         }
       }
     }
   }
+}
+
+}  // namespace
+
+std::vector<EvaluatedOption> EvaluateAllOptions(const PlannerConfig& config) {
+  std::vector<EvaluatedOption> results;
+  ForEachOption(config, [&](const StrategyOption& option) {
+    results.push_back(EvaluateOption(option, config));
+  });
   return results;
+}
+
+PlannerReport EvaluateAllOptionsWithReport(const PlannerConfig& config) {
+  PlannerReport report;
+  ForEachOption(config, [&](const StrategyOption& option) {
+    DroppedOption candidate;
+    candidate.option = option;
+    candidate.params = DeriveParams(option, config);
+    candidate.scenario = ScenarioFromDerivedParams(candidate.params, option,
+                                                   config.scrub_realization);
+    if (auto reason = CtmcIncompatibility(candidate.scenario)) {
+      candidate.ctmc_incompatibility = std::move(*reason);
+      report.dropped.push_back(std::move(candidate));
+      return;
+    }
+    report.evaluated.push_back(EvaluateOption(option, config));
+  });
+  return report;
 }
 
 std::optional<EvaluatedOption> CheapestMeetingTarget(const PlannerConfig& config) {

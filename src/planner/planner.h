@@ -48,11 +48,26 @@ struct EvaluatedOption {
   double annual_cost_usd;
 };
 
+// How an option's audit cadence is realized as a Scenario scrub process.
+enum class ScrubRealization {
+  // An exponential scrub whose mean interval equals the derived MDL: the
+  // memoryless detection process the exact CTMC models. The default, and
+  // the only realization EvaluateOption can score analytically.
+  kExponentialAtMdl,
+  // A deterministic periodic scrub at the option's audit cadence (interval
+  // 2*MDL, so the mean detection latency matches). Truer to how audits are
+  // actually run — and outside the CTMC's state space, so options realized
+  // this way land in PlannerReport::dropped and must be simulated (the
+  // frontier evaluator routes them; see src/frontier/README.md).
+  kPeriodic,
+};
+
 struct PlannerConfig {
   double archive_gb = 1000.0;
   Duration mission = Duration::Years(50.0);
   double target_loss_probability = 0.01;
   double latent_to_visible_ratio = 5.0;  // Schwarz et al.'s factor
+  ScrubRealization scrub_realization = ScrubRealization::kExponentialAtMdl;
   CostAssumptions costs = CostAssumptions::Defaults();
   CorrelationFactors correlation = CorrelationFactors::Defaults();
 
@@ -80,8 +95,33 @@ Scenario PlannerScenario(const StrategyOption& option, const PlannerConfig& conf
 // Scores one option (exact CTMC reliability + annual cost).
 EvaluatedOption EvaluateOption(const StrategyOption& option, const PlannerConfig& config);
 
-// Scores the full cross product of the config's choice lists.
+// Scores the full cross product of the config's choice lists. Throws
+// std::invalid_argument (the CtmcIncompatibility reason) if the config's
+// scrub realization puts an option outside the exact model's state space;
+// use EvaluateAllOptionsWithReport to capture such options instead.
 std::vector<EvaluatedOption> EvaluateAllOptions(const PlannerConfig& config);
+
+// An option the exact CTMC refused, with the precise reason. The scenario is
+// the runnable realization (PlannerScenario) — hand it to the simulation
+// pipeline (EvaluateDroppedOption in src/frontier/frontier.h) instead of
+// discarding the option.
+struct DroppedOption {
+  StrategyOption option;
+  FaultParams params;
+  Scenario scenario;
+  std::string ctmc_incompatibility;
+};
+
+struct PlannerReport {
+  std::vector<EvaluatedOption> evaluated;
+  std::vector<DroppedOption> dropped;
+};
+
+// The full cross product, partitioned: options the exact CTMC can score land
+// in `evaluated`, the rest in `dropped` with their CtmcIncompatibility
+// reason — never silently discarded. evaluated.size() + dropped.size() is
+// always the cross-product size.
+PlannerReport EvaluateAllOptionsWithReport(const PlannerConfig& config);
 
 // Cheapest option whose mission loss probability meets the target; nullopt if
 // none qualifies.

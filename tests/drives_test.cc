@@ -70,19 +70,39 @@ TEST(DriveSpecTest, RebuildTimes) {
 
 TEST(DriveSpecTest, CatalogContainsAllMediaClasses) {
   const auto& catalog = DriveCatalog();
-  ASSERT_EQ(catalog.size(), 3u);
+  ASSERT_EQ(catalog.size(), 4u);
   bool has_consumer = false;
   bool has_enterprise = false;
   bool has_tape = false;
+  bool has_etched = false;
   for (const DriveSpec& d : catalog) {
     has_consumer |= d.media == MediaClass::kConsumerDisk;
     has_enterprise |= d.media == MediaClass::kEnterpriseDisk;
     has_tape |= d.media == MediaClass::kTapeCartridge;
+    has_etched |= d.media == MediaClass::kEtchedMedium;
   }
   EXPECT_TRUE(has_consumer);
   EXPECT_TRUE(has_enterprise);
   EXPECT_TRUE(has_tape);
+  EXPECT_TRUE(has_etched);
   EXPECT_EQ(MediaClassName(MediaClass::kTapeCartridge), "tape cartridge");
+  EXPECT_EQ(MediaClassName(MediaClass::kEtchedMedium), "etched medium");
+}
+
+TEST(DriveSpecTest, OfflineMediaClassification) {
+  EXPECT_FALSE(IsOfflineMedia(MediaClass::kConsumerDisk));
+  EXPECT_FALSE(IsOfflineMedia(MediaClass::kEnterpriseDisk));
+  EXPECT_TRUE(IsOfflineMedia(MediaClass::kTapeCartridge));
+  EXPECT_TRUE(IsOfflineMedia(MediaClass::kEtchedMedium));
+}
+
+TEST(DriveSpecTest, GigayearDiscIsFiniteButFarBetter) {
+  const DriveSpec g = GigayearEtchedDisc();
+  // MTTF stays finite (the frontier's loss math must never hit an exact
+  // zero), but sits orders of magnitude above every 2005 catalog part.
+  EXPECT_FALSE(g.Mttf().is_infinite());
+  EXPECT_GT(g.Mttf().hours(), 100.0 * SeagateCheetah146Gb().Mttf().hours());
+  EXPECT_GT(MissionLossProbability(g.Mttf(), Duration::Years(50.0)), 0.0);
 }
 
 TEST(CostModelTest, UnitsForArchiveRoundsUp) {

@@ -173,6 +173,25 @@ TEST(FleetRecoveryTest, CleanFleetRunIsByteIdenticalToSingleProcess) {
             0);
 }
 
+TEST(FleetRecoveryTest, AggregatesWorkerMetricsAcrossTheFleet) {
+  if (!obs::Enabled()) {
+    GTEST_SKIP() << "telemetry compiled out or disabled in the environment";
+  }
+  TempDir dir;
+  const FleetReport report = RunFleet(BaseOptions(dir));
+  ASSERT_TRUE(report.complete);
+  // Each worker ships its sweep.* snapshot back beside the shard document;
+  // the supervisor merges them, so the fleet-level view covers every cell
+  // the workers actually simulated.
+  ASSERT_FALSE(report.worker_metrics.empty());
+  const auto cells = report.worker_metrics.counters.find("sweep.cells");
+  ASSERT_NE(cells, report.worker_metrics.counters.end());
+  EXPECT_EQ(cells->second, 2);
+  const auto trials = report.worker_metrics.counters.find("sweep.trials");
+  ASSERT_NE(trials, report.worker_metrics.counters.end());
+  EXPECT_GT(trials->second, 0);
+}
+
 // flaky / crash / corrupt all follow the same seeded failure schedule (three
 // failed attempts across the two units), differ only in *how* the attempt
 // fails, and must all converge to the byte-identical figure.

@@ -1,0 +1,75 @@
+// The pinned golden-small frontier: the exact canonical JSON every backend,
+// thread count, and visit order must reproduce. The shape assertions always
+// run; the exact whole-document hash is pinned on the reference toolchain
+// and skipped (like the paper-figure goldens) when
+// LONGSTORE_SKIP_EXACT_GOLDENS is set.
+
+#include "src/frontier/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/frontier/eval_backend.h"
+#include "src/util/json.h"
+
+namespace longstore {
+namespace {
+
+bool SkipExactGoldens() {
+  const char* flag = std::getenv("LONGSTORE_SKIP_EXACT_GOLDENS");
+  return flag != nullptr && std::strcmp(flag, "0") != 0 && flag[0] != '\0';
+}
+
+const FrontierResult& GoldenResult() {
+  static const FrontierResult result = [] {
+    PoolEvalBackend backend;
+    FrontierEvaluator evaluator(GoldenSmallOptions(), &backend);
+    return RunFrontierSearch(GoldenSmallTarget(), GoldenSmallSpace(),
+                             evaluator);
+  }();
+  return result;
+}
+
+TEST(FrontierGoldenTest, GoldenSmallShape) {
+  const FrontierResult& result = GoldenResult();
+  ASSERT_EQ(result.points.size(), 62u);
+  int exact = 0;
+  int simulated = 0;
+  int kept = 0;
+  double prev_cost = 0.0;
+  for (const FrontierPoint& point : result.points) {
+    EXPECT_GE(point.annual_cost_usd, prev_cost);
+    prev_cost = point.annual_cost_usd;
+    EXPECT_GE(point.loss_probability, 0.0);
+    EXPECT_LE(point.loss_probability, 1.0);
+    if (point.method == "ctmc") {
+      ++exact;
+    } else {
+      ++simulated;
+    }
+    kept += point.on_frontier ? 1 : 0;
+  }
+  // Homogeneous fleets screen through the exact chain; mixed-media fleets
+  // and migration schedules simulate.
+  EXPECT_EQ(exact, 18);
+  EXPECT_EQ(simulated, 44);
+  EXPECT_GT(kept, 0);
+  EXPECT_TRUE(result.points.front().on_frontier);
+}
+
+TEST(FrontierGoldenTest, GoldenSmallPinnedBytes) {
+  if (SkipExactGoldens()) {
+    GTEST_SKIP() << "LONGSTORE_SKIP_EXACT_GOLDENS set (uncontrolled toolchain)";
+  }
+  const std::string json = GoldenResult().ToJson();
+  // Derived on the reference toolchain; byte-identical across backends and
+  // thread counts by the determinism contract, so one pin covers them all.
+  EXPECT_EQ(json::Fnv1a64(json), 0xf316199283e24decull)
+      << "golden-small frontier bytes moved; first 400 bytes:\n"
+      << json.substr(0, 400);
+}
+
+}  // namespace
+}  // namespace longstore

@@ -138,5 +138,37 @@ TEST(PlannerTest, InvalidOptionThrows) {
   EXPECT_THROW(EvaluateOption(option, SmallConfig()), std::invalid_argument);
 }
 
+TEST(PlannerTest, ReportPartitionsTheCrossProduct) {
+  PlannerConfig config = SmallConfig();
+  const size_t cross_product =
+      config.drive_choices.size() * config.replica_choices.size() *
+      config.audit_choices.size() * config.deployment_choices.size();
+
+  // The default exponential realization is what the exact chain models:
+  // nothing is dropped.
+  const PlannerReport all_exact = EvaluateAllOptionsWithReport(config);
+  EXPECT_EQ(all_exact.evaluated.size(), cross_product);
+  EXPECT_TRUE(all_exact.dropped.empty());
+
+  // Periodic scrubbing is outside the CTMC's state space wherever an option
+  // actually scrubs (audits > 0); unaudited options keep an infinite MDL and
+  // stay compatible. Nothing is silently discarded.
+  config.scrub_realization = ScrubRealization::kPeriodic;
+  const PlannerReport report = EvaluateAllOptionsWithReport(config);
+  EXPECT_EQ(report.evaluated.size() + report.dropped.size(), cross_product);
+  EXPECT_FALSE(report.dropped.empty());
+  for (const DroppedOption& dropped : report.dropped) {
+    EXPECT_GT(dropped.option.audits_per_year, 0.0) << dropped.option.Describe();
+    EXPECT_FALSE(dropped.ctmc_incompatibility.empty());
+    EXPECT_NE(dropped.ctmc_incompatibility.find("scrub"), std::string::npos)
+        << dropped.ctmc_incompatibility;
+    EXPECT_FALSE(dropped.scenario.replicas.empty());
+  }
+  for (const EvaluatedOption& evaluated : report.evaluated) {
+    EXPECT_EQ(evaluated.option.audits_per_year, 0.0)
+        << evaluated.option.Describe();
+  }
+}
+
 }  // namespace
 }  // namespace longstore

@@ -31,7 +31,10 @@
 //
 // Telemetry (out-of-band; never changes a result byte):
 //   --metrics-out=FILE   write the canonical MetricsSnapshot JSON after the
-//                        run (atomic tmp/fsync/rename)
+//                        run (atomic tmp/fsync/rename). Fleet runs merge
+//                        every harvested worker's own snapshot in, so the
+//                        file aggregates the fleet's sweep.* counts next to
+//                        the supervisor's fleet.* ones.
 //   --trace-out=FILE     write the fleet supervision trace journal (JSONL;
 //                        see src/obs/README.md, tools/trace_dump)
 //
@@ -79,14 +82,23 @@ int Usage(const char* argv0) {
 
 // Best-effort telemetry sinks: a failed write warns on stderr but never
 // fails the run — the figure is the product, telemetry is commentary.
-void WriteTelemetry(const std::string& metrics_out, obs::TraceJournal& journal) {
+// `worker_metrics` (fleet runs) is folded into the driver's own snapshot,
+// so --metrics-out carries the whole fleet's sweep.* counts, not just the
+// supervisor's fleet.* ones.
+void WriteTelemetry(const std::string& metrics_out, obs::TraceJournal& journal,
+                    const obs::MetricsSnapshot* worker_metrics = nullptr) {
   std::string error;
   if (!journal.Flush(&error)) {
     std::fprintf(stderr, "sweep_fleet: trace journal: %s\n", error.c_str());
   }
-  if (!metrics_out.empty() &&
-      !obs::WriteFileAtomic(metrics_out,
-                            obs::Registry::Global().SnapshotJson(), &error)) {
+  if (metrics_out.empty()) {
+    return;
+  }
+  obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+  if (worker_metrics != nullptr) {
+    snapshot.MergeFrom(*worker_metrics);
+  }
+  if (!obs::WriteFileAtomic(metrics_out, snapshot.ToJson(), &error)) {
     std::fprintf(stderr, "sweep_fleet: metrics snapshot: %s\n", error.c_str());
   }
 }
@@ -290,7 +302,7 @@ int Main(int argc, char** argv) {
   if (tmp_dir == made_tmp && !fleet.keep_files) {
     ::rmdir(made_tmp);
   }
-  WriteTelemetry(metrics_out, journal);
+  WriteTelemetry(metrics_out, journal, &report.worker_metrics);
   std::fprintf(stderr,
                "[fleet] stats: %d spawned, %d succeeded, %d crashed, "
                "%d timed out, %d corrupt, %d malformed, %d retries, %d splits\n",

@@ -14,7 +14,9 @@
 //     +0.301s attempt 2: done (2 cells merged)
 //
 // followed by service request lines (when the journal came from
-// sweep_serviced) and a final anomaly section flagging
+// sweep_serviced), a frontier candidate lifecycle view (when it came from
+// frontier_plan: candidate -> screened/simulated/cached -> kept/dominated,
+// plus the search summary) and a final anomaly section flagging
 //   * retry storms  — units that burned 3+ backoffs,
 //   * poison cells  — units that split or were lost outright,
 //   * cache thrash  — the same sweep_id computed cold more than once (it
@@ -94,6 +96,18 @@ struct UnitTimeline {
   bool lost = false;
 };
 
+// One frontier candidate's lifecycle, assembled from frontier_candidate
+// (generation/evaluation) and frontier_point (dominance) events:
+// candidate -> screened (ctmc) / simulated / cached -> kept / dominated.
+struct FrontierLifecycle {
+  std::string status;  // ctmc | simulated | mixed | over_budget | duplicate
+  std::string source;  // computed | cache | resumed | memo (joined with '+')
+  double cost = 0.0;
+  double loss = 0.0;
+  int64_t trials = 0;
+  int kept = -1;  // -1 unknown (never reached dominance), 0 dominated, 1 kept
+};
+
 int Main(int argc, char** argv) {
   std::string journal_path;
   for (int i = 1; i < argc; ++i) {
@@ -114,6 +128,8 @@ int Main(int argc, char** argv) {
   std::vector<std::string> fleet_lines;    // plan/done/partial
   std::vector<std::string> service_lines;  // request lifecycles
   std::map<std::string, int> computed_by_sweep;  // sweep_id -> cold runs
+  std::map<std::string, FrontierLifecycle> frontier;  // candidate id -> fate
+  std::vector<std::string> frontier_summary;
   int64_t first_ts = -1;
   size_t events = 0;
   size_t line_number = 0;
@@ -219,6 +235,29 @@ int Main(int argc, char** argv) {
       }
       continue;
     }
+    if (name == "frontier_candidate") {
+      FrontierLifecycle& life = frontier[StrField(event, "id")];
+      life.status = StrField(event, "status");
+      life.source = StrField(event, "source");
+      life.cost = DblField(event, "annual_cost_usd", life.cost);
+      life.loss = DblField(event, "loss_probability", 0.0);
+      life.trials = IntField(event, "trials", 0);
+      continue;
+    }
+    if (name == "frontier_point") {
+      FrontierLifecycle& life = frontier[StrField(event, "id")];
+      life.kept = static_cast<int>(IntField(event, "kept", 0));
+      continue;
+    }
+    if (name == "frontier_search") {
+      frontier_summary.push_back(render(
+          "search: %" PRId64 " generated (%" PRId64 " duplicate, %" PRId64
+          " over budget) -> %" PRId64 " points, %" PRId64 " on the frontier",
+          IntField(event, "generated", 0), IntField(event, "duplicates", 0),
+          IntField(event, "over_budget", 0), IntField(event, "points", 0),
+          IntField(event, "kept", 0)));
+      continue;
+    }
     // fleet_plan / fleet_done / fleet_partial and any future event: the msg
     // field is the readable form.
     const std::string msg = StrField(event, "msg");
@@ -247,6 +286,28 @@ int Main(int argc, char** argv) {
   if (!service_lines.empty()) {
     std::printf("service requests:\n");
     for (const std::string& line : service_lines) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  if (!frontier.empty() || !frontier_summary.empty()) {
+    std::printf("frontier candidates:\n");
+    for (const auto& [id, life] : frontier) {
+      if (life.status == "duplicate") {
+        std::printf("  %s: duplicate (already enumerated)\n", id.c_str());
+      } else if (life.status == "over_budget") {
+        std::printf("  %s: over budget ($%.2f/y)\n", id.c_str(), life.cost);
+      } else {
+        std::printf("  %s: %s via %s, $%.2f/y, loss %.4g (%" PRId64
+                    " trials) -> %s\n",
+                    id.c_str(), life.status.c_str(),
+                    life.source.empty() ? "?" : life.source.c_str(), life.cost,
+                    life.loss, life.trials,
+                    life.kept > 0    ? "kept"
+                    : life.kept == 0 ? "dominated"
+                                     : "unresolved");
+      }
+    }
+    for (const std::string& line : frontier_summary) {
       std::printf("%s\n", line.c_str());
     }
   }
