@@ -20,6 +20,7 @@
 #include "src/model/replica_ctmc.h"
 #include "src/model/strategies.h"
 #include "src/sim/simulator.h"
+#include "src/storage/replicated_system.h"
 #include "src/util/random.h"
 
 // ---------------------------------------------------------------------------
@@ -280,6 +281,122 @@ void BM_RngExponentialDraws(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RngExponentialDraws);
+
+void BM_RngCounterMixDraws(benchmark::State& state) {
+  // The kCounterV1 substrate: Philox2x64-10, stateless per draw.
+  uint64_t counter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CounterMix(7, 1, counter++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngCounterMixDraws);
+
+// ---------------------------------------------------------------------------
+// Batched counter-mode trial kernel (SeedMode::kCounterV1). The paper's
+// mission-loss figures run short horizons against archival-grade MTBFs, so
+// almost every trial observes no event at all; the block prefilter computes
+// each trial's initial event delays straight from CounterMix and skips the
+// event loop for provably-censored trials. The items/sec ratio of the two
+// series below is the batched kernel's trial-throughput multiple over the
+// per-trial baseline (the CI acceptance gate wants >= 1.5x).
+// ---------------------------------------------------------------------------
+
+StorageSimConfig ArchivalConfig() {
+  StorageSimConfig config;
+  config.replica_count = 3;
+  config.params.mv = Duration::Hours(5e7);
+  config.params.ml = Duration::Hours(2e7);
+  config.params.mrv = Duration::Hours(10.0);
+  config.params.mrl = Duration::Hours(10.0);
+  config.scrub = ScrubPolicy::Exponential(Duration::Hours(2e6));
+  return config;
+}
+
+constexpr uint64_t kArchivalKey = 41;
+const Duration kArchivalMission = Duration::Years(5.0);
+
+// Baseline: one engine run per trial, per-trial xoshiro reseed — the path
+// every pre-kCounterV1 seed mode takes for mission-loss estimands.
+void BM_MissionTrialsPerTrialBaseline(benchmark::State& state) {
+  TrialRunner runner(ArchivalConfig());
+  uint64_t trial = 0;
+  int64_t losses = 0;
+  for (auto _ : state) {
+    const RunOutcome outcome =
+        runner.Run(DeriveSeed(kArchivalKey, trial++), kArchivalMission);
+    losses += outcome.loss_time.has_value() ? 1 : 0;
+    benchmark::DoNotOptimize(losses);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MissionTrialsPerTrialBaseline);
+
+// Batched kernel: one prefilter pass per 256-trial block, engine runs only
+// for trials the prefilter cannot prove censored. One iteration = one block.
+void BM_MissionTrialsBatchedCounterKernel(benchmark::State& state) {
+  TrialRunner runner(ArchivalConfig());
+  uint8_t skip[kTrialPrefilterMaxBlock];
+  int64_t begin = 0;
+  int64_t losses = 0;
+  int64_t simulated = 0;
+  for (auto _ : state) {
+    const bool prefiltered = runner.PrefilterCensoredBlock(
+        kArchivalKey, begin, kTrialPrefilterMaxBlock, kArchivalMission, skip);
+    for (int i = 0; i < kTrialPrefilterMaxBlock; ++i) {
+      if (prefiltered && skip[i] != 0) {
+        continue;
+      }
+      const RunOutcome outcome = runner.RunCounter(
+          kArchivalKey, static_cast<uint64_t>(begin + i), kArchivalMission);
+      losses += outcome.loss_time.has_value() ? 1 : 0;
+      ++simulated;
+    }
+    begin += kTrialPrefilterMaxBlock;
+    benchmark::DoNotOptimize(losses);
+  }
+  state.SetItemsProcessed(state.iterations() * kTrialPrefilterMaxBlock);
+  state.counters["simulated_per_block"] = benchmark::Counter(
+      static_cast<double>(simulated) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_MissionTrialsBatchedCounterKernel);
+
+// Zero-allocation gate for the batched kernel, the same contract the
+// schedule/fire path and the reused trial loop already carry: after one
+// warm-up block has grown the engine's buffers, prefilter + engine replay of
+// a block must never touch the heap.
+void BM_BatchedCounterKernelSteadyStateAllocs(benchmark::State& state) {
+  TrialRunner runner(ArchivalConfig());
+  uint8_t skip[kTrialPrefilterMaxBlock];
+  const auto run_block = [&](int64_t begin) {
+    const bool prefiltered = runner.PrefilterCensoredBlock(
+        kArchivalKey, begin, kTrialPrefilterMaxBlock, kArchivalMission, skip);
+    int64_t losses = 0;
+    for (int i = 0; i < kTrialPrefilterMaxBlock; ++i) {
+      if (prefiltered && skip[i] != 0) {
+        continue;
+      }
+      const RunOutcome outcome = runner.RunCounter(
+          kArchivalKey, static_cast<uint64_t>(begin + i), kArchivalMission);
+      losses += outcome.loss_time.has_value() ? 1 : 0;
+    }
+    return losses;
+  };
+  (void)run_block(0);  // warm-up: grow engine buffers
+  int64_t allocs = 0;
+  for (auto _ : state) {
+    const int64_t before = AllocCount();
+    benchmark::DoNotOptimize(run_block(0));
+    allocs += AllocCount() - before;
+  }
+  state.SetItemsProcessed(state.iterations() * kTrialPrefilterMaxBlock);
+  state.counters["allocs_per_block"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  if (allocs != 0) {
+    state.SkipWithError("batched counter kernel performed steady-state heap allocations");
+  }
+}
+BENCHMARK(BM_BatchedCounterKernelSteadyStateAllocs);
 
 }  // namespace
 }  // namespace longstore

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <memory>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/shard/shard.h"
+#include "src/sweep/batch_exec.h"
 #include "src/util/json.h"
 #include "src/util/random.h"
 
@@ -98,19 +100,7 @@ bool UnitFinished(const Unit& unit) {
          unit.state == Unit::State::kSplit;
 }
 
-}  // namespace
-
-FleetSupervisor::FleetSupervisor(FleetOptions options) : options_(std::move(options)) {}
-
-FleetReport FleetSupervisor::Run(const SweepSpec& spec,
-                                 const SweepOptions& sweep_options) const {
-  return Run(spec.AxisNames(), sweep_options, spec.BuildCells());
-}
-
-FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
-                                 const SweepOptions& sweep_options,
-                                 std::vector<SweepSpec::Cell> cells) const {
-  const FleetOptions& opt = options_;
+void ValidateFleetOptions(const FleetOptions& opt) {
   if (opt.worker_path.empty()) {
     throw FleetError("fleet: worker_path is required");
   }
@@ -126,20 +116,66 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
     throw FleetError("fleet: backoff parameters must be positive "
                      "(multiplier >= 1)");
   }
+}
 
-  // Plan exactly as the in-process driver would; validation errors
-  // propagate with SweepRunner::Run's own messages.
-  const ShardPlan plan(std::move(axis_names), sweep_options, std::move(cells),
-                       opt.shard_count);
-  const size_t total_cells = plan.total_cells();
+// The single formatting path for supervision output: one rendered message
+// per transition, prefixed with the run's content-derived sweep_id on the
+// text log and attached as "msg" to the structured event in the trace
+// journal. Neither sink can drift from the other.
+template <typename... Args>
+void EmitFleet(const FleetOptions& opt, uint64_t sweep_id,
+               obs::TraceEvent event, const char* fmt, Args... args) {
+  char msg[512];
+  std::snprintf(msg, sizeof(msg), fmt, args...);
+  if (opt.log != nullptr) {
+    std::fprintf(opt.log, "[fleet 0x%016llx] %s\n",
+                 static_cast<unsigned long long>(sweep_id), msg);
+    std::fflush(opt.log);
+  }
+  if (opt.journal != nullptr) {
+    event.Str("msg", msg);
+    opt.journal->Emit(event);
+  }
+}
+
+// Everything one supervised fleet run produces besides the result documents
+// themselves (those go to `consume` as they verify).
+struct SuperviseOutcome {
+  FleetStats stats;
+  // Grid index -> label, for naming cells that never produced a document.
+  std::map<size_t, std::string> cell_labels;
+  // Grid index -> last failure reason, for every cell of every lost unit.
+  std::map<size_t, std::string> cell_errors;
+  obs::MetricsSnapshot worker_metrics;
+};
+
+// Drives one fleet of shard units to completion: spawn up to max_parallel
+// workers, detect crash/timeout/corrupt-output faults, retry with jittered
+// backoff, split exhausted multi-cell units, and hand every verified result
+// document to `consume` (which throws FleetError for inconsistencies a
+// retry cannot fix). `file_tag` prefixes every scratch file name so
+// successive fleets (adaptive rounds) over the same temp_dir never collide.
+SuperviseOutcome SuperviseUnits(
+    const FleetOptions& opt, uint64_t sweep_id, const std::string& file_tag,
+    std::vector<ShardSpec> shards,
+    const std::function<void(ShardResult, const std::string&)>& consume) {
   // Every unit ever created gets a distinct id used as its shard_index;
   // splitting a unit of n cells creates n single-cell units and single-cell
-  // units never split, so initial_units + total_cells bounds the id space.
-  // sweep_id, not shard_count, proves the documents belong together.
+  // units never split, so initial_units + planned_cells bounds the id
+  // space. sweep_id, not shard_count, proves the documents belong together.
+  size_t planned_cells = 0;
+  for (const ShardSpec& shard : shards) {
+    planned_cells += shard.cells.size();
+  }
   const int id_bound =
-      opt.shard_count + static_cast<int>(std::min<size_t>(total_cells, 1 << 20));
+      static_cast<int>(shards.size()) +
+      static_cast<int>(std::min<size_t>(planned_cells, 1 << 20));
 
-  std::map<size_t, std::string> cell_labels;
+  SuperviseOutcome outcome;
+  FleetStats& stats = outcome.stats;
+  std::map<size_t, std::string>& cell_labels = outcome.cell_labels;
+  std::map<size_t, std::string>& cell_errors = outcome.cell_errors;
+  obs::MetricsSnapshot& worker_metrics = outcome.worker_metrics;
   std::vector<std::string> created_files;
   // Scratch files go on every exit path (including exceptions) unless the
   // caller asked to keep them for debugging.
@@ -176,30 +212,11 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
   static obs::Histogram& m_attempt_wall =
       obs::Registry::Global().histogram("fleet.attempt_wall_ns");
 
-  // The single formatting path for supervision output: one rendered message
-  // per transition, prefixed with the run's content-derived sweep_id on the
-  // text log and attached as "msg" to the structured event in the trace
-  // journal. Neither sink can drift from the other.
-  const uint64_t sweep_id =
-      plan.shards().empty() ? 0 : plan.shards().front().sweep_id;
   if (opt.journal != nullptr) {
     opt.journal->SetTraceId(sweep_id);
   }
-  char sweep_tag[24];
-  std::snprintf(sweep_tag, sizeof(sweep_tag), "0x%016llx",
-                static_cast<unsigned long long>(sweep_id));
-  const auto emit = [&](obs::TraceEvent event, const char* fmt,
-                        auto... args) {
-    char msg[512];
-    std::snprintf(msg, sizeof(msg), fmt, args...);
-    if (opt.log != nullptr) {
-      std::fprintf(opt.log, "[fleet %s] %s\n", sweep_tag, msg);
-      std::fflush(opt.log);
-    }
-    if (opt.journal != nullptr) {
-      event.Str("msg", msg);
-      opt.journal->Emit(event);
-    }
+  const auto emit = [&](obs::TraceEvent event, const char* fmt, auto... args) {
+    EmitFleet(opt, sweep_id, std::move(event), fmt, args...);
   };
 
   const auto make_unit = [&](ShardSpec shard) -> Unit& {
@@ -211,8 +228,9 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
     unit.spec.shard_index = id;
     unit.spec.shard_count = id_bound;
     unit.spec_path =
-        opt.temp_dir + "/unit" + std::to_string(id) + ".shard.json";
-    unit.log_path = opt.temp_dir + "/unit" + std::to_string(id) + ".log";
+        opt.temp_dir + "/" + file_tag + "unit" + std::to_string(id) + ".shard.json";
+    unit.log_path =
+        opt.temp_dir + "/" + file_tag + "unit" + std::to_string(id) + ".log";
     if (!WriteFile(unit.spec_path, unit.spec.ToJson())) {
       throw FleetError("fleet: cannot write shard document " + unit.spec_path);
     }
@@ -224,29 +242,26 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
     return unit;
   };
 
-  for (const ShardSpec& shard : plan.shards()) {
-    make_unit(shard);
+  for (ShardSpec& shard : shards) {
+    make_unit(std::move(shard));
   }
+  shards.clear();
   emit(obs::TraceEvent("fleet_plan")
            .Int("units", static_cast<int64_t>(units.size()))
-           .Int("cells", static_cast<int64_t>(total_cells)),
-       "planned %zu units over %zu cells", units.size(), total_cells);
-
-  FleetStats stats;
-  ShardMerger merger;
-  obs::MetricsSnapshot worker_metrics;
-  std::map<size_t, std::string> cell_errors;  // grid index -> last failure
+           .Int("cells", static_cast<int64_t>(cell_labels.size())),
+       "planned %zu units over %zu cells", units.size(), cell_labels.size());
 
   const auto spawn = [&](Unit& unit) {
     ++unit.attempt;
     ++stats.spawned;
     m_attempts.Add(1);
-    unit.out_path = opt.temp_dir + "/unit" + std::to_string(unit.id) +
-                    ".attempt" + std::to_string(unit.attempt) + ".result.json";
+    unit.out_path = opt.temp_dir + "/" + file_tag + "unit" +
+                    std::to_string(unit.id) + ".attempt" +
+                    std::to_string(unit.attempt) + ".result.json";
     created_files.push_back(unit.out_path);
-    unit.metrics_path = opt.temp_dir + "/unit" + std::to_string(unit.id) +
-                        ".attempt" + std::to_string(unit.attempt) +
-                        ".metrics.json";
+    unit.metrics_path = opt.temp_dir + "/" + file_tag + "unit" +
+                        std::to_string(unit.id) + ".attempt" +
+                        std::to_string(unit.attempt) + ".metrics.json";
     created_files.push_back(unit.metrics_path);
     std::vector<std::string> argv = {opt.worker_path,
                                      "--shard=" + unit.spec_path,
@@ -325,10 +340,18 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
            unit.id, 1 + opt.max_retries, reason.c_str(), unit.spec.cells.size());
       ShardSpec base = unit.spec;
       std::vector<SweepSpec::Cell> cells = std::move(base.cells);
+      std::vector<ShardCellRange> ranges = std::move(base.ranges);
       base.cells.clear();
-      for (SweepSpec::Cell& cell : cells) {
+      base.ranges.clear();
+      for (size_t c = 0; c < cells.size(); ++c) {
         ShardSpec single = base;
-        single.cells.push_back(std::move(cell));
+        single.cells.push_back(std::move(cells[c]));
+        if (!ranges.empty()) {
+          // A ranged cell keeps its trial range through the split: the
+          // single-cell unit recomputes exactly the blocks the original
+          // owed.
+          single.ranges.push_back(ranges[c]);
+        }
         make_unit(std::move(single));
       }
       return;
@@ -372,13 +395,10 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
            std::string("unreadable result document: ") + e.what());
       return;
     }
-    try {
-      merger.Add(std::move(result), unit.out_path);
-    } catch (const std::invalid_argument& e) {
-      // Verified bytes that do not merge mean a worker/driver bug (wrong
-      // sweep, duplicate cells), which a retry cannot fix.
-      throw FleetError(std::string("fleet: merge failed: ") + e.what());
-    }
+    // Verified bytes that fail to consume (merge inconsistency, wrong
+    // sweep, duplicate cells) mean a worker/driver bug, which a retry
+    // cannot fix; the callback throws FleetError and the fleet stops.
+    consume(std::move(result), unit.out_path);
     // Fold the worker's own telemetry into the fleet view. Best effort by
     // design: the result document is the contract, the snapshot is
     // observability — a worker built or run with telemetry off writes
@@ -480,19 +500,76 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
     }
   }
 
-  // Subprocess destructors have reaped everything; now account for the
-  // sweep.
+  // Subprocess destructors have reaped everything.
+  return outcome;
+}
+
+// "N of M cells lost after retries were exhausted:" plus the first few
+// cells' reasons — the shared failure summary for complete-required runs
+// and partial reports.
+std::string DescribeLost(const std::vector<FleetLostCell>& lost,
+                         size_t total_cells) {
+  std::string summary = std::to_string(lost.size()) + " of " +
+                        std::to_string(total_cells) +
+                        " cells lost after retries were exhausted:";
+  for (size_t i = 0; i < lost.size() && i < 8; ++i) {
+    summary += "\n  cell " + std::to_string(lost[i].index) + " \"" +
+               lost[i].label + "\": " + lost[i].reason;
+  }
+  if (lost.size() > 8) {
+    summary += "\n  ... and " + std::to_string(lost.size() - 8) + " more";
+  }
+  return summary;
+}
+
+}  // namespace
+
+FleetSupervisor::FleetSupervisor(FleetOptions options) : options_(std::move(options)) {}
+
+FleetReport FleetSupervisor::Run(const SweepSpec& spec,
+                                 const SweepOptions& sweep_options) const {
+  return Run(spec.AxisNames(), sweep_options, spec.BuildCells());
+}
+
+FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
+                                 const SweepOptions& sweep_options,
+                                 std::vector<SweepSpec::Cell> cells) const {
+  const FleetOptions& opt = options_;
+  ValidateFleetOptions(opt);
+
+  // Plan exactly as the in-process driver would; validation errors
+  // propagate with SweepRunner::Run's own messages.
+  const ShardPlan plan(std::move(axis_names), sweep_options, std::move(cells),
+                       opt.shard_count);
+  const size_t total_cells = plan.total_cells();
+  const uint64_t sweep_id =
+      plan.shards().empty() ? 0 : plan.shards().front().sweep_id;
+
+  ShardMerger merger;
+  const auto consume = [&merger](ShardResult result, const std::string& source) {
+    try {
+      merger.Add(std::move(result), source);
+    } catch (const std::invalid_argument& e) {
+      throw FleetError(std::string("fleet: merge failed: ") + e.what());
+    }
+  };
+  std::vector<ShardSpec> shards(plan.shards().begin(), plan.shards().end());
+  SuperviseOutcome outcome =
+      SuperviseUnits(opt, sweep_id, "", std::move(shards), consume);
+  const FleetStats& stats = outcome.stats;
+
   FleetReport report;
   report.stats = stats;
-  report.worker_metrics = std::move(worker_metrics);
+  report.worker_metrics = std::move(outcome.worker_metrics);
   if (merger.complete()) {
-    emit(obs::TraceEvent("fleet_done")
-             .Int("spawned", stats.spawned)
-             .Int("succeeded", stats.succeeded)
-             .Int("retries", stats.retries)
-             .Int("splits", stats.splits),
-         "complete: %d spawned, %d succeeded, %d retries, %d splits",
-         stats.spawned, stats.succeeded, stats.retries, stats.splits);
+    EmitFleet(opt, sweep_id,
+              obs::TraceEvent("fleet_done")
+                  .Int("spawned", stats.spawned)
+                  .Int("succeeded", stats.succeeded)
+                  .Int("retries", stats.retries)
+                  .Int("splits", stats.splits),
+              "complete: %d spawned, %d succeeded, %d retries, %d splits",
+              stats.spawned, stats.succeeded, stats.retries, stats.splits);
     report.result = merger.Finish();
     report.complete = true;
     report.executions = merger.TakeExecutions();
@@ -512,24 +589,15 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
   for (const size_t index : missing) {
     FleetLostCell cell;
     cell.index = index;
-    const auto label = cell_labels.find(index);
-    cell.label = label != cell_labels.end() ? label->second : "";
-    const auto error = cell_errors.find(index);
-    cell.reason = error != cell_errors.end() ? error->second : "never attempted";
+    const auto label = outcome.cell_labels.find(index);
+    cell.label = label != outcome.cell_labels.end() ? label->second : "";
+    const auto error = outcome.cell_errors.find(index);
+    cell.reason =
+        error != outcome.cell_errors.end() ? error->second : "never attempted";
     lost.push_back(std::move(cell));
   }
 
-  std::string summary = std::to_string(lost.size()) + " of " +
-                        std::to_string(total_cells) +
-                        " cells lost after retries were exhausted:";
-  for (size_t i = 0; i < lost.size() && i < 8; ++i) {
-    summary += "\n  cell " + std::to_string(lost[i].index) + " \"" +
-               lost[i].label + "\": " + lost[i].reason;
-  }
-  if (lost.size() > 8) {
-    summary += "\n  ... and " + std::to_string(lost.size() - 8) + " more";
-  }
-
+  const std::string summary = DescribeLost(lost, total_cells);
   if (!opt.partial_ok) {
     throw FleetError("fleet: " + summary);
   }
@@ -537,13 +605,279 @@ FleetReport FleetSupervisor::Run(std::vector<std::string> axis_names,
     throw FleetError("fleet: every attempt failed; no cells to finalize (" +
                      summary + ")");
   }
-  emit(obs::TraceEvent("fleet_partial")
-           .Int("lost", static_cast<int64_t>(lost.size()))
-           .Int("cells", static_cast<int64_t>(total_cells)),
-       "partial result: %s", summary.c_str());
+  EmitFleet(opt, sweep_id,
+            obs::TraceEvent("fleet_partial")
+                .Int("lost", static_cast<int64_t>(lost.size()))
+                .Int("cells", static_cast<int64_t>(total_cells)),
+            "partial result: %s", summary.c_str());
   report.result = merger.FinishPartial();
   report.complete = false;
   report.lost = std::move(lost);
+  return report;
+}
+
+FleetReport FleetSupervisor::RunAdaptive(const SweepSpec& spec,
+                                         const SweepOptions& sweep_options) const {
+  return RunAdaptive(spec.AxisNames(), sweep_options, spec.BuildCells());
+}
+
+FleetReport FleetSupervisor::RunAdaptive(std::vector<std::string> axis_names,
+                                         const SweepOptions& sweep_options,
+                                         std::vector<SweepSpec::Cell> cells) const {
+  const FleetOptions& opt = options_;
+  ValidateFleetOptions(opt);
+  if (!sweep_options.adaptive) {
+    throw std::invalid_argument(
+        "FleetSupervisor::RunAdaptive: options.adaptive must be set");
+  }
+  if (sweep_options.seed_mode != SweepOptions::SeedMode::kCounterV1) {
+    throw std::invalid_argument(
+        "FleetSupervisor::RunAdaptive: splitting a cell's adaptive round "
+        "across workers requires SeedMode::kCounterV1 (only the counter "
+        "generator can start a trial stream at an arbitrary index)");
+  }
+
+  // Plan with a single shard: validates cells and options exactly as Run
+  // would, canonicalizes the cells (legacy view cleared), and yields the
+  // content-derived sweep identity. The per-round partition is re-derived
+  // below from each cell's convergence state.
+  const ShardPlan plan(std::move(axis_names), sweep_options, std::move(cells), 1);
+  ShardSpec base = plan.shards().front();
+  const uint64_t sweep_id = base.sweep_id;
+  const size_t total_cells = plan.total_cells();
+
+  // Per-cell continuation state; the fold and judgment below replicate
+  // RunSweepCellsImpl's adaptive loop bit for bit.
+  struct AdaptiveCell {
+    SweepSpec::Cell cell;
+    TrialAccumulator acc;
+    int64_t trials_done = 0;
+    int64_t target = 0;
+    int rounds = 0;
+    std::vector<double> half_widths;
+    bool converged = false;
+    bool lost = false;
+    std::string lost_reason;
+  };
+  std::vector<AdaptiveCell> states(base.cells.size());
+  std::map<size_t, size_t> slot_of;  // grid index -> states slot
+  for (size_t i = 0; i < base.cells.size(); ++i) {
+    states[i].cell = std::move(base.cells[i]);
+    states[i].target = std::min(sweep_options.mc.trials, sweep_options.max_trials);
+    slot_of[states[i].cell.index] = i;
+  }
+  base.cells.clear();
+
+  // Round shards are non-adaptive trial ranges; mc.trials only bounds range
+  // validation (and labels fragments), so the adaptive cap covers every
+  // round's target.
+  ShardSpec round_base = base;
+  round_base.options.adaptive = false;
+  round_base.options.mc.trials = sweep_options.max_trials;
+
+  FleetStats stats;
+  obs::MetricsSnapshot worker_metrics;
+  int round = 0;
+  while (true) {
+    std::vector<size_t> active;
+    for (size_t i = 0; i < states.size(); ++i) {
+      const AdaptiveCell& st = states[i];
+      if (!st.converged && !st.lost && st.trials_done < st.target) {
+        active.push_back(i);
+      }
+    }
+    if (active.empty()) {
+      break;
+    }
+    ++round;
+
+    // Partition each active cell's round range [done, target) into at most
+    // shard_count chunks. Interior seams land on absolute 256-trial block
+    // boundaries, so concatenating the chunks' block accumulators in trial
+    // order reproduces the round's canonical block list exactly.
+    struct Chunk {
+      size_t slot;
+      int64_t begin;
+      int64_t end;
+    };
+    std::vector<std::vector<Chunk>> per_spec(
+        static_cast<size_t>(opt.shard_count));
+    size_t rotor = 0;
+    for (const size_t i : active) {
+      const int64_t begin = states[i].trials_done;
+      const int64_t end = states[i].target;
+      const int64_t b0 = begin / kTrialBlockSize;
+      const int64_t blocks = (end - 1) / kTrialBlockSize - b0 + 1;
+      const int64_t k = std::min<int64_t>(opt.shard_count, blocks);
+      for (int64_t j = 0; j < k; ++j) {
+        const int64_t lo_block = b0 + j * blocks / k;
+        const int64_t hi_block = b0 + (j + 1) * blocks / k;
+        const int64_t lo = std::max(begin, lo_block * kTrialBlockSize);
+        const int64_t hi = std::min(end, hi_block * kTrialBlockSize);
+        // One cell's chunks go to k distinct specs (a result document may
+        // carry at most one fragment per cell), rotated across rounds and
+        // cells for balance.
+        per_spec[(rotor + static_cast<size_t>(j)) % per_spec.size()].push_back(
+            Chunk{i, lo, hi});
+      }
+      ++rotor;
+    }
+    std::vector<ShardSpec> shards;
+    for (const std::vector<Chunk>& chunk_list : per_spec) {
+      if (chunk_list.empty()) {
+        continue;
+      }
+      ShardSpec spec = round_base;
+      for (const Chunk& chunk : chunk_list) {
+        spec.cells.push_back(states[chunk.slot].cell);
+        spec.ranges.push_back(ShardCellRange{chunk.begin, chunk.end});
+      }
+      shards.push_back(std::move(spec));
+    }
+
+    // Harvest this round's fragments directly (no ShardMerger: rounds are
+    // partial tilings whose begin need not be block-aligned).
+    std::vector<std::vector<ShardCellFragment>> harvested(states.size());
+    const auto consume = [&](ShardResult result, const std::string& source) {
+      if (!result.cells.empty()) {
+        throw FleetError("fleet: adaptive round worker " + source +
+                         " returned whole cells where trial-range fragments "
+                         "were requested");
+      }
+      for (ShardCellFragment& fragment : result.fragments) {
+        const auto slot = slot_of.find(fragment.index);
+        if (slot == slot_of.end()) {
+          throw FleetError("fleet: " + source + " returned a fragment for "
+                           "unknown cell index " +
+                           std::to_string(fragment.index));
+        }
+        harvested[slot->second].push_back(std::move(fragment));
+      }
+    };
+    SuperviseOutcome outcome =
+        SuperviseUnits(opt, sweep_id, "r" + std::to_string(round) + ".",
+                       std::move(shards), consume);
+    stats.spawned += outcome.stats.spawned;
+    stats.succeeded += outcome.stats.succeeded;
+    stats.crashed += outcome.stats.crashed;
+    stats.timed_out += outcome.stats.timed_out;
+    stats.corrupt += outcome.stats.corrupt;
+    stats.malformed += outcome.stats.malformed;
+    stats.retries += outcome.stats.retries;
+    stats.splits += outcome.stats.splits;
+    worker_metrics.MergeFrom(outcome.worker_metrics);
+
+    // Fold each surviving cell's fragments in ascending trial order — the
+    // exact merge sequence the single-process round performs — then re-judge
+    // convergence under the original adaptive options.
+    for (const size_t i : active) {
+      AdaptiveCell& st = states[i];
+      const auto error = outcome.cell_errors.find(st.cell.index);
+      if (error != outcome.cell_errors.end()) {
+        if (!opt.partial_ok) {
+          throw FleetError("fleet: adaptive round " + std::to_string(round) +
+                           ": cell " + std::to_string(st.cell.index) + " \"" +
+                           st.cell.label + "\" lost: " + error->second);
+        }
+        st.lost = true;
+        st.lost_reason = error->second;
+        continue;
+      }
+      std::vector<ShardCellFragment>& parts = harvested[i];
+      std::sort(parts.begin(), parts.end(),
+                [](const ShardCellFragment& a, const ShardCellFragment& b) {
+                  return a.trial_begin < b.trial_begin;
+                });
+      int64_t expect = st.trials_done;
+      for (const ShardCellFragment& part : parts) {
+        if (part.trial_begin != expect) {
+          throw FleetError(
+              "fleet: adaptive round " + std::to_string(round) + ": cell " +
+              std::to_string(st.cell.index) +
+              " fragments do not tile the requested range (gap at trial " +
+              std::to_string(expect) + ")");
+        }
+        expect = part.trial_end;
+        for (const TrialAccumulator& block : part.blocks) {
+          st.acc.MergeFrom(block);
+        }
+      }
+      if (expect != st.target) {
+        throw FleetError("fleet: adaptive round " + std::to_string(round) +
+                         ": cell " + std::to_string(st.cell.index) +
+                         " fragments end at trial " + std::to_string(expect) +
+                         ", expected " + std::to_string(st.target));
+      }
+      st.trials_done = st.target;
+      st.rounds++;
+      const AdaptiveRoundDecision verdict =
+          JudgeAdaptiveRound(st.acc, st.trials_done, sweep_options);
+      st.half_widths.push_back(verdict.half_width);
+      if (verdict.converged) {
+        st.converged = true;
+      } else {
+        st.target = verdict.next_target;
+      }
+    }
+  }
+
+  FleetReport report;
+  report.stats = stats;
+  report.worker_metrics = std::move(worker_metrics);
+  std::vector<SweepCellExecution> executions;
+  std::vector<FleetLostCell> lost;
+  for (AdaptiveCell& st : states) {
+    if (st.lost) {
+      FleetLostCell cell;
+      cell.index = st.cell.index;
+      cell.label = st.cell.label;
+      cell.reason = st.lost_reason;
+      lost.push_back(std::move(cell));
+      continue;
+    }
+    SweepCellExecution execution;
+    execution.index = st.cell.index;
+    execution.label = std::move(st.cell.label);
+    execution.coordinates = std::move(st.cell.coordinates);
+    execution.acc = std::move(st.acc);
+    execution.trials = st.trials_done;
+    execution.rounds = st.rounds;
+    execution.half_width_history = std::move(st.half_widths);
+    executions.push_back(std::move(execution));
+  }
+  if (!lost.empty()) {
+    // partial_ok only; without it the round loop threw at the first loss.
+    const std::string summary = DescribeLost(lost, total_cells);
+    if (executions.empty()) {
+      throw FleetError("fleet: every attempt failed; no cells to finalize (" +
+                       summary + ")");
+    }
+    EmitFleet(opt, sweep_id,
+              obs::TraceEvent("fleet_partial")
+                  .Int("lost", static_cast<int64_t>(lost.size()))
+                  .Int("cells", static_cast<int64_t>(total_cells)),
+              "partial result: %s", summary.c_str());
+    report.result =
+        FinalizeSweepCells(std::move(executions), base.axis_names,
+                           sweep_options.estimand, sweep_options.mc.confidence);
+    report.complete = false;
+    report.lost = std::move(lost);
+    return report;
+  }
+  EmitFleet(opt, sweep_id,
+            obs::TraceEvent("fleet_done")
+                .Int("spawned", stats.spawned)
+                .Int("succeeded", stats.succeeded)
+                .Int("retries", stats.retries)
+                .Int("rounds", round),
+            "complete: %d spawned, %d succeeded, %d retries, %d adaptive rounds",
+            stats.spawned, stats.succeeded, stats.retries, round);
+  std::vector<SweepCellExecution> finalized = executions;
+  report.result =
+      FinalizeSweepCells(std::move(finalized), base.axis_names,
+                         sweep_options.estimand, sweep_options.mc.confidence);
+  report.complete = true;
+  report.executions = std::move(executions);
   return report;
 }
 

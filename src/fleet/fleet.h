@@ -176,6 +176,27 @@ class FleetSupervisor {
                   const SweepOptions& sweep_options,
                   std::vector<SweepSpec::Cell> cells) const;
 
+  // Distributed adaptive execution. Requires options.adaptive and
+  // SeedMode::kCounterV1 (throws std::invalid_argument otherwise): only the
+  // counter generator can start a trial stream at an arbitrary index, which
+  // is what lets one cell's round be split mid-cell across workers.
+  //
+  // Each adaptive round re-partitions every unconverged cell's next trial
+  // range [done, target) into up to shard_count chunks whose interior seams
+  // land on 256-trial block boundaries, fans the chunks out as version-3
+  // trial-range shards, folds the returned per-block accumulators in
+  // ascending trial order, and re-judges convergence with the exact
+  // single-process rule (JudgeAdaptiveRound). Because the fold sequence is
+  // the canonical block partition in trial order, the final report — cell
+  // accumulators, trials, rounds, half-width histories, and the finalized
+  // figure — is byte-identical to SweepRunner::Run on one process, for any
+  // shard_count, any retry/split history, and any worker completion order.
+  FleetReport RunAdaptive(const SweepSpec& spec,
+                          const SweepOptions& sweep_options) const;
+  FleetReport RunAdaptive(std::vector<std::string> axis_names,
+                          const SweepOptions& sweep_options,
+                          std::vector<SweepSpec::Cell> cells) const;
+
   const FleetOptions& options() const { return options_; }
 
  private:

@@ -78,8 +78,9 @@ std::optional<std::string> ReplicaSpec::Validate() const {
       mrl.is_infinite() || std::isnan(mrv.hours()) || std::isnan(mrl.hours())) {
     return "repair times must be finite and non-negative";
   }
-  if (fault_distribution == FaultDistribution::kWeibull && !(weibull_shape > 0.0)) {
-    return "weibull_shape must be positive";
+  if (fault_distribution == FaultDistribution::kWeibull &&
+      (!(weibull_shape > 0.0) || std::isinf(weibull_shape))) {
+    return "weibull_shape must be finite and positive";
   }
   if (!(initial_age_hours >= 0.0) || std::isinf(initial_age_hours)) {
     return "initial age must be finite and non-negative";
@@ -90,8 +91,11 @@ std::optional<std::string> ReplicaSpec::Validate() const {
            "memoryless fault clock cannot see it); use a Weibull fault "
            "distribution or drop the age";
   }
-  if (scrub.kind != ScrubPolicy::Kind::kNone && !(scrub.interval.hours() > 0.0)) {
-    return "scrub interval must be positive";
+  if (scrub.kind != ScrubPolicy::Kind::kNone &&
+      (!(scrub.interval.hours() > 0.0) || scrub.interval.is_infinite())) {
+    // An infinite interval would feed NaN into the periodic tick arithmetic
+    // and "never" into ScheduleAfter (which requires finite times).
+    return "scrub interval must be finite and positive";
   }
   if (std::isnan(scrub_phase_hours) || std::isinf(scrub_phase_hours)) {
     return "scrub phase must be finite (negative means automatic)";
@@ -160,8 +164,12 @@ std::optional<std::string> Scenario::Validate() const {
     }
   }
   for (const CommonModeSource& source : common_mode) {
-    if (!(source.event_rate.per_hour() > 0.0)) {
-      return "common-mode source '" + source.name + "' needs a positive event rate";
+    if (!(source.event_rate.per_hour() > 0.0) ||
+        std::isinf(source.event_rate.per_hour())) {
+      // An infinite rate means a zero mean interval: the source would fire
+      // an unbounded event storm at time zero.
+      return "common-mode source '" + source.name +
+             "' needs a positive, finite event rate";
     }
     if (source.hit_probability < 0.0 || source.hit_probability > 1.0 ||
         source.visible_fraction < 0.0 || source.visible_fraction > 1.0) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/sweep/accumulator.h"
+#include "src/sweep/batch_exec.h"
 #include "src/util/json.h"
 
 namespace longstore {
@@ -53,6 +54,8 @@ const char* SeedModeName(SweepOptions::SeedMode mode) {
       return "shared_root";
     case SweepOptions::SeedMode::kScenarioDerived:
       return "scenario_derived";
+    case SweepOptions::SeedMode::kCounterV1:
+      return "counter_v1";
   }
   return "per_cell_derived";
 }
@@ -67,6 +70,9 @@ SweepOptions::SeedMode ParseSeedMode(const std::string& name,
   }
   if (name == "scenario_derived") {
     return SweepOptions::SeedMode::kScenarioDerived;
+  }
+  if (name == "counter_v1") {
+    return SweepOptions::SeedMode::kCounterV1;
   }
   json::Fail(context, "unknown seed_mode \"" + name + "\"");
 }
@@ -175,10 +181,14 @@ json::ChecksummedDocument OpenShardDocument(std::string_view text,
   };
   const json::ChecksummedDocument doc =
       json::OpenChecksummedDocument(text, "shard_version", context, source);
-  if (doc.checksummed && doc.version != kShardProtocolVersion) {
+  if (doc.checksummed && doc.version != kShardProtocolVersion &&
+      doc.version != kShardCompatVersion) {
+    // Version 2 is a strict subset of version 3 (no ranges, no fragments),
+    // so in-flight version-2 documents keep parsing.
     fail("unsupported shard_version " + std::to_string(doc.version) +
          " in a checksummed envelope (this build speaks " +
-         std::to_string(kShardProtocolVersion) + ")");
+         std::to_string(kShardProtocolVersion) + " and accepts " +
+         std::to_string(kShardCompatVersion) + ")");
   }
   return doc;
 }
@@ -196,8 +206,8 @@ ShardHeader ReadHeader(json::ObjectReader& reader,
   };
   if (!doc.checksummed) {
     const int version = reader.GetInt("shard_version");
-    if (version == kShardProtocolVersion) {
-      fail("shard_version " + std::to_string(kShardProtocolVersion) +
+    if (version == kShardProtocolVersion || version == kShardCompatVersion) {
+      fail("shard_version " + std::to_string(version) +
            " documents must arrive in the checksummed envelope; refusing an "
            "unverifiable document");
     }
@@ -358,6 +368,10 @@ uint64_t ComputeSweepId(const std::vector<std::string>& axis_names,
 // --- ShardSpec -------------------------------------------------------------
 
 std::string ShardSpec::ToJson() const {
+  if (!ranges.empty() && ranges.size() != cells.size()) {
+    throw std::invalid_argument(
+        "ShardSpec::ToJson: ranges must be empty or match cells one to one");
+  }
   std::string body;
   body.reserve(512 + cells.size() * 1024);
   AppendHeaderJson(body, shard_index, shard_count, total_cells, sweep_id);
@@ -377,6 +391,15 @@ std::string ShardSpec::ToJson() const {
     json::AppendEscaped(body, cell.label);
     body += ",\"coordinates\":";
     AppendCoordinatesJson(body, cell.coordinates);
+    // A partial cell (version 3) carries its trial range; whole cells omit
+    // the key so whole-cell documents keep the version-2 body shape.
+    if (!ranges.empty() && ranges[i].end >= 0) {
+      body += ",\"range\":{\"begin\":";
+      json::AppendInt64(body, ranges[i].begin);
+      body += ",\"end\":";
+      json::AppendInt64(body, ranges[i].end);
+      body += '}';
+    }
     // The scenario's canonical JSON, spliced verbatim: the scenario
     // subtree's bytes — and therefore CanonicalHash and kScenarioDerived
     // seeds — are exactly the driver's.
@@ -435,15 +458,34 @@ ShardSpec ShardSpec::FromJsonUntagged(std::string_view text,
   shard.axis_names = ReadAxes(reader, kSpecContext);
 
   CellIndexSet seen(header.total_cells, kSpecContext);
+  bool any_range = false;
   for (const json::Value& entry : reader.GetArray("cells")) {
     json::ObjectReader cell(entry, "cell", kSpecContext);
     SweepSpec::Cell out;
     out.index = seen.Claim(cell.GetInt64("index"));
     out.label = cell.GetString("label");
     out.coordinates = ReadCoordinates(cell, shard.axis_names, out.index, kSpecContext);
+    ShardCellRange range;
+    if (entry.Find("range") != nullptr) {
+      json::ObjectReader r(cell.GetObject("range"), "range", kSpecContext);
+      range.begin = r.GetInt64("begin");
+      range.end = r.GetInt64("end");
+      r.Finish();
+      if (range.begin < 0 || range.end <= range.begin) {
+        json::Fail(kSpecContext, "cell " + std::to_string(out.index) +
+                                     " has an invalid trial range [" +
+                                     std::to_string(range.begin) + ", " +
+                                     std::to_string(range.end) + ")");
+      }
+      any_range = true;
+    }
     out.scenario = Scenario::FromJsonValue(cell.GetObject("scenario"));
     cell.Finish();
     shard.cells.push_back(std::move(out));
+    shard.ranges.push_back(range);
+  }
+  if (!any_range) {
+    shard.ranges.clear();  // whole-cell documents carry no range vector
   }
   reader.Finish();
   return shard;
@@ -499,6 +541,10 @@ ShardPlan::ShardPlan(std::vector<std::string> axis_names,
 ShardResult RunShard(const ShardSpec& shard, WorkerPool* pool) {
   ValidateSweepOptions(shard.options);
   ValidateSweepCells(shard.cells);
+  if (!shard.ranges.empty() && shard.ranges.size() != shard.cells.size()) {
+    throw std::invalid_argument(
+        "RunShard: ranges must be empty or match cells one to one");
+  }
   WorkerPool& exec_pool = pool != nullptr ? *pool : WorkerPool::Shared();
 
   ShardResult result;
@@ -509,7 +555,59 @@ ShardResult RunShard(const ShardSpec& shard, WorkerPool* pool) {
   result.estimand = shard.options.estimand;
   result.confidence = shard.options.mc.confidence;
   result.axis_names = shard.axis_names;
-  result.cells = RunSweepCells(exec_pool, shard.cells, shard.options);
+  if (shard.ranges.empty()) {
+    result.cells = RunSweepCells(exec_pool, shard.cells, shard.options);
+    return result;
+  }
+
+  // Split whole cells (classic execution) from partial trial ranges, which
+  // run as raw per-block accumulators so the coordinator can reassemble a
+  // byte-identical cell from any block-aligned tiling.
+  std::vector<SweepSpec::Cell> whole;
+  std::vector<size_t> ranged;
+  for (size_t i = 0; i < shard.cells.size(); ++i) {
+    if (shard.ranges[i].end < 0) {
+      whole.push_back(shard.cells[i]);
+    } else {
+      ranged.push_back(i);
+    }
+  }
+  if (!ranged.empty()) {
+    if (shard.options.seed_mode != SweepOptions::SeedMode::kCounterV1) {
+      throw std::invalid_argument(
+          "RunShard: partial trial ranges require seed_mode counter_v1 (any "
+          "other mode cannot reproduce a trial's stream from its index)");
+    }
+    if (shard.options.adaptive) {
+      throw std::invalid_argument(
+          "RunShard: partial trial ranges require non-adaptive execution; "
+          "adaptive continuation is coordinated by the driver");
+    }
+  }
+  if (!whole.empty()) {
+    result.cells = RunSweepCells(exec_pool, whole, shard.options);
+  }
+  for (const size_t i : ranged) {
+    const SweepSpec::Cell& cell = shard.cells[i];
+    const ShardCellRange& range = shard.ranges[i];
+    if (range.end > shard.options.mc.trials) {
+      throw std::invalid_argument(
+          "RunShard: cell " + std::to_string(cell.index) + " trial range [" +
+          std::to_string(range.begin) + ", " + std::to_string(range.end) +
+          ") extends past mc.trials = " +
+          std::to_string(shard.options.mc.trials));
+    }
+    ShardCellFragment fragment;
+    fragment.index = cell.index;
+    fragment.label = cell.label;
+    fragment.coordinates = cell.coordinates;
+    fragment.trial_begin = range.begin;
+    fragment.trial_end = range.end;
+    fragment.cell_trials = shard.options.mc.trials;
+    fragment.blocks = RunCellTrialRange(exec_pool, cell, shard.options,
+                                        range.begin, range.end);
+    result.fragments.push_back(std::move(fragment));
+  }
   return result;
 }
 
@@ -552,7 +650,40 @@ std::string ShardResult::ToJson() const {
     AppendTrialAccumulatorJson(body, cell.acc);
     body += '}';
   }
-  body += "]}";
+  body += ']';
+  // Partial-cell results (version 3) ride in a separate array; whole-cell
+  // documents omit the key, keeping the version-2 body shape byte-for-byte.
+  if (!fragments.empty()) {
+    body += ",\"fragments\":[";
+    for (size_t i = 0; i < fragments.size(); ++i) {
+      const ShardCellFragment& fragment = fragments[i];
+      if (i > 0) {
+        body += ',';
+      }
+      body += "{\"index\":";
+      json::AppendInt64(body, static_cast<int64_t>(fragment.index));
+      body += ",\"label\":";
+      json::AppendEscaped(body, fragment.label);
+      body += ",\"coordinates\":";
+      AppendCoordinatesJson(body, fragment.coordinates);
+      body += ",\"trial_begin\":";
+      json::AppendInt64(body, fragment.trial_begin);
+      body += ",\"trial_end\":";
+      json::AppendInt64(body, fragment.trial_end);
+      body += ",\"cell_trials\":";
+      json::AppendInt64(body, fragment.cell_trials);
+      body += ",\"blocks\":[";
+      for (size_t b = 0; b < fragment.blocks.size(); ++b) {
+        if (b > 0) {
+          body += ',';
+        }
+        AppendTrialAccumulatorJson(body, fragment.blocks[b]);
+      }
+      body += "]}";
+    }
+    body += ']';
+  }
+  body += '}';
   return json::WrapChecksummedBody("shard_version", kShardProtocolVersion, body);
 }
 
@@ -626,6 +757,48 @@ ShardResult ShardResult::FromJsonUntagged(std::string_view text,
     cell.Finish();
     result.cells.push_back(std::move(out));
   }
+  // "fragments" is optional (absent from version-2 documents and from
+  // whole-cell version-3 documents). A cell must arrive either whole or as
+  // fragments, never both, so fragment indices share the cells' claim set.
+  if (root.Find("fragments") != nullptr) {
+    for (const json::Value& entry : reader.GetArray("fragments")) {
+      json::ObjectReader frag(entry, "fragment", kResultContext);
+      ShardCellFragment out;
+      out.index = seen.Claim(frag.GetInt64("index"));
+      out.label = frag.GetString("label");
+      out.coordinates =
+          ReadCoordinates(frag, result.axis_names, out.index, kResultContext);
+      out.trial_begin = frag.GetInt64("trial_begin");
+      out.trial_end = frag.GetInt64("trial_end");
+      out.cell_trials = frag.GetInt64("cell_trials");
+      if (out.cell_trials < 1 || out.trial_begin < 0 ||
+          out.trial_end <= out.trial_begin || out.trial_end > out.cell_trials) {
+        json::Fail(kResultContext,
+                   "cell " + std::to_string(out.index) +
+                       " fragment range [" + std::to_string(out.trial_begin) +
+                       ", " + std::to_string(out.trial_end) +
+                       ") is invalid for " + std::to_string(out.cell_trials) +
+                       " trials");
+      }
+      for (const json::Value& block : frag.GetArray("blocks")) {
+        out.blocks.push_back(TrialAccumulatorFromJsonValue(block, kResultContext));
+      }
+      const int64_t expected_blocks =
+          (out.trial_end - 1) / kTrialBlockSize -
+          out.trial_begin / kTrialBlockSize + 1;
+      if (static_cast<int64_t>(out.blocks.size()) != expected_blocks) {
+        json::Fail(kResultContext,
+                   "cell " + std::to_string(out.index) + " fragment [" +
+                       std::to_string(out.trial_begin) + ", " +
+                       std::to_string(out.trial_end) + ") carries " +
+                       std::to_string(out.blocks.size()) +
+                       " blocks; the aligned partition has " +
+                       std::to_string(expected_blocks));
+      }
+      frag.Finish();
+      result.fragments.push_back(std::move(out));
+    }
+  }
   reader.Finish();
   return result;
 }
@@ -663,12 +836,15 @@ void ShardMerger::Add(ShardResult result, const std::string& source) {
   // result's header never copies its (potentially large) cell vector.
   std::vector<SweepCellExecution> incoming = std::move(result.cells);
   result.cells.clear();
+  std::vector<ShardCellFragment> incoming_fragments = std::move(result.fragments);
+  result.fragments.clear();
   if (!have_header_) {
     have_header_ = true;
     header_ = std::move(result);
     first_source_ = source;
     cells_.resize(header_.total_cells);
     cell_sources_.resize(header_.total_cells);
+    pending_fragments_.resize(header_.total_cells);
   } else {
     const std::string first = DescribeShard(header_.shard_index, first_source_);
     if (result.estimand != header_.estimand) {
@@ -708,10 +884,118 @@ void ShardMerger::Add(ShardResult result, const std::string& source) {
            ", again from " + who +
            "; each cell must be owned by exactly one shard");
     }
+    if (!pending_fragments_[cell.index].empty()) {
+      fail("cell " + std::to_string(cell.index) + " (\"" + cell.label +
+           "\") arrived whole from " + who +
+           " after fragments of it were already received; a cell is owned "
+           "either whole or as a fragment tiling, never both");
+    }
     cells_[cell.index] = std::move(cell);
     cell_sources_[cell.index] = who;
     ++received_;
   }
+  for (ShardCellFragment& fragment : incoming_fragments) {
+    AddFragment(std::move(fragment), who);
+  }
+}
+
+void ShardMerger::AddFragment(ShardCellFragment fragment, const std::string& who) {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("ShardMerger: " + what);
+  };
+  if (fragment.index >= cells_.size()) {
+    fail(who + ": fragment cell index " + std::to_string(fragment.index) +
+         " is outside [0, total_cells)");
+  }
+  if (cells_[fragment.index].has_value()) {
+    fail("cell " + std::to_string(fragment.index) + " (\"" + fragment.label +
+         "\") received a fragment from " + who +
+         " after the whole cell arrived from " + cell_sources_[fragment.index] +
+         "; a cell is owned either whole or as a fragment tiling, never both");
+  }
+  if (fragment.cell_trials < 1 || fragment.trial_begin < 0 ||
+      fragment.trial_end <= fragment.trial_begin ||
+      fragment.trial_end > fragment.cell_trials) {
+    fail(who + ": cell " + std::to_string(fragment.index) +
+         " fragment range [" + std::to_string(fragment.trial_begin) + ", " +
+         std::to_string(fragment.trial_end) + ") is invalid for " +
+         std::to_string(fragment.cell_trials) + " trials");
+  }
+  // Interior tiling boundaries must land on block edges: the canonical fold
+  // is per 256-trial block, and an unaligned seam would split a block's
+  // Welford accumulation differently than single-process execution.
+  if (fragment.trial_begin % kTrialBlockSize != 0 ||
+      (fragment.trial_end % kTrialBlockSize != 0 &&
+       fragment.trial_end != fragment.cell_trials)) {
+    fail(who + ": cell " + std::to_string(fragment.index) + " fragment [" +
+         std::to_string(fragment.trial_begin) + ", " +
+         std::to_string(fragment.trial_end) +
+         ") is not aligned to the " + std::to_string(kTrialBlockSize) +
+         "-trial block partition");
+  }
+  const int64_t expected_blocks = (fragment.trial_end - 1) / kTrialBlockSize -
+                                  fragment.trial_begin / kTrialBlockSize + 1;
+  if (static_cast<int64_t>(fragment.blocks.size()) != expected_blocks) {
+    fail(who + ": cell " + std::to_string(fragment.index) + " fragment [" +
+         std::to_string(fragment.trial_begin) + ", " +
+         std::to_string(fragment.trial_end) + ") carries " +
+         std::to_string(fragment.blocks.size()) + " blocks, expected " +
+         std::to_string(expected_blocks));
+  }
+  std::vector<ShardCellFragment>& parts = pending_fragments_[fragment.index];
+  for (const ShardCellFragment& other : parts) {
+    if (other.label != fragment.label ||
+        other.cell_trials != fragment.cell_trials) {
+      fail("cell " + std::to_string(fragment.index) + ": fragment from " +
+           who + " disagrees with an earlier fragment about the cell's label "
+           "or total trial count");
+    }
+    if (fragment.trial_begin < other.trial_end &&
+        other.trial_begin < fragment.trial_end) {
+      fail("cell " + std::to_string(fragment.index) + ": fragment [" +
+           std::to_string(fragment.trial_begin) + ", " +
+           std::to_string(fragment.trial_end) + ") from " + who +
+           " overlaps fragment [" + std::to_string(other.trial_begin) + ", " +
+           std::to_string(other.trial_end) + ")");
+    }
+  }
+  parts.push_back(std::move(fragment));
+
+  // Assemble the moment the tiling is complete. Fragments are pairwise
+  // disjoint subranges of [0, cell_trials), so covering exactly cell_trials
+  // trials means they tile the whole cell.
+  const int64_t cell_trials = parts.front().cell_trials;
+  int64_t covered = 0;
+  for (const ShardCellFragment& part : parts) {
+    covered += part.trial_end - part.trial_begin;
+  }
+  if (covered != cell_trials) {
+    return;
+  }
+  std::sort(parts.begin(), parts.end(),
+            [](const ShardCellFragment& a, const ShardCellFragment& b) {
+              return a.trial_begin < b.trial_begin;
+            });
+  // Fold the per-block accumulators in ascending trial order — the exact
+  // fold a single process performs — so the assembled cell is byte-identical
+  // to unsharded non-adaptive execution (trials = cell total, one round, no
+  // half-width history).
+  SweepCellExecution out;
+  out.index = parts.front().index;
+  out.label = parts.front().label;
+  out.coordinates = std::move(parts.front().coordinates);
+  out.trials = cell_trials;
+  out.rounds = 1;
+  for (const ShardCellFragment& part : parts) {
+    for (const TrialAccumulator& block : part.blocks) {
+      out.acc.MergeFrom(block);
+    }
+  }
+  const size_t index = out.index;
+  cells_[index] = std::move(out);
+  cell_sources_[index] = who;  // the completing contributor
+  pending_fragments_[index].clear();
+  ++received_;
 }
 
 void ShardMerger::AddJson(std::string_view json, const std::string& source) {

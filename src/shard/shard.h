@@ -53,9 +53,13 @@ namespace longstore {
 // or merger speaking a different version rejects the document outright:
 // silently reinterpreting a foreign schema could change figures without
 // failing a single test. Version 2 added the checksum envelope and the
-// sweep_id; version-1 documents (unchecksummed, no sweep_id) are still
-// accepted for one release so in-flight shard files survive the upgrade.
-inline constexpr int kShardProtocolVersion = 2;
+// sweep_id; version 3 added optional trial-range cells (specs) and cell
+// fragments (results) for kCounterV1 sweeps. Version-2 documents are a
+// strict subset of version 3 and stay accepted checksummed; version-1
+// documents (unchecksummed, no sweep_id) are still accepted for one release
+// so in-flight shard files survive the upgrade.
+inline constexpr int kShardProtocolVersion = 3;
+inline constexpr int kShardCompatVersion = 2;
 inline constexpr int kShardLegacyVersion = 1;
 
 // Identity of the *whole* sweep a shard belongs to: FNV-1a over the sweep's
@@ -67,6 +71,16 @@ inline constexpr int kShardLegacyVersion = 1;
 uint64_t ComputeSweepId(const std::vector<std::string>& axis_names,
                         const SweepOptions& options,
                         const std::vector<SweepSpec::Cell>& cells);
+
+// Trial ownership of one shard cell: trials [begin, end) of the cell. The
+// sentinel end = -1 means the shard owns every trial (a whole cell, the
+// pre-version-3 behavior). Partial ranges require SeedMode::kCounterV1
+// (counter streams make trial t's draws independent of trials 0..t-1) and a
+// non-adaptive spec; RunShard enforces both.
+struct ShardCellRange {
+  int64_t begin = 0;
+  int64_t end = -1;
+};
 
 // One shard: a self-contained slice of a sweep that a worker process can
 // execute with no access to the driver's memory. Carries the full options
@@ -87,9 +101,12 @@ struct ShardSpec {
   std::vector<std::string> axis_names;
   SweepOptions options;
   std::vector<SweepSpec::Cell> cells;  // scenario-native; from_legacy unset
+  // Per-cell trial ranges, parallel to `cells`. Empty (the common case, and
+  // every pre-version-3 document) means each cell is owned whole.
+  std::vector<ShardCellRange> ranges;
 
-  // Canonical version-2 JSON: the body (fixed key order, exact doubles, hex
-  // seed) wrapped in the checksummed envelope.
+  // Canonical JSON: the body (fixed key order, exact doubles, hex seed)
+  // wrapped in the checksummed envelope.
   std::string ToJson() const;
   // Strict inverse; rejects unknown/missing/mistyped keys, version
   // mismatches, envelope length/checksum mismatches (json::IntegrityError),
@@ -130,6 +147,24 @@ class ShardPlan {
   size_t total_cells_ = 0;
 };
 
+// A trial-range fragment of one cell (version 3, kCounterV1 only): trials
+// [trial_begin, trial_end) of a cell whose full run is `cell_trials` trials.
+// Instead of one folded accumulator it carries the per-block accumulators of
+// the canonical index-aligned partition (src/sweep/batch_exec.h), so the
+// merger can fold a complete tiling of [0, cell_trials) in trial order and
+// obtain *exactly* the single-process accumulator — Welford folds are not
+// bitwise-associative, so shipping the blocks (not a pre-fold) is what makes
+// the reassembly byte-identical.
+struct ShardCellFragment {
+  size_t index = 0;
+  std::string label;
+  std::vector<SweepCoordinate> coordinates;
+  int64_t trial_begin = 0;
+  int64_t trial_end = 0;
+  int64_t cell_trials = 0;  // full-cell trial count the tiling must cover
+  std::vector<TrialAccumulator> blocks;  // aligned partition, trial order
+};
+
 // A worker's output: the raw per-cell executions (folded trial
 // accumulators plus bookkeeping), with enough header to let the merger
 // prove the results belong together. Finalization (CIs, estimator math)
@@ -145,6 +180,9 @@ struct ShardResult {
   double confidence = 0.95;
   std::vector<std::string> axis_names;
   std::vector<SweepCellExecution> cells;
+  // Trial-range fragments of cells this shard ran partially (version 3);
+  // empty on whole-cell shards and on every pre-version-3 document.
+  std::vector<ShardCellFragment> fragments;
 
   std::string ToJson() const;
   // Verifies the envelope (json::IntegrityError on length/checksum
@@ -180,6 +218,13 @@ class ShardMerger {
   // std::invalid_argument on any mismatch or duplicated cell index, naming
   // the offending shard index and source file in every message. `source`
   // (e.g. the file the result was read from) may be empty.
+  // Fragments (trial-range results) are accepted alongside whole cells: a
+  // cell assembles the moment its fragments tile [0, cell_trials)
+  // contiguously from zero with block-aligned interior boundaries, folding
+  // the shipped blocks in trial order — so the assembled accumulator is
+  // bit-identical to the whole-cell run. Overlapping or inconsistent
+  // fragments, and a fragment for a cell that already arrived whole (or
+  // vice versa), are errors.
   void Add(ShardResult result, const std::string& source = "");
   // Parses then Adds; convenience for driver loops reading worker files.
   // `source` names the document in both parse and merge errors.
@@ -211,10 +256,16 @@ class ShardMerger {
   std::vector<SweepCellExecution> TakeExecutions();
 
  private:
+  // Validates one incoming fragment, stores it, and assembles the cell once
+  // its tiling is complete.
+  void AddFragment(ShardCellFragment fragment, const std::string& who);
+
   bool have_header_ = false;
   ShardResult header_;    // cells unused; header fields of the first Add
   std::string first_source_;
   std::vector<std::optional<SweepCellExecution>> cells_;
+  // Fragments awaiting a complete tiling, per grid index.
+  std::vector<std::vector<ShardCellFragment>> pending_fragments_;
   // Which shard delivered each received cell ("shard 3 (k3.result.json)"),
   // so duplicate-cell errors can name both deliverers.
   std::vector<std::string> cell_sources_;

@@ -29,8 +29,8 @@ std::optional<std::string> StorageSimConfig::Validate() const {
     return error;
   }
   if (fault_distribution == FaultDistribution::kWeibull) {
-    if (!(weibull_shape > 0.0)) {
-      return "weibull_shape must be positive";
+    if (!(weibull_shape > 0.0) || std::isinf(weibull_shape)) {
+      return "weibull_shape must be finite and positive";
     }
     if (params.alpha < 1.0) {
       return "hazard-multiplier correlation (alpha < 1) requires exponential faults; "
@@ -49,15 +49,22 @@ std::optional<std::string> StorageSimConfig::Validate() const {
       return "common-mode sources are only supported under the physical convention";
     }
   }
-  if (scrub.kind != ScrubPolicy::Kind::kNone && !(scrub.interval.hours() > 0.0)) {
-    return "scrub interval must be positive";
+  if (scrub.kind != ScrubPolicy::Kind::kNone &&
+      (!(scrub.interval.hours() > 0.0) || scrub.interval.is_infinite())) {
+    // An infinite interval would feed NaN into the periodic tick arithmetic
+    // and "never" into ScheduleAfter (which requires finite times).
+    return "scrub interval must be finite and positive";
   }
   if (record_scrub_passes && scrub.kind != ScrubPolicy::Kind::kPeriodic) {
     return "record_scrub_passes requires a periodic scrub policy";
   }
   for (const CommonModeSource& source : common_mode) {
-    if (!(source.event_rate.per_hour() > 0.0)) {
-      return "common-mode source '" + source.name + "' needs a positive event rate";
+    if (!(source.event_rate.per_hour() > 0.0) ||
+        std::isinf(source.event_rate.per_hour())) {
+      // An infinite rate means a zero mean interval: the source would fire
+      // an unbounded event storm at time zero.
+      return "common-mode source '" + source.name +
+             "' needs a positive, finite event rate";
     }
     if (source.hit_probability < 0.0 || source.hit_probability > 1.0 ||
         source.visible_fraction < 0.0 || source.visible_fraction > 1.0) {
@@ -100,6 +107,7 @@ ReplicatedStorageSystem::ReplicatedStorageSystem(Simulator* sim, Rng* rng,
   repair_ring_.resize(static_cast<size_t>(replica_count_), 0);
   ResolveSpecs();
   InitializeState();
+  BuildInitialDrawPlan();
 }
 
 ReplicatedStorageSystem::ReplicatedStorageSystem(Simulator* sim, Rng* rng,
@@ -184,6 +192,77 @@ void ReplicatedStorageSystem::InitializeState() {
   repair_queued_ = 0;
   repair_active_ = false;
   started_ = false;
+}
+
+void ReplicatedStorageSystem::BuildInitialDrawPlan() {
+  // Mirrors Start()'s draw sequence exactly; see the scheduling helpers for
+  // the arithmetic being replicated. Any change to the initial scheduling
+  // order must be reflected here (the prefilter tests cross-check).
+  initial_draw_sites_.clear();
+  const auto add_exponential = [&](Duration mean) {
+    if (mean.is_infinite()) {
+      return;  // never fires; the engine draws nothing (NextExponential guard)
+    }
+    InitialDrawSite site;
+    site.mean_hours = mean.hours();  // CorrelationMultiplier() == 1 at start
+    initial_draw_sites_.push_back(site);
+  };
+  const auto add_fault_site = [&](const ResolvedReplica& rp, FaultKind kind) {
+    const Duration mean = kind == FaultKind::kVisible ? rp.mv : rp.ml;
+    if (mean.is_infinite()) {
+      return;  // ScheduleReplicaFaults skips the draw entirely
+    }
+    if (rp.fault_distribution != FaultDistribution::kWeibull) {
+      add_exponential(mean);
+      return;
+    }
+    InitialDrawSite site;
+    site.weibull = true;
+    site.shape = rp.weibull_shape;
+    site.inv_shape = 1.0 / rp.weibull_shape;
+    const Duration scale =
+        kind == FaultKind::kVisible ? rp.weibull_scale_mv : rp.weibull_scale_ml;
+    site.scale_hours = scale.hours();
+    site.age0 = rp.initial_age.hours() / scale.hours();
+    site.age0_pow_shape = std::pow(site.age0, rp.weibull_shape);
+    initial_draw_sites_.push_back(site);
+  };
+  if (convention_ == RateConvention::kPaper) {
+    // System-level clocks on replica 0's rates; always exponential
+    // (validation rejects kPaper + Weibull).
+    add_exponential(resolved_[0].mv);
+    add_exponential(resolved_[0].ml);
+  } else {
+    for (int i = 0; i < replica_count_; ++i) {
+      const ResolvedReplica& rp = resolved_[static_cast<size_t>(i)];
+      add_fault_site(rp, FaultKind::kVisible);
+      add_fault_site(rp, FaultKind::kLatent);
+      // ScheduleScrubTick between replicas consumes no draw.
+    }
+  }
+  for (const CommonModeSource& source : scenario_.common_mode) {
+    add_exponential(source.event_rate.MeanInterval());
+  }
+
+  initial_deterministic_event_ = Duration::Infinite();
+  if (convention_ != RateConvention::kPaper && record_scrub_passes_) {
+    for (int i = 0; i < replica_count_; ++i) {
+      const ResolvedReplica& rp = resolved_[static_cast<size_t>(i)];
+      // First scrub tick from time zero: NextScrubTick's arithmetic with
+      // now = 0.
+      const Duration period = rp.scrub.interval;
+      const double periods_elapsed =
+          std::floor((Duration::Zero() - rp.scrub_phase).hours() / period.hours()) +
+          1.0;
+      Duration tick = rp.scrub_phase + period * periods_elapsed;
+      if (tick <= Duration::Zero()) {
+        tick += period;
+      }
+      if (tick < initial_deterministic_event_) {
+        initial_deterministic_event_ = tick;
+      }
+    }
+  }
 }
 
 void ReplicatedStorageSystem::Reset() { InitializeState(); }
@@ -752,6 +831,86 @@ RunOutcome TrialRunner::Run(uint64_t seed, Duration horizon) {
     outcome.log_weight = sampler_->log_weight();
   }
   return outcome;
+}
+
+RunOutcome TrialRunner::RunCounter(uint64_t key, uint64_t trial, Duration horizon) {
+  sim_.Reset();
+  rng_.ReseedCounter(key, trial);
+  system_.Reset();
+  if (sampler_ != nullptr) {
+    sampler_->BeginTrial(horizon);
+  }
+  system_.Start();
+  sim_.RunUntil(horizon);
+  RunOutcome outcome;
+  outcome.metrics = system_.metrics();
+  if (system_.lost()) {
+    outcome.loss_time = system_.loss_time();
+  }
+  if (sampler_ != nullptr) {
+    outcome.log_weight = sampler_->log_weight();
+  }
+  return outcome;
+}
+
+bool TrialRunner::PrefilterCensoredBlock(uint64_t key, int64_t begin_trial,
+                                         int count, Duration horizon,
+                                         uint8_t* skip) {
+  if (sampler_ != nullptr || horizon.is_infinite()) {
+    return false;  // biased draws / unbounded runs: every trial must execute
+  }
+  if (!(system_.initial_deterministic_event().hours() > horizon.hours())) {
+    return false;  // a scrub tick fires inside the horizon in every trial
+  }
+  if (count <= 0 || count > kTrialPrefilterMaxBlock) {
+    return false;
+  }
+  const std::vector<ReplicatedStorageSystem::InitialDrawSite>& sites =
+      system_.initial_draw_sites();
+  const double horizon_hours = horizon.hours();
+  // Structure-of-arrays sweep: sites outer, trials inner, so each site's
+  // parameters stay in registers while the counter streams advance across
+  // the block. Draw j of trial t is CounterMix(key, t, j) — exactly the
+  // uniform RunCounter's Start() would consume at that site — mapped through
+  // the engine's delay arithmetic (DrawFaultDelay / NextExponential).
+  double min_delay_hours[kTrialPrefilterMaxBlock];
+  for (int i = 0; i < count; ++i) {
+    min_delay_hours[i] = std::numeric_limits<double>::infinity();
+  }
+  uint64_t draw_index = 0;
+  for (const auto& site : sites) {
+    if (site.weibull) {
+      for (int i = 0; i < count; ++i) {
+        const uint64_t bits =
+            CounterMix(key, static_cast<uint64_t>(begin_trial + i), draw_index);
+        const double u = (static_cast<double>(bits >> 11) + 1.0) * 0x1.0p-53;
+        const double life =
+            std::pow(site.age0_pow_shape - std::log(u), site.inv_shape);
+        double delay = (life - site.age0) * site.scale_hours;
+        if (!(delay > 0.0) || delay == std::numeric_limits<double>::infinity()) {
+          delay = 1e-9;  // DrawFaultDelay's floating-point boundary guard
+        }
+        if (delay < min_delay_hours[i]) {
+          min_delay_hours[i] = delay;
+        }
+      }
+    } else {
+      for (int i = 0; i < count; ++i) {
+        const uint64_t bits =
+            CounterMix(key, static_cast<uint64_t>(begin_trial + i), draw_index);
+        const double u = (static_cast<double>(bits >> 11) + 1.0) * 0x1.0p-53;
+        const double delay = -std::log(u) * site.mean_hours;
+        if (delay < min_delay_hours[i]) {
+          min_delay_hours[i] = delay;
+        }
+      }
+    }
+    ++draw_index;
+  }
+  for (int i = 0; i < count; ++i) {
+    skip[i] = min_delay_hours[i] > horizon_hours ? 1 : 0;
+  }
+  return true;
 }
 
 RunOutcome RunToLossOrHorizon(const Scenario& scenario, uint64_t seed,

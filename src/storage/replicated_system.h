@@ -45,6 +45,11 @@ enum class ReplicaState {
   kFaultyDetected,   // visible fault, or detected latent fault; under repair
 };
 
+// Largest trial block the batch prefilter processes per call; sized to match
+// the sweep layer's trial block (kTrialBlockSize in src/sweep/batch_exec.h,
+// which static_asserts the two agree) so scratch arrays live on the stack.
+inline constexpr int kTrialPrefilterMaxBlock = 256;
+
 // Whether the constructor re-validates the scenario. Callers that already
 // ran Scenario::Validate() / StorageSimConfig::Validate() (the Monte Carlo
 // drivers validate once per estimate) pass kPreValidated to skip the
@@ -93,6 +98,32 @@ class ReplicatedStorageSystem : public SimClient {
 
   const SimMetrics& metrics() const { return metrics_; }
   const Scenario& scenario() const { return scenario_; }
+
+  // One uniform draw Start() consumes, with the parameters needed to map
+  // that uniform to the initial event delay using the engine's exact
+  // arithmetic. Built once at construction, in draw order: per-replica (or
+  // system-level under kPaper) visible then latent fault clocks, then one
+  // per common-mode source. Sites whose process never fires (infinite mean)
+  // consume no draw and are omitted, mirroring the scheduling guards.
+  struct InitialDrawSite {
+    bool weibull = false;
+    double mean_hours = 0.0;  // exponential: delay = -log(u) * mean_hours
+    // Weibull residual-lifetime parameters (see DrawFaultDelay).
+    double shape = 0.0;
+    double inv_shape = 0.0;
+    double scale_hours = 0.0;
+    double age0 = 0.0;            // initial age in scale units
+    double age0_pow_shape = 0.0;  // pow(age0, shape), hoisted out of the loop
+  };
+  const std::vector<InitialDrawSite>& initial_draw_sites() const {
+    return initial_draw_sites_;
+  }
+  // Earliest initial event scheduled without consuming a draw (the first
+  // periodic scrub tick when record_scrub_passes is set); infinite when the
+  // only initial events are the randomized ones in initial_draw_sites().
+  Duration initial_deterministic_event() const {
+    return initial_deterministic_event_;
+  }
 
   ReplicaState replica_state(int i) const {
     return replicas_[static_cast<size_t>(i)].state;
@@ -151,6 +182,7 @@ class ReplicatedStorageSystem : public SimClient {
   // --- initialization ---
   void ResolveSpecs();
   void InitializeState();
+  void BuildInitialDrawPlan();
 
   // --- scheduling helpers ---
   double CorrelationMultiplier() const;
@@ -209,6 +241,8 @@ class ReplicatedStorageSystem : public SimClient {
   bool visible_fault_surfaces_latent_ = false;
 
   std::vector<ResolvedReplica> resolved_;
+  std::vector<InitialDrawSite> initial_draw_sites_;
+  Duration initial_deterministic_event_ = Duration::Infinite();
   std::vector<Replica> replicas_;
   int faulty_count_ = 0;
   bool lost_ = false;
@@ -273,6 +307,28 @@ class TrialRunner {
   ~TrialRunner();
 
   RunOutcome Run(uint64_t seed, Duration horizon);
+
+  // Counter-mode trial: like Run(), but the generator is reseeded with
+  // ReseedCounter(key, trial) so draw #n of the trial is the pure function
+  // CounterMix(key, trial, n). Used by SeedMode::kCounterV1 sweeps; the
+  // addressability is what makes trial-range sharding and the batch
+  // prefilter below deterministic.
+  RunOutcome RunCounter(uint64_t key, uint64_t trial, Duration horizon);
+
+  // Batch censored-trial prefilter for counter-mode trials. For `count`
+  // consecutive trials starting at `begin_trial` (count <=
+  // kTrialPrefilterMaxBlock), computes each trial's initial fault/common-mode
+  // event delays directly from CounterMix — the engine's exact arithmetic on
+  // the exact uniforms RunCounter would consume — and sets skip[i] = 1 when
+  // the trial provably processes no event within `horizon`: every randomized
+  // initial event lands strictly after the horizon and so does the earliest
+  // deterministic one. A skipped trial's outcome is exactly RunOutcome{}
+  // (censored, zero metrics). Returns false (skip[] untouched) when the
+  // prefilter cannot apply: an importance sampler is attached, or the
+  // horizon is infinite, or a deterministic initial event (scrub tick)
+  // falls inside the horizon.
+  bool PrefilterCensoredBlock(uint64_t key, int64_t begin_trial, int count,
+                              Duration horizon, uint8_t* skip);
 
   const ReplicatedStorageSystem& system() const { return system_; }
 

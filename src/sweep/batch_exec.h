@@ -55,14 +55,21 @@ struct TrialBatchJob {
   std::atomic<int64_t>* busy_ns = nullptr;
 };
 
-// Runs body(runner, job_index, trial_index, block_accumulator) for every
-// trial of every job, split into index-aligned blocks executed on `pool`
-// with at most `lanes` concurrent lanes. Blocks of different jobs are
-// interleaved in one work list with no barrier between jobs, so a slow job
-// cannot strand workers that finished a fast one.
-template <typename Accumulator, typename Body>
-void RunTrialBlocks(WorkerPool& pool, int lanes,
-                    std::vector<TrialBatchJob<Accumulator>>& jobs, const Body& body) {
+static_assert(kTrialBlockSize == kTrialPrefilterMaxBlock,
+              "the storage-layer batch prefilter sizes its stack scratch to "
+              "the sweep trial block");
+
+// Runs body(runner, job_index, begin_trial, end_trial, block_accumulator)
+// once per index-aligned block of every job, executed on `pool` with at most
+// `lanes` concurrent lanes. The body owns the whole block span — this is the
+// batched (SoA-friendly) entry point: a counter-mode body can prefilter or
+// vectorize across the span instead of paying per-trial dispatch. Blocks of
+// different jobs are interleaved in one work list with no barrier between
+// jobs, so a slow job cannot strand workers that finished a fast one.
+template <typename Accumulator, typename SpanBody>
+void RunTrialBlockSpans(WorkerPool& pool, int lanes,
+                        std::vector<TrialBatchJob<Accumulator>>& jobs,
+                        const SpanBody& body) {
   struct Unit {
     size_t job;
     int64_t begin;
@@ -107,15 +114,29 @@ void RunTrialBlocks(WorkerPool& pool, int lanes,
       Accumulator& acc = job.blocks[unit.slot];
       const int64_t t0 =
           job.busy_ns != nullptr ? obs::MonotonicNanos() : 0;
-      for (int64_t t = unit.begin; t < unit.end; ++t) {
-        body(*runner, unit.job, t, acc);
-      }
+      body(*runner, unit.job, unit.begin, unit.end, acc);
       if (job.busy_ns != nullptr) {
         job.busy_ns->fetch_add(obs::MonotonicNanos() - t0,
                                std::memory_order_relaxed);
       }
     }
   });
+}
+
+// Per-trial convenience wrapper: runs body(runner, job_index, trial_index,
+// block_accumulator) for every trial of every job, on top of the block-span
+// executor above (same partition, same fold order, same determinism
+// contract).
+template <typename Accumulator, typename Body>
+void RunTrialBlocks(WorkerPool& pool, int lanes,
+                    std::vector<TrialBatchJob<Accumulator>>& jobs, const Body& body) {
+  RunTrialBlockSpans(pool, lanes, jobs,
+                     [&body](TrialRunner& runner, size_t job, int64_t begin,
+                             int64_t end, Accumulator& acc) {
+                       for (int64_t t = begin; t < end; ++t) {
+                         body(runner, job, t, acc);
+                       }
+                     });
 }
 
 }  // namespace longstore

@@ -42,6 +42,99 @@ struct CellState {
   int64_t resumed_from_trials = 0;  // telemetry only: prior trials on resume
 };
 
+// The trial horizon for the configured estimand (the one place this mapping
+// lives; RunSweepCellsImpl and RunCellTrialRange must agree on it).
+Duration SweepHorizon(const SweepOptions& options) {
+  switch (options.estimand) {
+    case SweepOptions::Estimand::kMttdl:
+      return options.mc.max_trial_time;
+    case SweepOptions::Estimand::kCensoredMttdl:
+      return options.window;
+    default:
+      return options.mission;
+  }
+}
+
+// Folds one trial's outcome into the block accumulator under the configured
+// estimand.
+void AccumulateOutcome(SweepOptions::Estimand estimand, Duration horizon,
+                       const RunOutcome& outcome, TrialAccumulator& acc) {
+  using Estimand = SweepOptions::Estimand;
+  switch (estimand) {
+    case Estimand::kMttdl:
+      if (outcome.loss_time) {
+        acc.loss_years.Add(outcome.loss_time->years());
+      } else {
+        acc.censored++;
+      }
+      break;
+    case Estimand::kLossProbability:
+      if (outcome.loss_time) {
+        acc.losses++;
+      }
+      break;
+    case Estimand::kCensoredMttdl:
+      if (outcome.loss_time) {
+        acc.losses++;
+        acc.observed_years += outcome.loss_time->years();
+      } else {
+        acc.observed_years += horizon.years();
+      }
+      break;
+    case Estimand::kWeightedLossProbability:
+      if (outcome.loss_time) {
+        acc.losses++;
+        acc.weighted.Add(std::exp(outcome.log_weight));
+      } else {
+        acc.weighted.Add(0.0);
+      }
+      break;
+  }
+  acc.metrics.Merge(outcome.metrics);
+}
+
+// Execution parameters of one cell's trial spans, shared by the in-process
+// sweep loop and RunCellTrialRange so the two can never diverge.
+struct CellTrialParams {
+  SweepOptions::Estimand estimand = SweepOptions::Estimand::kMttdl;
+  Duration horizon;
+  uint64_t seed = 0;     // per-trial derivation root, or the kCounterV1 key
+  bool counter = false;  // kCounterV1: counter streams + batch prefilter
+};
+
+// Runs trials [begin, end) — one index-aligned block — into `acc`. The
+// counter path is the batched SoA kernel: one prefilter pass maps the
+// block's initial draws straight through CounterMix and the engine's delay
+// arithmetic, so trials that provably process no event within the horizon
+// contribute their (censored, zero-metric) outcome without touching the
+// event loop.
+void ExecuteCellTrialSpan(TrialRunner& runner, const CellTrialParams& params,
+                          int64_t begin, int64_t end, TrialAccumulator& acc) {
+  if (params.counter) {
+    uint8_t skip[kTrialPrefilterMaxBlock];
+    const bool prefiltered = runner.PrefilterCensoredBlock(
+        params.seed, begin, static_cast<int>(end - begin), params.horizon, skip);
+    const RunOutcome censored;
+    for (int64_t t = begin; t < end; ++t) {
+      if (prefiltered && skip[t - begin] != 0) {
+        AccumulateOutcome(params.estimand, params.horizon, censored, acc);
+      } else {
+        AccumulateOutcome(
+            params.estimand, params.horizon,
+            runner.RunCounter(params.seed, static_cast<uint64_t>(t),
+                              params.horizon),
+            acc);
+      }
+    }
+    return;
+  }
+  for (int64_t t = begin; t < end; ++t) {
+    const uint64_t seed = DeriveSeed(params.seed, static_cast<uint64_t>(t));
+    AccumulateOutcome(params.estimand, params.horizon,
+                      runner.Run(seed, params.horizon), acc);
+  }
+}
+
 // Thin string-returning shims over the shared canonical emitters
 // (src/util/json.h), so SweepResult::ToJson cannot drift from the scenario
 // and shard documents' escaping or double formatting.
@@ -369,17 +462,7 @@ std::vector<SweepCellExecution> RunSweepCellsImpl(
   for (size_t i = 0; i < cells.size(); ++i) {
     CellState& state = states[i];
     state.cell = std::move(cells[i]);
-    switch (options.seed_mode) {
-      case SweepOptions::SeedMode::kSharedRoot:
-        state.seed = mc.seed;
-        break;
-      case SweepOptions::SeedMode::kPerCellDerived:
-        state.seed = DeriveSeed(mc.seed, HashLabel(state.cell.label));
-        break;
-      case SweepOptions::SeedMode::kScenarioDerived:
-        state.seed = DeriveSeed(mc.seed, state.cell.scenario.CanonicalHash());
-        break;
-    }
+    state.seed = SweepCellSeed(options, state.cell);
     state.target = std::min<int64_t>(mc.trials, cap);
   }
 
@@ -397,17 +480,15 @@ std::vector<SweepCellExecution> RunSweepCellsImpl(
   // for the in-loop decision and the resume re-decision, so the two can
   // never disagree on a boundary case.
   const auto decide = [&](CellState& state, bool append_half_width) {
-    const MttdlEstimate estimate = FinalizeMttdl(state.acc, mc.confidence);
-    const double mean = estimate.mean_years();
-    const double half_width = (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0;
+    const AdaptiveRoundDecision verdict =
+        JudgeAdaptiveRound(state.acc, state.trials_done, options);
     if (append_half_width) {
-      state.half_widths.push_back(half_width);
+      state.half_widths.push_back(verdict.half_width);
     }
-    if ((mean > 0.0 && half_width / mean <= options.relative_precision) ||
-        state.trials_done >= options.max_trials) {
+    if (verdict.converged) {
       state.converged = true;
     } else {
-      state.target = std::min(options.max_trials, state.trials_done * 4);
+      state.target = verdict.next_target;
     }
   };
 
@@ -433,13 +514,11 @@ std::vector<SweepCellExecution> RunSweepCellsImpl(
 
   const int lanes = mc.threads > 0 ? mc.threads : pool.size();
   const Estimand estimand = options.estimand;
-  const Duration horizon =
-      estimand == Estimand::kMttdl
-          ? mc.max_trial_time
-          : (estimand == Estimand::kCensoredMttdl ? options.window
-                                                  : options.mission);
+  const Duration horizon = SweepHorizon(options);
   const FaultBias* bias =
       estimand == Estimand::kWeightedLossProbability ? &options.bias : nullptr;
+  const bool counter_mode =
+      options.seed_mode == SweepOptions::SeedMode::kCounterV1;
 
   while (true) {
     // Gather this round's work: every unconverged cell's next trial range.
@@ -465,45 +544,14 @@ std::vector<SweepCellExecution> RunSweepCellsImpl(
       break;
     }
 
-    RunTrialBlocks(pool, lanes, jobs,
-                   [&](TrialRunner& runner, size_t job, int64_t trial,
-                       TrialAccumulator& acc) {
-                     const CellState& state = states[job_cells[job]];
-                     const uint64_t seed =
-                         DeriveSeed(state.seed, static_cast<uint64_t>(trial));
-                     const RunOutcome outcome = runner.Run(seed, horizon);
-                     switch (estimand) {
-                       case Estimand::kMttdl:
-                         if (outcome.loss_time) {
-                           acc.loss_years.Add(outcome.loss_time->years());
-                         } else {
-                           acc.censored++;
-                         }
-                         break;
-                       case Estimand::kLossProbability:
-                         if (outcome.loss_time) {
-                           acc.losses++;
-                         }
-                         break;
-                       case Estimand::kCensoredMttdl:
-                         if (outcome.loss_time) {
-                           acc.losses++;
-                           acc.observed_years += outcome.loss_time->years();
-                         } else {
-                           acc.observed_years += horizon.years();
-                         }
-                         break;
-                       case Estimand::kWeightedLossProbability:
-                         if (outcome.loss_time) {
-                           acc.losses++;
-                           acc.weighted.Add(std::exp(outcome.log_weight));
-                         } else {
-                           acc.weighted.Add(0.0);
-                         }
-                         break;
-                     }
-                     acc.metrics.Merge(outcome.metrics);
-                   });
+    RunTrialBlockSpans(pool, lanes, jobs,
+                       [&](TrialRunner& runner, size_t job, int64_t begin,
+                           int64_t end, TrialAccumulator& acc) {
+                         const CellState& state = states[job_cells[job]];
+                         const CellTrialParams params{estimand, horizon,
+                                                      state.seed, counter_mode};
+                         ExecuteCellTrialSpan(runner, params, begin, end, acc);
+                       });
 
     // Fold the round's blocks in trial order and decide each cell's fate.
     for (size_t j = 0; j < jobs.size(); ++j) {
@@ -571,6 +619,68 @@ std::vector<SweepCellExecution> RunSweepCellsImpl(
 }
 
 }  // namespace
+
+uint64_t SweepCellSeed(const SweepOptions& options, const SweepSpec::Cell& cell) {
+  switch (options.seed_mode) {
+    case SweepOptions::SeedMode::kSharedRoot:
+      return options.mc.seed;
+    case SweepOptions::SeedMode::kPerCellDerived:
+      return DeriveSeed(options.mc.seed, HashLabel(cell.label));
+    case SweepOptions::SeedMode::kScenarioDerived:
+    case SweepOptions::SeedMode::kCounterV1:
+      return DeriveSeed(options.mc.seed, cell.scenario.CanonicalHash());
+  }
+  throw std::logic_error("SweepCellSeed: unknown seed mode");
+}
+
+AdaptiveRoundDecision JudgeAdaptiveRound(const TrialAccumulator& acc,
+                                         int64_t trials_done,
+                                         const SweepOptions& options) {
+  const MttdlEstimate estimate = FinalizeMttdl(acc, options.mc.confidence);
+  const double mean = estimate.mean_years();
+  AdaptiveRoundDecision decision;
+  decision.half_width = (estimate.ci_years.hi - estimate.ci_years.lo) / 2.0;
+  if ((mean > 0.0 && decision.half_width / mean <= options.relative_precision) ||
+      trials_done >= options.max_trials) {
+    decision.converged = true;
+  } else {
+    decision.next_target = std::min(options.max_trials, trials_done * 4);
+  }
+  return decision;
+}
+
+std::vector<TrialAccumulator> RunCellTrialRange(WorkerPool& pool,
+                                                const SweepSpec::Cell& cell,
+                                                const SweepOptions& options,
+                                                int64_t begin_trial,
+                                                int64_t end_trial) {
+  if (options.seed_mode != SweepOptions::SeedMode::kCounterV1) {
+    throw std::invalid_argument(
+        "RunCellTrialRange: trial-range execution requires "
+        "SeedMode::kCounterV1 (xoshiro trial streams are only derivable "
+        "from trial 0)");
+  }
+  if (begin_trial < 0 || end_trial < begin_trial) {
+    throw std::invalid_argument("RunCellTrialRange: invalid trial range");
+  }
+  std::vector<TrialBatchJob<TrialAccumulator>> jobs(1);
+  TrialBatchJob<TrialAccumulator>& job = jobs[0];
+  job.scenario = &cell.scenario;
+  job.bias = options.estimand == SweepOptions::Estimand::kWeightedLossProbability
+                 ? &options.bias
+                 : nullptr;
+  job.begin_trial = begin_trial;
+  job.end_trial = end_trial;
+  const CellTrialParams params{options.estimand, SweepHorizon(options),
+                               SweepCellSeed(options, cell), /*counter=*/true};
+  const int lanes = options.mc.threads > 0 ? options.mc.threads : pool.size();
+  RunTrialBlockSpans(pool, lanes, jobs,
+                     [&params](TrialRunner& runner, size_t, int64_t begin,
+                               int64_t end, TrialAccumulator& acc) {
+                       ExecuteCellTrialSpan(runner, params, begin, end, acc);
+                     });
+  return std::move(job.blocks);
+}
 
 std::vector<SweepCellExecution> RunSweepCells(WorkerPool& pool,
                                               std::vector<SweepSpec::Cell> cells,

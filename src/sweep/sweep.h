@@ -19,15 +19,18 @@
 // not a legacy mutation after a Scenario one (the conversion is one-way).
 //
 // Determinism contract (see src/sweep/README.md):
-//   * trial t of a cell uses the stream DeriveSeed(cell_seed, t);
+//   * trial t of a cell uses the stream DeriveSeed(cell_seed, t) — except in
+//     kCounterV1 mode, where draw n of trial t is the pure function
+//     CounterMix(cell_seed, t, n) (src/util/random.h) and cell_seed doubles
+//     as the counter key;
 //   * cell_seed is DeriveSeed(spec_seed, hash(cell label)) in the default
 //     kPerCellDerived mode — a function of the cell's identity, not of its
 //     position; spec_seed itself in kSharedRoot mode (every cell sees
 //     the same trial streams, the convention of the pre-sweep benches); or
 //     DeriveSeed(spec_seed, scenario.CanonicalHash()) in kScenarioDerived
-//     mode — a function of the cell's *content*, so shards that receive a
-//     serialized scenario (Scenario::ToJson / FromJson) re-derive the same
-//     streams with no label coordination;
+//     and kCounterV1 modes — a function of the cell's *content*, so shards
+//     that receive a serialized scenario (Scenario::ToJson / FromJson)
+//     re-derive the same streams with no label coordination;
 //   * aggregation is block-structured (src/sweep/batch_exec.h) and folded in
 //     trial order.
 // Together these make every estimate bit-identical regardless of thread
@@ -197,6 +200,16 @@ struct SweepOptions {
     // trial streams with no label coordination; relabelling a cell cannot
     // change its estimate.
     kScenarioDerived,
+    // Counter-based streams (src/util/random.h CounterMix): the cell key is
+    // DeriveSeed(mc.seed, scenario.CanonicalHash()) as in kScenarioDerived,
+    // but draw n of trial t is the pure function CounterMix(key, t, n) —
+    // every draw of every trial is addressable in O(1). This is what makes
+    // *trial-range* sharding deterministic (a worker can run trials
+    // [a, b) of a cell and the fold is bit-identical to a single process)
+    // and enables the batched SoA prefilter over initial draws. Streams
+    // differ from every xoshiro-based mode; the "V1" is the stream-freeze
+    // version (see src/util/README.md).
+    kCounterV1,
   };
 
   Estimand estimand = Estimand::kMttdl;
@@ -274,6 +287,38 @@ struct SweepCellExecution {
   int rounds = 0;
   std::vector<double> half_width_history;
 };
+
+// The cell seed (counter key in kCounterV1) the executor derives for `cell`
+// under `options` — the seed-mode switch of the determinism contract above,
+// exposed so shard coordinators and tests derive identical streams.
+uint64_t SweepCellSeed(const SweepOptions& options, const SweepSpec::Cell& cell);
+
+// The adaptive (kMttdl) verdict on a cell whose accumulator folds
+// `trials_done` trials: either the cell converged, or its next geometric
+// round target. Extracted from the in-loop decision so distributed
+// coordinators (src/fleet/) replay byte-identical round schedules.
+struct AdaptiveRoundDecision {
+  bool converged = false;
+  int64_t next_target = 0;  // meaningful only when !converged
+  double half_width = 0.0;  // CI half-width (years) at this round
+};
+AdaptiveRoundDecision JudgeAdaptiveRound(const TrialAccumulator& acc,
+                                         int64_t trials_done,
+                                         const SweepOptions& options);
+
+// Executes trials [begin_trial, end_trial) of one cell and returns the
+// accumulator of every index-aligned trial block the range covers, in trial
+// order (src/sweep/batch_exec.h's partition). Folding the blocks of a
+// contiguous, block-aligned tiling of [0, N) in trial order yields exactly
+// the accumulator of a single-process N-trial run — the primitive behind
+// trial-range shards. Requires SeedMode::kCounterV1 (throws
+// std::invalid_argument otherwise: xoshiro streams are only cheap to derive
+// from trial 0) and pre-validated cell/options.
+std::vector<TrialAccumulator> RunCellTrialRange(WorkerPool& pool,
+                                                const SweepSpec::Cell& cell,
+                                                const SweepOptions& options,
+                                                int64_t begin_trial,
+                                                int64_t end_trial);
 
 // Validates `options` exactly as SweepRunner::Run does; throws
 // std::invalid_argument on the first inconsistency.

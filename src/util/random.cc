@@ -1,5 +1,6 @@
 #include "src/util/random.h"
 
+#include <cassert>
 #include <cmath>
 #include <numbers>
 
@@ -7,6 +8,12 @@ namespace longstore {
 namespace {
 
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// Philox round constants (Salmon et al., "Parallel random numbers: as easy
+// as 1, 2, 3"): a multiplier with good avalanche under 128-bit widening
+// multiplication, and the golden-ratio Weyl increment for the key schedule.
+constexpr uint64_t kPhiloxM = 0xd2b74407b1ce6e93ULL;
+constexpr uint64_t kPhiloxW = 0x9e3779b97f4a7c15ULL;
 
 }  // namespace
 
@@ -26,9 +33,27 @@ uint64_t DeriveSeed(uint64_t seed, uint64_t index) {
   return SplitMix64Next(state);
 }
 
+uint64_t CounterMix(uint64_t key, uint64_t stream, uint64_t counter) {
+  // Philox2x64-10: ten rounds of a 128-bit-product Feistel step over the
+  // (stream, counter) pair, with a Weyl key schedule. Frozen under
+  // SeedMode::kCounterV1 — do not change in place; add a new version.
+  uint64_t hi = stream;
+  uint64_t lo = counter;
+  uint64_t k = key;
+  for (int round = 0; round < 10; ++round) {
+    const __uint128_t product = static_cast<__uint128_t>(kPhiloxM) * lo;
+    const uint64_t new_lo = static_cast<uint64_t>(product >> 64) ^ k ^ hi;
+    hi = static_cast<uint64_t>(product);
+    lo = new_lo;
+    k += kPhiloxW;
+  }
+  return lo ^ hi;
+}
+
 Rng::Rng(uint64_t seed) { Reseed(seed); }
 
 void Rng::Reseed(uint64_t seed) {
+  mode_ = Mode::kXoshiro;
   uint64_t sm = seed;
   for (auto& word : s_) {
     word = SplitMix64Next(sm);
@@ -40,7 +65,17 @@ void Rng::Reseed(uint64_t seed) {
   }
 }
 
+void Rng::ReseedCounter(uint64_t key, uint64_t stream) {
+  mode_ = Mode::kCounter;
+  key_ = key;
+  stream_ = stream;
+  counter_ = 0;
+}
+
 uint64_t Rng::Next() {
+  if (mode_ == Mode::kCounter) {
+    return CounterMix(key_, stream_, counter_++);
+  }
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];
@@ -81,16 +116,31 @@ Duration Rng::NextExponential(Duration mean) {
   if (mean.is_infinite()) {
     return Duration::Infinite();
   }
-  return Duration::Hours(-std::log(NextDoubleOpen()) * mean.hours());
+  assert(mean.hours() >= 0.0 && "NextExponential: mean must be non-negative");
+  double mean_hours = mean.hours();
+  if (!(mean_hours >= 0.0)) {  // negative or NaN
+    mean_hours = 0.0;
+  }
+  return Duration::Hours(-std::log(NextDoubleOpen()) * mean_hours);
 }
 
 Duration Rng::NextExponential(Rate rate) { return NextExponential(rate.MeanInterval()); }
 
 Duration Rng::NextUniform(Duration lo, Duration hi) {
-  return lo + (hi - lo) * NextDouble();
+  const double width = (hi - lo).hours();
+  const double u = NextDouble();  // consumed even for degenerate ranges
+  if (!(width > 0.0) || std::isinf(width)) {
+    return lo;
+  }
+  return lo + Duration::Hours(width * u);
 }
 
 Duration Rng::NextWeibull(double shape, Duration scale) {
+  assert(shape > 0.0 && std::isfinite(shape) &&
+         "NextWeibull: shape must be finite and positive");
+  if (!(shape > 0.0) || !std::isfinite(shape)) {
+    shape = 1.0;
+  }
   const double u = NextDoubleOpen();
   return Duration::Hours(scale.hours() * std::pow(-std::log(u), 1.0 / shape));
 }

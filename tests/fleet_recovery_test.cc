@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -551,6 +552,76 @@ TEST(FleetRecoveryTest, SweepFleetBinaryMatchesSingleAndSignalsPartial) {
   EXPECT_NE(partial.find("INCOMPLETE SWEEP: 1 of 2 cells lost"),
             std::string::npos)
       << partial;
+}
+
+// --- distributed adaptive continuation (RunAdaptive, kCounterV1) -----------
+
+SmallSweep MakeAdaptiveSweep() {
+  SmallSweep sweep = MakeSweep();
+  sweep.options.seed_mode = SweepOptions::SeedMode::kCounterV1;
+  sweep.options.adaptive = true;
+  sweep.options.relative_precision = 0.05;
+  sweep.options.mc.trials = 256;
+  sweep.options.max_trials = 8192;
+  return sweep;
+}
+
+// The PR's acceptance criterion: an adaptive sweep whose continuation rounds
+// are *split mid-cell* across workers (trial-range fragments, reassembled by
+// the coordinator) must merge byte-identical to the single-process adaptive
+// run — same accumulators, same round schedule, same half-width history.
+TEST(FleetRecoveryTest, AdaptiveSplitMidCellIsByteIdenticalToSingleProcess) {
+  const SmallSweep sweep = MakeAdaptiveSweep();
+  const std::string expected =
+      SweepRunner().Run(sweep.spec, sweep.options).ToJson();
+  TempDir dir;
+  FleetOptions options = BaseOptions(dir);
+  options.shard_count = 3;  // round 2 onward splits each cell across workers
+  const FleetReport report =
+      FleetSupervisor(options).RunAdaptive(sweep.spec, sweep.options);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.lost.empty());
+  EXPECT_EQ(report.result.ToJson(), expected);
+  ASSERT_EQ(report.executions.size(), 2u);
+  for (const SweepCellExecution& execution : report.executions) {
+    EXPECT_GT(execution.rounds, 1) << execution.label;
+    EXPECT_EQ(static_cast<size_t>(execution.rounds),
+              execution.half_width_history.size());
+  }
+}
+
+TEST(FleetRecoveryTest, AdaptiveRecoversByteIdenticallyUnderChaos) {
+  const SmallSweep sweep = MakeAdaptiveSweep();
+  const std::string expected =
+      SweepRunner().Run(sweep.spec, sweep.options).ToJson();
+  TempDir dir;
+  FleetOptions options = BaseOptions(dir);
+  options.shard_count = 2;
+  options.fail_mode = "crash";
+  options.fail_prob = 0.5;
+  options.fail_seed = 1;
+  const FleetReport report =
+      FleetSupervisor(options).RunAdaptive(sweep.spec, sweep.options);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.result.ToJson(), expected);
+  EXPECT_GT(report.stats.retries, 0);
+}
+
+TEST(FleetRecoveryTest, RunAdaptiveRejectsMisconfiguredOptions) {
+  TempDir dir;
+  const FleetOptions options = BaseOptions(dir);
+  {
+    SmallSweep sweep = MakeAdaptiveSweep();
+    sweep.options.adaptive = false;
+    EXPECT_THROW(FleetSupervisor(options).RunAdaptive(sweep.spec, sweep.options),
+                 std::invalid_argument);
+  }
+  {
+    SmallSweep sweep = MakeAdaptiveSweep();
+    sweep.options.seed_mode = SweepOptions::SeedMode::kScenarioDerived;
+    EXPECT_THROW(FleetSupervisor(options).RunAdaptive(sweep.spec, sweep.options),
+                 std::invalid_argument);
+  }
 }
 
 }  // namespace

@@ -167,7 +167,7 @@ TEST(ScenarioValidationTest, RejectsCommonModeUnderPaperConvention) {
 TEST(ScenarioValidationTest, RejectsNonPositiveScrubInterval) {
   ExpectBuildError(
       ScenarioBuilder().AddReplica(DiskLike().ScrubEvery(Duration::Zero())),
-      "scrub interval must be positive");
+      "scrub interval must be finite and positive");
 }
 
 TEST(ScenarioValidationTest, RejectsRecordScrubPassesWithoutPeriodicScrub) {
@@ -183,7 +183,7 @@ TEST(ScenarioValidationTest, RejectsRecordScrubPassesWithoutPeriodicScrub) {
 TEST(ScenarioValidationTest, RejectsBadCommonModeSources) {
   ExpectBuildError(
       ScenarioBuilder().Replicas(2, DiskLike()).CommonModeAll("dead", Rate::Zero()),
-      "positive event rate");
+      "positive, finite event rate");
   ExpectBuildError(ScenarioBuilder()
                        .Replicas(2, DiskLike())
                        .CommonModeAll("odds", Rate::PerYear(1.0), 1.5),

@@ -130,8 +130,8 @@ TEST(ShardProtocolTest, SpecRejectsMalformedAndTruncatedInput) {
 TEST(ShardProtocolTest, SpecRejectsProtocolVersionMismatch) {
   const std::string valid = ValidSpecJson();
   // A foreign envelope version.
-  ExpectRejects(kParseSpec, Replaced(valid, "\"shard_version\":2", "\"shard_version\":3"),
-                "unsupported shard_version 3 in a checksummed envelope");
+  ExpectRejects(kParseSpec, Replaced(valid, "\"shard_version\":3", "\"shard_version\":4"),
+                "unsupported shard_version 4 in a checksummed envelope");
   // A version-2 document outside the envelope is unverifiable and refused —
   // otherwise the integrity layer would be optional exactly when it matters.
   ExpectRejects(kParseSpec,
@@ -265,8 +265,8 @@ TEST(ShardProtocolTest, ResultRejectsMalformedDocuments) {
   ExpectRejects(kParseResult, "", "unexpected end of input");
   ExpectRejects(kParseResult, valid.substr(0, valid.size() / 2), "");
   ExpectRejects(kParseResult,
-                Replaced(valid, "\"shard_version\":2", "\"shard_version\":3"),
-                "unsupported shard_version 3");
+                Replaced(valid, "\"shard_version\":3", "\"shard_version\":4"),
+                "unsupported shard_version 4");
   ExpectRejects(kParseResult, Doctored(valid, "\"index\":1", "\"index\":0"),
                 "duplicate cell index 0");
   ExpectRejects(kParseResult, Doctored(valid, "\"trials\":64", "\"trials\":-4"),

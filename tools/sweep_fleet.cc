@@ -12,6 +12,13 @@
 //   --scenario=FILE      one cell per flag: the scenario JSON in FILE
 //   --trials/--seed/--estimand=mttdl|loss/--mission-years configure the
 //                        --scenario sweep (ignored with --cheetah)
+//   --seed-mode=shared_root|per_cell_derived|scenario_derived|counter_v1
+//                        override the sweep's RNG stream mode (applies to
+//                        --cheetah too). counter_v1 draws every trial from
+//                        the counter-based generator, which is what the
+//                        rng-stream-compat CI job replays the golden figure
+//                        under; leaving the flag unset keeps each sweep's
+//                        historical default, so existing goldens never move
 //
 // Execution:
 //   --single             run in-process (SweepRunner; the golden reference)
@@ -74,6 +81,8 @@ int Usage(const char* argv0) {
                "  [--keep-files] [--format=table|csv|json]\n"
                "  [--trials=N] [--seed=S] [--estimand=mttdl|loss] "
                "[--mission-years=Y]\n"
+               "  [--seed-mode=shared_root|per_cell_derived|scenario_derived|"
+               "counter_v1]\n"
                "  [--fail-mode=MODE] [--fail-prob=P] [--fail-seed=S]\n"
                "  [--metrics-out=FILE] [--trace-out=FILE]\n",
                argv0);
@@ -167,6 +176,7 @@ int Main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string estimand = "mttdl";
+  std::string seed_mode;  // empty = keep the sweep's default
   long trials = 2000;
   unsigned long long seed = 1;
   double mission_years = 50.0;
@@ -233,6 +243,12 @@ int Main(int argc, char** argv) {
       }
     } else if (long_arg(arg, "--mission-years", &value)) {
       mission_years = std::atof(value);
+    } else if (long_arg(arg, "--seed-mode", &value)) {
+      seed_mode = value;
+      if (seed_mode != "shared_root" && seed_mode != "per_cell_derived" &&
+          seed_mode != "scenario_derived" && seed_mode != "counter_v1") {
+        return Usage(argv[0]);
+      }
     } else if (long_arg(arg, "--fail-mode", &value)) {
       fleet.fail_mode = value;
     } else if (long_arg(arg, "--fail-prob", &value)) {
@@ -275,6 +291,15 @@ int Main(int argc, char** argv) {
     // Content-derived seeds: the estimate depends on the scenario alone,
     // not on the file name or cell position.
     options.seed_mode = SweepOptions::SeedMode::kScenarioDerived;
+  }
+  if (!seed_mode.empty()) {
+    options.seed_mode =
+        seed_mode == "shared_root" ? SweepOptions::SeedMode::kSharedRoot
+        : seed_mode == "per_cell_derived"
+            ? SweepOptions::SeedMode::kPerCellDerived
+        : seed_mode == "scenario_derived"
+            ? SweepOptions::SeedMode::kScenarioDerived
+            : SweepOptions::SeedMode::kCounterV1;
   }
 
   obs::TraceJournal journal;
